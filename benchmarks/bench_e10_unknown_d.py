@@ -1,0 +1,12 @@
+"""Benchmark E10 — §6: unknown-D doubling — log-factor cost, constant-factor quality.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e10_unknown_d(benchmark):
+    """§6: unknown-D doubling — log-factor cost, constant-factor quality."""
+    run_and_report(benchmark, "E10")

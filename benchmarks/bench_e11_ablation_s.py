@@ -1,0 +1,12 @@
+"""Benchmark E11 — §4 ablation: the s = Θ(D^{3/2}) partition-count knee.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e11_ablation_s(benchmark):
+    """§4 ablation: the s = Θ(D^{3/2}) partition-count knee."""
+    run_and_report(benchmark, "E11")

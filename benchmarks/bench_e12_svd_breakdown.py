@@ -1,0 +1,12 @@
+"""Benchmark E12 — §2: SVD baseline breaks past its assumed type count; ours doesn't.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e12_svd_breakdown(benchmark):
+    """§2: SVD baseline breaks past its assumed type count; ours doesn't."""
+    run_and_report(benchmark, "E12")

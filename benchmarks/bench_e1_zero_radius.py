@@ -1,0 +1,12 @@
+"""Benchmark E1 — Theorem 3.1: Zero Radius — exact recovery in O(log n / alpha) rounds.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e1_zero_radius(benchmark):
+    """Theorem 3.1: Zero Radius — exact recovery in O(log n / alpha) rounds."""
+    run_and_report(benchmark, "E1")

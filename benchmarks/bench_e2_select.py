@@ -1,0 +1,12 @@
+"""Benchmark E2 — Theorem 3.2: Select — exact Choose-Closest within k(D+1) probes.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e2_select(benchmark):
+    """Theorem 3.2: Select — exact Choose-Closest within k(D+1) probes."""
+    run_and_report(benchmark, "E2")

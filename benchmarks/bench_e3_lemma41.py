@@ -1,0 +1,12 @@
+"""Benchmark E3 — Lemma 4.1: random-partition success probability vs s/d^{3/2}.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e3_lemma41(benchmark):
+    """Lemma 4.1: random-partition success probability vs s/d^{3/2}."""
+    run_and_report(benchmark, "E3")

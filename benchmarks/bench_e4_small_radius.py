@@ -1,0 +1,12 @@
+"""Benchmark E4 — Theorem 4.4: Small Radius — error <= 5D, cost O(K D^{3/2}(D+log n)/alpha).
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e4_small_radius(benchmark):
+    """Theorem 4.4: Small Radius — error <= 5D, cost O(K D^{3/2}(D+log n)/alpha)."""
+    run_and_report(benchmark, "E4")

@@ -1,0 +1,12 @@
+"""Benchmark E5 — Theorem 5.3: Coalesce — <= 1/alpha outputs, unique 2D-close representative.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e5_coalesce(benchmark):
+    """Theorem 5.3: Coalesce — <= 1/alpha outputs, unique 2D-close representative."""
+    run_and_report(benchmark, "E5")

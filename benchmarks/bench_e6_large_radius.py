@@ -1,0 +1,12 @@
+"""Benchmark E6 — Theorem 5.4: Large Radius — constant stretch at sublinear probing cost.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e6_large_radius(benchmark):
+    """Theorem 5.4: Large Radius — constant stretch at sublinear probing cost."""
+    run_and_report(benchmark, "E6")

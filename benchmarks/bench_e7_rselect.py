@@ -1,0 +1,12 @@
+"""Benchmark E7 — Theorem 6.1: RSelect — O(D)-close output with O(k^2 log n) probes.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e7_rselect(benchmark):
+    """Theorem 6.1: RSelect — O(D)-close output with O(k^2 log n) probes."""
+    run_and_report(benchmark, "E7")

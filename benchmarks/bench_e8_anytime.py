@@ -1,0 +1,12 @@
+"""Benchmark E8 — Theorem 1.1 / §6: anytime stretch-vs-rounds curve on nested communities.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e8_anytime(benchmark):
+    """Theorem 1.1 / §6: anytime stretch-vs-rounds curve on nested communities."""
+    run_and_report(benchmark, "E8")

@@ -1,0 +1,12 @@
+"""Benchmark E9 — Prose comparison: ours vs solo/majority/kNN/SVD at matched budget.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_e9_baselines(benchmark):
+    """Prose comparison: ours vs solo/majority/kNN/SVD at matched budget."""
+    run_and_report(benchmark, "E9")

@@ -1,0 +1,42 @@
+"""Micro-benchmarks: the distributed engine's overhead vs the fast simulation.
+
+The lockstep engine exists for fidelity, not speed; these benchmarks
+price the difference so regressions in either path are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.zero_radius import PrimitiveSpace, zero_radius
+from repro.engine import run_zero_radius_engine
+from repro.workloads.planted import planted_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_instance(128, 128, 0.5, 0, rng=0)
+
+
+def test_zero_radius_global_128(benchmark, instance):
+    """Fast global Zero Radius at n = m = 128."""
+
+    def run():
+        oracle = ProbeOracle(instance)
+        space = PrimitiveSpace(oracle, np.arange(128))
+        return zero_radius(space, np.arange(128), 0.5, n_global=128, rng=1)
+
+    out = benchmark(run)
+    assert out.shape == (128, 128)
+
+
+def test_zero_radius_engine_128(benchmark, instance):
+    """Literal lockstep Zero Radius at n = m = 128 (coroutine players)."""
+
+    def run():
+        oracle = ProbeOracle(instance)
+        return run_zero_radius_engine(oracle, np.arange(128), 0.5, rng=1)
+
+    out, result = benchmark(run)
+    assert out.shape == (128, 128)
+    assert result.rounds >= result.probe_rounds

@@ -1,0 +1,65 @@
+"""Micro-benchmarks: distance-metric kernels.
+
+The profiling-first workflow (see the HPC guidance) needs stable
+reference timings for the hot kernels; these also guard against
+accidental de-vectorisation regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.bitpack import BitMatrix
+from repro.metrics.hamming import diameter, hamming_to_each, pairwise_hamming
+from repro.metrics.tilde import tilde_pairwise
+
+
+@pytest.fixture(scope="module")
+def dense_matrix():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2, (512, 512), dtype=np.int8)
+
+
+@pytest.fixture(scope="module")
+def wildcard_matrix():
+    rng = np.random.default_rng(1)
+    m = rng.integers(0, 2, (256, 512), dtype=np.int8)
+    m[rng.random(m.shape) < 0.1] = -1
+    return m
+
+
+def test_pairwise_hamming_dense(benchmark, dense_matrix):
+    """All-pairs Hamming via two BLAS products (512x512)."""
+    out = benchmark(pairwise_hamming, dense_matrix)
+    assert out.shape == (512, 512)
+
+
+def test_pairwise_hamming_bitpacked(benchmark, dense_matrix):
+    """All-pairs Hamming via packed XOR popcount (512x512)."""
+    bm = BitMatrix(dense_matrix)
+    out = benchmark(bm.pairwise_hamming)
+    assert out.shape == (512, 512)
+
+
+def test_hamming_to_each(benchmark, dense_matrix):
+    """One-vs-all distances (the Select/vote hot path)."""
+    v = dense_matrix[0]
+    out = benchmark(hamming_to_each, v, dense_matrix)
+    assert out.shape == (512,)
+
+
+def test_diameter_512(benchmark, dense_matrix):
+    """Diameter of 512 rows (BLAS path)."""
+    out = benchmark(diameter, dense_matrix)
+    assert out > 0
+
+
+def test_tilde_pairwise(benchmark, wildcard_matrix):
+    """Wildcard-aware all-pairs d̃ (Coalesce's setup cost)."""
+    out = benchmark(tilde_pairwise, wildcard_matrix)
+    assert out.shape == (256, 256)
+
+
+def test_bitmatrix_pack(benchmark, dense_matrix):
+    """Packing cost (amortised over many distance queries)."""
+    out = benchmark(BitMatrix, dense_matrix)
+    assert out.shape == (512, 512)

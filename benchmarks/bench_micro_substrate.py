@@ -1,0 +1,86 @@
+"""Micro-benchmarks: probe-oracle and algorithm-kernel throughput."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.coalesce import coalesce
+from repro.core.rselect import rselect
+from repro.core.select import select
+from repro.core.zero_radius import PrimitiveSpace, zero_radius
+from repro.workloads.planted import planted_instance
+
+
+@pytest.fixture()
+def oracle():
+    rng = np.random.default_rng(0)
+    return ProbeOracle(rng.integers(0, 2, (1024, 1024), dtype=np.int8))
+
+
+def test_probe_scalar_throughput(benchmark, oracle):
+    """Scalar probe path (Select's per-coordinate cost)."""
+
+    def many():
+        for j in range(256):
+            oracle.probe(0, j)
+
+    benchmark(many)
+
+
+def test_probe_many_batch(benchmark, oracle):
+    """Vectorized batch probing (Zero Radius leaves)."""
+    players = np.repeat(np.arange(256), 64)
+    objects = np.tile(np.arange(64), 256)
+    benchmark(oracle.probe_many, players, objects)
+
+
+def test_select_kernel(benchmark):
+    """One Select over 8 candidates, bound 8, 512 coords."""
+    rng = np.random.default_rng(1)
+    hidden = rng.integers(0, 2, 512, dtype=np.int8)
+    cands = rng.integers(0, 2, (8, 512), dtype=np.int8)
+    cands[3] = hidden
+
+    def run():
+        return select(cands, lambda j: int(hidden[j]), 8)
+
+    out = benchmark(run)
+    assert out.index == 3
+
+
+def test_rselect_kernel(benchmark):
+    """One RSelect over 8 candidates, 512 coords, n=1024 confidence."""
+    rng = np.random.default_rng(2)
+    hidden = rng.integers(0, 2, 512, dtype=np.int8)
+    cands = rng.integers(0, 2, (8, 512), dtype=np.int8)
+    cands[0] = hidden
+
+    def run():
+        return rselect(cands, lambda j: int(hidden[j]), 1024, rng=3)
+
+    out = benchmark(run)
+    assert out.index == 0
+
+
+def test_coalesce_kernel(benchmark):
+    """Coalesce over 128 posted vectors of width 256."""
+    rng = np.random.default_rng(4)
+    center = rng.integers(0, 2, 256, dtype=np.int8)
+    V = np.tile(center, (128, 1))
+    flips = rng.random((128, 256)) < 0.02
+    V = np.bitwise_xor(V, flips.astype(np.int8))
+    out = benchmark(coalesce, V, 16, 0.5)
+    assert out.size >= 1
+
+
+def test_zero_radius_end_to_end_512(benchmark):
+    """Full Zero Radius at n = m = 512 (the E1 workhorse)."""
+    inst = planted_instance(512, 512, 0.5, 0, rng=5)
+
+    def run():
+        oracle = ProbeOracle(inst)
+        space = PrimitiveSpace(oracle, np.arange(512))
+        return zero_radius(space, np.arange(512), 0.5, n_global=512, rng=6)
+
+    out = benchmark(run)
+    assert out.shape == (512, 512)

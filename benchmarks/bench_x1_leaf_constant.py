@@ -1,0 +1,12 @@
+"""Benchmark X1 — Extension ablation: the Fig. 2 leaf constant trades cost for vote reliability.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x1_leaf_constant(benchmark):
+    """Extension ablation: the Fig. 2 leaf constant trades cost for vote reliability."""
+    run_and_report(benchmark, "X1")

@@ -1,0 +1,12 @@
+"""Benchmark X2 — Extension: tracking drifting preferences at polylog cost per epoch.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x2_dynamic(benchmark):
+    """Extension: tracking drifting preferences at polylog cost per epoch."""
+    run_and_report(benchmark, "X2")

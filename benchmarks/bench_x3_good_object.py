@@ -1,0 +1,12 @@
+"""Benchmark X3 — Extension (ref. [4]): billboard recommendations amortise good-object search.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x3_good_object(benchmark):
+    """Extension (ref. [4]): billboard recommendations amortise good-object search."""
+    run_and_report(benchmark, "X3")

@@ -1,0 +1,12 @@
+"""Benchmark X4 — Extension: the literal lockstep engine matches the fast simulation bitwise.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x4_engine(benchmark):
+    """Extension: the literal lockstep engine matches the fast simulation bitwise."""
+    run_and_report(benchmark, "X4")

@@ -1,0 +1,12 @@
+"""Benchmark X5 — Extension ablation: Small Radius confidence K — reliability vs linear cost.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x5_confidence(benchmark):
+    """Extension ablation: Small Radius confidence K — reliability vs linear cost."""
+    run_and_report(benchmark, "X5")

@@ -1,0 +1,12 @@
+"""Benchmark X6 — Extension ablation: paper cost model vs smart-client probe reuse.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x6_repeats(benchmark):
+    """Extension ablation: paper cost model vs smart-client probe reuse."""
+    run_and_report(benchmark, "X6")

@@ -1,0 +1,12 @@
+"""Benchmark X7 — Extension: Byzantine resilience of the billboard voting protocol.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x7_byzantine(benchmark):
+    """Extension: Byzantine resilience of the billboard voting protocol."""
+    run_and_report(benchmark, "X7")

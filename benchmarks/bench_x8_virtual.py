@@ -1,0 +1,12 @@
+"""Benchmark X8 — Extension: the §3 virtual-player reduction for m >> n.
+
+See ``src/repro/experiments/`` for the experiment implementation and
+DESIGN.md §2 for the experiment index.
+"""
+
+from conftest import run_and_report
+
+
+def test_x8_virtual(benchmark):
+    """Extension: the §3 virtual-player reduction for m >> n."""
+    run_and_report(benchmark, "X8")

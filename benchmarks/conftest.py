@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_e*.py`` wraps one experiment from
+:mod:`repro.experiments` in a pytest-benchmark target: the benchmark
+measures wall time of the full experiment sweep, asserts its shape
+checks, prints the rows (the paper has no tables of its own — these are
+the evaluation tables, see DESIGN.md §2), and archives the rendered
+report under ``benchmarks/reports/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_FULL=1`` for the full (slow) sweeps recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+#: Full sweeps when REPRO_FULL=1, quick sweeps otherwise.
+QUICK = os.environ.get("REPRO_FULL", "0") != "1"
+
+#: Quick and full sweeps archive separately, so a quick run never
+#: clobbers the full-sweep record EXPERIMENTS.md cites.
+REPORT_DIR = Path(__file__).parent / "reports" / ("quick" if QUICK else "full")
+
+
+def run_and_report(benchmark, experiment_id: str, seed: int = 1):
+    """Benchmark one experiment, archive and print its table, assert checks."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, quick=QUICK, seed=seed),
+        iterations=1,
+        rounds=1,
+    )
+    rendered = result.render()
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    (REPORT_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+    print("\n" + rendered)
+    assert result.passed, f"{experiment_id} shape checks failed:\n{rendered}"
+    return result
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Fixture form of :func:`run_and_report`."""
+
+    def _run(experiment_id: str, seed: int = 1):
+        return run_and_report(benchmark, experiment_id, seed)
+
+    return _run

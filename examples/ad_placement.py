@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Ad placement: the anytime algorithm under a hard probing budget.
+
+The paper's advertiser example: "Probing takes place each time the
+advertiser provides a user with an ad ... if the user clicks, the entry
+is set to 1".  Impressions cost money, so the advertiser caps the number
+of ad impressions per user and wants the best achievable reconstruction
+of every user's click-preference vector *for that spend* — exactly the
+Section 6 anytime setting (``α`` and ``D`` both unknown).
+
+We sweep the impression budget and plot (as a text series) how quality
+improves with spend — the anytime property: stopping at any budget gives
+close-to-the-best-possible output for that budget.
+
+Run:  python examples/ad_placement.py
+"""
+
+import repro
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    n_users, n_products = 128, 128
+    inst = repro.nested_instance(
+        n_users,
+        n_products,
+        radii=[2, 10],
+        fractions=[0.4, 0.8],
+        rng=17,
+        name="ad-audience",
+    )
+    print(f"{n_users} users, {n_products} products")
+    for c in inst.communities:
+        print(f"  segment {c.label}: {c.size} users within taste radius {c.diameter}")
+
+    table = Table(
+        title="\nQuality vs impression budget (anytime algorithm)",
+        columns=["budget/user", "phases done", "segment", "worst_err", "stretch"],
+    )
+    for budget in (2000, 4000, 7000):
+        oracle = repro.ProbeOracle(inst, budget=budget)
+        result = repro.anytime_find_preferences(oracle, rng=23, d_max=8)
+        for c in inst.communities:
+            rep = repro.evaluate(result.outputs, inst.prefs, c.members, diam=c.diameter)
+            table.add(
+                **{"budget/user": budget},
+                **{"phases done": len(result.meta["phases"])},
+                segment=c.label,
+                worst_err=rep.discrepancy,
+                stretch=round(rep.stretch, 2),
+            )
+    print(table.render())
+    print(
+        "\nMore spend -> more completed phases -> smaller per-segment error;\n"
+        "any interim budget still yields a usable reconstruction (the anytime property)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Baseline showdown: why assumption-free collaboration matters.
+
+Reproduces the paper's Section 2 argument as a runnable comparison.  On
+two matrices — one satisfying the spectral methods' "few canonical
+types" assumption and one with 16 well-separated communities — we give
+every method the *same* per-user probe budget and compare reconstruction
+errors:
+
+* masked-SVD completion (the Drineas et al. family) is excellent in its
+  comfort zone and collapses outside it;
+* the naive global majority vote only ever serves the biggest crowd;
+* kNN collaborative filtering sits in between, with no guarantee;
+* Zero Radius handles both regimes with the same code and the same
+  bound.
+
+Run:  python examples/baseline_showdown.py
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines import knn_baseline, majority_baseline, solo_baseline, svd_baseline
+from repro.utils.tables import Table
+
+
+def run_family(name: str, inst, alpha: float, table: Table) -> None:
+    n, m = inst.shape
+
+    oracle = repro.ProbeOracle(inst)
+    ours = repro.find_preferences(oracle, alpha, 0, rng=5)
+    budget = max(ours.rounds, 8)
+
+    def score(label: str, outputs: np.ndarray, rounds: int) -> None:
+        errs = (np.where(outputs == -1, 0, outputs) != inst.prefs).sum(axis=1)
+        table.add(family=name, method=label, **{"probes/user": rounds},
+                  mean_err=float(errs.mean()), worst_err=int(errs.max()))
+
+    score("zero_radius (ours)", ours.outputs, ours.rounds)
+    score("svd", svd_baseline(repro.ProbeOracle(inst), budget, rank=4, rng=1).outputs, budget)
+    score("majority", majority_baseline(repro.ProbeOracle(inst), budget, rng=2).outputs, budget)
+    score("knn", knn_baseline(repro.ProbeOracle(inst), budget // 2, budget - budget // 2, rng=3).outputs, budget)
+    score("solo(full)", solo_baseline(repro.ProbeOracle(inst)).outputs, m)
+
+
+def main() -> None:
+    n = 256
+    table = Table(
+        title="Same probe budget, two regimes (errors over the whole population)",
+        columns=["family", "method", "probes/user", "mean_err", "worst_err"],
+    )
+
+    friendly = repro.mixture_instance(n, n, 4, noise=0.0, rng=8, name="4-types")
+    run_family("4-types (low-rank)", friendly, min(c.size for c in friendly.communities) / n, table)
+
+    hostile = repro.mixture_instance(n, n, 16, noise=0.0, rng=9, name="16-types")
+    run_family("16-types (full-rank)", hostile, min(c.size for c in hostile.communities) / n, table)
+
+    print(table.render())
+    print(
+        "\nThe SVD baseline is strong exactly where its generative assumption holds\n"
+        "and collapses on 16 types; Zero Radius reconstructs both regimes with the\n"
+        "same assumption-free guarantee (Theorem 3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A marketplace with dishonest participants.
+
+The introduction motivates the model with online marketplaces where
+"some eBay users may be dishonest".  Probe results (what a buyer
+actually experienced) are ground truth, but the intermediate vectors
+players post for others to vote over are self-reported — a shill can
+post anything.
+
+This example runs the *distributed* Zero Radius protocol with a growing
+fraction of liars (who follow the public coins, so their posts land in
+exactly the channels honest voters read, and post maximally-misleading
+vectors) and charts honest buyers' reconstruction quality:
+
+* below the vote threshold's tolerance (``f* = 1 − vote_frac = 1/2``,
+  independent of the community size!) the liars only add garbage
+  candidates, which honest Selects discard after a probe or two;
+* past ``f*`` the truthful candidate can no longer reach the vote
+  threshold and recovery collapses.
+
+Run:  python examples/dishonest_marketplace.py
+"""
+
+import numpy as np
+
+import repro
+from repro.billboard.oracle import ProbeOracle
+from repro.extensions.byzantine import run_zero_radius_with_byzantine
+from repro.utils.ascii_plot import sparkline
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    n = 128
+    alpha = 0.5
+    inst = repro.planted_instance(n, n, alpha, 0, rng=13)
+    comm = inst.main_community()
+    print(f"{n} buyers, {n} products; {comm.size} honest-taste community; vote rule: alpha/2")
+    print("Sweeping the fraction of dishonest posters...\n")
+
+    table = Table(
+        title="Honest community members' reconstruction vs dishonest fraction",
+        columns=["dishonest", "worst_err", "mean_err", "rounds"],
+    )
+    means = []
+    for f in (0.0, 0.1, 0.2, 0.3, 0.5, 0.6, 0.7):
+        oracle = ProbeOracle(inst)
+        out, bad, result = run_zero_radius_with_byzantine(
+            oracle, alpha, f, params=repro.Params.robust(), rng=29
+        )
+        honest = np.asarray([p for p in comm.members if not bad[p]])
+        errs = (out[honest] != inst.prefs[honest]).sum(axis=1)
+        means.append(float(errs.mean()))
+        table.add(dishonest=f, worst_err=int(errs.max()), mean_err=float(errs.mean()),
+                  rounds=result.probe_rounds)
+    print(table.render())
+    print(f"\nmean error vs dishonest fraction: {sparkline([m + 1 for m in means])}")
+    print(
+        "\nThe protocol shrugs off liars below f* = 1/2 — they can add garbage\n"
+        "candidates but cannot suppress the truthful one — and collapses once\n"
+        "liars can outvote honest players inside the recursion's halves."
+    )
+
+
+if __name__ == "__main__":
+    main()

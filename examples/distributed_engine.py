@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The distributed model, executed literally.
+
+Everything else in this library simulates the player population with
+fast vectorized code.  This example runs the paper's model *as written*:
+every player is an independent program, the scheduler advances them in
+lockstep rounds ("each player reads the shared billboard, probes one
+object, and writes the result"), and players wait for each other's
+billboard posts at the recursion's synchronization points.
+
+It then shows the library's strongest internal validation: with the same
+public-coin seed, the literal distributed execution and the fast global
+simulation produce **bitwise identical outputs and probe counts** — for
+Zero, Small, *and* Large Radius.
+
+Run:  python examples/distributed_engine.py
+"""
+
+import numpy as np
+
+import repro
+from repro.billboard.oracle import ProbeOracle
+from repro.core.large_radius import large_radius
+from repro.core.small_radius import small_radius
+from repro.core.zero_radius import PrimitiveSpace, zero_radius
+from repro.engine import (
+    run_large_radius_engine,
+    run_small_radius_engine,
+    run_zero_radius_engine,
+)
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    n = 96
+    seed = 2026
+    table = Table(
+        title=f"Literal lockstep execution vs fast simulation (n = m = {n}, same coins)",
+        columns=["algorithm", "bitwise_equal", "probe_rounds", "lockstep_rounds", "waits"],
+    )
+
+    inst0 = repro.planted_instance(n, n, 0.5, 0, rng=seed)
+    o1 = ProbeOracle(inst0)
+    g = zero_radius(PrimitiveSpace(o1, np.arange(n)), np.arange(n), 0.5, n_global=n, rng=seed + 1)
+    o2 = ProbeOracle(inst0)
+    e, res = run_zero_radius_engine(o2, np.arange(n), 0.5, rng=seed + 1)
+    table.add(algorithm="zero_radius", bitwise_equal=bool(np.array_equal(g, e)),
+              probe_rounds=res.probe_rounds, lockstep_rounds=res.rounds,
+              waits=res.rounds - res.probe_rounds)
+
+    inst1 = repro.planted_instance(n, n, 0.5, 2, rng=seed + 2)
+    o3 = ProbeOracle(inst1)
+    g2 = small_radius(o3, np.arange(n), np.arange(n), 0.5, 2, rng=seed + 3, K=2)
+    o4 = ProbeOracle(inst1)
+    e2, res2 = run_small_radius_engine(o4, np.arange(n), np.arange(n), 0.5, 2, rng=seed + 3, K=2)
+    table.add(algorithm="small_radius", bitwise_equal=bool(np.array_equal(g2, e2)),
+              probe_rounds=res2.probe_rounds, lockstep_rounds=res2.rounds,
+              waits=res2.rounds - res2.probe_rounds)
+
+    inst2 = repro.planted_instance(n, n, 0.5, 24, rng=seed + 4)
+    o5 = ProbeOracle(inst2)
+    g3 = large_radius(o5, 0.5, 24, rng=seed + 5)
+    o6 = ProbeOracle(inst2)
+    e3, res3 = run_large_radius_engine(o6, 0.5, 24, rng=seed + 5)
+    table.add(algorithm="large_radius", bitwise_equal=bool(np.array_equal(g3, e3)),
+              probe_rounds=res3.probe_rounds, lockstep_rounds=res3.rounds,
+              waits=res3.rounds - res3.probe_rounds)
+
+    print(table.render())
+    print(
+        "\nEvery algorithm's distributed execution (coroutine players, one probe\n"
+        "per round, billboard-post synchronization) reproduces the fast global\n"
+        "simulation bit for bit; lockstep rounds exceed probe rounds only by the\n"
+        "waits at the recursion's barriers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: recover every player's preferences from O(log n) probes.
+
+The paper's headline scenario, end to end:
+
+1. build a hidden preference matrix with a planted community — half the
+   players share identical taste, the rest are arbitrary;
+2. wrap it in a :class:`~repro.ProbeOracle` (the only gate to the hidden
+   grades: one probe, one unit of cost, result posted on the billboard);
+3. run the main algorithm (Fig. 1 — here the ``D = 0`` Zero Radius
+   branch);
+4. score the output: community members recover their *entire* preference
+   vector from a few dozen probes instead of the ``m`` probes of
+   go-it-alone.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    n = m = 512
+    alpha, D = 0.5, 0
+
+    print(f"Building a {n}x{m} instance with a planted ({alpha}, {D}) community...")
+    inst = repro.planted_instance(n=n, m=m, alpha=alpha, D=D, rng=7)
+    community = inst.main_community()
+    print(f"  community: {community.size} players, diameter {community.diameter}")
+
+    oracle = repro.ProbeOracle(inst)
+    print("Running the main algorithm (known alpha, D)...")
+    result = repro.find_preferences(oracle, alpha=alpha, D=D, rng=11)
+
+    report = repro.evaluate(result.outputs, inst.prefs, community.members)
+    print(f"  branch taken     : {result.algorithm}")
+    print(f"  probing rounds   : {result.rounds}  (go-it-alone needs {m})")
+    print(f"  speedup vs solo  : {m / result.rounds:.1f}x")
+    print(f"  member discrepancy Δ(P*): {report.discrepancy}")
+    print(f"  member stretch  ρ(P*)  : {report.stretch:.2f}")
+
+    assert report.discrepancy == 0, "community members should recover exactly"
+    print("\nEvery community member recovered its full preference vector exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Sensor fusion: unreliable sensors mapping a large environment.
+
+The introduction's second scenario: "tracking dynamic environment by
+unreliable sensors ... fall[s] under this interactive framework".
+``n`` sensors must each map ``m`` binary environment cells (occupied /
+free), with ``m > n`` — a large environment.  Sensors in the same region
+see almost the same world (a low-diameter community: up to ``D`` cells
+legitimately differ per sensor, e.g. local obstructions), but each
+reading ("probe") costs energy.
+
+Small Radius (Fig. 4) lets every sensor output a full map with error at
+most ``5D`` while spending roughly *half* the energy of mapping alone —
+and a hard per-sensor energy budget set below the solo cost never trips.
+
+Run:  python examples/sensor_fusion.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core import small_radius
+
+
+def main() -> None:
+    n_sensors, n_cells = 256, 1024
+    local_variation = 4  # cells that legitimately differ between sensors
+
+    print(
+        f"{n_sensors} sensors mapping {n_cells} cells; "
+        f"local variation <= {local_variation} cells per sensor"
+    )
+    inst = repro.planted_instance(
+        n_sensors,
+        n_cells,
+        alpha=1.0,  # every sensor is in the region
+        D=local_variation,
+        rng=99,
+        name="sensor-region",
+    )
+    region = inst.main_community()
+    print(f"  true map diameter across sensors: {region.diameter}")
+
+    oracle = repro.ProbeOracle(inst)
+    oracle.start_phase("mapping")
+    out = small_radius(
+        oracle,
+        np.arange(n_sensors),
+        np.arange(n_cells),
+        alpha=1.0,
+        D=local_variation,
+        rng=5,
+        K=2,
+    )
+    phase = oracle.finish_phase("mapping")
+
+    report = repro.evaluate(out.astype(np.int8), inst.prefs, region.members, diam=region.diameter)
+    print(f"\n  energy (probing rounds): {phase.rounds}  (solo mapping costs {n_cells})")
+    print(f"  energy saved vs solo   : {100 * (1 - phase.rounds / n_cells):.0f}%")
+    print(f"  mean probes per sensor : {phase.mean:.1f}")
+    print(f"  worst sensor map error : {report.discrepancy} cells (5D bound = {5 * local_variation})")
+    assert report.discrepancy <= 5 * local_variation
+
+    # A hard energy budget below the solo cost: collaboration fits inside it.
+    budget = int(n_cells * 0.75)
+    oracle2 = repro.ProbeOracle(inst, budget=budget)
+    out2 = small_radius(
+        oracle2, np.arange(n_sensors), np.arange(n_cells), 1.0, local_variation, rng=6, K=2
+    )
+    rep2 = repro.evaluate(out2.astype(np.int8), inst.prefs, region.members, diam=region.diameter)
+    print(
+        f"\nWith a hard per-sensor budget of {budget} probes (75% of solo), the "
+        f"collaborative map completes at {oracle2.stats().rounds} rounds with "
+        f"worst error {rep2.discrepancy} — the budget never trips."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The α ↔ D trade-off profile: how much community does a budget buy?
+
+Section 6 of the paper: "for any given α and a player p, there exists a
+minimal D = D_p(α) such that at least an α fraction of the players are
+within distance D from p" — and the probing budget determines which
+(α, D) point a player can exploit ("the probing budget defines the size
+of the community").
+
+This example charts the ground-truth ``D_p(α)`` profile of three very
+different preference matrices (a tight planted community, nested rings,
+and a 16-type population), then shows the §6 budget inversion: which α
+a given round budget affords, and the error the main algorithm actually
+achieves there.
+
+Run:  python examples/who_am_i_profile.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.estimators import alpha_for_budget, empirical_d_of_alpha
+from repro.utils.ascii_plot import line_plot
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    n = 256
+    alphas = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0]
+
+    instances = {
+        "planted(0.5, D=4)": repro.planted_instance(n, n, 0.5, 4, rng=5),
+        "nested rings": repro.nested_instance(n, n, [2, 16], [0.3, 0.7], rng=6),
+        "16 types": repro.mixture_instance(n, n, 16, noise=0.0, rng=7),
+    }
+
+    series = {}
+    for label, inst in instances.items():
+        member = int(inst.main_community().members[0])
+        profile = empirical_d_of_alpha(inst.prefs, member, alphas)
+        series[label] = (alphas, [profile[a] for a in alphas])
+
+    print("Ground-truth D_p(alpha) of one community member, per matrix family:\n")
+    print(line_plot(series, width=56, height=14, x_label="alpha", y_label="D_p(alpha)"))
+
+    # The §6 budget inversion (on a D = 0 matrix: the inversion targets
+    # the Zero Radius cost formula, which is also where it is sharp).
+    inst = repro.planted_instance(n, n, 0.4, 0, rng=8)
+    comm = inst.main_community()
+    print("\nBudget -> affordable alpha -> achieved error (planted D=0, community at 40%):")
+    table = Table(title="", columns=["budget (rounds)", "alpha affordable", "worst_err", "rounds_used"])
+    for budget in (24, 48, 96):
+        alpha = alpha_for_budget(budget, n)
+        oracle = repro.ProbeOracle(inst, budget=budget + 8)  # hard cap, small slack
+        res = repro.find_preferences(oracle, alpha, 0, rng=9)
+        rep = repro.evaluate(res.outputs, inst.prefs, comm.members)
+        table.add(**{"budget (rounds)": budget}, **{"alpha affordable": round(alpha, 3)},
+                  worst_err=rep.discrepancy, rounds_used=res.rounds)
+    print(table.render())
+    print(
+        "\nSteeper profiles (tight communities) keep D_p small until alpha passes the\n"
+        "community size; diffuse populations pay distance for every extra member —\n"
+        "the trade-off the anytime algorithm walks automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

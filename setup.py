@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose pip/setuptools
+lack PEP-660 editable-install support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — reproduction of *Tell Me Who I Am: An Interactive Recommendation
+System* (Alon, Awerbuch, Azar, Patt-Shamir — SPAA 2006).
+
+The library simulates the paper's interactive recommendation model —
+``n`` players probing an ``m``-object world through a shared billboard —
+and implements the full algorithm tower (Select, RSelect, Zero Radius,
+Small Radius, Coalesce, Large Radius, and the unknown-parameter wrappers
+of Section 6), plus baselines, synthetic workloads, and the experiment
+harness validating every theorem.
+
+Quickstart::
+
+    import repro
+
+    inst = repro.planted_instance(n=256, m=256, alpha=0.5, D=0, rng=7)
+    oracle = repro.ProbeOracle(inst)
+    result = repro.find_preferences(oracle, alpha=0.5, D=0, rng=7)
+    report = repro.evaluate(result.outputs, inst.prefs, inst.main_community().members)
+    print(report, result.stats)
+"""
+
+from repro.billboard import Billboard, BudgetExceededError, ProbeOracle, ProbeStats
+from repro.core import (
+    Params,
+    RunResult,
+    anytime_find_preferences,
+    coalesce,
+    find_preferences,
+    find_preferences_unknown_d,
+    large_radius,
+    rselect,
+    select,
+    small_radius,
+    zero_radius,
+)
+from repro.metrics import discrepancy, evaluate, stretch
+from repro.model import Community, Instance
+from repro.workloads import (
+    adversarial_instance,
+    anti_spectral_instance,
+    flip_noise,
+    mixture_instance,
+    nested_instance,
+    planted_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrate
+    "Billboard",
+    "ProbeOracle",
+    "ProbeStats",
+    "BudgetExceededError",
+    # model
+    "Instance",
+    "Community",
+    # core algorithms
+    "Params",
+    "RunResult",
+    "select",
+    "rselect",
+    "coalesce",
+    "zero_radius",
+    "small_radius",
+    "large_radius",
+    "find_preferences",
+    "find_preferences_unknown_d",
+    "anytime_find_preferences",
+    # metrics
+    "evaluate",
+    "discrepancy",
+    "stretch",
+    # workloads
+    "planted_instance",
+    "nested_instance",
+    "mixture_instance",
+    "adversarial_instance",
+    "anti_spectral_instance",
+    "flip_noise",
+]

@@ -1,0 +1,56 @@
+"""Closed-form theory predictions used to check measured shapes.
+
+* :mod:`~repro.analysis.bounds` — the probe-complexity and error bounds
+  of each theorem as evaluable functions (used by experiment tables to
+  print "predicted" next to "measured").
+* :mod:`~repro.analysis.lemma41` — the exact failure-probability bound of
+  Lemma 4.1 and a Monte-Carlo estimator of the true success probability.
+* :mod:`~repro.analysis.shapes` — log-log slope fitting helpers for
+  verifying growth exponents ("cost grows like D^1.5", "like log n").
+"""
+
+from repro.analysis.bounds import (
+    coalesce_max_outputs,
+    coalesce_max_wildcards,
+    large_radius_error_bound,
+    rselect_probe_bound,
+    select_probe_bound,
+    small_radius_error_bound,
+    small_radius_round_bound,
+    zero_radius_round_bound,
+)
+from repro.analysis.lemma41 import lemma41_failure_bound, lemma41_min_parts, estimate_success_probability
+from repro.analysis.shapes import fit_loglog_slope, fit_log_slope
+from repro.analysis.concentration import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_two_sided,
+    min_leaf_constant_for,
+    zero_radius_vote_failure_bound,
+)
+from repro.analysis.cost_profile import CostSummary, load_imbalance, phase_breakdown, summarize
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "hoeffding_two_sided",
+    "min_leaf_constant_for",
+    "zero_radius_vote_failure_bound",
+    "CostSummary",
+    "summarize",
+    "phase_breakdown",
+    "load_imbalance",
+    "select_probe_bound",
+    "rselect_probe_bound",
+    "zero_radius_round_bound",
+    "small_radius_error_bound",
+    "small_radius_round_bound",
+    "coalesce_max_outputs",
+    "coalesce_max_wildcards",
+    "large_radius_error_bound",
+    "lemma41_failure_bound",
+    "lemma41_min_parts",
+    "estimate_success_probability",
+    "fit_loglog_slope",
+    "fit_log_slope",
+]

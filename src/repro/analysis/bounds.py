@@ -1,0 +1,99 @@
+"""The paper's quantitative bounds as evaluable functions.
+
+Each function returns the *theorem's* bound (up to its stated constant,
+which we expose as a parameter defaulting to the literal value when the
+paper gives one).  Experiment tables print these next to measurements so
+the reader can check shape agreement at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "select_probe_bound",
+    "rselect_probe_bound",
+    "zero_radius_round_bound",
+    "small_radius_error_bound",
+    "small_radius_round_bound",
+    "coalesce_max_outputs",
+    "coalesce_max_wildcards",
+    "large_radius_error_bound",
+    "large_radius_round_bound",
+]
+
+
+def select_probe_bound(k: int, D: int) -> int:
+    """Theorem 3.2: Select probes at most ``k·(D + 1)`` coordinates.
+
+    >>> select_probe_bound(4, 3)
+    16
+    """
+    if k < 1 or D < 0:
+        raise ValueError(f"need k >= 1 and D >= 0, got k={k}, D={D}")
+    return k * (D + 1)
+
+
+def rselect_probe_bound(k: int, n: int, c: float = 2.0) -> int:
+    """Theorem 6.1: RSelect probes ``O(k² log n)`` coordinates.
+
+    The exact count of the Fig. 7 procedure is at most
+    ``C(k, 2) · ceil(c·log2 n)``.
+    """
+    if k < 1 or n < 1:
+        raise ValueError(f"need k >= 1 and n >= 1, got k={k}, n={n}")
+    pairs = k * (k - 1) // 2
+    return pairs * max(1, math.ceil(c * math.log2(max(n, 2))))
+
+
+def zero_radius_round_bound(n: int, alpha: float, c: float = 1.0) -> float:
+    """Theorem 3.1: Zero Radius finishes in ``O(log n / α)`` probing rounds."""
+    if n < 1 or not (0 < alpha <= 1):
+        raise ValueError(f"need n >= 1 and alpha in (0,1], got n={n}, alpha={alpha}")
+    return c * math.log(max(n, 2)) / alpha
+
+
+def small_radius_error_bound(D: int, mult: float = 5.0) -> float:
+    """Theorem 4.4: every community member's error is at most ``5D``."""
+    if D < 0:
+        raise ValueError(f"D must be non-negative, got {D}")
+    return mult * D
+
+
+def small_radius_round_bound(n: int, alpha: float, D: int, K: int, c: float = 1.0) -> float:
+    """Theorem 4.4: probing rounds ``O(K · D^{3/2} · (D + log n) / α)``."""
+    if n < 1 or not (0 < alpha <= 1) or D < 0 or K < 1:
+        raise ValueError("invalid arguments")
+    return c * K * (max(D, 1) ** 1.5) * (D + math.log(max(n, 2))) / alpha
+
+
+def coalesce_max_outputs(alpha: float) -> int:
+    """Theorem 5.3: Coalesce outputs at most ``1/α`` vectors.
+
+    >>> coalesce_max_outputs(0.3)
+    3
+    """
+    if not (0 < alpha <= 1):
+        raise ValueError(f"alpha must be in (0,1], got {alpha}")
+    return math.floor(1.0 / alpha)
+
+
+def coalesce_max_wildcards(D: int, alpha: float) -> float:
+    """Theorem 5.3: the community's representative has ≤ ``5D/α`` "?" entries."""
+    if D < 0 or not (0 < alpha <= 1):
+        raise ValueError("invalid arguments")
+    return 5.0 * D / alpha
+
+
+def large_radius_error_bound(D: int, alpha: float, c: float = 1.0) -> float:
+    """Theorem 5.4: output error ``O(D/α)``."""
+    if D < 0 or not (0 < alpha <= 1):
+        raise ValueError("invalid arguments")
+    return c * D / alpha
+
+
+def large_radius_round_bound(n: int, alpha: float, c: float = 1.0) -> float:
+    """Theorem 5.4: ``O(log^{7/2} n / α²)`` probes per player (``m = Θ(n)``)."""
+    if n < 1 or not (0 < alpha <= 1):
+        raise ValueError("invalid arguments")
+    return c * math.log(max(n, 2)) ** 3.5 / alpha**2

@@ -1,0 +1,91 @@
+"""Concentration bounds used throughout the paper's proofs.
+
+Every "w.h.p." in the paper is a Chernoff bound (the proof of Theorem
+3.1 cites [2, Appendix A]): a recursion level keeps enough community
+members in each half, a vote threshold is met, a sampled majority
+reflects the true majority.  This module provides those bounds as
+evaluable functions so that
+
+* the constants machinery can *predict* failure rates (e.g. how large
+  ``zr_leaf_c`` must be for a target reliability — the analysis behind
+  :meth:`repro.core.params.Params.robust`), and
+* tests can check the simulator's empirical failure rates against them.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "hoeffding_two_sided",
+    "zero_radius_vote_failure_bound",
+    "min_leaf_constant_for",
+]
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """``Pr[X <= (1-δ)μ] <= exp(-δ²μ/2)`` for a sum of independent 0/1 variables."""
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if not (0 <= delta <= 1):
+        raise ValueError(f"delta must be in [0, 1], got {delta}")
+    return math.exp(-(delta**2) * mean / 2.0)
+
+
+def chernoff_upper_tail(mean: float, delta: float) -> float:
+    """``Pr[X >= (1+δ)μ] <= exp(-δ²μ/3)`` for ``0 < δ <= 1``."""
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    if delta <= 1:
+        return math.exp(-(delta**2) * mean / 3.0)
+    return math.exp(-delta * mean / 3.0)
+
+
+def hoeffding_two_sided(n: int, t: float) -> float:
+    """``Pr[|X̄ - μ| >= t] <= 2 exp(-2nt²)`` for n bounded [0,1] samples.
+
+    The bound behind RSelect's 2/3-majority game: ``n = c log n`` sampled
+    coordinates estimate the agreement fraction within ``t`` w.h.p.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    return 2.0 * math.exp(-2.0 * n * t * t)
+
+
+def zero_radius_vote_failure_bound(leaf_c: float, alpha: float, n: int, vote_frac: float = 0.5) -> float:
+    """Per-vote failure bound of Zero Radius' halving recursion.
+
+    At the deciding vote the voter half holds ``~ leaf_c·ln n/(2α)``
+    players, of which ``μ = leaf_c·ln n/2`` are expected community
+    members; the vote threshold is ``vote_frac·μ``.  Chernoff's lower
+    tail with ``δ = 1 − vote_frac`` bounds the probability the community
+    vector misses the cut.  (A union bound over the ``O(n/leaf)`` votes
+    gives the whole-run failure rate.)
+    """
+    if leaf_c <= 0 or not (0 < alpha <= 1) or n < 2:
+        raise ValueError("invalid arguments")
+    if not (0 < vote_frac < 1):
+        raise ValueError(f"vote_frac must be in (0,1), got {vote_frac}")
+    mu = leaf_c * math.log(n) / 2.0
+    return chernoff_lower_tail(mu, 1.0 - vote_frac)
+
+
+def min_leaf_constant_for(target_failure: float, n: int, vote_frac: float = 0.5) -> float:
+    """Smallest ``zr_leaf_c`` with per-vote failure below *target_failure*.
+
+    Inverts :func:`zero_radius_vote_failure_bound`:
+    ``exp(-(1-q)²·c·ln n/4) <= p  ⇔  c >= 4·ln(1/p)/((1-q)²·ln n)``.
+    """
+    if not (0 < target_failure < 1):
+        raise ValueError(f"target_failure must be in (0,1), got {target_failure}")
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not (0 < vote_frac < 1):
+        raise ValueError(f"vote_frac must be in (0,1), got {vote_frac}")
+    return 4.0 * math.log(1.0 / target_failure) / ((1.0 - vote_frac) ** 2 * math.log(n))

@@ -1,0 +1,88 @@
+"""Probe-cost profiling.
+
+Where did the budget go?  The paper's cost accounting is per-phase
+(Zero Radius leaves vs Select calls vs the final stitch); this module
+turns an oracle's :class:`~repro.billboard.accounting.PhaseLedger` and
+per-player counts into the summaries the optimization workflow needs
+(per the HPC guides: *no optimization without measuring*):
+
+* :func:`summarize` — population statistics of one
+  :class:`~repro.billboard.accounting.ProbeStats`;
+* :func:`phase_breakdown` — a table of per-phase cost shares;
+* :func:`load_imbalance` — max/mean probe ratio, the quantity that
+  separates "parallel rounds" from "total work" in the round model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.billboard.accounting import ProbeStats
+from repro.billboard.oracle import ProbeOracle
+from repro.utils.tables import Table
+
+__all__ = ["CostSummary", "summarize", "phase_breakdown", "load_imbalance"]
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Population-level probe statistics.
+
+    Attributes
+    ----------
+    total, rounds, mean, median:
+        Aggregate probe counts (rounds = max per player).
+    p90:
+        90th percentile of per-player probes.
+    imbalance:
+        ``rounds / mean`` — 1.0 means perfectly balanced load.
+    """
+
+    total: int
+    rounds: int
+    mean: float
+    median: float
+    p90: float
+    imbalance: float
+
+
+def summarize(stats: ProbeStats) -> CostSummary:
+    """Summarise one probe-count snapshot."""
+    per = stats.per_player
+    if per.size == 0:
+        return CostSummary(total=0, rounds=0, mean=0.0, median=0.0, p90=0.0, imbalance=1.0)
+    mean = float(per.mean())
+    return CostSummary(
+        total=int(per.sum()),
+        rounds=int(per.max()),
+        mean=mean,
+        median=float(np.median(per)),
+        p90=float(np.percentile(per, 90)),
+        imbalance=float(per.max() / mean) if mean > 0 else 1.0,
+    )
+
+
+def load_imbalance(stats: ProbeStats) -> float:
+    """``max / mean`` per-player probes (1.0 = perfectly balanced)."""
+    return summarize(stats).imbalance
+
+
+def phase_breakdown(oracle: ProbeOracle) -> Table:
+    """Render the oracle's closed phases as a cost-share table."""
+    table = Table(
+        title="Probe cost by phase",
+        columns=["phase", "total", "rounds", "mean/player", "share"],
+    )
+    grand_total = max(oracle.stats().total, 1)
+    for name, stats in oracle.ledger.phases():
+        s = summarize(stats)
+        table.add(
+            phase=name,
+            total=s.total,
+            rounds=s.rounds,
+            **{"mean/player": round(s.mean, 1)},
+            share=f"{100 * s.total / grand_total:.0f}%",
+        )
+    return table

@@ -1,0 +1,46 @@
+"""Curve-shape fitting for experiment tables.
+
+The reproduction contract is about *shape*, not absolute constants:
+"cost grows like ``D^{3/2}``" is a slope on log-log axes; "cost grows
+like ``log n``" is a slope against ``log n``.  These helpers do the
+least-squares fits the EXPERIMENTS.md tables report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_loglog_slope", "fit_log_slope"]
+
+
+def _validate(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size < 2:
+        raise ValueError("need two equal-length 1-D arrays with at least 2 points")
+    return xs, ys
+
+
+def fit_loglog_slope(xs, ys) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    A power law ``y = c·x^p`` fits with slope ``p``; experiments compare
+    the fitted exponent with the theorem's (e.g. 1.5 for Lemma 4.1's
+    part count, 2 for the failure-probability decay in ``s``).
+    """
+    xs, ys = _validate(xs, ys)
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("log-log fit needs strictly positive data")
+    return float(np.polyfit(np.log(xs), np.log(ys), 1)[0])
+
+
+def fit_log_slope(xs, ys) -> float:
+    """Least-squares slope of ``y`` against ``log x``.
+
+    ``y = a·log x + b`` fits with slope ``a``; used to check
+    logarithmic cost growth (Theorem 3.1's round count in ``n``).
+    """
+    xs, ys = _validate(xs, ys)
+    if (xs <= 0).any():
+        raise ValueError("log fit needs strictly positive x data")
+    return float(np.polyfit(np.log(xs), ys, 1)[0])

@@ -1,0 +1,26 @@
+"""Baseline algorithms the paper compares against (in prose).
+
+All baselines run through the same :class:`~repro.billboard.ProbeOracle`
+substrate and cost model as the paper's algorithms, so probe counts are
+directly comparable:
+
+* :mod:`~repro.baselines.solo` — "go it alone": probe everything
+  (exact output, ``m`` rounds; the paper's yardstick for linear budget).
+* :mod:`~repro.baselines.majority` — pooled column-majority vote over a
+  random sample (what naive crowd-sourcing does; only sound when one
+  community dominates).
+* :mod:`~repro.baselines.knn` — probe-then-nearest-neighbour
+  collaborative filtering: sample shared coordinates publicly, impute
+  from the most-overlapping neighbours (classical memory-based CF).
+* :mod:`~repro.baselines.svd` — masked low-rank (truncated SVD)
+  completion, the Drineas et al. / spectral family the paper's Section 2
+  discusses; requires the singular-value-gap assumption that experiments
+  E9/E12 probe.
+"""
+
+from repro.baselines.solo import solo_baseline
+from repro.baselines.majority import majority_baseline
+from repro.baselines.knn import knn_baseline
+from repro.baselines.svd import svd_baseline
+
+__all__ = ["solo_baseline", "majority_baseline", "knn_baseline", "svd_baseline"]

@@ -1,0 +1,104 @@
+"""Probe-then-nearest-neighbour collaborative filtering baseline.
+
+Classical memory-based CF adapted to the interactive model:
+
+1. **Anchor phase** — all players probe the *same* ``anchor`` random
+   objects (public coin), so every pair of players is comparable on a
+   common coordinate set;
+2. **Spread phase** — each player additionally probes ``spread`` random
+   objects of its own, thickening column coverage;
+3. **Imputation** — each player ranks all others by Hamming distance on
+   the anchor set, keeps the ``k`` nearest, and fills each unknown
+   coordinate with the majority grade among its neighbours' revealed
+   entries there (falling back to the global column majority, then 0).
+
+This is a strong heuristic on clustered instances and needs no knowledge
+of ``α`` or ``D`` — but it offers no worst-case guarantee: anchor
+distances estimate true distances only up to sampling noise, and
+experiment E9 charts where it loses to the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.result import RunResult
+from repro.utils.rng import as_generator
+
+__all__ = ["knn_baseline"]
+
+
+def knn_baseline(
+    oracle: ProbeOracle,
+    anchor: int,
+    spread: int,
+    k_neighbors: int = 10,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> RunResult:
+    """Run the kNN-CF baseline.
+
+    Parameters
+    ----------
+    oracle:
+        Probe gate.
+    anchor:
+        Number of shared anchor objects every player probes.
+    spread:
+        Extra per-player random probes (column coverage).
+    k_neighbors:
+        Neighbourhood size for imputation.
+    rng:
+        Seed or generator.
+    """
+    n, m = oracle.n_players, oracle.n_objects
+    anchor = min(int(anchor), m)
+    spread = min(int(spread), m)
+    if anchor < 1:
+        raise ValueError(f"anchor must be >= 1, got {anchor}")
+    if spread < 0:
+        raise ValueError(f"spread must be non-negative, got {spread}")
+    if k_neighbors < 1:
+        raise ValueError(f"k_neighbors must be >= 1, got {k_neighbors}")
+    gen = as_generator(rng)
+    before = oracle.stats()
+
+    anchor_objs = np.sort(gen.choice(m, size=anchor, replace=False))
+    anchor_vals = np.empty((n, anchor), dtype=np.int8)
+    for player in range(n):
+        anchor_vals[player] = oracle.probe_all(player, anchor_objs)
+        if spread:
+            extra = gen.choice(m, size=spread, replace=False)
+            oracle.probe_all(player, np.sort(extra))
+
+    # Pairwise anchor distances (vectorized, see metrics.hamming).
+    af = anchor_vals.astype(np.float64)
+    dist = af @ (1.0 - af).T
+    dist += dist.T
+
+    mask = oracle.billboard.revealed_mask()
+    values = oracle.billboard.revealed_values()
+    ones_col = ((values == 1) & mask).sum(axis=0)
+    rev_col = mask.sum(axis=0)
+    global_majority = (ones_col * 2 > rev_col).astype(np.int8)
+
+    k_eff = min(k_neighbors, n - 1)
+    outputs = np.zeros((n, m), dtype=np.int8)
+    for player in range(n):
+        order = np.argsort(dist[player], kind="stable")
+        neighbors = order[order != player][:k_eff]
+        nb_mask = mask[neighbors]
+        nb_ones = ((values[neighbors] == 1) & nb_mask).sum(axis=0)
+        nb_rev = nb_mask.sum(axis=0)
+        est = np.where(nb_rev > 0, (nb_ones * 2 > nb_rev).astype(np.int8), global_majority)
+        own = mask[player]
+        outputs[player] = np.where(own, values[player], est)
+
+    stats = oracle.stats() - before
+    return RunResult(
+        outputs=outputs,
+        stats=stats,
+        algorithm="knn",
+        meta={"anchor": anchor, "spread": spread, "k_neighbors": k_eff},
+    )

@@ -1,0 +1,57 @@
+"""Pooled column-majority baseline.
+
+The simplest possible collaboration: spread a global probe budget
+uniformly over the matrix (each player probes ``budget`` random objects
+and posts the results), then every player adopts, per object, the
+majority grade among *all* revealed entries of that column.
+
+Sound only when a single community dominates the whole population — the
+"intuitively, it seems that arbitrary diversity is unmanageable" strawman
+of the introduction.  With multiple communities or adversarial outsiders
+its output is the population-wide average, which can be far from every
+player; experiments E9 uses it to show why per-community reconstruction
+is necessary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.result import RunResult
+from repro.utils.rng import as_generator
+
+__all__ = ["majority_baseline"]
+
+
+def majority_baseline(
+    oracle: ProbeOracle,
+    budget: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> RunResult:
+    """Probe ``budget`` random objects per player, output column majorities.
+
+    Every player outputs the *same* vector: the per-column majority of
+    all revealed grades (ties and never-probed columns default to 0).
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    n, m = oracle.n_players, oracle.n_objects
+    k = min(int(budget), m)
+    gen = as_generator(rng)
+    before = oracle.stats()
+
+    for player in range(n):
+        objs = gen.choice(m, size=k, replace=False)
+        oracle.probe_all(player, np.sort(objs))
+
+    mask = oracle.billboard.revealed_mask()
+    values = oracle.billboard.revealed_values()
+    ones = ((values == 1) & mask).sum(axis=0)
+    revealed = mask.sum(axis=0)
+    consensus = (ones * 2 > revealed).astype(np.int8)
+    outputs = np.tile(consensus, (n, 1))
+
+    stats = oracle.stats() - before
+    return RunResult(outputs=outputs, stats=stats, algorithm="majority", meta={"budget": k})

@@ -1,0 +1,64 @@
+"""The "go it alone" baseline.
+
+Section 1.1: "linear probing budget means that the player can go it
+alone".  Every player probes every object: output is exact and the cost
+is exactly ``m`` rounds — the yardstick the collaborative algorithms
+must beat.  With a smaller budget, each player probes a random subset
+and guesses the rest (the majority value of its probed entries), which
+gives the trivial rate-distortion curve the anytime experiment plots
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.result import RunResult
+from repro.utils.rng import as_generator
+
+__all__ = ["solo_baseline"]
+
+
+def solo_baseline(
+    oracle: ProbeOracle,
+    *,
+    budget: int | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> RunResult:
+    """Each player probes on its own (no collaboration).
+
+    Parameters
+    ----------
+    oracle:
+        The probe gate.
+    budget:
+        Probes per player; default (None) = probe all ``m`` objects.
+        With a partial budget each player probes a uniform random subset
+        and fills unprobed coordinates with the majority of its own
+        probed values (the best assumption-free guess).
+    rng:
+        Seed or generator for the subset choice.
+    """
+    n, m = oracle.n_players, oracle.n_objects
+    gen = as_generator(rng)
+    k = m if budget is None else min(int(budget), m)
+    if k < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    before = oracle.stats()
+    outputs = np.zeros((n, m), dtype=np.int8)
+    for player in range(n):
+        if k == m:
+            objs = np.arange(m, dtype=np.intp)
+        else:
+            objs = np.sort(gen.choice(m, size=k, replace=False))
+        if k > 0:
+            values = oracle.probe_all(player, objs)
+            outputs[player, objs] = values
+            fill = 1 if values.mean() > 0.5 else 0
+            if fill and k < m:
+                mask = np.ones(m, dtype=bool)
+                mask[objs] = False
+                outputs[player, mask] = fill
+    stats = oracle.stats() - before
+    return RunResult(outputs=outputs, stats=stats, algorithm="solo", meta={"budget": k})

@@ -1,0 +1,87 @@
+"""Masked truncated-SVD completion baseline (the spectral family).
+
+Section 2: the non-interactive literature (Drineas et al., Azar et al.,
+Papadimitriou et al., Sarwar et al.) assumes the preference matrix is
+approximately low-rank — "a few canonical preference vectors" — and
+reconstructs it spectrally from sparse samples.  This module implements
+the standard recipe:
+
+1. every player probes ``budget`` random objects (uniform mask);
+2. build the zero-centered sampled matrix, rescaled by the inverse
+   sampling rate (the Achlioptas–McSherry estimator of the full matrix);
+3. truncate to the top ``rank`` singular directions;
+4. round the reconstruction at 1/2, keeping each player's own probed
+   entries verbatim.
+
+Its guarantee needs a singular-value gap at ``rank`` — precisely the
+assumption the paper drops.  Experiment E9 shows it winning on mixture
+matrices; E12 shows it breaking on adversarial (full-rank) ones while
+the paper's algorithms keep their bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.result import RunResult
+from repro.utils.rng import as_generator
+
+__all__ = ["svd_baseline"]
+
+
+def svd_baseline(
+    oracle: ProbeOracle,
+    budget: int,
+    rank: int = 4,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> RunResult:
+    """Run the masked-SVD completion baseline.
+
+    Parameters
+    ----------
+    oracle:
+        Probe gate.
+    budget:
+        Probes per player (uniform random objects).
+    rank:
+        Truncation rank ``k`` (the assumed number of canonical types).
+    rng:
+        Seed or generator.
+    """
+    n, m = oracle.n_players, oracle.n_objects
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    k = min(int(budget), m)
+    rank = min(int(rank), min(n, m) - 1) if min(n, m) > 1 else 1
+    gen = as_generator(rng)
+    before = oracle.stats()
+
+    for player in range(n):
+        objs = gen.choice(m, size=k, replace=False)
+        oracle.probe_all(player, np.sort(objs))
+
+    mask = oracle.billboard.revealed_mask()
+    values = oracle.billboard.revealed_values()
+    rate = mask.mean()
+    # Centered ±1 encoding, zero-filled off the mask, unbiased rescale.
+    centered = np.where(mask, 2.0 * values - 1.0, 0.0) / max(rate, 1e-9)
+
+    try:
+        u, s, vt = scipy.sparse.linalg.svds(centered, k=rank)
+    except Exception:
+        # svds can fail on tiny/degenerate inputs; fall back to dense SVD.
+        u_full, s_full, vt_full = np.linalg.svd(centered, full_matrices=False)
+        u, s, vt = u_full[:, :rank], s_full[:rank], vt_full[:rank]
+    recon = (u * s) @ vt
+
+    outputs = (recon > 0).astype(np.int8)
+    # Players keep the entries they actually observed.
+    outputs = np.where(mask, values, outputs).astype(np.int8)
+
+    stats = oracle.stats() - before
+    return RunResult(outputs=outputs, stats=stats, algorithm="svd", meta={"budget": k, "rank": rank})

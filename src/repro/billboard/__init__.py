@@ -1,0 +1,31 @@
+"""The paper's communication substrate: billboard + probe oracle.
+
+The interactive model (Section 1) gives players exactly two capabilities:
+
+1. **Probe** an object — learn their own hidden grade at unit cost
+   (:class:`~repro.billboard.oracle.ProbeOracle`, which also enforces
+   budgets and charges every invocation to the invoking player);
+2. **Read/write the shared billboard** — all revealed grades and all
+   posted output vectors are public
+   (:class:`~repro.billboard.board.Billboard`).
+
+All algorithm implementations communicate *only* through these objects,
+so the simulated information flow matches the model.
+"""
+
+from repro.billboard.board import Billboard
+from repro.billboard.oracle import ProbeOracle
+from repro.billboard.accounting import PhaseLedger, ProbeStats
+from repro.billboard.exceptions import BudgetExceededError, ProbeError
+from repro.billboard.trace import ProbeEvent, ProbeTrace
+
+__all__ = [
+    "Billboard",
+    "ProbeOracle",
+    "ProbeStats",
+    "PhaseLedger",
+    "BudgetExceededError",
+    "ProbeError",
+    "ProbeTrace",
+    "ProbeEvent",
+]

@@ -1,0 +1,107 @@
+"""Probe-cost accounting.
+
+The paper measures algorithms in *probing rounds*: computation proceeds in
+parallel rounds, each player probing (at most) one object per round.  For
+a population simulated in-process, the number of rounds a phase takes is
+the **maximum per-player probe count** in that phase — players probe in
+parallel, so the busiest player sets the clock.
+
+:class:`ProbeStats` tracks per-player counts; :class:`PhaseLedger` slices
+them per named algorithm phase so experiments can report where the budget
+went (Zero Radius recursion vs Select calls vs the final stitch, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ProbeStats", "PhaseLedger"]
+
+
+@dataclass
+class ProbeStats:
+    """Immutable snapshot of probe counts.
+
+    Attributes
+    ----------
+    per_player:
+        ``(n,)`` array of probe counts.
+    """
+
+    per_player: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """Total probes across all players."""
+        return int(self.per_player.sum())
+
+    @property
+    def rounds(self) -> int:
+        """Parallel probing rounds = max per-player probes."""
+        return int(self.per_player.max(initial=0))
+
+    @property
+    def mean(self) -> float:
+        """Mean probes per player."""
+        return float(self.per_player.mean()) if self.per_player.size else 0.0
+
+    def __sub__(self, other: "ProbeStats") -> "ProbeStats":
+        if self.per_player.shape != other.per_player.shape:
+            raise ValueError("cannot subtract stats over different populations")
+        return ProbeStats(self.per_player - other.per_player)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"ProbeStats(total={self.total}, rounds={self.rounds}, mean={self.mean:.1f})"
+
+
+class PhaseLedger:
+    """Attribution of probe counts to named algorithm phases.
+
+    Usage::
+
+        ledger.start("zero_radius", snapshot)
+        ...
+        ledger.finish("zero_radius", snapshot)
+
+    Repeated phases with the same name accumulate.
+    """
+
+    def __init__(self) -> None:
+        self._open: dict[str, np.ndarray] = {}
+        self._closed: dict[str, np.ndarray] = {}
+        self._order: list[str] = []
+
+    def start(self, phase: str, snapshot: ProbeStats) -> None:
+        """Mark the start of *phase* with the current probe snapshot."""
+        if phase in self._open:
+            raise ValueError(f"phase {phase!r} is already open")
+        self._open[phase] = snapshot.per_player.copy()
+
+    def finish(self, phase: str, snapshot: ProbeStats) -> ProbeStats:
+        """Close *phase*, returning (and accumulating) its probe delta."""
+        if phase not in self._open:
+            raise ValueError(f"phase {phase!r} was never started")
+        delta = snapshot.per_player - self._open.pop(phase)
+        if phase in self._closed:
+            self._closed[phase] = self._closed[phase] + delta
+        else:
+            self._closed[phase] = delta
+            self._order.append(phase)
+        return ProbeStats(delta)
+
+    def phases(self) -> Iterator[tuple[str, ProbeStats]]:
+        """Iterate closed phases in first-start order."""
+        for name in self._order:
+            yield name, ProbeStats(self._closed[name])
+
+    def get(self, phase: str) -> ProbeStats:
+        """Accumulated stats for a closed *phase*."""
+        if phase not in self._closed:
+            raise KeyError(phase)
+        return ProbeStats(self._closed[phase])
+
+    def __contains__(self, phase: str) -> bool:
+        return phase in self._closed

@@ -1,0 +1,101 @@
+"""The shared billboard.
+
+The model (Section 1.1) lets every player read everything ever posted:
+probe results ("the eBay ranking matrix") and other players' output
+vectors (``w(p)`` "is accessible to all players").  The billboard stores
+
+* **revealed grades**: a dense mask + value matrix (entries only the
+  owning player could have revealed, enforced by the oracle), and
+* **posted vector channels**: named matrices of intermediate outputs
+  (e.g. the per-part Zero Radius results that Small Radius votes over,
+  or the Small Radius outputs that Coalesce clusters).
+
+Wildcards ("?" = -1) are allowed in posted vectors but not in revealed
+grades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import WILDCARD
+
+__all__ = ["Billboard"]
+
+
+class Billboard:
+    """Public shared state for one algorithm run over an ``n × m`` instance."""
+
+    def __init__(self, n_players: int, n_objects: int):
+        if n_players <= 0 or n_objects <= 0:
+            raise ValueError(f"population must be positive, got n={n_players}, m={n_objects}")
+        self.n_players = int(n_players)
+        self.n_objects = int(n_objects)
+        self._revealed = np.zeros((n_players, n_objects), dtype=bool)
+        self._values = np.full((n_players, n_objects), WILDCARD, dtype=np.int8)
+        self._channels: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # revealed grades
+    # ------------------------------------------------------------------
+    def post_grades(self, players: np.ndarray, objects: np.ndarray, values: np.ndarray) -> None:
+        """Record revealed grades (called by the oracle after each probe batch)."""
+        self._revealed[players, objects] = True
+        self._values[players, objects] = values
+
+    def is_revealed(self, player: int, obj: int) -> bool:
+        """Whether ``(player, obj)`` has ever been probed."""
+        return bool(self._revealed[player, obj])
+
+    def grade(self, player: int, obj: int) -> int:
+        """The revealed grade of ``(player, obj)``; raises ``KeyError`` if hidden."""
+        if not self._revealed[player, obj]:
+            raise KeyError(f"grade ({player}, {obj}) has not been revealed")
+        return int(self._values[player, obj])
+
+    def revealed_mask(self) -> np.ndarray:
+        """Read-only view of the ``(n, m)`` revealed-entry mask."""
+        view = self._revealed.view()
+        view.flags.writeable = False
+        return view
+
+    def revealed_values(self) -> np.ndarray:
+        """Read-only ``(n, m)`` matrix of revealed grades (hidden entries = -1)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_revealed(self) -> int:
+        """Total number of revealed entries."""
+        return int(self._revealed.sum())
+
+    # ------------------------------------------------------------------
+    # posted vector channels
+    # ------------------------------------------------------------------
+    def post_vectors(self, channel: str, matrix: np.ndarray) -> None:
+        """Publish a matrix of vectors under *channel* (overwrites)."""
+        arr = np.asarray(matrix)
+        if arr.ndim != 2:
+            raise ValueError(f"posted vectors must be 2-D, got shape {arr.shape}")
+        self._channels[channel] = np.array(arr, dtype=np.int16, copy=True)
+
+    def read_vectors(self, channel: str) -> np.ndarray:
+        """Read the matrix posted under *channel* (copy, so readers can't mutate)."""
+        if channel not in self._channels:
+            raise KeyError(f"no vectors posted under channel {channel!r}")
+        return self._channels[channel].copy()
+
+    def has_channel(self, channel: str) -> bool:
+        """Whether *channel* has been posted."""
+        return channel in self._channels
+
+    def channels(self) -> list[str]:
+        """All posted channel names."""
+        return sorted(self._channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"Billboard(n={self.n_players}, m={self.n_objects}, "
+            f"revealed={self.n_revealed}, channels={len(self._channels)})"
+        )

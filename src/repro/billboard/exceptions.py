@@ -1,0 +1,23 @@
+"""Exceptions raised by the billboard/probe substrate."""
+
+from __future__ import annotations
+
+__all__ = ["ProbeError", "BudgetExceededError"]
+
+
+class ProbeError(RuntimeError):
+    """Base class for probe-substrate failures (bad indices, misuse)."""
+
+
+class BudgetExceededError(ProbeError):
+    """A player attempted to probe beyond its per-player budget.
+
+    The paper's cost model charges one unit per probe; experiments that
+    cap the probing budget (anytime curves, baseline comparisons at fixed
+    budget) use this to stop an algorithm mid-flight.
+    """
+
+    def __init__(self, player: int, budget: int):
+        self.player = int(player)
+        self.budget = int(budget)
+        super().__init__(f"player {player} exceeded probe budget of {budget}")

@@ -1,0 +1,187 @@
+"""The probe oracle: the only gate between algorithms and hidden preferences.
+
+Every ``Probe`` invocation of the paper maps to :meth:`ProbeOracle.probe`
+(scalar) or :meth:`ProbeOracle.probe_many` (vectorized batch — the HPC
+guides' idiom of lifting the per-player loop into NumPy; semantically it
+is still one probe per listed player, each individually charged).
+
+Cost model fidelity:
+
+* every invocation is charged to the invoking player, *including*
+  re-probes of already-revealed entries — the paper's Select explicitly
+  "disregards probes done before its execution", i.e. the upper bounds
+  charge repeats, and so do we (set ``charge_repeats=False`` to model a
+  cleverer client that reuses its own billboard posts);
+* optional per-player budgets raise
+  :class:`~repro.billboard.exceptions.BudgetExceededError`, used by the
+  anytime experiments;
+* results are mirrored onto the billboard, as the model requires
+  ("probes one object, and writes the result on the billboard").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.accounting import PhaseLedger, ProbeStats
+from repro.billboard.board import Billboard
+from repro.billboard.exceptions import BudgetExceededError, ProbeError
+from repro.model.instance import Instance
+from repro.utils.validation import check_binary_matrix
+
+__all__ = ["ProbeOracle"]
+
+
+class ProbeOracle:
+    """Gatekeeper over a hidden preference matrix.
+
+    Parameters
+    ----------
+    prefs:
+        Hidden ``(n, m)`` 0/1 matrix or an :class:`~repro.model.Instance`.
+    billboard:
+        Billboard to mirror reveals onto; a fresh one is created if omitted.
+    budget:
+        Optional per-player probe cap.
+    charge_repeats:
+        Charge probes of already-revealed entries (paper-faithful default
+        ``True``).
+    """
+
+    def __init__(
+        self,
+        prefs: np.ndarray | Instance,
+        *,
+        billboard: Billboard | None = None,
+        budget: int | None = None,
+        charge_repeats: bool = True,
+    ):
+        if isinstance(prefs, Instance):
+            prefs = prefs.prefs
+        self._prefs = check_binary_matrix(prefs, "prefs")
+        n, m = self._prefs.shape
+        self.billboard = billboard if billboard is not None else Billboard(n, m)
+        if (self.billboard.n_players, self.billboard.n_objects) != (n, m):
+            raise ValueError("billboard shape does not match preference matrix")
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self.budget = budget
+        self.charge_repeats = bool(charge_repeats)
+        self._counts = np.zeros(n, dtype=np.int64)
+        self.ledger = PhaseLedger()
+        self._trace = None
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def n_players(self) -> int:
+        """Population size ``n``."""
+        return self._prefs.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        """Object count ``m``."""
+        return self._prefs.shape[1]
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def probe(self, player: int, obj: int) -> int:
+        """Player *player* probes object *obj*; returns the 0/1 grade."""
+        if not (0 <= player < self.n_players):
+            raise ProbeError(f"player index {player} out of range [0, {self.n_players})")
+        if not (0 <= obj < self.n_objects):
+            raise ProbeError(f"object index {obj} out of range [0, {self.n_objects})")
+        charged = self.charge_repeats or not self.billboard.is_revealed(player, obj)
+        if charged:
+            if self.budget is not None and self._counts[player] + 1 > self.budget:
+                raise BudgetExceededError(player, self.budget)
+            self._counts[player] += 1
+        value = int(self._prefs[player, obj])
+        self.billboard.post_grades(np.asarray([player]), np.asarray([obj]), np.asarray([value], dtype=np.int8))
+        if self._trace is not None:
+            self._trace.record_batch(
+                np.asarray([player]), np.asarray([obj]),
+                np.asarray([value]), np.asarray([charged]),
+            )
+        return value
+
+    def probe_many(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
+        """Batch probe: ``players[i]`` probes ``objects[i]`` for all i.
+
+        Each pair is charged exactly as under :meth:`probe`; duplicates in
+        the batch are each charged (they are distinct probe actions).
+        """
+        players = np.asarray(players, dtype=np.intp)
+        objects = np.asarray(objects, dtype=np.intp)
+        if players.shape != objects.shape or players.ndim != 1:
+            raise ProbeError(f"players/objects must be equal-length 1-D, got {players.shape} and {objects.shape}")
+        if players.size == 0:
+            return np.empty(0, dtype=np.int8)
+        if players.min() < 0 or players.max() >= self.n_players:
+            raise ProbeError("player index out of range in batch probe")
+        if objects.min() < 0 or objects.max() >= self.n_objects:
+            raise ProbeError("object index out of range in batch probe")
+
+        if self.charge_repeats:
+            charged = np.ones(players.size, dtype=bool)
+        else:
+            charged = ~self.billboard.revealed_mask()[players, objects]
+            # Duplicates inside the batch: only the first reveal of an
+            # unrevealed entry is free of a prior post, so charge the first
+            # occurrence only (subsequent ones hit the just-posted entry).
+            if charged.any():
+                pair_ids = players * self.n_objects + objects
+                _, first_idx = np.unique(pair_ids, return_index=True)
+                first_mask = np.zeros(players.size, dtype=bool)
+                first_mask[first_idx] = True
+                charged &= first_mask
+
+        add = np.bincount(players[charged], minlength=self.n_players)
+        if self.budget is not None:
+            new_counts = self._counts + add
+            over = np.flatnonzero(new_counts > self.budget)
+            if over.size:
+                raise BudgetExceededError(int(over[0]), self.budget)
+        self._counts += add
+
+        values = self._prefs[players, objects]
+        self.billboard.post_grades(players, objects, values)
+        if self._trace is not None:
+            self._trace.record_batch(players, objects, values, charged)
+        return values.astype(np.int8)
+
+    def probe_all(self, player: int, objects: np.ndarray) -> np.ndarray:
+        """Player probes every object in *objects* (Zero Radius base case)."""
+        objects = np.asarray(objects, dtype=np.intp)
+        players = np.full(objects.shape, player, dtype=np.intp)
+        return self.probe_many(players, objects)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> ProbeStats:
+        """Snapshot of per-player probe counts."""
+        return ProbeStats(self._counts.copy())
+
+    def remaining(self, player: int) -> int | float:
+        """Remaining budget of *player* (``inf`` when unbudgeted)."""
+        if self.budget is None:
+            return float("inf")
+        return int(self.budget - self._counts[player])
+
+    def attach_trace(self, trace) -> None:
+        """Attach a :class:`~repro.billboard.trace.ProbeTrace` (observational)."""
+        self._trace = trace
+
+    def start_phase(self, name: str) -> None:
+        """Open a named accounting phase."""
+        self.ledger.start(name, self.stats())
+
+    def finish_phase(self, name: str) -> ProbeStats:
+        """Close a named accounting phase, returning its probe delta."""
+        return self.ledger.finish(name, self.stats())
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"ProbeOracle(n={self.n_players}, m={self.n_objects}, total_probes={int(self._counts.sum())})"

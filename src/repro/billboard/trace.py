@@ -1,0 +1,127 @@
+"""Probe-event tracing.
+
+A :class:`ProbeTrace` records every probe as an event
+``(sequence, player, object, value, charged)`` in invocation order.
+Attach one to a :class:`~repro.billboard.oracle.ProbeOracle` via
+``oracle.attach_trace(trace)`` to get
+
+* a complete audit log of a run's information flow (what the analysis
+  sections of the paper reason about),
+* per-phase / per-player slicing for debugging cost regressions,
+* deterministic replay: feeding the same events into
+  :meth:`ProbeTrace.replay_mask` reconstructs exactly which entries a
+  run revealed — useful for verifying that two implementations consumed
+  the same information.
+
+Tracing is strictly observational: it never alters values, charging, or
+randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ProbeEvent", "ProbeTrace"]
+
+
+@dataclass(frozen=True)
+class ProbeEvent:
+    """One probe invocation.
+
+    Attributes
+    ----------
+    seq:
+        0-based global sequence number (invocation order).
+    player, obj:
+        Who probed what.
+    value:
+        The revealed 0/1 grade.
+    charged:
+        Whether the probe was charged (False only for re-probes under
+        ``charge_repeats=False``).
+    """
+
+    seq: int
+    player: int
+    obj: int
+    value: int
+    charged: bool
+
+
+class ProbeTrace:
+    """Append-only log of probe events (columnar storage for cheap slicing)."""
+
+    def __init__(self) -> None:
+        self._players: list[int] = []
+        self._objects: list[int] = []
+        self._values: list[int] = []
+        self._charged: list[bool] = []
+
+    # ------------------------------------------------------------------
+    # recording (called by the oracle)
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        players: np.ndarray,
+        objects: np.ndarray,
+        values: np.ndarray,
+        charged: np.ndarray,
+    ) -> None:
+        """Append a batch of probe events in order."""
+        self._players.extend(int(p) for p in players)
+        self._objects.extend(int(o) for o in objects)
+        self._values.extend(int(v) for v in values)
+        self._charged.extend(bool(c) for c in charged)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._players)
+
+    def __getitem__(self, seq: int) -> ProbeEvent:
+        return ProbeEvent(
+            seq=seq if seq >= 0 else len(self) + seq,
+            player=self._players[seq],
+            obj=self._objects[seq],
+            value=self._values[seq],
+            charged=self._charged[seq],
+        )
+
+    def __iter__(self) -> Iterator[ProbeEvent]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def events_for_player(self, player: int) -> list[ProbeEvent]:
+        """All events of one player, in order."""
+        return [e for e in self if e.player == player]
+
+    def charged_counts(self, n_players: int) -> np.ndarray:
+        """Per-player charged-probe counts (must equal the oracle's stats)."""
+        counts = np.zeros(n_players, dtype=np.int64)
+        for p, c in zip(self._players, self._charged):
+            if c:
+                counts[p] += 1
+        return counts
+
+    def replay_mask(self, n_players: int, n_objects: int) -> np.ndarray:
+        """Reconstruct the revealed-entry mask from the event log."""
+        mask = np.zeros((n_players, n_objects), dtype=bool)
+        if self._players:
+            mask[np.asarray(self._players), np.asarray(self._objects)] = True
+        return mask
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar dump (players, objects, values, charged)."""
+        return {
+            "players": np.asarray(self._players, dtype=np.intp),
+            "objects": np.asarray(self._objects, dtype=np.intp),
+            "values": np.asarray(self._values, dtype=np.int8),
+            "charged": np.asarray(self._charged, dtype=bool),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"ProbeTrace(events={len(self)})"

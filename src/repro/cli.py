@@ -1,0 +1,149 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro list                      # experiments + one-line claims
+    python -m repro run E1 E4 --seed 3        # run experiments, print tables
+    python -m repro demo --n 256 --alpha 0.5 --d 0
+                                              # one algorithm run + report
+
+``run`` accepts ``--full`` for the full (slow) sweeps and ``--out DIR``
+to archive rendered reports (what the benchmark suite does via
+``benchmarks/reports/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import find_preferences, find_preferences_unknown_d
+from repro.core.params import Params
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import planted_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Tell Me Who I Am' (SPAA 2006): experiments and demos.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and their claims")
+
+    run = sub.add_parser("run", help="run experiments and print their tables")
+    run.add_argument("experiments", nargs="+", help="experiment ids (e.g. E1 E4) or 'all'")
+    run.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    run.add_argument("--full", action="store_true", help="full (slow) sweeps instead of quick")
+    run.add_argument("--out", type=Path, default=None, help="directory to archive reports")
+
+    demo = sub.add_parser("demo", help="run the main algorithm on a synthetic instance")
+    demo.add_argument("--n", type=int, default=256, help="players (= objects)")
+    demo.add_argument("--alpha", type=float, default=0.5, help="community frequency")
+    demo.add_argument("--d", type=int, default=0, help="community diameter (planted)")
+    demo.add_argument(
+        "--workload", default="planted", help="workload family (see repro.workloads.registry)"
+    )
+    demo.add_argument("--unknown-d", action="store_true", help="use the §6 doubling wrapper")
+    demo.add_argument("--robust", action="store_true", help="use Params.robust() constants")
+    demo.add_argument("--profile", action="store_true", help="print the per-phase cost breakdown")
+    demo.add_argument("--seed", type=int, default=7, help="RNG seed")
+
+    report = sub.add_parser("report", help="run experiments and write a Markdown report")
+    report.add_argument("--out", type=Path, default=Path("REPORT.md"), help="output file")
+    report.add_argument("--experiments", nargs="*", default=None, help="subset of experiment ids")
+    report.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    report.add_argument("--full", action="store_true", help="full (slow) sweeps")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import REGISTRY, run_experiment  # noqa: F401  (registers)
+
+    # Import docstring claims lazily from the registered runners' modules.
+    for eid in sorted(REGISTRY, key=lambda e: (e[0], int(e[1:]))):
+        fn = REGISTRY[eid]
+        doc = (sys.modules[fn.__module__].__doc__ or "").strip().splitlines()
+        claim = doc[0] if doc else ""
+        print(f"{eid:4s} {claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY, run_experiment
+
+    wanted = list(REGISTRY) if "all" in args.experiments else args.experiments
+    unknown = [e for e in wanted if e not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}; known: {', '.join(sorted(REGISTRY))}")
+        return 2
+    failures = 0
+    for eid in wanted:
+        result = run_experiment(eid, quick=not args.full, seed=args.seed)
+        rendered = result.render()
+        print(rendered)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{eid}.txt").write_text(rendered + "\n")
+        failures += 0 if result.passed else 1
+    return 1 if failures else 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.workloads.registry import WORKLOADS, make_instance
+
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; known: {', '.join(sorted(WORKLOADS))}")
+        return 2
+    inst = make_instance(args.workload, args.n, args.n, args.alpha, args.d, rng=args.seed)
+    community = inst.main_community()
+    oracle = ProbeOracle(inst)
+    params = Params.robust() if args.robust else Params.practical()
+    oracle.start_phase("find_preferences")
+    if args.unknown_d:
+        result = find_preferences_unknown_d(
+            oracle, args.alpha, params=params, rng=args.seed + 1, d_max=max(args.d * 2, 4)
+        )
+    else:
+        result = find_preferences(oracle, args.alpha, args.d, params=params, rng=args.seed + 1)
+    oracle.finish_phase("find_preferences")
+    report = evaluate(result.outputs, inst.prefs, community.members, diam=community.diameter)
+    print(f"instance   : {inst.name}")
+    print(f"community  : {community.size} players, diameter {community.diameter}")
+    print(f"algorithm  : {result.algorithm}")
+    print(f"rounds     : {result.rounds} (solo = {args.n})")
+    print(f"discrepancy: {report.discrepancy}")
+    print(f"stretch    : {report.stretch:.2f}")
+    if args.profile:
+        from repro.analysis.cost_profile import phase_breakdown
+
+        print()
+        print(phase_breakdown(oracle).render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "report":
+        from repro.reporting import write_report
+
+        experiments = args.experiments or None
+        report = write_report(args.out, experiments, quick=not args.full, seed=args.seed)
+        print(f"wrote {args.out} — {report.n_passed}/{len(report.results)} experiments passed")
+        return 0 if report.all_passed else 1
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

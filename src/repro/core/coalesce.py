@@ -1,0 +1,156 @@
+"""Algorithm Coalesce — probe-free clustering of posted vectors (Fig. 6).
+
+Input: a multiset ``V`` of ``M`` vectors (the Small Radius outputs posted
+on the billboard for one object group), a distance parameter ``D`` and a
+frequency parameter ``α``.  Output (Theorem 5.3): at most ``1/α`` vectors
+over ``{0, 1, ?}`` such that, whenever a subset ``V_T ⊆ V`` of at least
+``αM`` vectors has pairwise distance ≤ ``D``, there is a *unique* output
+vector that is closest (within ``2D``) to every member of ``V_T``, with
+at most ``5D/α`` wildcard entries.
+
+Two phases:
+
+1. **Cover** — repeatedly discard vectors whose ball ``ball(v, D)`` holds
+   fewer than ``αM`` vectors, then greedily pick the lexicographically
+   first remaining vector into ``A`` and delete its ball.
+2. **Merge** — while two cover vectors are within ``5D`` (in ``d̃``),
+   replace them by their consensus: common values kept, conflicts (and
+   any existing "?") become "?".  Wildcards only grow, which is what
+   makes Lemma 5.1 (``d̃(v, rep(v)) ≤ dist(v, u)``) sound.
+
+Coalesce never probes; all players compute it from identical billboard
+state, so — being deterministic — all players obtain the same output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.tilde import tilde_pairwise
+from repro.utils.validation import WILDCARD, check_value_matrix
+
+__all__ = ["coalesce", "CoalesceResult"]
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """Output of one Coalesce run.
+
+    Attributes
+    ----------
+    vectors:
+        ``(K, L)`` output matrix over ``{0, 1, ?}``, rows sorted
+        lexicographically (a set, deterministically ordered).
+    cover:
+        The intermediate greedy cover ``A`` (before merging), for
+        diagnostics and the Theorem 5.3 tests.
+    """
+
+    vectors: np.ndarray
+    cover: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of output vectors (Theorem 5.3: ≤ 1/α)."""
+        return self.vectors.shape[0]
+
+
+def _lex_order(rows: np.ndarray) -> np.ndarray:
+    """Indices sorting *rows* lexicographically by content."""
+    keys = [rows[i].tobytes() for i in range(rows.shape[0])]
+    return np.asarray(sorted(range(len(keys)), key=keys.__getitem__), dtype=np.intp)
+
+
+def coalesce(
+    vectors: np.ndarray,
+    D: int,
+    alpha: float,
+    *,
+    merge_radius: int | None = None,
+) -> CoalesceResult:
+    """Run Algorithm Coalesce.
+
+    Parameters
+    ----------
+    vectors:
+        ``(M, L)`` multiset of vectors over ``{0, 1, ?}`` (paper: 0/1
+        inputs; wildcards in inputs are tolerated and treated by ``d̃``).
+    D:
+        Ball radius (distance parameter).
+    alpha:
+        Frequency parameter; a vector survives phase 1 only if its ball
+        holds at least ``ceil(α·M)`` vectors.
+    merge_radius:
+        Phase-2 merge threshold; defaults to the paper's ``5·D``.
+
+    Returns
+    -------
+    CoalesceResult
+    """
+    V = check_value_matrix(vectors, "vectors")
+    M = V.shape[0]
+    if M == 0:
+        raise ValueError("vectors must be non-empty")
+    if D < 0:
+        raise ValueError(f"D must be non-negative, got {D}")
+    if not (0 < alpha <= 1):
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    radius = 5 * D if merge_radius is None else int(merge_radius)
+    if radius < 0:
+        raise ValueError(f"merge_radius must be non-negative, got {radius}")
+    min_ball = math.ceil(alpha * M)
+
+    # ------------------------------------------------------------------
+    # Phase 1: greedy cover (steps 1-2 of Fig. 6)
+    # ------------------------------------------------------------------
+    dmat = tilde_pairwise(V)  # (M, M) d̃ distances, computed once
+    within = dmat <= D
+    alive = np.ones(M, dtype=bool)
+    cover_rows: list[np.ndarray] = []
+    while alive.any():
+        # 2a: drop every vector whose ball within the current V is small.
+        ball_sz = within[:, alive].sum(axis=1)
+        drop = alive & (ball_sz < min_ball)
+        if drop.any():
+            alive &= ~drop
+            if not alive.any():
+                break
+            continue  # re-check: removals may push others below threshold
+        # 2b: lexicographically first remaining vector.
+        idx_alive = np.flatnonzero(alive)
+        first = idx_alive[_lex_order(V[idx_alive])[0]]
+        # 2c: add to A, delete its ball.
+        cover_rows.append(V[first].copy())
+        alive &= ~within[first]
+    cover = np.asarray(cover_rows, dtype=np.int8) if cover_rows else np.empty((0, V.shape[1]), dtype=np.int8)
+
+    # ------------------------------------------------------------------
+    # Phase 2: merge near pairs into consensus-with-wildcards (step 4)
+    # ------------------------------------------------------------------
+    B: list[np.ndarray] = [row.copy() for row in cover]
+    merged = True
+    while merged and len(B) > 1:
+        merged = False
+        for i in range(len(B)):
+            for j in range(i + 1, len(B)):
+                u, v = B[i], B[j]
+                both = (u != WILDCARD) & (v != WILDCARD)
+                if int(np.count_nonzero(both & (u != v))) <= radius:
+                    consensus = np.where(both & (u == v), u, WILDCARD).astype(np.int8)
+                    # Replace the pair by the consensus vector.
+                    B = [B[t] for t in range(len(B)) if t not in (i, j)]
+                    B.append(consensus)
+                    merged = True
+                    break
+            if merged:
+                break
+
+    if B:
+        out = np.asarray(B, dtype=np.int8)
+        out = out[_lex_order(out)]
+    else:
+        out = np.empty((0, V.shape[1]), dtype=np.int8)
+    return CoalesceResult(vectors=out, cover=cover)

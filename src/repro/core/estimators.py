@@ -1,0 +1,71 @@
+"""Parameter estimation helpers (Section 6's budget-driven α).
+
+Section 6: "Given a bound on the running time of the algorithm ... we
+can compute the smallest possible α and run the algorithm with it", and
+"for any given α and a player p, there exists a minimal D = D_p(α) such
+that at least an α fraction of the players are within distance D from
+p".  This module provides both directions:
+
+* :func:`alpha_for_budget` — invert the Zero Radius cost formula
+  ``rounds ≈ zr_leaf_c·ln n/α`` to the smallest α a round budget can
+  afford (the knob the anytime loop turns);
+* :func:`budget_for_alpha` — the forward direction;
+* :func:`empirical_d_of_alpha` — the ground-truth ``D_p(α)`` profile of
+  an instance (an *evaluation* helper: it reads the hidden matrix, so
+  algorithms must not call it — experiments use it to choose planted
+  parameters and to check how tight the guarantees are).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.params import Params
+from repro.metrics.hamming import pairwise_hamming
+from repro.utils.validation import check_binary_matrix, check_fraction, check_pos_int
+
+__all__ = ["alpha_for_budget", "budget_for_alpha", "empirical_d_of_alpha"]
+
+
+def budget_for_alpha(alpha: float, n: int, params: Params | None = None) -> int:
+    """Zero Radius round budget needed for frequency *alpha* (cost formula)."""
+    alpha = check_fraction(alpha, "alpha")
+    n = check_pos_int(n, "n")
+    p = params or Params.practical()
+    return p.zr_leaf_threshold(n, alpha)
+
+
+def alpha_for_budget(budget: int, n: int, params: Params | None = None) -> float:
+    """Smallest α affordable within *budget* probing rounds (Section 6).
+
+    Inverts ``rounds = max(min_leaf, zr_leaf_c·ln n/α)``; returns 1.0
+    when even α = 1 does not fit (caller should go solo), and is clamped
+    to the ``log n / n ≤ α`` validity floor of the algorithms.
+    """
+    budget = check_pos_int(budget, "budget")
+    n = check_pos_int(n, "n")
+    p = params or Params.practical()
+    alpha = p.zr_leaf_c * math.log(max(n, 2)) / budget
+    floor = math.log(max(n, 2)) / n
+    return float(min(1.0, max(alpha, floor)))
+
+
+def empirical_d_of_alpha(prefs: np.ndarray, player: int, alphas: list[float]) -> dict[float, int]:
+    """Ground-truth ``D_p(α)`` for one player (evaluation-only).
+
+    For each α, the minimal D such that at least ``⌈αn⌉`` players
+    (including *p* itself) lie within Hamming distance D of *p*.
+    """
+    prefs = check_binary_matrix(prefs, "prefs")
+    n = prefs.shape[0]
+    if not (0 <= player < n):
+        raise ValueError(f"player {player} out of range [0, {n})")
+    dists = np.sort(pairwise_hamming(prefs)[player])
+    profile: dict[float, int] = {}
+    for alpha in alphas:
+        alpha = check_fraction(alpha, "alpha")
+        k = max(1, math.ceil(alpha * n))
+        profile[alpha] = int(dists[min(k, n) - 1])
+    return profile

@@ -1,0 +1,212 @@
+"""Algorithm constants.
+
+The paper states its algorithms with explicit but asymptotic constants
+(e.g. the Zero Radius leaf threshold ``8c·ln n/α``, Lemma 4.1's
+``s ≥ 100·d^{3/2}`` parts, the ``αn/5`` popularity threshold).  At
+laptop scale the literal constants make every recursion bottom out
+immediately, so :class:`Params` exposes each one:
+
+* :meth:`Params.paper` — the literal constants, for formula-level tests;
+* :meth:`Params.practical` — identical functional forms with small
+  leading constants, used by the experiments.  Every theorem *shape*
+  (``log n`` scaling, the ``D^{3/2}`` partition knee, the ``5D`` error
+  cap, the ``1/α`` candidate cap) is preserved.
+
+All derived quantities (leaf threshold, part counts, confidence ``K``,
+…) are computed by methods here so algorithm code contains no magic
+numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["Params"]
+
+
+@dataclass(frozen=True)
+class Params:
+    """Tunable constants of the algorithm tower.
+
+    Attributes
+    ----------
+    zr_leaf_c:
+        Zero Radius recursion bottoms out when ``min(|P|, |O|) <
+        zr_leaf_c · ln(n) / α`` (paper: ``8c``).
+    zr_min_leaf:
+        Absolute floor on the leaf threshold (guards tiny populations).
+    zr_vote_frac:
+        A vector becomes a Zero Radius candidate when at least
+        ``zr_vote_frac · α`` of the opposite half voted for it
+        (paper: ``1/2``, i.e. an ``α/2`` fraction).
+    sr_alpha_div:
+        Small Radius invokes Zero Radius with ``α / sr_alpha_div``
+        and uses popularity threshold ``αn / sr_alpha_div`` (paper: 5).
+    sr_s_factor:
+        Small Radius partitions objects into
+        ``s = ceil(sr_s_factor · D^{3/2})`` parts (paper: 100, via
+        Lemma 4.1's ``s ≥ 100 d^{3/2}``).
+    sr_final_bound_mult:
+        Step 2 of Small Radius selects with bound
+        ``sr_final_bound_mult · D`` (paper: 5, from Lemma 4.3).
+    sr_k_factor, sr_k_min:
+        Confidence parameter ``K = max(sr_k_min, ceil(sr_k_factor ·
+        log2 n))`` (paper: ``K = Θ(log n)``).
+    lr_groups_c:
+        Large Radius partitions objects into
+        ``ceil(lr_groups_c · D / ln n)`` groups (paper: ``c``).
+    lr_small_d_c:
+        The Fig. 1 dispatcher routes to Small Radius when
+        ``D <= lr_small_d_c · ln n``.
+    lr_alpha_div:
+        Large Radius invokes Small Radius with ``α / lr_alpha_div``
+        (paper: 2).
+    lr_coalesce_mult:
+        Coalesce distance parameter as a multiple of the per-group
+        distance bound λ (pairwise Small Radius outputs of typical
+        players are ``O(λ)`` apart; paper's analysis allows ~11λ).
+    lr_select_bound_mult:
+        Distance bound (×λ) used by the super-object Select probes.
+    rs_probes_c:
+        RSelect probes ``ceil(rs_probes_c · log2 n)`` random
+        distinguishing coordinates per pair (paper: ``c``).
+    rs_majority:
+        Loser threshold (paper: 2/3).
+    unknown_d_base:
+        Doubling base for the unknown-``D`` search (paper: 2).
+    """
+
+    zr_leaf_c: float = 2.0
+    zr_min_leaf: int = 4
+    zr_vote_frac: float = 0.5
+    sr_alpha_div: float = 5.0
+    sr_s_factor: float = 1.0
+    sr_final_bound_mult: float = 5.0
+    sr_k_factor: float = 0.5
+    sr_k_min: int = 2
+    lr_groups_c: float = 1.0
+    lr_small_d_c: float = 2.0
+    lr_alpha_div: float = 2.0
+    lr_coalesce_mult: float = 3.0
+    lr_select_bound_mult: float = 3.0
+    rs_probes_c: float = 2.0
+    rs_majority: float = 2.0 / 3.0
+    unknown_d_base: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.zr_leaf_c <= 0 or self.zr_min_leaf < 1:
+            raise ValueError("zr_leaf_c must be positive and zr_min_leaf >= 1")
+        if not (0 < self.zr_vote_frac <= 1):
+            raise ValueError(f"zr_vote_frac must be in (0, 1], got {self.zr_vote_frac}")
+        if self.sr_alpha_div < 1:
+            raise ValueError("sr_alpha_div must be >= 1")
+        if self.sr_s_factor <= 0 or self.sr_final_bound_mult < 1:
+            raise ValueError("sr_s_factor must be positive and sr_final_bound_mult >= 1")
+        if self.sr_k_min < 1 or self.sr_k_factor < 0:
+            raise ValueError("sr_k_min must be >= 1 and sr_k_factor >= 0")
+        if self.lr_groups_c <= 0 or self.lr_small_d_c <= 0 or self.lr_alpha_div < 1:
+            raise ValueError("Large Radius constants must be positive (alpha_div >= 1)")
+        if self.lr_coalesce_mult <= 0 or self.lr_select_bound_mult <= 0:
+            raise ValueError("Large Radius multipliers must be positive")
+        if self.rs_probes_c <= 0 or not (0.5 < self.rs_majority <= 1):
+            raise ValueError("rs_probes_c must be positive and rs_majority in (1/2, 1]")
+        if self.unknown_d_base <= 1:
+            raise ValueError("unknown_d_base must exceed 1")
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "Params":
+        """The literal constants of the paper (asymptotically faithful;
+        degenerate at laptop scale — every recursion bottoms out)."""
+        return cls(
+            zr_leaf_c=8.0,
+            zr_min_leaf=4,
+            zr_vote_frac=0.5,
+            sr_alpha_div=5.0,
+            sr_s_factor=100.0,
+            sr_final_bound_mult=5.0,
+            sr_k_factor=1.0,
+            sr_k_min=1,
+            lr_groups_c=1.0,
+            lr_small_d_c=1.0,
+            lr_alpha_div=2.0,
+            lr_coalesce_mult=11.0,
+            lr_select_bound_mult=11.0,
+            rs_probes_c=4.0,
+            rs_majority=2.0 / 3.0,
+        )
+
+    @classmethod
+    def practical(cls) -> "Params":
+        """Laptop-scale constants (the defaults)."""
+        return cls()
+
+    @classmethod
+    def robust(cls) -> "Params":
+        """Practical constants with a larger Zero Radius leaf threshold.
+
+        The leaf constant controls how many community members land in
+        every voting half: expected members at the deciding vote are
+        ``~ zr_leaf_c · ln n / 2``.  The default (2.0) is ample for
+        planted-community workloads, where competing vote candidates are
+        diffuse; when several *structured* communities compete and the
+        target frequency ``α`` is tight (e.g. equal to the smallest
+        community's exact share), the concentration needs more slack —
+        this preset's 5.0 restores reliability at roughly 2× the leaf
+        probing cost (cf. the paper's ``8c`` constant in Fig. 2).
+        """
+        return cls(zr_leaf_c=5.0)
+
+    def with_overrides(self, **kwargs) -> "Params":
+        """Copy with individual constants replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def zr_leaf_threshold(self, n: int, alpha: float) -> int:
+        """Zero Radius base-case threshold ``max(min_leaf, leaf_c·ln n/α)``."""
+        if n < 1 or not (0 < alpha <= 1):
+            raise ValueError(f"need n >= 1 and alpha in (0,1], got n={n}, alpha={alpha}")
+        return max(self.zr_min_leaf, math.ceil(self.zr_leaf_c * math.log(max(n, 2)) / alpha))
+
+    def zr_vote_threshold(self, alpha: float, half_size: int) -> int:
+        """Minimum vote count for a candidate vector (``α/2`` of the half)."""
+        return max(1, math.ceil(self.zr_vote_frac * alpha * half_size))
+
+    def sr_num_parts(self, D: int) -> int:
+        """Small Radius part count ``s = ceil(s_factor · D^{3/2})`` (≥ 1)."""
+        if D < 0:
+            raise ValueError(f"D must be non-negative, got {D}")
+        return max(1, math.ceil(self.sr_s_factor * D ** 1.5))
+
+    def sr_confidence(self, n: int) -> int:
+        """Small Radius confidence ``K = max(k_min, ceil(k_factor · log2 n))``."""
+        return max(self.sr_k_min, math.ceil(self.sr_k_factor * math.log2(max(n, 2))))
+
+    def sr_popularity_threshold(self, alpha: float, n_players: int) -> int:
+        """Popularity cut for step 1b (``αn/5`` in the paper)."""
+        return max(1, math.ceil(alpha * n_players / self.sr_alpha_div))
+
+    def lr_num_groups(self, D: int, n: int) -> int:
+        """Large Radius group count ``ceil(c·D / ln n)`` (≥ 1)."""
+        return max(1, math.ceil(self.lr_groups_c * D / math.log(max(n, 3))))
+
+    def lr_player_copies(self, D: int, alpha: float, n: int) -> int:
+        """Subsets per player, ``⌈D/(αn)⌉`` (≥ 1)."""
+        return max(1, math.ceil(D / (alpha * n)))
+
+    def lr_lambda(self, D: int, n: int) -> int:
+        """Per-group distance bound ``λ = min(D, O(log n))`` (Lemma 5.5)."""
+        return max(1, min(D, math.ceil(self.lr_small_d_c * math.log(max(n, 3)))))
+
+    def small_d_threshold(self, n: int) -> int:
+        """Fig. 1 dispatch: Small Radius handles ``D <= c·ln n``."""
+        return math.ceil(self.lr_small_d_c * math.log(max(n, 3)))
+
+    def rs_num_probes(self, n: int) -> int:
+        """RSelect per-pair probe count ``ceil(c · log2 n)``."""
+        return max(1, math.ceil(self.rs_probes_c * math.log2(max(n, 2))))

@@ -1,0 +1,139 @@
+"""Public-coin random partitions and the Lemma 4.1 success predicate.
+
+Lemma 4.1 is the combinatorial heart of Small Radius: partition the
+object set into ``s`` parts, each coordinate independently and uniformly;
+if the collaborating vectors have pairwise distance ≤ ``d`` and
+``s ≥ 100·d^{3/2}``, then with probability > 1/2 *every* part
+simultaneously has a 1/5-fraction of the vectors agreeing exactly on it.
+Small Radius repeats the partition ``K`` times to boost the constant
+success probability to ``1 − 2^{−Ω(K)}``.
+
+The partitions here are *public coins*: all players observe the same
+partition, which the single-process simulation realises by drawing them
+once from the phase generator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_pos_int
+
+__all__ = [
+    "random_partition",
+    "partition_parts",
+    "partition_players",
+    "is_partition_successful",
+]
+
+
+def random_partition(
+    n_items: int,
+    s: int,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Assign each of *n_items* independently and uniformly to one of *s* parts.
+
+    Exactly the Lemma 4.1 process.  Returns a length-``n_items`` label
+    array with values in ``[0, s)``; parts may be empty.
+    """
+    n_items = check_pos_int(n_items, "n_items")
+    s = check_pos_int(s, "s")
+    gen = as_generator(rng)
+    return gen.integers(0, s, size=n_items)
+
+
+def partition_parts(labels: np.ndarray, s: int) -> list[np.ndarray]:
+    """Materialise label array into ``s`` index arrays (ascending indices)."""
+    labels = np.asarray(labels)
+    s = check_pos_int(s, "s")
+    if labels.size and (labels.min() < 0 or labels.max() >= s):
+        raise ValueError(f"labels out of range [0, {s})")
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    bounds = np.searchsorted(sorted_labels, np.arange(s + 1))
+    return [np.sort(order[bounds[i] : bounds[i + 1]]) for i in range(s)]
+
+
+def random_halves(
+    items: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random balanced split of *items* into two halves (Zero Radius step 2)."""
+    items = np.asarray(items)
+    perm = rng.permutation(items)
+    half = items.size // 2
+    return np.sort(perm[:half]), np.sort(perm[half:])
+
+
+def partition_players(
+    n_players: int,
+    n_groups: int,
+    copies: int,
+    rng: int | np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Large Radius step 1: assign each player to *copies* random groups.
+
+    Each player joins ``copies`` distinct groups chosen uniformly.  Any
+    group left empty afterwards is topped up with a random player so that
+    downstream Small Radius invocations are well-defined (the paper's
+    parameter regime makes empty groups vanishingly unlikely; at laptop
+    scale we guard explicitly).
+    """
+    n_players = check_pos_int(n_players, "n_players")
+    n_groups = check_pos_int(n_groups, "n_groups")
+    copies = check_pos_int(copies, "copies")
+    copies = min(copies, n_groups)
+    gen = as_generator(rng)
+
+    membership: list[list[int]] = [[] for _ in range(n_groups)]
+    if copies == 1:
+        labels = gen.integers(0, n_groups, size=n_players)
+        for p in range(n_players):
+            membership[labels[p]].append(p)
+    else:
+        for p in range(n_players):
+            for g in gen.choice(n_groups, size=copies, replace=False):
+                membership[int(g)].append(p)
+
+    for g in range(n_groups):
+        if not membership[g]:
+            membership[g].append(int(gen.integers(0, n_players)))
+    return [np.unique(np.asarray(members, dtype=np.intp)) for members in membership]
+
+
+def is_partition_successful(
+    vectors: np.ndarray,
+    labels: np.ndarray,
+    s: int,
+    frac: float = 0.2,
+) -> bool:
+    """Lemma 4.1 success predicate.
+
+    True iff for *every* part ``i`` there is a set of at least
+    ``frac · M`` input rows that agree *exactly* on the coordinates of
+    part ``i`` (the paper uses ``frac = 1/5``).
+
+    Empty parts are vacuously successful (every vector agrees on zero
+    coordinates).
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+    M = vectors.shape[0]
+    if M == 0:
+        raise ValueError("vectors must be non-empty")
+    if not (0 < frac <= 1):
+        raise ValueError(f"frac must be in (0, 1], got {frac}")
+    need = math.ceil(frac * M)
+    for part in partition_parts(labels, s):
+        if part.size == 0:
+            continue
+        sub = np.ascontiguousarray(vectors[:, part])
+        _, counts = np.unique(sub, axis=0, return_counts=True)
+        if counts.max() < need:
+            return False
+    return True

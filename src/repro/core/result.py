@@ -1,0 +1,77 @@
+"""Result containers for algorithm runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.billboard.accounting import ProbeStats
+
+__all__ = ["SelectOutcome", "RunResult"]
+
+
+@dataclass(frozen=True)
+class SelectOutcome:
+    """Outcome of one Choose-Closest invocation (Select or RSelect).
+
+    Attributes
+    ----------
+    index:
+        Row index of the chosen candidate in the input set.
+    vector:
+        Copy of the chosen candidate.
+    probes:
+        Number of ``Probe`` invocations charged to the player.
+    exhausted:
+        True when every candidate exceeded the distance bound and the
+        output is a best-effort choice over probed coordinates (an
+        off-nominal situation the paper's preconditions exclude; callers
+        may treat it as a signal that the bound guess was too small).
+    """
+
+    index: int
+    vector: np.ndarray
+    probes: int
+    exhausted: bool = False
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full algorithm run (Zero/Small/Large Radius or main).
+
+    Attributes
+    ----------
+    outputs:
+        ``(n, m)`` matrix of player outputs.  May contain wildcards
+        (-1) for Large Radius "don't care" entries; evaluation treats
+        them as 0 per the paper.
+    stats:
+        Probe statistics for the run (delta over the run only).
+    algorithm:
+        Which branch produced the outputs (``"zero_radius"``, …).
+    meta:
+        Free-form run metadata (D used, part counts, per-phase costs…).
+    """
+
+    outputs: np.ndarray
+    stats: ProbeStats
+    algorithm: str
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Parallel probing rounds consumed (max per-player probes)."""
+        return self.stats.rounds
+
+    @property
+    def total_probes(self) -> int:
+        """Total probes across the population."""
+        return self.stats.total
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"RunResult(algorithm={self.algorithm!r}, shape={tuple(self.outputs.shape)}, "
+            f"rounds={self.rounds}, total_probes={self.total_probes})"
+        )

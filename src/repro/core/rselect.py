@@ -1,0 +1,138 @@
+"""Algorithm RSelect — randomized Choose-Closest without a distance bound.
+
+Implements Fig. 7 / Theorem 6.1.  A round-robin tournament: for every
+pair of distinct candidates, the player probes ``c·log n`` random
+coordinates on which the pair's non-"?" values differ; a candidate is
+declared a *loser* against the other if a ``2/3`` majority of the probed
+coordinates agrees with the other.  The output is a vector with zero
+losses (w.h.p. the true closest never loses, and any vector at distance
+``Ω(D)`` loses to it), giving an ``O(D)``-close output with
+``O(k² log n)`` probes and *no prior bound on D* — the ingredient that
+lets Section 6 drop the known-``D`` assumption.
+
+Robustness beyond the paper: if no candidate is undefeated (possible at
+small sample sizes), we output the candidate with fewest losses,
+breaking ties lexicographically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.core.params import Params
+from repro.core.result import SelectOutcome
+from repro.utils.rng import as_generator
+from repro.utils.validation import WILDCARD
+
+__all__ = ["rselect", "rselect_coroutine"]
+
+
+def rselect_coroutine(
+    candidates: np.ndarray,
+    n_population: int,
+    *,
+    params: Params | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> Generator[int, int, SelectOutcome]:
+    """Algorithm RSelect as a coroutine: yields coordinates, receives values.
+
+    The single source of truth for Fig. 7's logic; :func:`rselect`
+    drives it with a probe callable, the round engine forwards the
+    yielded coordinates as ``Probe`` actions.  Returns the
+    :class:`SelectOutcome`.
+    """
+    cand = np.ascontiguousarray(candidates)
+    if cand.ndim != 2 or cand.shape[0] < 1:
+        raise ValueError(f"candidates must be a non-empty 2-D matrix, got shape {cand.shape}")
+    if n_population < 1:
+        raise ValueError(f"n_population must be >= 1, got {n_population}")
+    p = params or Params.practical()
+    gen = as_generator(rng)
+    k = cand.shape[0]
+
+    losses = np.zeros(k, dtype=np.int64)
+    n_probes = 0
+    budget = p.rs_num_probes(n_population)
+
+    # Cache probed values within this invocation: probing the same
+    # coordinate twice would return the same grade; the paper's probe
+    # count is an upper bound and re-asking adds nothing.  Every *new*
+    # coordinate is a charged probe.
+    value_cache: dict[int, int] = {}
+
+    for a in range(k):
+        for b in range(a + 1, k):
+            va, vb = cand[a], cand[b]
+            diff = np.flatnonzero((va != WILDCARD) & (vb != WILDCARD) & (va != vb))
+            if diff.size == 0:
+                continue  # indistinguishable pair: no match is played
+            if diff.size <= budget:
+                sample = diff
+            else:
+                sample = gen.choice(diff, size=budget, replace=False)
+            agree_a = 0
+            agree_b = 0
+            for j in sample:
+                j = int(j)
+                if j not in value_cache:
+                    value_cache[j] = int((yield j))
+                    n_probes += 1
+                value = value_cache[j]
+                if va[j] == value:
+                    agree_a += 1
+                elif vb[j] == value:
+                    agree_b += 1
+            threshold = p.rs_majority * sample.size
+            if agree_a >= threshold:
+                losses[b] += 1
+            if agree_b >= threshold:
+                losses[a] += 1
+
+    zero_loss = np.flatnonzero(losses == 0)
+    exhausted = zero_loss.size == 0
+    pool = zero_loss if not exhausted else np.flatnonzero(losses == losses.min())
+    # Deterministic pick among eligible candidates: lexicographically first.
+    keys = [cand[int(i)].tobytes() for i in pool]
+    winner = int(pool[min(range(len(keys)), key=keys.__getitem__)])
+    return SelectOutcome(index=winner, vector=cand[winner].copy(), probes=n_probes, exhausted=exhausted)
+
+
+def rselect(
+    candidates: np.ndarray,
+    probe: Callable[[int], int],
+    n_population: int,
+    *,
+    params: Params | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> SelectOutcome:
+    """Run Algorithm RSelect (Fig. 7).
+
+    Parameters
+    ----------
+    candidates:
+        ``(k, L)`` matrix over ``{0, 1, ?}`` (or small ints).
+    probe:
+        Coordinate-probe callable for the invoking player (charged).
+    n_population:
+        The ``n`` in the ``c·log n`` per-pair probe count (the global
+        player population, which sets the w.h.p. confidence level).
+    params:
+        Constants (``rs_probes_c``, ``rs_majority``).
+    rng:
+        Seed or generator for the random coordinate samples.
+
+    Returns
+    -------
+    SelectOutcome
+        ``exhausted`` is True when no candidate was undefeated and a
+        fewest-losses fallback was used.
+    """
+    gen = rselect_coroutine(candidates, n_population, params=params, rng=rng)
+    try:
+        coord = next(gen)
+        while True:
+            coord = gen.send(probe(coord))
+    except StopIteration as stop:
+        return stop.value

@@ -1,0 +1,254 @@
+"""Algorithm Select — deterministic Choose-Closest with a distance bound.
+
+Implements Fig. 3 of the paper.  Given a set ``V`` of ``k`` candidate
+vectors (over ``{0, 1, ?}``; values may more generally be any small ints,
+as in the super-object reuse) and a player who can probe coordinates of
+its own hidden vector, Select returns the candidate closest to the
+player's vector — *exactly*, provided some candidate is within the given
+distance bound ``D`` (Theorem 3.2), probing at most ``k·(D+1)``
+coordinates.
+
+The procedure:
+
+1. repeatedly probe the first not-yet-probed coordinate on which two
+   surviving candidates differ (both non-"?" and unequal), discarding any
+   candidate that accumulates more than ``D`` disagreements with the
+   probed values;
+2. stop when the surviving candidates agree on every unprobed coordinate
+   (or all distinguishing coordinates are probed); output the
+   lexicographically-first candidate among those closest to the player on
+   the probed set.
+
+Per the paper's remark, Select *disregards probes done before its
+execution* — every probe here is a fresh, charged invocation, which is
+exactly what the cost bound charges.
+
+Off-nominal robustness (not covered by the paper's precondition): if
+*every* candidate exceeds the bound, we return the best candidate over
+the probed coordinates with ``exhausted=True`` instead of failing, so
+outer layers with guessed bounds degrade gracefully.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.core.result import SelectOutcome
+from repro.utils.validation import WILDCARD
+
+__all__ = ["select", "select_coroutine", "select_candidate_index", "distinguishing_coords"]
+
+
+def distinguishing_coords(candidates: np.ndarray) -> np.ndarray:
+    """``X(V)``: coordinates on which some two candidate rows differ.
+
+    "Differ" is in the ``d̃`` sense: both entries non-"?" and unequal.
+    Returns coordinate indices in ascending order.
+    """
+    cand = np.asarray(candidates)
+    if cand.ndim != 2:
+        raise ValueError(f"candidates must be 2-D, got shape {cand.shape}")
+    if cand.shape[0] <= 1:
+        return np.empty(0, dtype=np.intp)
+    valid = cand != WILDCARD
+    # A column has two differing non-? entries iff both a non-? 0/…/max
+    # minimum and maximum exist and differ: mask wildcards to +inf/-inf.
+    as_f = cand.astype(np.float64)
+    lo = np.where(valid, as_f, np.inf).min(axis=0)
+    hi = np.where(valid, as_f, -np.inf).max(axis=0)
+    return np.flatnonzero(hi > lo)
+
+
+def _lex_first(candidates: np.ndarray, indices: np.ndarray) -> int:
+    """Index (into *candidates*) of the lexicographically-first row among *indices*."""
+    best = int(indices[0])
+    best_key = candidates[best].tobytes()
+    for i in indices[1:]:
+        key = candidates[int(i)].tobytes()
+        if key < best_key:
+            best, best_key = int(i), key
+    return best
+
+
+def select_coroutine(
+    candidates: np.ndarray,
+    bound: int,
+) -> Generator[int, int, SelectOutcome]:
+    """Algorithm Select as a coroutine: yields coordinates, receives values.
+
+    The single source of truth for Fig. 3's logic.  :func:`select`
+    drives it with a probe callable; the round engine's player programs
+    drive it by forwarding the yielded coordinates as ``Probe`` actions.
+    The generator's return value is the :class:`SelectOutcome`.
+    """
+    cand = np.ascontiguousarray(candidates)
+    if cand.ndim != 2 or cand.shape[0] < 1:
+        raise ValueError(f"candidates must be a non-empty 2-D matrix, got shape {cand.shape}")
+    if bound < 0:
+        raise ValueError(f"bound must be non-negative, got {bound}")
+    k, L = cand.shape
+
+    alive = np.ones(k, dtype=bool)
+    disagreements = np.zeros(k, dtype=np.int64)
+    probed = np.zeros(L, dtype=bool)
+    n_probes = 0
+
+    # Step 1: probe distinguishing coordinates in ascending order,
+    # recomputing X(V) whenever the candidate set shrinks.
+    x_coords = distinguishing_coords(cand)
+    cursor = 0
+    while True:
+        # advance to the first unprobed coordinate of X(V)
+        while cursor < x_coords.size and probed[x_coords[cursor]]:
+            cursor += 1
+        if cursor >= x_coords.size:
+            break  # all of X(V) probed (or X(V) empty)
+        j = int(x_coords[cursor])
+        value = yield j
+        n_probes += 1
+        probed[j] = True
+        col = cand[:, j]
+        hit = (col != WILDCARD) & (col != value)
+        disagreements[hit] += 1
+        over = alive & (disagreements > bound)
+        if over.any():
+            alive &= ~over
+            if not alive.any():
+                break
+            x_coords = distinguishing_coords(cand[alive])
+            # distinguishing_coords indexes into the alive submatrix's
+            # columns directly (columns are shared), so no remap needed —
+            # but it returns column indices of the full matrix since we
+            # passed full-width rows.
+            cursor = 0
+
+    # Step 2: among survivors, pick those closest on the probed set Y and
+    # output the lexicographically first.  `disagreements` already counts
+    # exactly the probed-coordinate mismatches.
+    pool = np.flatnonzero(alive)
+    exhausted = pool.size == 0
+    if exhausted:
+        pool = np.arange(k)
+    dist_y = disagreements[pool]
+    closest = pool[dist_y == dist_y.min()]
+    winner = _lex_first(cand, closest)
+    return SelectOutcome(index=winner, vector=cand[winner].copy(), probes=n_probes, exhausted=exhausted)
+
+
+def select(
+    candidates: np.ndarray,
+    probe: Callable[[int], int],
+    bound: int,
+) -> SelectOutcome:
+    """Run Algorithm Select (Fig. 3).
+
+    Parameters
+    ----------
+    candidates:
+        ``(k, L)`` integer matrix of candidate vectors; entries may be
+        ``-1`` ("?").  ``k >= 1``.
+    probe:
+        Callable mapping a local coordinate index to the player's hidden
+        value there.  Each call is one charged probe.
+    bound:
+        The distance bound ``D >= 0``; the guarantee requires some
+        candidate within ``d̃``-distance ``D`` of the player.
+
+    Returns
+    -------
+    SelectOutcome
+        Chosen candidate (index + copy), probes spent, and whether the
+        bound was exhausted (off-nominal).
+    """
+    gen = select_coroutine(candidates, bound)
+    try:
+        coord = next(gen)
+        while True:
+            coord = gen.send(probe(coord))
+    except StopIteration as stop:
+        return stop.value
+
+
+def select_candidate_index(
+    candidates: np.ndarray,
+    probe: Callable[[int], int],
+    bound: int,
+) -> int:
+    """Convenience wrapper around :func:`select` returning only the index."""
+    return select(candidates, probe, bound).index
+
+
+def select_batched(
+    oracle,
+    players: np.ndarray,
+    candidates: np.ndarray,
+    bound: int,
+    coord_to_object: np.ndarray,
+) -> dict[int, SelectOutcome]:
+    """Run one Select per player, batching probes across players.
+
+    Every player runs the *identical* Fig. 3 procedure over the same
+    candidate set (via :func:`select_coroutine`), so per-player outcomes
+    and probe sequences are exactly those of calling :func:`select` in a
+    loop.  The only change is mechanical: at each step, all players'
+    pending coordinate probes are issued as one
+    :meth:`~repro.billboard.oracle.ProbeOracle.probe_many` batch — the
+    model's "players probe in parallel", and an order-of-magnitude fewer
+    Python-level oracle calls on population-scale adoptions.
+
+    Parameters
+    ----------
+    oracle:
+        The probe gate (must expose ``probe_many``).
+    players:
+        Global player indices, one Select per player.
+    candidates:
+        ``(k, L)`` candidate matrix shared by all players, or a mapping
+        ``player -> (k_p, L)`` matrix for per-player candidate sets
+        (Small Radius step 2 selects among each player's own stitched
+        vectors).
+    bound:
+        Distance bound ``D``.
+    coord_to_object:
+        Length-``L`` map from candidate-column index to global object.
+
+    Returns
+    -------
+    dict
+        ``player -> SelectOutcome``.
+    """
+    players = np.asarray(players, dtype=np.intp)
+    coord_to_object = np.asarray(coord_to_object, dtype=np.intp)
+    per_player = isinstance(candidates, dict)
+    if not per_player and coord_to_object.shape != (np.asarray(candidates).shape[1],):
+        raise ValueError(
+            f"coord_to_object must have length {np.asarray(candidates).shape[1]}, "
+            f"got {coord_to_object.shape}"
+        )
+    outcomes: dict[int, SelectOutcome] = {}
+    coroutines: dict[int, Generator[int, int, SelectOutcome]] = {}
+    pending: dict[int, int] = {}
+    for pl in players:
+        cand = candidates[int(pl)] if per_player else candidates
+        co = select_coroutine(cand, bound)
+        try:
+            pending[int(pl)] = next(co)
+            coroutines[int(pl)] = co
+        except StopIteration as stop:
+            outcomes[int(pl)] = stop.value
+
+    while pending:
+        batch_players = np.fromiter(pending.keys(), dtype=np.intp, count=len(pending))
+        batch_objects = coord_to_object[np.fromiter(pending.values(), dtype=np.intp, count=len(pending))]
+        values = oracle.probe_many(batch_players, batch_objects)
+        next_pending: dict[int, int] = {}
+        for pl, value in zip(batch_players, values):
+            pl = int(pl)
+            try:
+                next_pending[pl] = coroutines[pl].send(int(value))
+            except StopIteration as stop:
+                outcomes[pl] = stop.value
+        pending = next_pending
+    return outcomes

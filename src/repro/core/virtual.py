@@ -1,0 +1,107 @@
+"""The paper's virtual-player reduction for ``m ≫ n`` (Section 3).
+
+"when ``m > n`` we can let each real player simulate ``⌈m/n⌉`` players
+of the algorithm" — the algorithms assume ``m = Θ(n)``; with far more
+objects than players, each real player runs several *virtual* players
+(all sharing its hidden row), restoring the square shape.  Probes by a
+virtual player are real probes by its owner, so the owner's per-round
+work is multiplied by the simulation factor — exactly the paper's
+``m/n``-factor caveat in Theorem 5.4.
+
+:func:`find_preferences_virtual` wraps
+:func:`repro.core.main.find_preferences`:
+
+1. build the virtual population (row-duplicated hidden matrix, planted
+   community membership inherited by every copy);
+2. run the main algorithm over it;
+3. map outputs back (every copy of a player agrees on its community
+   guarantee; we return the first copy's output) and re-attribute every
+   virtual probe to its owning real player.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.billboard.accounting import ProbeStats
+from repro.billboard.exceptions import BudgetExceededError
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import find_preferences
+from repro.core.params import Params
+from repro.core.result import RunResult
+from repro.utils.rng import as_generator
+
+__all__ = ["virtual_factor", "find_preferences_virtual"]
+
+
+def virtual_factor(n: int, m: int) -> int:
+    """The simulation factor ``⌈m/n⌉`` (1 when ``m <= n``)."""
+    if n < 1 or m < 1:
+        raise ValueError(f"need n, m >= 1, got n={n}, m={m}")
+    return max(1, math.ceil(m / n))
+
+
+def find_preferences_virtual(
+    oracle: ProbeOracle,
+    alpha: float,
+    D: int,
+    *,
+    params: Params | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> RunResult:
+    """Run the main algorithm through the virtual-player reduction.
+
+    With ``m <= n`` this is exactly :func:`find_preferences`.  Otherwise
+    the virtual population has ``n·⌈m/n⌉ >= m`` players; the returned
+    ``stats`` charge every virtual probe to the owning real player, and
+    ``meta["virtual_factor"]`` records the simulation factor.
+
+    Note the virtual population shares one *virtual* oracle internally
+    (the real oracle's cost model is reconstructed from it); the passed
+    *oracle*'s own counters are advanced accordingly so ledgers stay
+    meaningful.  A real per-player ``budget`` is enforced *post hoc* on
+    the attributed totals (the virtual run cannot be stopped mid-probe
+    per real player): :class:`BudgetExceededError` is raised after the
+    run if any owner's attributed probes exceed its budget.
+    """
+    n, m = oracle.n_players, oracle.n_objects
+    factor = virtual_factor(n, m)
+    p = params or Params.practical()
+    gen = as_generator(rng)
+    if factor == 1:
+        return find_preferences(oracle, alpha, D, params=p, rng=gen)
+
+    # Virtual population: factor copies of every real player.  Copy c of
+    # player i is virtual index c*n + i.
+    hidden = oracle.billboard  # real billboard (kept in sync below)
+    prefs = np.tile(np.asarray(oracle._prefs), (factor, 1))  # noqa: SLF001 - substrate peer
+    virtual_oracle = ProbeOracle(prefs, charge_repeats=oracle.charge_repeats)
+
+    res = find_preferences(virtual_oracle, alpha, D, params=p, rng=gen)
+
+    # Attribute virtual costs back to owners (and enforce real budgets).
+    per_virtual = virtual_oracle.stats().per_player
+    per_real = per_virtual.reshape(factor, n).sum(axis=0)
+    if oracle.budget is not None:
+        over = np.flatnonzero(oracle._counts + per_real > oracle.budget)  # noqa: SLF001
+        if over.size:
+            raise BudgetExceededError(int(over[0]), oracle.budget)
+
+    # Mirror reveals onto the real billboard (copy c's reveals are the
+    # owner's reveals) and charge the real oracle's counters so budgets
+    # and phase ledgers remain accurate.
+    vmask = virtual_oracle.billboard.revealed_mask().reshape(factor, n, m).any(axis=0)
+    players, objects = np.nonzero(vmask)
+    if players.size:
+        hidden.post_grades(players, objects, np.asarray(oracle._prefs)[players, objects])  # noqa: SLF001
+    oracle._counts += per_real  # noqa: SLF001 - substrate peer
+
+    outputs = res.outputs[:n]
+    return RunResult(
+        outputs=outputs,
+        stats=ProbeStats(per_real.copy()),
+        algorithm=f"virtual({res.algorithm})",
+        meta={**res.meta, "virtual_factor": factor},
+    )

@@ -1,0 +1,47 @@
+"""Player-action vocabulary for the round engine.
+
+A player program is a generator that yields actions:
+
+* :class:`Probe` — probe one object; the scheduler sends back the 0/1
+  grade.  **Consumes the player's round.**
+* :class:`Post` — publish a vector on a billboard channel.  Free (the
+  model's "writes the result on the billboard" happens within the same
+  round); the scheduler sends back ``None`` and immediately continues
+  the same player.
+* :class:`Wait` — do nothing this round (used to wait for other
+  players' posts).  Consumes the round.
+
+The program's ``return`` value is the player's output vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Probe", "Post", "Wait"]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Probe one object (consumes the round; scheduler replies with the grade)."""
+
+    obj: int
+
+    def __post_init__(self) -> None:
+        if self.obj < 0:
+            raise ValueError(f"object index must be non-negative, got {self.obj}")
+
+
+@dataclass(frozen=True)
+class Post:
+    """Publish *vector* under *channel* (free; scheduler replies ``None``)."""
+
+    channel: str
+    vector: np.ndarray
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Idle this round (consumes the round; scheduler replies ``None``)."""

@@ -1,0 +1,115 @@
+"""The §6 anytime loop, distributed.
+
+Phases ``α = 2⁻ʲ`` of the unknown-``D`` search run as engine executions
+against the *same* oracle (cumulative budget); after each phase every
+player merges the new output into its running best with an RSelect
+coroutine.  Budget exhaustion anywhere inside a phase aborts that phase
+(the model's "time is up"), and the best *completed* output stands — the
+same semantics as :func:`repro.core.main.anytime_find_preferences`, and
+bitwise-equal to it for the same seed while the budget lasts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.billboard.exceptions import BudgetExceededError
+from repro.billboard.oracle import ProbeOracle
+from repro.core.params import Params
+from repro.core.rselect import rselect_coroutine
+from repro.engine.actions import Probe
+from repro.engine.main_player import UnknownDCoins, find_preferences_unknown_d_player
+from repro.engine.scheduler import RoundScheduler
+from repro.utils.rng import as_generator, spawn, spawn_many
+from repro.utils.validation import WILDCARD
+
+__all__ = ["run_anytime_engine"]
+
+
+def _merge_player(
+    player: int,
+    best: np.ndarray,
+    new: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    params: Params,
+) -> Generator[Any, Any, np.ndarray]:
+    """One player's phase-merge program: RSelect between old and new."""
+    cands = np.ascontiguousarray(np.stack([best, new]))
+    sel = rselect_coroutine(cands, n, params=params, rng=rng)
+    try:
+        coord = next(sel)
+        while True:
+            value = yield Probe(int(coord))
+            coord = sel.send(value)
+    except StopIteration as stop:
+        return stop.value.vector.astype(np.int8)
+
+
+def run_anytime_engine(
+    oracle: ProbeOracle,
+    *,
+    params: Params | None = None,
+    rng: int | np.random.Generator | None = None,
+    max_phases: int | None = None,
+    d_max: int | None = None,
+    max_rounds: int = 10_000_000,
+) -> tuple[np.ndarray, dict]:
+    """Distributed §6 anytime run (cf. the global twin).
+
+    Returns ``(outputs, meta)`` with ``meta["phases"]`` the completed
+    ``α`` values and ``meta["budget_exhausted"]`` the abort flag.
+    """
+    p = params or Params.practical()
+    gen = as_generator(rng)
+    n, m = oracle.n_players, oracle.n_objects
+
+    max_j = int(math.floor(math.log2(max(2.0, n / max(1.0, math.log(max(n, 2)))))))
+    if max_phases is not None:
+        max_j = min(max_j, max_phases - 1)
+
+    best: np.ndarray | None = None
+    completed: list[float] = []
+    exhausted = False
+    for j in range(max_j + 1):
+        alpha_j = 2.0 ** (-j)
+        try:
+            coins = UnknownDCoins.draw(n, m, alpha_j, params=p, rng=spawn(gen), d_max=d_max)
+            programs = {
+                pl: find_preferences_unknown_d_player(
+                    pl, coins, oracle.billboard, n, m, params=p,
+                    channel_prefix=f"phase{j}/",
+                )
+                for pl in range(n)
+            }
+            result = RoundScheduler(oracle, programs).run(max_rounds=max_rounds)
+            new = np.full((n, m), WILDCARD, dtype=np.int8)
+            for pl, vec in result.outputs.items():
+                new[pl] = vec
+            if best is None:
+                merged = new
+            else:
+                merge_rngs = spawn_many(spawn(gen), n)
+                merge_programs = {
+                    pl: _merge_player(pl, best[pl], new[pl], n, merge_rngs[pl], p)
+                    for pl in range(n)
+                }
+                merge_result = RoundScheduler(oracle, merge_programs).run(max_rounds=max_rounds)
+                merged = np.empty_like(new)
+                for pl, vec in merge_result.outputs.items():
+                    merged[pl] = vec
+            best = merged
+        except BudgetExceededError:
+            exhausted = True
+            break
+        completed.append(alpha_j)
+
+    if best is None:
+        mask = oracle.billboard.revealed_mask()
+        values = oracle.billboard.revealed_values()
+        best = np.where(mask, values, 0).astype(np.int8)
+
+    return best, {"phases": completed, "budget_exhausted": exhausted}

@@ -1,0 +1,133 @@
+"""Public coins: the pre-drawn Zero Radius halving tree.
+
+The paper's random partitions are common knowledge — every player
+observes the same coin flips.  For the round engine we realise this as
+a :class:`PublicCoins` object each player derives *identically* from the
+shared seed: the full recursion tree of Fig. 2's step 2, with each
+node's player half / object half.
+
+Crucially, the tree is drawn with **exactly the same generator calls as
+the global implementation** (`random_halves` on a child stream spawned
+the same way), so an engine run and a global run given the same seed use
+identical partitions — the precondition for the bitwise cross-validation
+test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import Params
+from repro.core.partition import random_halves
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["HalvingNode", "PublicCoins"]
+
+
+@dataclass
+class HalvingNode:
+    """One node of the halving tree.
+
+    Attributes
+    ----------
+    node_id:
+        Path label: ``""`` for the root, then ``"0"``/``"1"`` appended
+        per level (half 0 / half 1).
+    players, objects:
+        The node's player and (local) object index sets, sorted.
+    children:
+        ``(half0, half1)`` or ``None`` at leaves.
+    """
+
+    node_id: str
+    players: np.ndarray
+    objects: np.ndarray
+    children: tuple["HalvingNode", "HalvingNode"] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+@dataclass
+class PublicCoins:
+    """The shared halving tree for one Zero Radius execution."""
+
+    root: HalvingNode
+    threshold: int
+    _by_player: dict[int, list[HalvingNode]] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def draw(
+        cls,
+        players: np.ndarray,
+        n_objects: int,
+        alpha: float,
+        *,
+        n_global: int,
+        params: Params | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> "PublicCoins":
+        """Draw the halving tree exactly as the global implementation does.
+
+        Mirrors :func:`repro.core.zero_radius.zero_radius`: spawn a child
+        stream from the caller's generator, then recursively call
+        ``random_halves`` on players and objects (same order of calls →
+        identical partitions for identical seeds).
+        """
+        p = params or Params.practical()
+        gen = spawn(as_generator(rng))
+        threshold = p.zr_leaf_threshold(n_global, alpha)
+        players = np.sort(np.asarray(players, dtype=np.intp))
+        objects = np.arange(n_objects, dtype=np.intp)
+
+        def build(node_id: str, P: np.ndarray, O: np.ndarray) -> HalvingNode:
+            if min(P.size, O.size) < threshold:
+                return HalvingNode(node_id=node_id, players=P, objects=O)
+            P1, P2 = random_halves(P, gen)
+            O1, O2 = random_halves(O, gen)
+            left = build(node_id + "0", P1, O1)
+            right = build(node_id + "1", P2, O2)
+            return HalvingNode(node_id=node_id, players=P, objects=O, children=(left, right))
+
+        coins = cls(root=build("", players, objects), threshold=threshold)
+        coins._index(coins.root)
+        return coins
+
+    # ------------------------------------------------------------------
+    # player-side queries
+    # ------------------------------------------------------------------
+    def _index(self, node: HalvingNode) -> None:
+        for pl in node.players:
+            self._by_player.setdefault(int(pl), []).append(node)
+        if node.children:
+            self._index(node.children[0])
+            self._index(node.children[1])
+
+    def path_of(self, player: int) -> list[HalvingNode]:
+        """The root→leaf chain of nodes containing *player*."""
+        if player not in self._by_player:
+            raise KeyError(f"player {player} is not in the tree")
+        return self._by_player[player]
+
+    def leaf_of(self, player: int) -> HalvingNode:
+        """The leaf node containing *player*."""
+        return self.path_of(player)[-1]
+
+    def sibling(self, node_id: str) -> HalvingNode:
+        """The sibling of the node with *node_id* (its vote counterpart)."""
+        if not node_id:
+            raise ValueError("the root has no sibling")
+        sibling_id = node_id[:-1] + ("1" if node_id[-1] == "0" else "0")
+        return self.node(sibling_id)
+
+    def node(self, node_id: str) -> HalvingNode:
+        """Fetch a node by path id."""
+        cur = self.root
+        for bit in node_id:
+            if cur.children is None:
+                raise KeyError(f"no node {node_id!r}")
+            cur = cur.children[int(bit)]
+        return cur

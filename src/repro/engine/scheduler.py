@@ -1,0 +1,113 @@
+"""The lockstep round scheduler.
+
+Runs a set of player programs (generators yielding
+:class:`~repro.engine.actions.Probe` / ``Post`` / ``Wait``) in
+synchronous rounds against a shared
+:class:`~repro.billboard.oracle.ProbeOracle`:
+
+* per round, every live player is advanced until it performs one
+  round-consuming action (a probe or a wait) — posts are free and
+  processed inline, matching "reads the billboard, probes one object,
+  and writes the result";
+* the iteration order within a round is by player id, but within one
+  round every player sees the billboard as of the *start* of its own
+  step — the model's players act concurrently, and the algorithms are
+  insensitive to intra-round interleaving (the test suite checks this by
+  cross-validating against the global implementation);
+* a player's ``return`` value is its output vector.
+
+The engine measures *true* lockstep rounds (including waits), which
+upper-bounds the probe-count-based round metric of the fast simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping
+
+import numpy as np
+
+from repro.billboard.oracle import ProbeOracle
+from repro.engine.actions import Post, Probe, Wait
+
+__all__ = ["EngineResult", "RoundScheduler"]
+
+PlayerProgram = Generator[Any, Any, np.ndarray]
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one scheduled execution.
+
+    Attributes
+    ----------
+    outputs:
+        Player → returned output vector.
+    rounds:
+        Lockstep rounds executed (probes *and* waits count).
+    probe_rounds:
+        Max charged probes over players (the fast simulation's metric).
+    """
+
+    outputs: dict[int, np.ndarray]
+    rounds: int
+    probe_rounds: int
+
+
+class RoundScheduler:
+    """Advance player programs in lockstep rounds."""
+
+    def __init__(self, oracle: ProbeOracle, programs: Mapping[int, PlayerProgram]):
+        if not programs:
+            raise ValueError("need at least one player program")
+        for player in programs:
+            if not (0 <= player < oracle.n_players):
+                raise ValueError(f"player {player} out of range [0, {oracle.n_players})")
+        self.oracle = oracle
+        self._programs = dict(programs)
+
+    def run(self, max_rounds: int = 1_000_000) -> EngineResult:
+        """Run all programs to completion (or *max_rounds*)."""
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        live: dict[int, PlayerProgram] = dict(self._programs)
+        pending: dict[int, Any] = {p: None for p in live}  # value to send next
+        outputs: dict[int, np.ndarray] = {}
+        before = self.oracle.stats()
+
+        rounds = 0
+        while live and rounds < max_rounds:
+            consumed = False
+            for player in sorted(live):
+                program = live[player]
+                send_value = pending[player]
+                # Advance until a round-consuming action (or completion).
+                while True:
+                    try:
+                        action = program.send(send_value)
+                    except StopIteration as stop:
+                        outputs[player] = np.asarray(stop.value)
+                        del live[player]
+                        break
+                    if isinstance(action, Post):
+                        self.oracle.billboard.post_vectors(action.channel, np.atleast_2d(action.vector))
+                        send_value = None
+                        continue
+                    if isinstance(action, Probe):
+                        pending[player] = self.oracle.probe(player, action.obj)
+                        consumed = True
+                        break
+                    if isinstance(action, Wait):
+                        pending[player] = None
+                        consumed = True
+                        break
+                    raise TypeError(f"player {player} yielded unknown action {action!r}")
+            if consumed:
+                rounds += 1
+            elif live:  # pragma: no cover - defensive: nobody acted but players remain
+                raise RuntimeError("deadlock: live players performed no action this round")
+
+        if live:
+            raise RuntimeError(f"{len(live)} players still running after {max_rounds} rounds")
+        probe_rounds = (self.oracle.stats() - before).rounds
+        return EngineResult(outputs=outputs, rounds=rounds, probe_rounds=probe_rounds)

@@ -1,0 +1,40 @@
+"""Experiment suite E1–E12 (see DESIGN.md §2 for the index).
+
+The paper is a theory extended abstract with no numeric tables of its
+own; its evaluation surface is the set of theorems/lemmas.  Each module
+here validates one of them empirically and prints the table/series a
+systems paper would have shown.  ``benchmarks/`` wraps each experiment in
+a pytest-benchmark target; EXPERIMENTS.md records claim-vs-measured.
+
+Usage::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("E1", quick=True).render())
+"""
+
+# Importing the modules registers them in the REGISTRY.
+from repro.experiments import (  # noqa: F401
+    exp_ablation_s,
+    exp_anytime,
+    exp_baselines,
+    exp_coalesce,
+    exp_large_radius,
+    exp_lemma41,
+    exp_rselect,
+    exp_select,
+    exp_small_radius,
+    exp_svd_breakdown,
+    exp_unknown_d,
+    exp_x1_leaf_constant,
+    exp_x2_dynamic,
+    exp_x3_good_object,
+    exp_x4_engine,
+    exp_x5_confidence,
+    exp_x6_repeats,
+    exp_x7_byzantine,
+    exp_x8_virtual,
+    exp_zero_radius,
+)
+from repro.experiments.harness import REGISTRY, ExperimentResult, run_experiment
+
+__all__ = ["REGISTRY", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,90 @@
+"""E11 — ablation: the ``s = Θ(D^{3/2})`` partition count is the knee.
+
+Section 4's design choice: Small Radius partitions objects into
+``s = Θ(D^{3/2})`` parts because Lemma 4.1 needs ``s² ≳ d³`` for the
+partition to succeed.  We sweep the ``sr_s_factor`` multiplier:
+
+* **below the knee** (factor ≪ 1): partitions fail Lemma 4.1 often —
+  within-part diameters stay large, Zero Radius's voting fragments, and
+  the measured error degrades toward/through the ``5D`` bound;
+* **at/above the knee**: error is safely within ``5D``, but probing
+  rounds grow with ``s`` (each extra part pays its own Zero Radius
+  leaf + Select), so oversizing ``s`` is pure waste.
+
+Checks: error within bound for factor ≥ 1, and rounds monotone
+(weakly) increasing in the factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.params import Params
+from repro.core.small_radius import small_radius
+from repro.experiments.harness import ExperimentResult, register
+from repro.metrics.evaluation import evaluate
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+from repro.workloads.planted import planted_instance
+
+__all__ = ["run"]
+
+
+@register("E11")
+def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+    """Run experiment E11 (see module docstring)."""
+    base = params or Params.practical()
+    gen = as_generator(seed)
+    n = 256 if quick else 512
+    alpha = 0.5
+    D = 6 if quick else 9
+    factors = [0.25, 0.5, 1.0, 2.0] if quick else [0.125, 0.25, 0.5, 1.0, 2.0, 4.0]
+    trials = 2 if quick else 5
+
+    table = Table(
+        title="E11: ablation of s = s_factor * D^{3/2} (Lemma 4.1 knee)",
+        columns=["s_factor", "s", "worst_err", "bound_5D", "within", "rounds"],
+    )
+    rounds_by_factor = []
+    err_by_factor = []
+    for f in factors:
+        p = base.with_overrides(sr_s_factor=f)
+        s = p.sr_num_parts(D)
+        worst = 0
+        rounds_acc = []
+        for _ in range(trials):
+            inst = planted_instance(n, n, alpha, D, rng=int(gen.integers(2**31)))
+            comm = inst.main_community()
+            oracle = ProbeOracle(inst)
+            out = small_radius(
+                oracle, np.arange(n), np.arange(n), alpha, D,
+                params=p, rng=int(gen.integers(2**31)),
+            )
+            rep = evaluate(out.astype(np.int8), inst.prefs, comm.members, diam=comm.diameter)
+            worst = max(worst, rep.discrepancy)
+            rounds_acc.append(oracle.stats().rounds)
+        rounds = float(np.mean(rounds_acc))
+        rounds_by_factor.append(rounds)
+        err_by_factor.append(worst)
+        table.add(s_factor=f, s=s, worst_err=worst, bound_5D=5 * D, within=worst <= 5 * D, rounds=rounds)
+
+    at_knee_ok = all(
+        err <= 5 * D for f, err in zip(factors, err_by_factor) if f >= 1.0
+    )
+    # Rounds (weakly) increase with s above the knee.
+    upper = [r for f, r in zip(factors, rounds_by_factor) if f >= 1.0]
+    cost_monotone = all(b >= a * 0.95 for a, b in zip(upper, upper[1:]))
+
+    checks = {
+        "error within 5D for s_factor >= 1 (the knee)": at_knee_ok,
+        "rounds grow with s above the knee": cost_monotone,
+    }
+    return ExperimentResult(
+        experiment="E11",
+        claim="s = Θ(D^{3/2}) parts is the knee: fewer breaks Lemma 4.1, more wastes probes (§4)",
+        table=table,
+        passed=all(checks.values()),
+        checks=checks,
+        notes=f"n=m={n}, alpha={alpha}, D={D}, {trials} trials per factor",
+    )

@@ -1,0 +1,133 @@
+"""E9 — the comparison the paper makes in prose: collaborative probing vs
+prior approaches.
+
+Three panels:
+
+1. **Equal-budget quality** (planted ``D=0`` minority-community matrix):
+   run Zero Radius, then give every baseline the *same* per-player probe
+   budget Zero Radius used; compare member errors.  Claim: the paper's
+   algorithm is exact at a budget where assumption-based baselines are
+   far off, and go-it-alone needs the full ``m``.
+2. **Equal-budget quality** (low-rank mixture matrix): same comparison on
+   the SVD-friendly regime — honest reporting: here the spectral method
+   is competitive, which is exactly the generative assumption it needs
+   (Section 2).
+3. **Speedup growth**: Zero Radius rounds vs ``m`` as ``n = m`` grows —
+   the "who wins by what factor, where's the crossover" series.  The
+   speedup must grow with ``n`` (crossover is at tiny ``n``; asymptotics
+   dominate early for the ``D=0`` regime).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.knn import knn_baseline
+from repro.baselines.majority import majority_baseline
+from repro.baselines.solo import solo_baseline
+from repro.baselines.svd import svd_baseline
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import find_preferences
+from repro.core.params import Params
+from repro.experiments.harness import ExperimentResult, register
+from repro.metrics.evaluation import evaluate
+from repro.model.instance import Instance
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+from repro.workloads.mixtures import mixture_instance
+from repro.workloads.planted import planted_instance
+
+__all__ = ["run"]
+
+
+def _panel(
+    table: Table,
+    panel: str,
+    inst: Instance,
+    alpha: float,
+    p: Params,
+    gen: np.random.Generator,
+) -> dict[str, float]:
+    """Run ours + all baselines at matched budget; add rows, return mean errors."""
+    comm = inst.main_community()
+    n, m = inst.shape
+
+    oracle = ProbeOracle(inst)
+    ours = find_preferences(oracle, alpha, 0, params=p, rng=int(gen.integers(2**31)))
+    budget = max(ours.rounds, 8)
+    rows: dict[str, float] = {}
+
+    def add(name: str, outputs: np.ndarray, rounds: int) -> None:
+        rep = evaluate(outputs, inst.prefs, comm.members, diam=comm.diameter)
+        table.add(panel=panel, algorithm=name, budget=rounds, mean_err=rep.mean_error,
+                  worst_err=rep.discrepancy)
+        rows[name] = rep.mean_error
+
+    add("zero_radius (ours)", ours.outputs, ours.rounds)
+    o2 = ProbeOracle(inst)
+    add("solo(full)", solo_baseline(o2).outputs, m)
+    o3 = ProbeOracle(inst)
+    add("solo(budget)", solo_baseline(o3, budget=budget, rng=gen).outputs, budget)
+    o4 = ProbeOracle(inst)
+    add("majority", majority_baseline(o4, budget, rng=gen).outputs, budget)
+    o5 = ProbeOracle(inst)
+    add("knn", knn_baseline(o5, budget // 2, budget - budget // 2, rng=gen).outputs, budget)
+    o6 = ProbeOracle(inst)
+    add("svd", svd_baseline(o6, budget, rank=4, rng=gen).outputs, budget)
+    return rows
+
+
+@register("E9")
+def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+    """Run experiment E9 (see module docstring)."""
+    p = params or Params.practical()
+    gen = as_generator(seed)
+    n = 256 if quick else 512
+
+    table = Table(
+        title="E9: ours vs baselines at matched probe budget",
+        columns=["panel", "algorithm", "budget", "mean_err", "worst_err"],
+    )
+
+    adversarial = planted_instance(n, n, 0.25, 0, background="uniform", rng=int(gen.integers(2**31)))
+    errs_adv = _panel(table, "planted-D0", adversarial, 0.25, p, gen)
+
+    mix = mixture_instance(n, n, 4, noise=0.02, rng=int(gen.integers(2**31)))
+    mix_alpha = mix.main_community().size / n
+    errs_mix = _panel(table, "mixture", mix, mix_alpha, p, gen)
+
+    # Panel 3: speedup growth of Zero Radius over solo.
+    speed_table_rows = []
+    ns = [128, 256, 512] if quick else [128, 256, 512, 1024, 2048]
+    speedups = []
+    for nn in ns:
+        inst = planted_instance(nn, nn, 0.5, 0, rng=int(gen.integers(2**31)))
+        oracle = ProbeOracle(inst)
+        res = find_preferences(oracle, 0.5, 0, params=p, rng=int(gen.integers(2**31)))
+        rep = evaluate(res.outputs, inst.prefs, inst.main_community().members)
+        speedups.append(nn / res.rounds)
+        table.add(panel="speedup", algorithm=f"zero_radius n={nn}", budget=res.rounds,
+                  mean_err=rep.mean_error, worst_err=rep.discrepancy)
+        speed_table_rows.append((nn, res.rounds))
+
+    checks = {
+        "ours exact on adversarial planted matrix": errs_adv["zero_radius (ours)"] == 0.0,
+        "every equal-budget baseline worse on adversarial matrix": all(
+            errs_adv[k] > 0 for k in ("solo(budget)", "majority", "knn", "svd")
+        ),
+        "speedup over solo grows with n": speedups[-1] > speedups[0],
+    }
+    notes = (
+        "mixture panel: svd mean err "
+        f"{errs_mix['svd']:.1f} vs ours {errs_mix['zero_radius (ours)']:.1f} — "
+        "spectral methods are fine exactly when their generative assumption holds (cf. §2). "
+        f"speedups over solo: {', '.join(f'n={a}: {s:.1f}x' for (a, _), s in zip(speed_table_rows, speedups))}"
+    )
+    return ExperimentResult(
+        experiment="E9",
+        claim="Collaborative probing beats equal-budget baselines on assumption-free inputs",
+        table=table,
+        passed=all(checks.values()),
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,124 @@
+"""E5 — Theorem 5.3: Coalesce's output invariants.
+
+Build vector multisets with planted clusters (a ``VT`` of ≥ αM vectors
+at pairwise distance ≤ D plus arbitrary chaff) and verify on every
+instance:
+
+* at most ``1/α`` output vectors;
+* a *unique* output vector is the closest to all of ``VT``, within
+  ``2D`` of each member (``d̃``);
+* the representative carries at most ``5D/α`` wildcards;
+* determinism: same input → identical output (all players agree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import coalesce_max_outputs, coalesce_max_wildcards
+from repro.core.coalesce import coalesce
+from repro.experiments.harness import ExperimentResult, register
+from repro.metrics.tilde import tilde_dist_to_each, wildcard_count
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+
+__all__ = ["run"]
+
+
+def _clustered_multiset(
+    M: int, L: int, D: int, alpha: float, n_chaff_clusters: int, gen: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multiset with one planted VT of ceil(alpha*M) vectors; returns (V, VT_idx)."""
+    size = int(np.ceil(alpha * M))
+    center = gen.integers(0, 2, size=L, dtype=np.int8)
+    V = gen.integers(0, 2, size=(M, L), dtype=np.int8)
+    # chaff clusters (each below the alpha*M threshold)
+    chaff_size = max(1, size // 2 - 1)
+    cursor = size
+    for _ in range(n_chaff_clusters):
+        if cursor + chaff_size > M:
+            break
+        c = gen.integers(0, 2, size=L, dtype=np.int8)
+        for i in range(cursor, cursor + chaff_size):
+            row = c.copy()
+            flips = gen.integers(0, D // 2 + 1)
+            if flips:
+                row[gen.choice(L, size=flips, replace=False)] ^= 1
+            V[i] = row
+        cursor += chaff_size
+    for i in range(size):
+        row = center.copy()
+        flips = gen.integers(0, D // 2 + 1)
+        if flips:
+            row[gen.choice(L, size=flips, replace=False)] ^= 1
+        V[i] = row
+    return V, np.arange(size)
+
+
+@register("E5")
+def run(quick: bool = True, seed: int = 0, **_) -> ExperimentResult:
+    """Run experiment E5 (see module docstring)."""
+    gen = as_generator(seed)
+    M, L = (60, 256) if quick else (150, 1024)
+    cases = [(0.5, 4, 0), (0.4, 8, 1), (0.25, 8, 2)] if quick else [
+        (0.5, 4, 0), (0.4, 8, 1), (0.25, 8, 2), (0.2, 16, 3), (0.34, 2, 2),
+    ]
+    trials = 5 if quick else 20
+
+    table = Table(
+        title="E5: Coalesce (Theorem 5.3) — <= 1/alpha outputs, unique 2D-close rep, <= 5D/alpha wildcards",
+        columns=["alpha", "D", "n_outputs", "cap_1/alpha", "max_rep_dist", "cap_2D", "max_wildcards", "cap_5D/alpha"],
+    )
+    size_ok = close_ok = unique_ok = wild_ok = det_ok = True
+    for alpha, D, chaff in cases:
+        worst_outputs = 0
+        worst_dist = 0
+        worst_wild = 0
+        for _ in range(trials):
+            V, vt_idx = _clustered_multiset(M, L, D, alpha, chaff, gen)
+            res = coalesce(V, D, alpha)
+            res2 = coalesce(V, D, alpha)
+            det_ok &= np.array_equal(res.vectors, res2.vectors)
+            worst_outputs = max(worst_outputs, res.size)
+            size_ok &= res.size <= coalesce_max_outputs(alpha)
+            if res.size == 0:
+                close_ok = False
+                continue
+            # For each VT member find its closest output; Theorem 5.3
+            # requires a single common closest vector within 2D.
+            closest_idx = set()
+            for i in vt_idx:
+                dists = tilde_dist_to_each(V[i], res.vectors)
+                closest_idx.add(int(np.argmin(dists)))
+                worst_dist = max(worst_dist, int(dists.min()))
+            unique_ok &= len(closest_idx) == 1
+            close_ok &= worst_dist <= 2 * D
+            rep = res.vectors[next(iter(closest_idx))]
+            worst_wild = max(worst_wild, wildcard_count(rep))
+            wild_ok &= worst_wild <= coalesce_max_wildcards(D, alpha)
+        table.add(
+            alpha=alpha,
+            D=D,
+            n_outputs=worst_outputs,
+            **{"cap_1/alpha": coalesce_max_outputs(alpha)},
+            max_rep_dist=worst_dist,
+            cap_2D=2 * D,
+            max_wildcards=worst_wild,
+            **{"cap_5D/alpha": coalesce_max_wildcards(D, alpha)},
+        )
+
+    checks = {
+        "output size <= 1/alpha": size_ok,
+        "unique closest representative for VT": unique_ok,
+        "representative within 2D of every VT member": close_ok,
+        "representative wildcards <= 5D/alpha": wild_ok,
+        "deterministic (all players agree)": det_ok,
+    }
+    return ExperimentResult(
+        experiment="E5",
+        claim="Coalesce outputs <= 1/alpha vectors with a unique 2D-close representative (Thm 5.3)",
+        table=table,
+        passed=all(checks.values()),
+        checks=checks,
+        notes=f"M={M} vectors, L={L} coords, {trials} trials per case",
+    )

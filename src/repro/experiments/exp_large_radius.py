@@ -1,0 +1,85 @@
+"""E6 — Theorem 5.4: Large Radius achieves O(D/α) error (constant stretch).
+
+Two sweeps on planted large-diameter instances:
+
+* **D-sweep** at fixed ``n``: stretch ``Δ/D`` must stay bounded by a
+  constant (the theorem's ``O(D/α)`` with ``α`` fixed) as ``D`` grows —
+  this is the "constant stretch" headline of Theorem 1.1;
+* **n-sweep** at ``D = Θ(n^{2/3})`` (growing diameter): per-player
+  rounds must grow sub-linearly in ``m`` (the polylog claim is
+  asymptotic; the measurable laptop-scale shape is rounds/m shrinking).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.shapes import fit_loglog_slope
+from repro.billboard.oracle import ProbeOracle
+from repro.core.large_radius import large_radius
+from repro.core.params import Params
+from repro.experiments.harness import ExperimentResult, register
+from repro.metrics.evaluation import evaluate
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+from repro.workloads.planted import planted_instance
+
+__all__ = ["run"]
+
+#: Constant-stretch acceptance ceiling.  Theorem 5.4 proves O(D/alpha);
+#: with alpha = 1/2 and our practical constants the measured stretch
+#: lands around 2-5; anything bounded as D grows validates the shape.
+STRETCH_CEILING = 8.0
+
+
+@register("E6")
+def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+    """Run experiment E6 (see module docstring)."""
+    p = params or Params.practical()
+    gen = as_generator(seed)
+    alpha = 0.5
+    n_fixed = 256 if quick else 512
+    Ds = [32, 64] if quick else [32, 64, 128, 192]
+    ns = [128, 256, 512] if quick else [256, 512, 1024]
+
+    table = Table(
+        title="E6: Large Radius (Theorem 5.4) — stretch O(1/alpha), sublinear rounds",
+        columns=["sweep", "n", "D", "stretch", "rounds", "rounds/m"],
+    )
+    stretches = []
+    for D in Ds:
+        inst = planted_instance(n_fixed, n_fixed, alpha, D, rng=int(gen.integers(2**31)))
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, alpha, D, params=p, rng=int(gen.integers(2**31)))
+        rep = evaluate(out, inst.prefs, comm.members, diam=comm.diameter)
+        stretches.append(rep.stretch)
+        r = oracle.stats().rounds
+        table.add(sweep="D", n=n_fixed, D=D, stretch=rep.stretch, rounds=r, **{"rounds/m": r / n_fixed})
+
+    ns_seen, rounds_seen = [], []
+    for n in ns:
+        D = max(8, int(round(n ** (2 / 3))))
+        inst = planted_instance(n, n, alpha, D, rng=int(gen.integers(2**31)))
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, alpha, D, params=p, rng=int(gen.integers(2**31)))
+        rep = evaluate(out, inst.prefs, comm.members, diam=comm.diameter)
+        r = oracle.stats().rounds
+        ns_seen.append(n)
+        rounds_seen.append(r)
+        table.add(sweep="n", n=n, D=D, stretch=rep.stretch, rounds=r, **{"rounds/m": r / n})
+
+    slope = fit_loglog_slope(ns_seen, rounds_seen)
+    checks = {
+        f"stretch bounded (<= {STRETCH_CEILING}) across D sweep": max(stretches) <= STRETCH_CEILING,
+        "rounds sublinear in n for D = n^{2/3} (slope < 1)": slope < 1.0,
+    }
+    return ExperimentResult(
+        experiment="E6",
+        claim="Large Radius: error O(D/alpha) — constant stretch — at sublinear probing cost (Thm 5.4)",
+        table=table,
+        passed=all(checks.values()),
+        checks=checks,
+        notes=f"alpha={alpha}; fitted rounds~n^p slope p={slope:.2f} on the n-sweep",
+    )

@@ -1,0 +1,94 @@
+"""E2 — Theorem 3.2: Select is exact within ``k·(D+1)`` probes.
+
+Monte-Carlo over random candidate sets: plant a hidden vector, place one
+candidate within distance ``D`` of it and ``k−1`` arbitrary others;
+check that Select returns the (lexicographically-first) true closest
+candidate and never exceeds the ``k(D+1)`` probe cap.  Sweep ``k`` and
+``D``, reporting worst-case probes against the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import select_probe_bound
+from repro.core.select import select
+from repro.experiments.harness import ExperimentResult, register
+from repro.metrics.hamming import hamming_to_each
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+
+__all__ = ["run"]
+
+
+def _make_case(k: int, L: int, D: int, gen: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Hidden vector + k candidates, one guaranteed within distance D."""
+    hidden = gen.integers(0, 2, size=L, dtype=np.int8)
+    cands = gen.integers(0, 2, size=(k, L), dtype=np.int8)
+    near = hidden.copy()
+    flips = gen.integers(0, D + 1)
+    if flips:
+        coords = gen.choice(L, size=flips, replace=False)
+        near[coords] ^= 1
+    cands[gen.integers(0, k)] = near
+    return hidden, cands
+
+
+@register("E2")
+def run(quick: bool = True, seed: int = 0, **_) -> ExperimentResult:
+    """Run experiment E2 (see module docstring)."""
+    gen = as_generator(seed)
+    ks = [2, 4, 8] if quick else [2, 4, 8, 16]
+    Ds = [0, 2, 8] if quick else [0, 1, 2, 4, 8, 16]
+    L = 256
+    trials = 50 if quick else 300
+
+    table = Table(
+        title="E2: Select (Theorem 3.2) — exact Choose-Closest, <= k(D+1) probes",
+        columns=["k", "D", "trials", "correct_frac", "max_probes", "bound_k(D+1)", "within_bound"],
+    )
+    all_correct = True
+    all_bounded = True
+    for k in ks:
+        for D in Ds:
+            correct = 0
+            max_probes = 0
+            bound = select_probe_bound(k, D)
+            for _ in range(trials):
+                hidden, cands = _make_case(k, L, D, gen)
+                probes_done = []
+
+                def probe(j: int) -> int:
+                    probes_done.append(j)
+                    return int(hidden[j])
+
+                outcome = select(cands, probe, D)
+                max_probes = max(max_probes, outcome.probes)
+                dists = hamming_to_each(hidden, cands)
+                best = dists.min()
+                # Theorem: the output is the lexicographically-first
+                # candidate among those closest to the hidden vector.
+                closest = np.flatnonzero(dists == best)
+                lex_first = min(closest, key=lambda i: cands[i].tobytes())
+                if outcome.index == lex_first:
+                    correct += 1
+            frac = correct / trials
+            ok = max_probes <= bound
+            table.add(
+                k=k, D=D, trials=trials, correct_frac=frac,
+                max_probes=max_probes, **{"bound_k(D+1)": bound}, within_bound=ok,
+            )
+            all_correct &= frac == 1.0
+            all_bounded &= ok
+
+    checks = {
+        "always returns lexicographically-first closest": all_correct,
+        "probe count never exceeds k(D+1)": all_bounded,
+    }
+    return ExperimentResult(
+        experiment="E2",
+        claim="Select returns the exact closest candidate with <= k(D+1) probes (Thm 3.2)",
+        table=table,
+        passed=all(checks.values()),
+        checks=checks,
+    )

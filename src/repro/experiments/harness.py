@@ -1,0 +1,84 @@
+"""Experiment harness shared by E1–E12.
+
+Every experiment module exposes ``run(quick=True, seed=0) ->
+ExperimentResult``: a parameter sweep producing a table (the paper has no
+numeric tables of its own — this *is* the evaluation surface, one
+experiment per theorem/lemma, see DESIGN.md §2) plus an automated
+*shape check*: the pass/fail predicate asserting the theorem's claim on
+the measured rows.
+
+``quick=True`` shrinks sweeps to bench-friendly sizes; ``quick=False``
+is the full sweep recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.utils.tables import Table
+
+__all__ = ["ExperimentResult", "REGISTRY", "register", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment id, e.g. ``"E1"``.
+    claim:
+        One-line statement of the paper claim being validated.
+    table:
+        The measured sweep (what the bench prints).
+    passed:
+        Whether the automated shape check held.
+    checks:
+        Individual named check outcomes (name → bool).
+    notes:
+        Free-form commentary (fit exponents, caveats).
+    """
+
+    experiment: str
+    claim: str
+    table: Table
+    passed: bool
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable report: claim, table, checks."""
+        lines = [f"[{self.experiment}] {self.claim}", ""]
+        lines.append(self.table.render())
+        lines.append("")
+        for name, ok in self.checks.items():
+            lines.append(f"  check {name}: {'PASS' if ok else 'FAIL'}")
+        lines.append(f"  overall: {'PASS' if self.passed else 'FAIL'}")
+        if self.notes:
+            lines.append(f"  notes: {self.notes}")
+        return "\n".join(lines)
+
+
+#: Registry of experiment runners, id → run callable.
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment ``run`` function under an id."""
+
+    def deco(fn: Callable[..., ExperimentResult]):
+        if experiment_id in REGISTRY:
+            raise ValueError(f"experiment {experiment_id} already registered")
+        REGISTRY[experiment_id] = fn
+        return fn
+
+    return deco
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id (importing brings registration)."""
+    if experiment_id not in REGISTRY:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[experiment_id](**kwargs)

@@ -1,0 +1,22 @@
+"""Extensions beyond the paper's core results.
+
+* :mod:`~repro.extensions.good_object` — the *single good recommendation*
+  problem of the paper's closest prior work ([4], Awerbuch, Patt-Shamir,
+  Peleg, Tuttle, SODA 2005): instead of reconstructing the whole
+  preference vector, every player only needs *one* object it likes.
+  Implemented here as the random-probe + billboard-recommendation
+  protocol, with the no-collaboration baseline — experiment X3 measures
+  the ``O(m + n log |P|)``-style total-work advantage the paper cites.
+* dynamic-preference tracking lives in
+  :mod:`repro.workloads.dynamic` (experiment X2).
+"""
+
+from repro.extensions.good_object import good_object_protocol, solo_good_object
+from repro.extensions.byzantine import byzantine_zero_radius_player, run_zero_radius_with_byzantine
+
+__all__ = [
+    "good_object_protocol",
+    "solo_good_object",
+    "byzantine_zero_radius_player",
+    "run_zero_radius_with_byzantine",
+]

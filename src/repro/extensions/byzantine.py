@@ -1,0 +1,119 @@
+"""Byzantine (dishonest) players — the introduction's eBay motivation.
+
+"some eBay users may be dishonest": probe *results* are ground truth in
+the model (the billboard records what a probe revealed), but the
+intermediate **vectors players post** — the Zero Radius recursion
+outputs that other players vote over — are self-reported.  A dishonest
+player can post anything.
+
+The round engine makes the attack natural to express: a Byzantine player
+runs :func:`byzantine_zero_radius_player`, which follows the public
+coins (so it knows exactly which channels honest players expect) but
+posts an adversarial vector at every level instead of computed values —
+here the *complement of its leaf probes extended with constant garbage*,
+a worst-case-flavoured lie that maximally disagrees with every honest
+candidate.
+
+Resilience comes from the vote threshold: a vector needs an ``α/2``
+fraction of a voting half to become a candidate, so liars below that
+fraction can *add* garbage candidates (each costing honest Selects a few
+probes) but cannot *remove* the truthful candidate; Select at bound 0
+then discards every lie that disagrees with the player's own probes.
+Experiment X7 measures the degradation curve as the Byzantine fraction
+grows through ``α/2``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.billboard.board import Billboard
+from repro.billboard.oracle import ProbeOracle
+from repro.core.params import Params
+from repro.core.zero_radius import NO_OUTPUT
+from repro.engine.actions import Post, Probe
+from repro.engine.coins import PublicCoins
+from repro.engine.scheduler import EngineResult, RoundScheduler
+from repro.engine.zero_radius_player import zero_radius_player
+from repro.utils.rng import as_generator
+
+__all__ = ["byzantine_zero_radius_player", "run_zero_radius_with_byzantine"]
+
+
+def byzantine_zero_radius_player(
+    player: int,
+    coins: PublicCoins,
+    n_objects: int,
+) -> Generator[Any, Any, np.ndarray]:
+    """A dishonest Fig. 2 participant.
+
+    Probes its leaf (so its probe trace looks plausible), then posts the
+    *complement* of the truth at the leaf and keeps posting complemented
+    garbage at every ascent level — never adopting, never telling the
+    truth.  Returns its (worthless) claimed output.
+    """
+    values = np.full(n_objects, NO_OUTPUT, dtype=np.int16)
+    path = coins.path_of(player)
+    leaf = path[-1]
+
+    for obj in leaf.objects:
+        truth = yield Probe(int(obj))
+        values[obj] = 1 - truth  # lie
+    yield Post(f"zr/{leaf.node_id or 'root'}/{player}", values[leaf.objects])
+
+    for depth in range(len(path) - 2, -1, -1):
+        node = path[depth]
+        my_child = path[depth + 1]
+        sibling = coins.sibling(my_child.node_id)
+        # Claim constant garbage for the sibling's objects (no probing —
+        # a liar need not spend budget to lie).
+        values[sibling.objects] = 1
+        yield Post(f"zr/{node.node_id or 'root'}/{player}", values[node.objects])
+
+    return values
+
+
+def run_zero_radius_with_byzantine(
+    oracle: ProbeOracle,
+    alpha: float,
+    byzantine_fraction: float,
+    *,
+    params: Params | None = None,
+    rng: int | np.random.Generator | None = None,
+    max_rounds: int = 1_000_000,
+) -> tuple[np.ndarray, np.ndarray, EngineResult]:
+    """Run the distributed Zero Radius with a dishonest sub-population.
+
+    A uniformly random ``byzantine_fraction`` of players runs the
+    Byzantine program; the rest run the honest one.  Returns
+    ``(outputs, byzantine_mask, engine_result)``; honest players'
+    guarantees should hold as long as the liars stay below the ``α/2``
+    vote threshold within every half (w.h.p.).
+    """
+    if not (0 <= byzantine_fraction < 1):
+        raise ValueError(f"byzantine_fraction must be in [0, 1), got {byzantine_fraction}")
+    p = params or Params.practical()
+    gen = as_generator(rng)
+    n, m = oracle.n_players, oracle.n_objects
+    players = np.arange(n, dtype=np.intp)
+
+    n_bad = int(round(byzantine_fraction * n))
+    bad = np.zeros(n, dtype=bool)
+    if n_bad:
+        bad[gen.choice(n, size=n_bad, replace=False)] = True
+
+    coins = PublicCoins.draw(players, m, alpha, n_global=n, params=p, rng=gen)
+    programs = {}
+    for pl in range(n):
+        if bad[pl]:
+            programs[pl] = byzantine_zero_radius_player(pl, coins, m)
+        else:
+            programs[pl] = zero_radius_player(pl, coins, oracle.billboard, alpha, m, params=p)
+    result = RoundScheduler(oracle, programs).run(max_rounds=max_rounds)
+
+    out = np.full((n, m), NO_OUTPUT, dtype=np.int16)
+    for pl, vec in result.outputs.items():
+        out[pl] = vec
+    return out, bad, result

@@ -1,0 +1,155 @@
+"""The "find one good object" problem (the paper's reference [4]).
+
+Section 2: "the problem of finding a good object for each user can be
+solved by very simple combinatorial algorithms without any restriction
+on the preference vectors: for any set ``P`` of users with a common
+object they all like, only ``O(m + n log |P|)`` probes are required
+overall until all users in ``P`` find a good object (w.h.p.)".
+
+The protocol (round-synchronous, faithful to the interactive model):
+
+* every still-unsatisfied player flips a fair coin each round: **explore**
+  (probe a uniformly random unprobed object) or **exploit** (probe a
+  uniformly random object from the billboard's *recommendation pool* —
+  objects some player reported liking);
+* a player that probes an object it likes posts it as a recommendation
+  and stops, outputting that object.
+
+Intuition for the bound: the community ``P`` collectively explores at
+rate ``|P|`` per round, so *someone* hits the common object after
+``~ m/|P|`` rounds of total work ``m``; after that, each remaining member
+finds a recommendation it likes in ``O(log)`` exploitation samples, for
+``n log |P|`` more work.  The no-collaboration baseline
+(:func:`solo_good_object`) explores only, paying ``~ m/(liked objects)``
+probes per player.
+
+This module measures, it does not prove: experiment X3 sweeps ``|P|``
+and compares total probes against the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.billboard.oracle import ProbeOracle
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_pos_int
+
+__all__ = ["GoodObjectResult", "good_object_protocol", "solo_good_object"]
+
+
+@dataclass(frozen=True)
+class GoodObjectResult:
+    """Outcome of a good-object run.
+
+    Attributes
+    ----------
+    found:
+        Per-player chosen object index, or -1 if unsatisfied at the
+        round limit.
+    rounds:
+        Synchronous rounds executed.
+    total_probes:
+        Total probes charged across the population.
+    satisfied:
+        Boolean per-player satisfaction mask.
+    """
+
+    found: np.ndarray
+    rounds: int
+    total_probes: int
+
+    @property
+    def satisfied(self) -> np.ndarray:
+        return self.found >= 0
+
+
+def _first_liked(values: np.ndarray) -> bool:
+    return bool(values == 1)
+
+
+def good_object_protocol(
+    oracle: ProbeOracle,
+    *,
+    max_rounds: int | None = None,
+    explore_prob: float = 0.5,
+    rng: int | np.random.Generator | None = None,
+) -> GoodObjectResult:
+    """Run the explore/exploit recommendation protocol for all players.
+
+    Parameters
+    ----------
+    oracle:
+        Probe gate; a player "likes" an object iff its hidden grade is 1.
+    max_rounds:
+        Safety cap on synchronous rounds (default ``4m``).
+    explore_prob:
+        Probability of exploring vs exploiting per round (paper-style: 1/2).
+    rng:
+        Seed or generator.
+    """
+    if not (0 < explore_prob <= 1):
+        raise ValueError(f"explore_prob must be in (0, 1], got {explore_prob}")
+    gen = as_generator(rng)
+    n, m = oracle.n_players, oracle.n_objects
+    cap = 4 * m if max_rounds is None else check_pos_int(max_rounds, "max_rounds")
+
+    found = np.full(n, -1, dtype=np.int64)
+    # Per-player set of already-probed objects (exploration without
+    # replacement; exploitation may repeat, as in the model).
+    probed: list[set[int]] = [set() for _ in range(n)]
+    recommendations: list[int] = []
+    rec_set: set[int] = set()
+    before = oracle.stats()
+
+    rounds = 0
+    active = np.flatnonzero(found < 0)
+    while active.size and rounds < cap:
+        rounds += 1
+        batch_players = []
+        batch_objects = []
+        for p in active:
+            explore = (not recommendations) or gen.random() < explore_prob
+            if explore:
+                # uniformly random unprobed object
+                tried = probed[p]
+                if len(tried) >= m:
+                    continue  # nothing left to learn; player dislikes everything
+                while True:
+                    o = int(gen.integers(0, m))
+                    if o not in tried:
+                        break
+            else:
+                o = int(recommendations[int(gen.integers(0, len(recommendations)))])
+                if o in probed[p]:
+                    continue  # already know this one (and disliked it)
+            probed[p].add(o)
+            batch_players.append(int(p))
+            batch_objects.append(o)
+        if not batch_players:
+            break
+        values = oracle.probe_many(np.asarray(batch_players), np.asarray(batch_objects))
+        for p, o, v in zip(batch_players, batch_objects, values):
+            if v == 1 and found[p] < 0:
+                found[p] = o
+                if o not in rec_set:
+                    rec_set.add(o)
+                    recommendations.append(o)
+        active = np.flatnonzero(found < 0)
+
+    stats = oracle.stats() - before
+    return GoodObjectResult(found=found, rounds=rounds, total_probes=stats.total)
+
+
+def solo_good_object(
+    oracle: ProbeOracle,
+    *,
+    max_rounds: int | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> GoodObjectResult:
+    """No-collaboration baseline: pure random exploration per player."""
+    return good_object_protocol(
+        oracle, max_rounds=max_rounds, explore_prob=1.0, rng=rng
+    )

@@ -1,0 +1,117 @@
+"""Archiving instances and run results to ``.npz``.
+
+Experiment sweeps produce (instance, outputs, probe counts) triples that
+are expensive to regenerate and cheap to store.  This module provides a
+stable on-disk format:
+
+* :func:`save_instance` / :func:`load_instance` — hidden matrix plus
+  every planted community (members, diameter, center, label);
+* :func:`save_run` / :func:`load_run` — a
+  :class:`~repro.core.result.RunResult` (outputs, per-player probes,
+  algorithm tag; ``meta`` is stored for scalar/str/int-list values).
+
+Everything round-trips exactly; loading never requires the workload
+generator or its seed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.billboard.accounting import ProbeStats
+from repro.core.result import RunResult
+from repro.model.community import Community
+from repro.model.instance import Instance
+
+__all__ = ["save_instance", "load_instance", "save_run", "load_run"]
+
+_FORMAT_VERSION = 1
+
+
+def save_instance(path: str | Path, instance: Instance) -> Path:
+    """Write *instance* to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {"prefs": instance.prefs}
+    meta = {
+        "version": _FORMAT_VERSION,
+        "kind": "instance",
+        "name": instance.name,
+        "communities": [],
+    }
+    for i, c in enumerate(instance.communities):
+        arrays[f"community_{i}_members"] = c.members
+        if c.center is not None:
+            arrays[f"community_{i}_center"] = c.center
+        meta["communities"].append(
+            {"diameter": int(c.diameter), "label": c.label, "has_center": c.center is not None}
+        )
+    arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Load an instance written by :func:`save_instance`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        if meta.get("kind") != "instance":
+            raise ValueError(f"{path} does not contain an instance (kind={meta.get('kind')!r})")
+        communities = []
+        for i, cm in enumerate(meta["communities"]):
+            center = data[f"community_{i}_center"] if cm["has_center"] else None
+            communities.append(
+                Community(
+                    members=data[f"community_{i}_members"],
+                    diameter=cm["diameter"],
+                    center=center,
+                    label=cm["label"],
+                )
+            )
+        return Instance(prefs=data["prefs"], communities=communities, name=meta["name"])
+
+
+def _jsonable_meta(meta: dict) -> dict:
+    """Keep only JSON-serialisable meta entries (scalars, strings, flat lists)."""
+    out = {}
+    for k, v in meta.items():
+        try:
+            json.dumps(v)
+        except TypeError:
+            continue
+        out[k] = v
+    return out
+
+
+def save_run(path: str | Path, run: RunResult) -> Path:
+    """Write a run result to ``path``."""
+    path = Path(path)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "kind": "run",
+        "algorithm": run.algorithm,
+        "meta": _jsonable_meta(run.meta),
+    }
+    np.savez_compressed(
+        path,
+        outputs=run.outputs,
+        per_player=run.stats.per_player,
+        meta_json=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_run(path: str | Path) -> RunResult:
+    """Load a run result written by :func:`save_run`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        if meta.get("kind") != "run":
+            raise ValueError(f"{path} does not contain a run result (kind={meta.get('kind')!r})")
+        return RunResult(
+            outputs=data["outputs"],
+            stats=ProbeStats(data["per_player"]),
+            algorithm=meta["algorithm"],
+            meta=meta["meta"],
+        )

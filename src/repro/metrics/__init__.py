@@ -1,0 +1,54 @@
+"""Distance and quality metrics from the paper.
+
+* :mod:`repro.metrics.hamming` — plain Hamming distance machinery
+  (pairwise matrices, set diameter) with bit-packed fast paths.
+* :mod:`repro.metrics.tilde` — the paper's ``d̃`` (Notation 3.2): Hamming
+  distance restricted to coordinates where *both* vectors are non-"?",
+  plus the ``ball(v, D)`` used by Coalesce.
+* :mod:`repro.metrics.evaluation` — discrepancy ``Δ(P*)``, stretch
+  ``ρ(P*)`` (Section 1.1) and whole-run evaluation reports.
+"""
+
+from repro.metrics.hamming import (
+    diameter,
+    hamming,
+    hamming_many,
+    hamming_to_each,
+    pairwise_hamming,
+)
+from repro.metrics.tilde import (
+    ball_sizes,
+    tilde_ball,
+    tilde_dist,
+    tilde_dist_to_each,
+    tilde_pairwise,
+    wildcard_count,
+)
+from repro.metrics.evaluation import (
+    EvaluationReport,
+    discrepancy,
+    errors,
+    evaluate,
+    stretch,
+)
+from repro.metrics.bitpack import BitMatrix
+
+__all__ = [
+    "hamming",
+    "hamming_many",
+    "hamming_to_each",
+    "pairwise_hamming",
+    "diameter",
+    "tilde_dist",
+    "tilde_dist_to_each",
+    "tilde_pairwise",
+    "tilde_ball",
+    "ball_sizes",
+    "wildcard_count",
+    "errors",
+    "discrepancy",
+    "stretch",
+    "evaluate",
+    "EvaluationReport",
+    "BitMatrix",
+]

@@ -1,0 +1,143 @@
+"""Run-quality metrics: discrepancy, stretch, and evaluation reports.
+
+Section 1.1 of the paper defines, for a typical set ``P*``:
+
+* ``Δ(P*) = max_{p in P*} dist(w(p), v(p))``  — the *discrepancy*;
+* ``ρ(P*) = Δ(P*) / D(P*)``                    — the *stretch*.
+
+Theorem 1.1 promises constant stretch after polylog rounds.  The library
+reports both, plus per-player errors and probe statistics, via
+:func:`evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.hamming import diameter as _diameter
+from repro.utils.validation import WILDCARD
+
+__all__ = ["errors", "discrepancy", "stretch", "evaluate", "EvaluationReport"]
+
+
+def errors(outputs: np.ndarray, truth: np.ndarray, *, wildcard_as_zero: bool = True) -> np.ndarray:
+    """Per-player Hamming error ``dist(w(p), v(p))``.
+
+    Large Radius may emit "?" entries; the paper sets them to 0 ("which
+    may be set to 0", Section 5).  With ``wildcard_as_zero=False``,
+    wildcards instead count as automatic errors (a pessimistic bound).
+    """
+    outputs = np.asarray(outputs)
+    truth = np.asarray(truth)
+    if outputs.shape != truth.shape or outputs.ndim != 2:
+        raise ValueError(f"shape mismatch: outputs {outputs.shape} vs truth {truth.shape}")
+    if wildcard_as_zero:
+        outputs = np.where(outputs == WILDCARD, 0, outputs)
+        return np.count_nonzero(outputs != truth, axis=1)
+    wild = outputs == WILDCARD
+    return np.count_nonzero((outputs != truth) | wild, axis=1)
+
+
+def discrepancy(outputs: np.ndarray, truth: np.ndarray, members: Sequence[int] | np.ndarray | None = None) -> int:
+    """``Δ(P*)``: maximum error over the players in *members* (all players if None)."""
+    errs = errors(outputs, truth)
+    if members is not None:
+        members = np.asarray(members, dtype=np.intp)
+        if members.size == 0:
+            raise ValueError("members must be non-empty")
+        errs = errs[members]
+    return int(errs.max())
+
+
+def stretch(
+    outputs: np.ndarray,
+    truth: np.ndarray,
+    members: Sequence[int] | np.ndarray | None = None,
+    *,
+    diam: int | None = None,
+) -> float:
+    """``ρ(P*) = Δ(P*) / D(P*)``.
+
+    The paper's definition divides by the true diameter; for ``D = 0``
+    communities (identical preferences) we follow the standard convention
+    of dividing by ``max(D, 1)`` so the quantity stays finite — a
+    zero-diameter community with zero discrepancy has stretch 0.
+    """
+    disc = discrepancy(outputs, truth, members)
+    if diam is None:
+        rows = np.asarray(truth) if members is None else np.asarray(truth)[np.asarray(members, dtype=np.intp)]
+        diam = _diameter(rows)
+    return disc / max(int(diam), 1)
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Summary of one algorithm run against ground truth.
+
+    Attributes
+    ----------
+    discrepancy:
+        ``Δ(P*)`` over the evaluated member set.
+    diameter:
+        True preference diameter ``D(P*)`` of the member set.
+    stretch:
+        ``Δ / max(D, 1)``.
+    mean_error, median_error, max_error:
+        Statistics of per-player errors over the member set.
+    n_members:
+        Number of players evaluated.
+    """
+
+    discrepancy: int
+    diameter: int
+    stretch: float
+    mean_error: float
+    median_error: float
+    max_error: int
+    n_members: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"EvaluationReport(Δ={self.discrepancy}, D={self.diameter}, "
+            f"ρ={self.stretch:.2f}, mean={self.mean_error:.2f}, n={self.n_members})"
+        )
+
+
+def evaluate(
+    outputs: np.ndarray,
+    truth: np.ndarray,
+    members: Sequence[int] | np.ndarray | None = None,
+    *,
+    diam: int | None = None,
+) -> EvaluationReport:
+    """Build an :class:`EvaluationReport` for *outputs* against *truth*.
+
+    Parameters
+    ----------
+    outputs, truth:
+        ``(n, m)`` matrices; outputs may contain wildcards (scored as 0s).
+    members:
+        Player indices forming the typical set ``P*``; defaults to all.
+    diam:
+        Known diameter of the member set; computed from *truth* if omitted.
+    """
+    errs = errors(outputs, truth)
+    idx = np.arange(truth.shape[0]) if members is None else np.asarray(members, dtype=np.intp)
+    if idx.size == 0:
+        raise ValueError("members must be non-empty")
+    member_errs = errs[idx]
+    if diam is None:
+        diam = _diameter(np.asarray(truth)[idx])
+    disc = int(member_errs.max())
+    return EvaluationReport(
+        discrepancy=disc,
+        diameter=int(diam),
+        stretch=disc / max(int(diam), 1),
+        mean_error=float(member_errs.mean()),
+        median_error=float(np.median(member_errs)),
+        max_error=int(member_errs.max()),
+        n_members=int(idx.size),
+    )

@@ -1,0 +1,112 @@
+"""Hamming-distance machinery.
+
+The paper measures everything in Hamming distance ``dist(x, y)`` — the
+number of coordinates on which two 0/1 vectors differ (Definition 1.1).
+This module provides scalar, one-vs-many, and all-pairs variants.
+
+Performance notes (per the HPC guides: vectorize the hot loop, mind
+memory layout):
+
+* one-vs-many and all-pairs computations are vectorized NumPy;
+* :func:`pairwise_hamming` uses the matrix-product identity
+  ``dist(x, y) = x·(1−y) + (1−x)·y`` so the whole distance matrix is two
+  BLAS calls instead of an ``O(n² m)`` Python loop;
+* bit-packing (``np.packbits`` + ``bitwise_count``) is used for
+  :func:`diameter` on large inputs, cutting memory traffic 8×.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_binary_matrix
+
+__all__ = [
+    "hamming",
+    "hamming_many",
+    "hamming_to_each",
+    "pairwise_hamming",
+    "diameter",
+]
+
+
+def hamming(x: np.ndarray, y: np.ndarray) -> int:
+    """Hamming distance between two equal-length 0/1 vectors.
+
+    >>> hamming(np.asarray([0, 1, 1, 0]), np.asarray([0, 0, 1, 1]))
+    2
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"expected two equal-length vectors, got shapes {x.shape} and {y.shape}")
+    return int(np.count_nonzero(x != y))
+
+
+def hamming_many(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distance between two equally-shaped 0/1 matrices."""
+    xs = np.asarray(xs)
+    ys = np.asarray(ys)
+    if xs.shape != ys.shape or xs.ndim != 2:
+        raise ValueError(f"expected two equal-shape matrices, got {xs.shape} and {ys.shape}")
+    return np.count_nonzero(xs != ys, axis=1)
+
+
+def hamming_to_each(v: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Hamming distance from vector *v* to each row of *matrix*."""
+    v = np.asarray(v)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or v.ndim != 1 or matrix.shape[1] != v.shape[0]:
+        raise ValueError(f"shape mismatch: v {v.shape} vs matrix {matrix.shape}")
+    return np.count_nonzero(matrix != v[None, :], axis=1)
+
+
+def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
+    """All-pairs Hamming distance matrix of the rows of a 0/1 *matrix*.
+
+    Uses ``dist(x, y) = x·(1−y) + (1−x)·y`` evaluated as two matrix
+    products in ``float64`` (exact for m < 2**53), so runtime is BLAS-bound.
+    """
+    arr = check_binary_matrix(matrix).astype(np.float64)
+    ones = 1.0 - arr
+    d = arr @ ones.T
+    d += d.T
+    out = np.rint(d).astype(np.int64)
+    np.fill_diagonal(out, 0)
+    return out
+
+
+def _packed_diameter(arr: np.ndarray) -> int:
+    """Exact diameter via bit-packed XOR popcount (memory-light path)."""
+    packed = np.packbits(arr.astype(np.uint8), axis=1)
+    n = packed.shape[0]
+    best = 0
+    # Row-blocked loop keeps the XOR buffer small and cache-resident.
+    block = max(1, 4_000_000 // max(1, packed.shape[1]))
+    for start in range(0, n, block):
+        chunk = packed[start : start + block]
+        for i in range(chunk.shape[0]):
+            x = np.bitwise_xor(packed, chunk[i])
+            dist = np.bitwise_count(x).sum(axis=1)
+            best = max(best, int(dist.max()))
+    return best
+
+
+def diameter(matrix: np.ndarray) -> int:
+    """Diameter ``D(P*)`` — maximum pairwise Hamming distance among rows.
+
+    Matches the paper's ``D(P*) = max dist(v(p), v(q))``.  Returns 0 for
+    zero or one row.
+
+    >>> diameter(np.asarray([[0, 0, 0], [1, 1, 0], [0, 1, 0]]))
+    2
+    """
+    arr = check_binary_matrix(matrix)
+    n = arr.shape[0]
+    if n <= 1:
+        return 0
+    # Above ~1k rows the n×n float Gram matrices start to dominate memory;
+    # switch to the packed popcount path.
+    if n > 1024:
+        return _packed_diameter(arr)
+    return int(pairwise_hamming(arr).max())

@@ -1,0 +1,90 @@
+"""The paper's wildcard-aware distance ``d̃`` (Notation 3.2).
+
+Vectors produced by Coalesce and consumed by Select live in
+``{0, 1, ?}^m``; the "?" wildcard is stored as ``-1``
+(:data:`repro.utils.validation.WILDCARD`).  For two such vectors,
+
+    ``d̃(u, v)`` = number of coordinates where *both* u and v have non-"?"
+    entries and those entries differ.
+
+``d̃_I`` (the restriction to a coordinate set ``I``) is obtained by
+slicing before calling these functions.  Coalesce additionally needs
+``ball(v, D) = {u : d̃(v, u) <= D}`` over a vector multiset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import WILDCARD, check_value_matrix
+
+__all__ = [
+    "tilde_dist",
+    "tilde_dist_to_each",
+    "tilde_pairwise",
+    "tilde_ball",
+    "ball_sizes",
+    "wildcard_count",
+]
+
+
+def tilde_dist(u: np.ndarray, v: np.ndarray) -> int:
+    """``d̃(u, v)``: differing coordinates where both entries are non-"?".
+
+    >>> tilde_dist(np.asarray([0, 1, -1]), np.asarray([1, 1, 0]))
+    1
+    """
+    u = np.asarray(u)
+    v = np.asarray(v)
+    if u.shape != v.shape or u.ndim != 1:
+        raise ValueError(f"expected two equal-length vectors, got shapes {u.shape} and {v.shape}")
+    both = (u != WILDCARD) & (v != WILDCARD)
+    return int(np.count_nonzero(both & (u != v)))
+
+
+def tilde_dist_to_each(v: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """``d̃`` from vector *v* to each row of *matrix* (vectorized)."""
+    v = np.asarray(v)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or v.ndim != 1 or matrix.shape[1] != v.shape[0]:
+        raise ValueError(f"shape mismatch: v {v.shape} vs matrix {matrix.shape}")
+    both = (matrix != WILDCARD) & (v[None, :] != WILDCARD)
+    return np.count_nonzero(both & (matrix != v[None, :]), axis=1)
+
+
+def tilde_pairwise(matrix: np.ndarray) -> np.ndarray:
+    """All-pairs ``d̃`` matrix of the rows of *matrix* over ``{0,1,?}``.
+
+    Decomposes into products of indicator matrices: with ``A1 = [v==1]``
+    and ``A0 = [v==0]``, the count of coordinates where row *i* is 1 and
+    row *j* is 0 is ``(A1 @ A0.T)[i, j]``, so
+    ``d̃ = A1 @ A0.T + A0 @ A1.T`` — two BLAS calls, wildcards excluded
+    automatically because they are in neither indicator.
+    """
+    arr = check_value_matrix(matrix)
+    a1 = (arr == 1).astype(np.float64)
+    a0 = (arr == 0).astype(np.float64)
+    d = a1 @ a0.T
+    d += d.T
+    out = np.rint(d).astype(np.int64)
+    np.fill_diagonal(out, 0)
+    return out
+
+
+def tilde_ball(v: np.ndarray, matrix: np.ndarray, radius: int) -> np.ndarray:
+    """Indices of rows of *matrix* with ``d̃(v, row) <= radius`` (Coalesce's ball)."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return np.flatnonzero(tilde_dist_to_each(v, matrix) <= radius)
+
+
+def ball_sizes(matrix: np.ndarray, radius: int) -> np.ndarray:
+    """``|ball(v, radius)|`` for every row *v* of *matrix* (includes the row itself)."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return np.count_nonzero(tilde_pairwise(matrix) <= radius, axis=1)
+
+
+def wildcard_count(v: np.ndarray) -> int:
+    """Number of "?" entries in *v* (Theorem 5.3 bounds this by ``5D/α``)."""
+    return int(np.count_nonzero(np.asarray(v) == WILDCARD))

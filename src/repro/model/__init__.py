@@ -1,0 +1,12 @@
+"""Problem-instance data model.
+
+* :class:`~repro.model.community.Community` — a planted ``(α, D)``-typical
+  set of players (Section 3's "simplifying assumptions").
+* :class:`~repro.model.instance.Instance` — a hidden preference matrix plus
+  the planted communities used for evaluation.
+"""
+
+from repro.model.community import Community
+from repro.model.instance import Instance
+
+__all__ = ["Community", "Instance"]

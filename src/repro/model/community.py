@@ -1,0 +1,80 @@
+"""The ``(α, D)``-typical set abstraction.
+
+Section 3 of the paper: a set ``P*`` of players is *(α, D)-typical* when
+``|P*| ≥ αn`` and its preference diameter is at most ``D``.  Workload
+generators plant such sets and record them here so experiments can score
+discrepancy/stretch exactly on the planted community.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Community"]
+
+
+@dataclass(frozen=True)
+class Community:
+    """A planted typical set.
+
+    Attributes
+    ----------
+    members:
+        Sorted array of player indices in ``P*``.
+    diameter:
+        True Hamming diameter ``D(P*)`` of the members' preference vectors
+        (measured, not just the generator's target).
+    center:
+        The generator's canonical preference vector for this community
+        (useful for debugging; algorithms never see it).
+    label:
+        Human-readable tag (e.g. ``"community-0"``).
+    """
+
+    members: np.ndarray
+    diameter: int
+    center: np.ndarray | None = None
+    label: str = "community"
+    _hash_cache: int | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        members = np.asarray(self.members, dtype=np.intp)
+        if members.ndim != 1 or members.size == 0:
+            raise ValueError("members must be a non-empty 1-D index array")
+        if np.unique(members).size != members.size:
+            raise ValueError("members must be distinct")
+        object.__setattr__(self, "members", np.sort(members))
+        if self.diameter < 0:
+            raise ValueError(f"diameter must be non-negative, got {self.diameter}")
+        if self.center is not None:
+            object.__setattr__(self, "center", np.asarray(self.center, dtype=np.int8))
+
+    @property
+    def size(self) -> int:
+        """Number of players in the community."""
+        return int(self.members.size)
+
+    def alpha(self, n: int) -> float:
+        """The frequency ``|P*| / n`` of this set within a population of *n*."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return self.size / n
+
+    def contains(self, player: int) -> bool:
+        """Whether *player* belongs to the community."""
+        idx = np.searchsorted(self.members, player)
+        return bool(idx < self.members.size and self.members[idx] == player)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return (
+            self.diameter == other.diameter
+            and self.label == other.label
+            and np.array_equal(self.members, other.members)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.label, self.diameter, self.members.tobytes()))

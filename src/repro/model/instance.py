@@ -1,0 +1,96 @@
+"""Problem instances: hidden preference matrix + planted ground truth.
+
+An :class:`Instance` is what the *environment* knows; algorithms only
+ever see it through a :class:`~repro.billboard.oracle.ProbeOracle`, which
+enforces the paper's information model (player ``p`` can only reveal
+entries of row ``v(p)``, one probe at a time, at unit cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.hamming import diameter as _diameter
+from repro.model.community import Community
+from repro.utils.validation import check_binary_matrix
+
+__all__ = ["Instance"]
+
+
+@dataclass
+class Instance:
+    """A hidden ``n × m`` 0/1 preference matrix with planted communities.
+
+    Attributes
+    ----------
+    prefs:
+        The hidden matrix; ``prefs[p, o]`` is player *p*'s grade of
+        object *o*.  Never handed to algorithms directly.
+    communities:
+        Planted :class:`Community` objects (possibly overlapping), used
+        only for evaluation.
+    name:
+        Workload label for experiment tables.
+    """
+
+    prefs: np.ndarray
+    communities: list[Community] = field(default_factory=list)
+    name: str = "instance"
+
+    def __post_init__(self) -> None:
+        self.prefs = check_binary_matrix(self.prefs, "prefs")
+        n = self.prefs.shape[0]
+        for c in self.communities:
+            if c.members.max(initial=-1) >= n:
+                raise ValueError(f"community {c.label!r} references player >= n={n}")
+
+    @property
+    def n_players(self) -> int:
+        """Number of players ``n``."""
+        return self.prefs.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects ``m``."""
+        return self.prefs.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, m)``."""
+        return self.prefs.shape
+
+    def main_community(self) -> Community:
+        """The largest planted community (the ``P*`` experiments score on)."""
+        if not self.communities:
+            raise ValueError(f"instance {self.name!r} has no planted communities")
+        return max(self.communities, key=lambda c: c.size)
+
+    def community_alpha(self, community: Community | None = None) -> float:
+        """Frequency ``α = |P*|/n`` of *community* (default: main community)."""
+        c = community or self.main_community()
+        return c.alpha(self.n_players)
+
+    def measured_diameter(self, community: Community | None = None) -> int:
+        """Recompute the true Hamming diameter of a community from ``prefs``."""
+        c = community or self.main_community()
+        return _diameter(self.prefs[c.members])
+
+    def restrict_objects(self, objects: np.ndarray) -> "Instance":
+        """A new instance over a subset of objects (community diameters re-measured)."""
+        objects = np.asarray(objects, dtype=np.intp)
+        sub = self.prefs[:, objects]
+        comms = [
+            Community(
+                members=c.members,
+                diameter=_diameter(sub[c.members]),
+                center=None if c.center is None else np.asarray(c.center)[objects],
+                label=c.label,
+            )
+            for c in self.communities
+        ]
+        return Instance(prefs=sub, communities=comms, name=f"{self.name}[{objects.size} objs]")
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Instance(name={self.name!r}, n={self.n_players}, m={self.n_objects}, communities={len(self.communities)})"

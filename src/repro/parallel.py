@@ -1,0 +1,76 @@
+"""Trial-level parallelism for experiment sweeps.
+
+The simulation itself is single-process by design (the billboard is
+shared state every simulated player reads), but experiment *trials* —
+independent (instance, seed) runs — are embarrassingly parallel.  This
+module fans trials out over worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor`, the standard recipe for
+CPU-bound NumPy workloads (one process per core; no GIL contention; each
+worker gets an independent, deterministically-derived seed).
+
+The worker callable must be a module-level function (picklable); trial
+inputs and outputs cross process boundaries, so keep them small —
+return summary statistics, not output matrices.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["run_trials", "derive_seeds"]
+
+
+def derive_seeds(base_seed: int | None, count: int) -> list[int]:
+    """Derive *count* independent trial seeds from one base seed."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    gen = as_generator(base_seed)
+    return [int(s) for s in gen.integers(0, 2**31 - 1, size=count)]
+
+
+def run_trials(
+    worker: Callable[..., Any],
+    trial_args: Sequence[tuple],
+    *,
+    max_workers: int | None = None,
+    parallel: bool | None = None,
+) -> list[Any]:
+    """Run ``worker(*args)`` for each tuple in *trial_args*.
+
+    Parameters
+    ----------
+    worker:
+        Module-level function (picklable).
+    trial_args:
+        One positional-argument tuple per trial.
+    max_workers:
+        Process count (default: ``os.cpu_count()``, capped at the trial
+        count).
+    parallel:
+        Force parallel (True) or serial (False) execution; default picks
+        parallel only when there are enough trials to amortise process
+        start-up (≥ 4 trials and > 1 CPU).
+
+    Returns
+    -------
+    list
+        Worker results in trial order.
+    """
+    trial_args = list(trial_args)
+    if not trial_args:
+        return []
+    cpus = os.cpu_count() or 1
+    if parallel is None:
+        parallel = len(trial_args) >= 4 and cpus > 1
+    if not parallel:
+        return [worker(*args) for args in trial_args]
+
+    workers = min(max_workers or cpus, len(trial_args))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, *zip(*trial_args)))

@@ -1,0 +1,109 @@
+"""One-shot reproduction reports.
+
+Runs a set of experiments and assembles a single Markdown report —
+claim, table, checks, and notes per experiment, plus a summary matrix —
+the artifact a reproduction reviewer reads first.  The CLI exposes it as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments import REGISTRY, ExperimentResult, run_experiment
+
+__all__ = ["ReproductionReport", "build_report", "render_markdown"]
+
+
+@dataclass
+class ReproductionReport:
+    """A bundle of experiment results destined for one document.
+
+    Attributes
+    ----------
+    results:
+        Experiment results in run order.
+    quick:
+        Whether the quick sweeps were used.
+    seed:
+        Base seed all experiments were run with.
+    """
+
+    results: list[ExperimentResult] = field(default_factory=list)
+    quick: bool = True
+    seed: int = 1
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.n_passed == len(self.results)
+
+
+def _sort_key(eid: str) -> tuple[str, int]:
+    return (eid[0], int(eid[1:]))
+
+
+def build_report(
+    experiments: Sequence[str] | None = None,
+    *,
+    quick: bool = True,
+    seed: int = 1,
+) -> ReproductionReport:
+    """Run *experiments* (default: all registered) and collect the results."""
+    ids = sorted(REGISTRY, key=_sort_key) if experiments is None else list(experiments)
+    unknown = [e for e in ids if e not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; known: {sorted(REGISTRY)}")
+    report = ReproductionReport(quick=quick, seed=seed)
+    for eid in ids:
+        report.results.append(run_experiment(eid, quick=quick, seed=seed))
+    return report
+
+
+def render_markdown(report: ReproductionReport) -> str:
+    """Render the report as a standalone Markdown document."""
+    mode = "quick" if report.quick else "full"
+    lines = [
+        "# Reproduction report — *Tell Me Who I Am* (SPAA 2006)",
+        "",
+        f"Sweep mode: **{mode}**, base seed {report.seed}. "
+        f"Shape checks passed: **{report.n_passed}/{len(report.results)}**.",
+        "",
+        "| experiment | claim | status |",
+        "|---|---|---|",
+    ]
+    for r in report.results:
+        status = "PASS" if r.passed else "FAIL"
+        lines.append(f"| {r.experiment} | {r.claim} | {status} |")
+    lines.append("")
+    for r in report.results:
+        lines.append(f"## {r.experiment} — {r.claim}")
+        lines.append("")
+        lines.append("```")
+        lines.append(r.table.render())
+        lines.append("```")
+        lines.append("")
+        for name, ok in r.checks.items():
+            lines.append(f"- {'✅' if ok else '❌'} {name}")
+        if r.notes:
+            lines.append(f"- notes: {r.notes}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str | Path,
+    experiments: Sequence[str] | None = None,
+    *,
+    quick: bool = True,
+    seed: int = 1,
+) -> ReproductionReport:
+    """Build a report and write its Markdown rendering to *path*."""
+    report = build_report(experiments, quick=quick, seed=seed)
+    Path(path).write_text(render_markdown(report))
+    return report

@@ -1,0 +1,30 @@
+"""Shared low-level utilities: RNG management, validation, table formatting.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` may import them, but they import nothing from :mod:`repro`.
+"""
+
+from repro.utils.rng import as_generator, spawn, spawn_many
+from repro.utils.validation import (
+    check_alpha,
+    check_binary_matrix,
+    check_fraction,
+    check_nonneg_int,
+    check_pos_int,
+    check_value_matrix,
+)
+from repro.utils.tables import Table, format_table
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "spawn_many",
+    "check_alpha",
+    "check_binary_matrix",
+    "check_fraction",
+    "check_nonneg_int",
+    "check_pos_int",
+    "check_value_matrix",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,83 @@
+"""Terminal series plots.
+
+The E8 "figure" (stretch vs rounds) and the anytime examples want a
+visual without a plotting dependency: :func:`line_plot` renders one or
+more ``(x, y)`` series as a fixed-size ASCII grid with axis labels, and
+:func:`sparkline` compresses one series into a single line of block
+characters for table cells.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character rendering of a series."""
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.size == 0:
+        return ""
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi == lo:
+        return _BLOCKS[0] * vals.size
+    idx = np.rint((vals - lo) / (hi - lo) * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(xs, ys)`` series on one ASCII grid.
+
+    Each series gets a marker character; overlapping points show the
+    later series' marker.  Axes are linear; returns a multi-line string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError(f"grid too small: {width}x{height}")
+    pts = []
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(list(xs), dtype=np.float64)
+        ys = np.asarray(list(ys), dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1 or xs.size == 0:
+            raise ValueError(f"series {name!r}: xs/ys must be equal-length non-empty 1-D")
+        pts.append((name, xs, ys))
+
+    all_x = np.concatenate([x for _, x, _ in pts])
+    all_y = np.concatenate([y for _, _, y in pts])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, xs, ys) in enumerate(pts):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        cols = np.rint((xs - x_lo) / x_span * (width - 1)).astype(int)
+        rows = np.rint((ys - y_lo) / y_span * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = []
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, (name, _, _) in enumerate(pts)
+    )
+    lines.append(f"{y_label} (top={y_hi:g}, bottom={y_lo:g})   {legend}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}")
+    return "\n".join(lines)

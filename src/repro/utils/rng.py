@@ -1,0 +1,64 @@
+"""Deterministic random-number-generator plumbing.
+
+Every public entry point of :mod:`repro` accepts either a seed or a
+:class:`numpy.random.Generator`.  Internally we always normalise to a
+``Generator`` via :func:`as_generator` and derive *independent* child
+streams via :func:`spawn` / :func:`spawn_many` so that
+
+* experiments are reproducible given a single integer seed, and
+* sub-phases (e.g. the ``K`` iterations of Small Radius) consume
+  independent randomness regardless of how much entropy earlier phases
+  used.
+
+The paper's algorithms assume *public coins* — random partitions that all
+players observe identically.  Simulating the whole population in one
+process makes this trivial: one ``Generator`` drawn per phase *is* the
+public coin.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn", "spawn_many"]
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(rng: int | np.random.Generator | np.random.SeedSequence | None) -> np.random.Generator:
+    """Normalise *rng* to a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing ``Generator``
+        (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot interpret {type(rng).__name__!r} as a random generator")
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Derive one independent child generator from *rng*.
+
+    Uses the generator's own bit stream to seed a child; successive calls
+    yield independent streams.
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)
+
+
+def spawn_many(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive *count* independent child generators from *rng*."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds: Sequence[int] = rng.integers(0, 2**63 - 1, size=count).tolist()
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,91 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's theorems predict;
+:class:`Table` gives those printouts one consistent, dependency-free look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None) -> str:
+    """Render *rows* under *columns* as an aligned monospace table.
+
+    >>> print(format_table(["n", "ok"], [[1, True]]))
+    n  ok
+    -  ---
+    1  yes
+    """
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        if len(row) != len(columns):
+            raise ValueError(f"row has {len(row)} cells, expected {len(columns)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """Accumulating experiment table.
+
+    Rows are appended as mappings; column order is fixed by *columns* and
+    missing cells render as ``-``.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add(self, **cells: Any) -> None:
+        """Append one row; unknown column names are rejected."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; table has {list(self.columns)}")
+        self.rows.append(dict(cells))
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add(**dict(row))
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of column *name* across all rows."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """Render the accumulated rows as an aligned text table."""
+        body = [[row.get(c, "-") for c in self.columns] for row in self.rows]
+        return format_table(self.columns, body, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

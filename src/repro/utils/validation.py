@@ -1,0 +1,87 @@
+"""Argument validation helpers.
+
+All validators raise ``ValueError``/``TypeError`` with precise messages;
+they are used at the public API boundary so that deep algorithm code can
+assume well-formed inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_alpha",
+    "check_binary_matrix",
+    "check_fraction",
+    "check_nonneg_int",
+    "check_pos_int",
+    "check_value_matrix",
+]
+
+#: Sentinel value used throughout the library for the paper's "?" (don't
+#: care / wildcard) entries in vectors over ``{0, 1, ?}``.
+WILDCARD = -1
+
+
+def check_pos_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_nonneg_int(value: int, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive_low: bool = False) -> float:
+    """Validate that *value* lies in ``(0, 1]`` (or ``[0, 1]`` if *inclusive_low*)."""
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_alpha(alpha: float, n: int | None = None) -> float:
+    """Validate a community-frequency parameter ``alpha in (0, 1]``.
+
+    If *n* is given, additionally require ``alpha * n >= 1`` — an
+    ``(alpha, D)``-typical set must contain at least one player.
+    """
+    alpha = check_fraction(alpha, "alpha")
+    if n is not None and alpha * n < 1.0:
+        raise ValueError(f"alpha={alpha} is too small for n={n}: alpha*n must be >= 1")
+    return alpha
+
+
+def check_binary_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate a 2-D 0/1 integer matrix; return it as a C-contiguous ``int8`` array."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 entries")
+    return np.ascontiguousarray(arr, dtype=np.int8)
+
+
+def check_value_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate a 2-D matrix over ``{0, 1, WILDCARD}``; return ``int8`` array.
+
+    This is the representation of the paper's vectors over ``{0, 1, ?}``:
+    the wildcard "?" is stored as :data:`WILDCARD` (= -1).
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.size and not np.isin(arr, (0, 1, WILDCARD)).all():
+        raise ValueError(f"{name} must contain only 0/1/{WILDCARD} entries")
+    return np.ascontiguousarray(arr, dtype=np.int8)

@@ -1,0 +1,37 @@
+"""Synthetic preference-matrix workloads.
+
+The paper's model is adversarial — no generative assumptions — so the
+evaluation needs families of matrices that span the spectrum:
+
+* :mod:`~repro.workloads.planted` — worst-case-style matrices with a
+  planted ``(α, D)``-typical set inside arbitrary background rows; the
+  canonical input for every theorem experiment (E1, E4, E6, E8, E10).
+* :mod:`~repro.workloads.mixtures` — low-rank "few canonical types"
+  matrices (the generative assumption of the *non-interactive* line of
+  work, Section 2); the friendly regime for the SVD baseline (E9).
+* :mod:`~repro.workloads.adversarial` — high-rank matrices built to break
+  spectral assumptions while still containing a typical set (E12).
+* :mod:`~repro.workloads.noise` — entry-flip perturbations for
+  robustness/failure-injection tests.
+"""
+
+from repro.workloads.planted import nested_instance, planted_instance
+from repro.workloads.mixtures import mixture_instance
+from repro.workloads.markov import markov_instance
+from repro.workloads.adversarial import adversarial_instance, anti_spectral_instance
+from repro.workloads.noise import flip_noise
+from repro.workloads.sparse import sparse_likes_instance
+from repro.workloads.dynamic import DynamicInstance, track_preferences
+
+__all__ = [
+    "planted_instance",
+    "nested_instance",
+    "mixture_instance",
+    "markov_instance",
+    "adversarial_instance",
+    "anti_spectral_instance",
+    "flip_noise",
+    "sparse_likes_instance",
+    "DynamicInstance",
+    "track_preferences",
+]

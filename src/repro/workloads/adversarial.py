@@ -1,0 +1,104 @@
+"""Adversarial (anti-spectral) workloads.
+
+The paper's central claim is that its algorithms need *no structural
+assumptions*: a single ``(α, D)``-typical set suffices, everything else
+may be arbitrary.  These generators build matrices that
+
+* contain a valid typical set (so Theorem 1.1 applies), yet
+* have essentially full rank / no singular-value gap, so the
+  SVD/low-rank assumption of the non-interactive literature (Section 2)
+  fails — the regime for experiment E12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.hamming import diameter as _diameter
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_alpha, check_nonneg_int, check_pos_int
+from repro.workloads.planted import _scatter_members
+
+__all__ = ["adversarial_instance", "anti_spectral_instance"]
+
+
+def adversarial_instance(
+    n: int,
+    m: int,
+    alpha: float,
+    D: int,
+    *,
+    decoys: int = 0,
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Instance:
+    """A typical set hidden among *decoy* near-communities.
+
+    Plants one ``(α, D)`` community plus ``decoys`` smaller clusters whose
+    sizes fall *just below* the ``αn/5`` popularity threshold the
+    algorithms vote with, and fills the rest with unique random rows.
+    Stress-tests the voting steps: decoy clusters produce popular-looking
+    vectors without the mass to be adopted.
+    """
+    n = check_pos_int(n, "n")
+    m = check_pos_int(m, "m")
+    D = check_nonneg_int(D, "D")
+    alpha = check_alpha(alpha, n)
+    decoys = check_nonneg_int(decoys, "decoys")
+    gen = as_generator(rng)
+
+    size = int(np.ceil(alpha * n))
+    decoy_size = max(1, int(np.floor(alpha * n / 5)) - 1)
+    if size + decoys * decoy_size > n:
+        raise ValueError(
+            f"population n={n} too small for community of {size} plus {decoys} decoys of {decoy_size}"
+        )
+
+    perm = gen.permutation(n)
+    prefs = gen.integers(0, 2, size=(n, m), dtype=np.int8)
+
+    members = np.sort(perm[:size])
+    center = gen.integers(0, 2, size=m, dtype=np.int8)
+    rows = _scatter_members(center, size, D // 2, gen)
+    prefs[members] = rows
+    communities = [Community(members=members, diameter=_diameter(rows), center=center, label="community-0")]
+
+    cursor = size
+    for d in range(decoys):
+        idx = np.sort(perm[cursor : cursor + decoy_size])
+        cursor += decoy_size
+        decoy_center = gen.integers(0, 2, size=m, dtype=np.int8)
+        decoy_rows = _scatter_members(decoy_center, idx.size, D // 2, gen)
+        prefs[idx] = decoy_rows
+        communities.append(
+            Community(members=idx, diameter=_diameter(decoy_rows), center=decoy_center, label=f"decoy-{d}")
+        )
+
+    label = name or f"adversarial(n={n},m={m},alpha={alpha:g},D={D},decoys={decoys})"
+    return Instance(prefs=prefs, communities=communities, name=label)
+
+
+def anti_spectral_instance(
+    n: int,
+    m: int,
+    alpha: float,
+    D: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Instance:
+    """A typical set drowned in full-rank structure.
+
+    The ``(1-α)n`` outsiders get mutually-far random rows *scaled to carry
+    most of the matrix energy*: each outsider row is unique uniform noise,
+    which makes the singular values of the (centered) matrix decay slowly
+    — there is no rank-``k`` gap for any small ``k``, violating the
+    SVD-method precondition while the planted community keeps the paper's
+    precondition intact.
+    """
+    inst = adversarial_instance(n, m, alpha, D, decoys=0, rng=rng, name=name)
+    if name is None:
+        inst.name = f"anti_spectral(n={n},m={m},alpha={alpha:g},D={D})"
+    return inst

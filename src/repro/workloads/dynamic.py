@@ -1,0 +1,135 @@
+"""Time-varying preferences (the introduction's dynamic-environment setting).
+
+"Various time-variable factors (such as noise, weather, mood) may create
+diversity as a side effect" and "tracking dynamic environment by
+unreliable sensors" both need preferences that *drift*: a
+:class:`DynamicInstance` holds a base instance whose hidden matrix
+mutates between *epochs* — each community's center takes a bounded
+random walk (``drift`` flips per epoch), and members follow their
+center (keeping the community's diameter bound intact).
+
+:func:`track_preferences` is the natural tracking loop the model
+suggests: re-run the main algorithm each epoch against the *current*
+matrix.  Because the community diameter bound is preserved under the
+drift, each epoch's run keeps the paper's guarantee; the cumulative cost
+is one polylog run per epoch — the experiment X2 measures the quality/
+cost trade-off against re-probing everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import find_preferences
+from repro.core.params import Params
+from repro.core.result import RunResult
+from repro.metrics.hamming import diameter as _diameter
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.rng import as_generator, spawn
+from repro.utils.validation import check_nonneg_int, check_pos_int
+from repro.workloads.planted import planted_instance
+
+__all__ = ["DynamicInstance", "track_preferences"]
+
+
+@dataclass
+class DynamicInstance:
+    """An instance whose hidden preferences drift between epochs.
+
+    Attributes
+    ----------
+    instance:
+        The *current* epoch's instance (communities re-measured).
+    drift:
+        Coordinate flips applied to each community center per epoch.
+    epoch:
+        Number of :meth:`step` calls so far.
+    """
+
+    instance: Instance
+    drift: int
+    rng: np.random.Generator = field(repr=False, default=None)
+    epoch: int = 0
+
+    @classmethod
+    def planted(
+        cls,
+        n: int,
+        m: int,
+        alpha: float,
+        D: int,
+        drift: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> "DynamicInstance":
+        """Planted ``(α, D)`` community whose center drifts each epoch."""
+        gen = as_generator(rng)
+        inst = planted_instance(n, m, alpha, D, rng=spawn(gen))
+        return cls(instance=inst, drift=check_nonneg_int(drift, "drift"), rng=gen)
+
+    def step(self) -> Instance:
+        """Advance one epoch: drift every community center, members follow.
+
+        Each community center flips ``drift`` uniformly-chosen
+        coordinates; every member row applies the *same* flips, so the
+        intra-community diameter is exactly preserved while the target
+        the players chase moves.  Outsider rows get independent flips of
+        the same magnitude (the environment moves for everyone).
+        """
+        inst = self.instance
+        n, m = inst.shape
+        prefs = inst.prefs.copy()
+        covered = np.zeros(n, dtype=bool)
+        new_comms: list[Community] = []
+        for c in inst.communities:
+            flips = self.rng.choice(m, size=min(self.drift, m), replace=False)
+            prefs[np.ix_(c.members, flips)] ^= 1
+            covered[c.members] = True
+            center = None
+            if c.center is not None:
+                center = c.center.copy()
+                center[flips] ^= 1
+            new_comms.append(
+                Community(members=c.members, diameter=_diameter(prefs[c.members]),
+                          center=center, label=c.label)
+            )
+        outsiders = np.flatnonzero(~covered)
+        if outsiders.size and self.drift:
+            for p in outsiders:
+                flips = self.rng.choice(m, size=min(self.drift, m), replace=False)
+                prefs[p, flips] ^= 1
+        self.epoch += 1
+        self.instance = Instance(prefs=prefs, communities=new_comms,
+                                 name=f"{inst.name.split('@')[0]}@epoch{self.epoch}")
+        return self.instance
+
+
+def track_preferences(
+    dynamic: DynamicInstance,
+    alpha: float,
+    D: int,
+    epochs: int,
+    *,
+    params: Params | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> list[tuple[Instance, RunResult]]:
+    """Run the main algorithm once per epoch against the drifting matrix.
+
+    Returns the per-epoch ``(instance, run_result)`` pairs; each epoch
+    uses a *fresh* oracle (the environment changed, old grades are
+    stale), so per-epoch costs are directly comparable.
+    """
+    check_pos_int(epochs, "epochs")
+    gen = as_generator(rng)
+    p = params or Params.practical()
+    history: list[tuple[Instance, RunResult]] = []
+    for _ in range(epochs):
+        inst = dynamic.instance
+        oracle = ProbeOracle(inst)
+        res = find_preferences(oracle, alpha, D, params=p, rng=spawn(gen))
+        history.append((inst, res))
+        dynamic.step()
+    return history

@@ -1,0 +1,129 @@
+"""The §2 probabilistic ("Markov chain") generative model.
+
+Related work the paper cites (Kumar–Raghavan–Rajagopalan–Tomkins FOCS'98,
+Kleinberg–Sandler EC'03) generates preferences stochastically: "users
+randomly select their type, and each type is a probability distribution
+over the objects".  This module realises the binary version:
+
+* each of ``k`` types is a probability distribution over objects, built
+  from a type-specific *core* of strongly-liked objects plus a Zipf tail
+  over the rest (popular objects are shared across types — the realistic
+  wrinkle that separates this model from clean mixtures);
+* each player draws a type, then likes each object independently with
+  its type's probability.
+
+Unlike :func:`repro.workloads.mixtures.mixture_instance`, rows of one
+type are *not* small perturbations of a common center — their expected
+pairwise distance is governed by the Bernoulli variance, so type
+communities have genuinely large diameters: the regime where the Fig. 1
+dispatcher routes to Small/Large Radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.hamming import diameter as _diameter
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_pos_int
+
+__all__ = ["markov_instance"]
+
+
+def markov_instance(
+    n: int,
+    m: int,
+    k: int,
+    *,
+    core_size: int | None = None,
+    core_like: float = 0.9,
+    tail_like: float = 0.05,
+    zipf_s: float = 1.0,
+    weights: np.ndarray | list[float] | None = None,
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Instance:
+    """Build an ``n × m`` matrix from the §2 probabilistic type model.
+
+    Parameters
+    ----------
+    n, m, k:
+        Players, objects, types.
+    core_size:
+        Strongly-liked objects per type (default ``m // (2k)``).
+    core_like:
+        Like probability on a type's core objects.
+    tail_like:
+        Baseline like probability, modulated by a Zipf popularity curve
+        shared across types (popular objects get up to 4× the baseline).
+    zipf_s:
+        Popularity decay exponent.
+    weights:
+        Type-selection distribution (uniform if omitted).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    Instance
+        One community per type with its *measured* (large) diameter.
+    """
+    n = check_pos_int(n, "n")
+    m = check_pos_int(m, "m")
+    k = check_pos_int(k, "k")
+    core_like = check_fraction(core_like, "core_like")
+    tail_like = check_fraction(tail_like, "tail_like", inclusive_low=True)
+    if k > n:
+        raise ValueError(f"cannot have more types ({k}) than players ({n})")
+    if zipf_s < 0:
+        raise ValueError(f"zipf_s must be non-negative, got {zipf_s}")
+    core = m // (2 * k) if core_size is None else int(core_size)
+    if not (0 <= core <= m):
+        raise ValueError(f"core_size must be in [0, {m}], got {core}")
+    gen = as_generator(rng)
+
+    if weights is None:
+        w = np.full(k, 1.0 / k)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (k,) or (w < 0).any() or w.sum() <= 0:
+            raise ValueError(f"weights must be {k} non-negative values with positive sum")
+        w = w / w.sum()
+
+    # Shared popularity curve over a random object ordering.
+    order = gen.permutation(m)
+    ranks = np.empty(m, dtype=np.float64)
+    ranks[order] = np.arange(1, m + 1)
+    popularity = ranks ** (-zipf_s)
+    popularity = popularity / popularity.max()  # in (0, 1]
+
+    # Per-type like probabilities: tail modulated by popularity, core boosted.
+    type_probs = np.empty((k, m), dtype=np.float64)
+    cores = []
+    for t in range(k):
+        probs = np.clip(tail_like * (1.0 + 3.0 * popularity), 0.0, 1.0)
+        core_objs = gen.choice(m, size=core, replace=False) if core else np.empty(0, dtype=np.intp)
+        probs[core_objs] = core_like
+        type_probs[t] = probs
+        cores.append(np.sort(core_objs))
+
+    assignment = gen.choice(k, size=n, p=w)
+    for t in range(k):
+        if not (assignment == t).any():
+            assignment[gen.integers(0, n)] = t
+
+    prefs = (gen.random((n, m)) < type_probs[assignment]).astype(np.int8)
+
+    communities = []
+    for t in range(k):
+        members = np.flatnonzero(assignment == t)
+        rows = prefs[members]
+        center = (type_probs[t] >= 0.5).astype(np.int8)
+        communities.append(
+            Community(members=members, diameter=_diameter(rows), center=center, label=f"type-{t}")
+        )
+
+    label = name or f"markov(n={n},m={m},k={k},core={core})"
+    return Instance(prefs=prefs, communities=communities, name=label)

@@ -1,0 +1,117 @@
+"""Low-rank "canonical types" workloads.
+
+Section 2 of the paper describes the generative assumption behind the
+*non-interactive* literature: "there are a few (say, constant) canonical
+preference vectors such that most user preference vectors are linear
+combinations of the canonical vectors", with probes perturbed by noise.
+:func:`mixture_instance` realises the binary version used by the
+Kumar et al. / Drineas et al. line: each player draws a *type* from a
+distribution over ``k`` canonical vectors and flips each coordinate
+independently with probability ``noise``.
+
+This is the friendly regime for the SVD baseline — experiment E9 uses it
+to show the spectral method working, and E12 contrasts it with
+:mod:`~repro.workloads.adversarial` inputs where it breaks while the
+paper's algorithms keep their guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.hamming import diameter as _diameter
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_pos_int
+
+__all__ = ["mixture_instance"]
+
+
+def mixture_instance(
+    n: int,
+    m: int,
+    k: int,
+    *,
+    noise: float = 0.0,
+    weights: np.ndarray | list[float] | None = None,
+    min_type_distance: int | None = None,
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Instance:
+    """Build an ``n × m`` matrix of ``k`` noisy canonical types.
+
+    Parameters
+    ----------
+    n, m, k:
+        Players, objects, and number of canonical type vectors.
+    noise:
+        Per-entry flip probability applied to each player's type vector.
+    weights:
+        Type-selection distribution (uniform if omitted).
+    min_type_distance:
+        If given, resample canonical vectors until all pairwise distances
+        are at least this (keeps types distinguishable; the paper's SVD
+        discussion requires near-orthogonal types).  Defaults to ``m//4``.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    Instance
+        One community per type (members = players of that type, diameter
+        measured after noise).
+    """
+    n = check_pos_int(n, "n")
+    m = check_pos_int(m, "m")
+    k = check_pos_int(k, "k")
+    noise = check_fraction(noise, "noise", inclusive_low=True)
+    if k > n:
+        raise ValueError(f"cannot have more types ({k}) than players ({n})")
+    gen = as_generator(rng)
+
+    if weights is None:
+        w = np.full(k, 1.0 / k)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (k,) or (w < 0).any() or w.sum() <= 0:
+            raise ValueError(f"weights must be {k} non-negative values with positive sum")
+        w = w / w.sum()
+
+    target_sep = (m // 4) if min_type_distance is None else int(min_type_distance)
+    if target_sep > m:
+        raise ValueError(f"min_type_distance={target_sep} exceeds m={m}")
+    for _attempt in range(200):
+        types = gen.integers(0, 2, size=(k, m), dtype=np.int8)
+        if k == 1:
+            break
+        from repro.metrics.hamming import pairwise_hamming
+
+        d = pairwise_hamming(types)
+        off = d[~np.eye(k, dtype=bool)]
+        if off.size == 0 or off.min() >= target_sep:
+            break
+    else:
+        raise RuntimeError(f"could not sample {k} types at pairwise distance >= {target_sep} over m={m}")
+
+    assignment = gen.choice(k, size=n, p=w)
+    # Ensure every type is inhabited so the per-type communities are valid.
+    for t in range(k):
+        if not (assignment == t).any():
+            assignment[gen.integers(0, n)] = t
+
+    prefs = types[assignment].copy()
+    if noise > 0:
+        flips = gen.random(size=(n, m)) < noise
+        prefs = np.bitwise_xor(prefs, flips.astype(np.int8))
+
+    communities = []
+    for t in range(k):
+        members = np.flatnonzero(assignment == t)
+        rows = prefs[members]
+        communities.append(
+            Community(members=members, diameter=_diameter(rows), center=types[t], label=f"type-{t}")
+        )
+
+    label = name or f"mixture(n={n},m={m},k={k},noise={noise:g})"
+    return Instance(prefs=prefs, communities=communities, name=label)

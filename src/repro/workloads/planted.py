@@ -1,0 +1,178 @@
+"""Planted ``(α, D)``-typical-set workloads.
+
+The canonical experimental input: ``⌈αn⌉`` players share a community —
+each member's preference vector is the community *center* with at most
+``⌊D/2⌋`` uniformly-chosen coordinate flips, which guarantees pairwise
+Hamming distance (hence diameter) at most ``D`` by the triangle
+inequality.  The remaining players get arbitrary (uniform random) rows,
+matching the paper's "no assumptions on user preferences" for everyone
+outside ``P*``.
+
+Multiple disjoint communities can be planted (each gets its own center);
+:func:`nested_instance` plants *concentric* communities of growing radius
+around one center, the structure behind the anytime experiment (E8): the
+probing budget determines which ring a player can leverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.hamming import diameter as _diameter
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_alpha, check_nonneg_int, check_pos_int
+
+__all__ = ["planted_instance", "nested_instance"]
+
+
+def _scatter_members(center: np.ndarray, count: int, max_flips: int, rng: np.random.Generator) -> np.ndarray:
+    """Rows = *center* with <= max_flips random coordinate flips each."""
+    m = center.shape[0]
+    rows = np.tile(center, (count, 1))
+    if max_flips > 0 and m > 0:
+        n_flips = rng.integers(0, max_flips + 1, size=count)
+        for i in range(count):
+            k = int(n_flips[i])
+            if k:
+                coords = rng.choice(m, size=k, replace=False)
+                rows[i, coords] ^= 1
+    return rows
+
+
+def planted_instance(
+    n: int,
+    m: int,
+    alpha: float,
+    D: int,
+    *,
+    n_communities: int = 1,
+    background: str = "uniform",
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Instance:
+    """Build an ``n × m`` instance with planted ``(α, D)`` communities.
+
+    Parameters
+    ----------
+    n, m:
+        Players and objects.
+    alpha:
+        Frequency of *each* planted community (``n_communities * alpha <= 1``).
+    D:
+        Target diameter; member rows are the center with at most ``⌊D/2⌋``
+        flips, so the measured diameter is ``<= D`` (recorded exactly in
+        the returned communities).
+    n_communities:
+        Number of disjoint planted communities.
+    background:
+        ``"uniform"`` — iid Bernoulli(1/2) rows for non-members;
+        ``"unique"`` — rows at maximal mutual distance from each other
+        (random but forced to differ from all centers on half the
+        coordinates), a harsher regime for vote-based steps.
+    rng:
+        Seed or generator.
+    name:
+        Instance label (auto-generated if omitted).
+
+    Returns
+    -------
+    Instance
+        With one :class:`~repro.model.Community` per planted set, whose
+        ``diameter`` is the *measured* diameter of the planted rows.
+    """
+    n = check_pos_int(n, "n")
+    m = check_pos_int(m, "m")
+    D = check_nonneg_int(D, "D")
+    alpha = check_alpha(alpha, n)
+    n_communities = check_pos_int(n_communities, "n_communities")
+    if n_communities * alpha > 1.0 + 1e-9:
+        raise ValueError(f"{n_communities} communities of frequency {alpha} exceed the population")
+    if background not in ("uniform", "unique"):
+        raise ValueError(f"unknown background {background!r}")
+    gen = as_generator(rng)
+
+    size = int(np.ceil(alpha * n))
+    total_members = size * n_communities
+    if total_members > n:
+        raise ValueError(f"communities need {total_members} players but n={n}")
+
+    perm = gen.permutation(n)
+    prefs = np.zeros((n, m), dtype=np.int8)
+    communities: list[Community] = []
+    cursor = 0
+    max_flips = D // 2
+    for c in range(n_communities):
+        members = np.sort(perm[cursor : cursor + size])
+        cursor += size
+        center = gen.integers(0, 2, size=m, dtype=np.int8)
+        rows = _scatter_members(center, size, max_flips, gen)
+        prefs[members] = rows
+        communities.append(
+            Community(members=members, diameter=_diameter(rows), center=center, label=f"community-{c}")
+        )
+
+    outsiders = perm[cursor:]
+    if outsiders.size:
+        if background == "uniform":
+            prefs[outsiders] = gen.integers(0, 2, size=(outsiders.size, m), dtype=np.int8)
+        else:  # unique: flip each center coordinate with prob 1/2 independently per row
+            base = communities[0].center if communities else np.zeros(m, dtype=np.int8)
+            flips = gen.integers(0, 2, size=(outsiders.size, m), dtype=np.int8)
+            prefs[outsiders] = np.bitwise_xor(base, flips)
+
+    label = name or f"planted(n={n},m={m},alpha={alpha:g},D={D},k={n_communities})"
+    return Instance(prefs=prefs, communities=communities, name=label)
+
+
+def nested_instance(
+    n: int,
+    m: int,
+    radii: list[int] | tuple[int, ...],
+    fractions: list[float] | tuple[float, ...],
+    *,
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Instance:
+    """Concentric communities around one center (anytime-curve workload).
+
+    ``fractions[i]`` of the players sit within radius ``radii[i]`` of a
+    common center, with radii strictly increasing and fractions strictly
+    increasing (outer rings contain inner rings).  The returned instance
+    has one community per ring, so experiments can score the trade-off
+    the paper describes: "the larger the community … the larger the
+    error" vs "the more leverage".
+    """
+    n = check_pos_int(n, "n")
+    m = check_pos_int(m, "m")
+    if len(radii) != len(fractions) or not radii:
+        raise ValueError("radii and fractions must be equal-length and non-empty")
+    if list(radii) != sorted(set(int(r) for r in radii)):
+        raise ValueError(f"radii must be strictly increasing, got {radii}")
+    fr = [check_alpha(f, n) for f in fractions]
+    if fr != sorted(set(fr)):
+        raise ValueError(f"fractions must be strictly increasing, got {fractions}")
+    gen = as_generator(rng)
+
+    center = gen.integers(0, 2, size=m, dtype=np.int8)
+    perm = gen.permutation(n)
+    prefs = gen.integers(0, 2, size=(n, m), dtype=np.int8)  # outsiders default
+
+    sizes = [int(np.ceil(f * n)) for f in fr]
+    communities: list[Community] = []
+    # Fill from the outermost ring inwards so that inner (tighter) rows
+    # overwrite outer ones, producing genuinely nested communities.
+    for ring in range(len(sizes) - 1, -1, -1):
+        members = perm[: sizes[ring]]
+        max_flips = int(radii[ring]) // 2
+        prefs[members] = _scatter_members(center, members.size, max_flips, gen)
+    for ring, size in enumerate(sizes):
+        members = np.sort(perm[:size])
+        rows = prefs[members]
+        communities.append(
+            Community(members=members, diameter=_diameter(rows), center=center, label=f"ring-{ring}")
+        )
+
+    label = name or f"nested(n={n},m={m},radii={list(radii)})"
+    return Instance(prefs=prefs, communities=communities, name=label)

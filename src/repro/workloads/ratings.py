@@ -1,0 +1,128 @@
+"""Adopting external rating data.
+
+Downstream users usually start from a ratings matrix (stars, scores,
+click counts) rather than 0/1 grades.  :func:`instance_from_ratings`
+binarizes such a matrix into an :class:`~repro.model.Instance`
+("like" = rating above a threshold, exactly the paper's binary-opinion
+abstraction) and — since real data carries no planted ground truth —
+optionally *discovers* communities to evaluate against by greedy
+ball-covering on the binarized rows (the same `ball` notion Coalesce
+uses).
+
+Missing ratings must be imputed before entering the model (the paper's
+players have an opinion about everything, known or not); the
+``missing`` policy fills them with 0, 1, or the column majority.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.metrics.hamming import diameter as _diameter
+from repro.metrics.hamming import pairwise_hamming
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.validation import check_fraction, check_nonneg_int
+
+__all__ = ["instance_from_ratings", "discover_communities"]
+
+
+def instance_from_ratings(
+    ratings: np.ndarray,
+    threshold: float,
+    *,
+    missing: str = "zero",
+    missing_marker: float = np.nan,
+    discover: bool = False,
+    discover_radius: int | None = None,
+    min_frequency: float = 0.1,
+    name: str = "ratings",
+) -> Instance:
+    """Binarize a ratings matrix into a model instance.
+
+    Parameters
+    ----------
+    ratings:
+        ``(n, m)`` float matrix; entries equal to *missing_marker*
+        (NaN-aware) are treated as unknown.
+    threshold:
+        "Like" iff ``rating > threshold``.
+    missing:
+        Imputation for unknown entries: ``"zero"``, ``"one"``, or
+        ``"majority"`` (per-column majority of known likes).
+    discover, discover_radius, min_frequency:
+        When *discover* is true, run :func:`discover_communities` on the
+        binarized matrix and attach the result.
+    """
+    arr = np.asarray(ratings, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError(f"ratings must be a non-empty 2-D matrix, got shape {arr.shape}")
+    if missing not in ("zero", "one", "majority"):
+        raise ValueError(f"unknown missing policy {missing!r}")
+
+    if np.isnan(missing_marker):
+        known = ~np.isnan(arr)
+    else:
+        known = arr != missing_marker
+    likes = np.zeros(arr.shape, dtype=np.int8)
+    likes[known] = (arr[known] > threshold).astype(np.int8)
+
+    if missing == "one":
+        likes[~known] = 1
+    elif missing == "majority":
+        ones = (likes == 1) & known
+        col_majority = ones.sum(axis=0) * 2 > np.maximum(known.sum(axis=0), 1)
+        fill = np.broadcast_to(col_majority.astype(np.int8), arr.shape)
+        likes = np.where(known, likes, fill).astype(np.int8)
+
+    communities: list[Community] = []
+    if discover:
+        radius = discover_radius if discover_radius is not None else max(1, arr.shape[1] // 10)
+        communities = discover_communities(likes, radius, min_frequency)
+    return Instance(prefs=likes, communities=communities, name=name)
+
+
+def discover_communities(
+    prefs: np.ndarray,
+    radius: int,
+    min_frequency: float = 0.1,
+) -> list[Community]:
+    """Greedy ball-cover community discovery on a 0/1 matrix.
+
+    Repeatedly picks the player whose Hamming ball of *radius* covers
+    the most uncovered players; every ball holding at least
+    ``min_frequency · n`` players becomes a community.  This is an
+    *evaluation* helper — it reads the full matrix, so algorithms must
+    not call it; use it to estimate which ``(α, D)`` parameters a real
+    dataset supports.
+    """
+    radius = check_nonneg_int(radius, "radius")
+    min_frequency = check_fraction(min_frequency, "min_frequency")
+    prefs = np.asarray(prefs)
+    n = prefs.shape[0]
+    min_size = math.ceil(min_frequency * n)
+    dist = pairwise_hamming(prefs)
+    within = dist <= radius
+
+    uncovered = np.ones(n, dtype=bool)
+    communities: list[Community] = []
+    while uncovered.any():
+        cover_counts = (within & uncovered[None, :]).sum(axis=1)
+        cover_counts[~uncovered] = -1  # centers must be uncovered themselves
+        center = int(np.argmax(cover_counts))
+        members = np.flatnonzero(within[center] & uncovered)
+        uncovered[members] = False
+        if members.size >= min_size:
+            communities.append(
+                Community(
+                    members=members,
+                    diameter=_diameter(prefs[members]),
+                    center=prefs[center].astype(np.int8),
+                    label=f"discovered-{len(communities)}",
+                )
+            )
+        if cover_counts[center] <= 0:
+            break
+    return communities

@@ -1,0 +1,77 @@
+"""Named workload registry (CLI and experiment convenience).
+
+Maps short names to instance factories with a uniform signature::
+
+    factory(n, m, alpha, D, rng) -> Instance
+
+so callers (the CLI's ``demo --workload``, parameter sweeps) can switch
+matrix families without plumbing each generator's own signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.model.instance import Instance
+from repro.workloads.adversarial import adversarial_instance, anti_spectral_instance
+from repro.workloads.markov import markov_instance
+from repro.workloads.mixtures import mixture_instance
+from repro.workloads.planted import planted_instance
+
+__all__ = ["WORKLOADS", "make_instance"]
+
+
+def _planted(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+    return planted_instance(n, m, alpha, D, rng=rng)
+
+
+def _planted_unique(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+    return planted_instance(n, m, alpha, D, background="unique", rng=rng)
+
+
+def _mixture(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+    # alpha fixes the number of (equal-weight) types; D maps to noise.
+    k = max(1, round(1.0 / alpha))
+    noise = min(0.5, D / (2.0 * m)) if m else 0.0
+    return mixture_instance(n, m, k, noise=noise, rng=rng)
+
+
+def _adversarial(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+    return adversarial_instance(n, m, alpha, D, decoys=2, rng=rng)
+
+
+def _anti_spectral(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+    return anti_spectral_instance(n, m, alpha, D, rng=rng)
+
+
+def _markov(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+    # alpha fixes the number of (equal-weight) types, as for "mixture".
+    k = max(1, round(1.0 / alpha))
+    return markov_instance(n, m, k, rng=rng)
+
+
+#: name -> factory(n, m, alpha, D, rng) -> Instance
+WORKLOADS: dict[str, Callable[..., Instance]] = {
+    "planted": _planted,
+    "planted-unique": _planted_unique,
+    "mixture": _mixture,
+    "adversarial": _adversarial,
+    "anti-spectral": _anti_spectral,
+    "markov": _markov,
+}
+
+
+def make_instance(
+    workload: str,
+    n: int,
+    m: int,
+    alpha: float,
+    D: int,
+    rng: int | np.random.Generator | None = None,
+) -> Instance:
+    """Build an instance from a registered workload name."""
+    if workload not in WORKLOADS:
+        raise KeyError(f"unknown workload {workload!r}; known: {sorted(WORKLOADS)}")
+    return WORKLOADS[workload](n, m, alpha, D, rng)

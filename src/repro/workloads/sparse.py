@@ -1,0 +1,66 @@
+"""Sparse-likes workloads for the good-object problem (extension X3).
+
+The reference-[4] setting: players like few objects; a planted set
+``P*`` of ``αn`` players shares one *common liked object*.  Finding any
+liked object by blind probing costs ``~ m / (liked count)`` per player;
+collaboration via posted recommendations cuts the community's total work
+to ``O(m + n log |P*|)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_alpha, check_fraction, check_pos_int
+
+__all__ = ["sparse_likes_instance"]
+
+
+def sparse_likes_instance(
+    n: int,
+    m: int,
+    alpha: float,
+    like_prob: float,
+    *,
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> tuple[Instance, int]:
+    """Build a sparse-likes matrix with a planted common liked object.
+
+    Parameters
+    ----------
+    n, m:
+        Players and objects.
+    alpha:
+        Fraction of players sharing the common liked object.
+    like_prob:
+        Independent per-entry like probability (sparsity; e.g. ``4/m``).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    (instance, common_object):
+        The instance (with the sharing set recorded as a community whose
+        ``diameter`` is measured, though this workload is about a shared
+        *object*, not a shared *vector*) and the common object's index.
+    """
+    n = check_pos_int(n, "n")
+    m = check_pos_int(m, "m")
+    alpha = check_alpha(alpha, n)
+    like_prob = check_fraction(like_prob, "like_prob", inclusive_low=True)
+    gen = as_generator(rng)
+
+    prefs = (gen.random(size=(n, m)) < like_prob).astype(np.int8)
+    common = int(gen.integers(0, m))
+    members = np.sort(gen.permutation(n)[: int(np.ceil(alpha * n))])
+    prefs[members, common] = 1
+
+    from repro.metrics.hamming import diameter as _diameter
+
+    community = Community(members=members, diameter=_diameter(prefs[members]), label="sharers")
+    label = name or f"sparse_likes(n={n},m={m},alpha={alpha:g},p={like_prob:g})"
+    return Instance(prefs=prefs, communities=[community], name=label), common

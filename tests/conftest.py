@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.params import Params
+from repro.workloads.planted import planted_instance
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def params():
+    """Practical constants."""
+    return Params.practical()
+
+
+@pytest.fixture
+def small_instance():
+    """64x64 planted D=0 instance with a half-population community."""
+    return planted_instance(64, 64, 0.5, 0, rng=7)
+
+
+@pytest.fixture
+def small_oracle(small_instance):
+    """Oracle over the small instance."""
+    return ProbeOracle(small_instance)
+
+
+@pytest.fixture
+def d4_instance():
+    """128x128 planted (0.5, 4) instance."""
+    return planted_instance(128, 128, 0.5, 4, rng=21)

@@ -1,0 +1,132 @@
+"""Tests for the analysis package (bounds, Lemma 4.1, shape fitting)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    coalesce_max_outputs,
+    coalesce_max_wildcards,
+    large_radius_error_bound,
+    large_radius_round_bound,
+    rselect_probe_bound,
+    select_probe_bound,
+    small_radius_error_bound,
+    small_radius_round_bound,
+    zero_radius_round_bound,
+)
+from repro.analysis.lemma41 import (
+    LEMMA41_CONSTANT,
+    estimate_success_probability,
+    lemma41_failure_bound,
+    lemma41_min_parts,
+)
+from repro.analysis.shapes import fit_log_slope, fit_loglog_slope
+
+
+class TestBounds:
+    def test_select(self):
+        assert select_probe_bound(4, 3) == 16
+        with pytest.raises(ValueError):
+            select_probe_bound(0, 1)
+
+    def test_rselect(self):
+        assert rselect_probe_bound(3, 1024, c=1.0) == 3 * 10
+        with pytest.raises(ValueError):
+            rselect_probe_bound(0, 10)
+
+    def test_zero_radius(self):
+        assert zero_radius_round_bound(math.e**2, 0.5) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            zero_radius_round_bound(10, 0)
+
+    def test_small_radius_error(self):
+        assert small_radius_error_bound(4) == 20
+        with pytest.raises(ValueError):
+            small_radius_error_bound(-1)
+
+    def test_small_radius_rounds_monotone(self):
+        a = small_radius_round_bound(256, 0.5, 2, 4)
+        b = small_radius_round_bound(256, 0.5, 8, 4)
+        assert b > a
+        with pytest.raises(ValueError):
+            small_radius_round_bound(256, 0.5, 2, 0)
+
+    def test_coalesce(self):
+        assert coalesce_max_outputs(0.25) == 4
+        assert coalesce_max_outputs(0.3) == 3
+        assert coalesce_max_wildcards(4, 0.5) == 40
+        with pytest.raises(ValueError):
+            coalesce_max_outputs(0)
+
+    def test_large_radius(self):
+        assert large_radius_error_bound(10, 0.5) == 20
+        assert large_radius_round_bound(math.e, 1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            large_radius_error_bound(-1, 0.5)
+
+
+class TestLemma41:
+    def test_constant(self):
+        assert LEMMA41_CONSTANT == pytest.approx((10**3 * 5**5) / 720)
+
+    def test_failure_bound_decreasing_in_s(self):
+        assert lemma41_failure_bound(4, 10) > lemma41_failure_bound(4, 100)
+
+    def test_failure_bound_below_half_at_prescription(self):
+        for d in (1, 4, 16, 100):
+            assert lemma41_failure_bound(d, lemma41_min_parts(d)) < 0.5
+
+    def test_min_parts(self):
+        assert lemma41_min_parts(0) == 1
+        assert lemma41_min_parts(4) == math.ceil(100 * 8)
+        with pytest.raises(ValueError):
+            lemma41_min_parts(-1)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            lemma41_failure_bound(-1, 2)
+        with pytest.raises(ValueError):
+            lemma41_failure_bound(2, 0)
+
+    def test_estimator_identical_vectors(self):
+        V = np.zeros((10, 16), dtype=np.int8)
+        assert estimate_success_probability(V, 4, 10, rng=0) == 1.0
+
+    def test_estimator_validation(self):
+        with pytest.raises(ValueError):
+            estimate_success_probability(np.zeros((0, 4)), 2, 5)
+        with pytest.raises(ValueError):
+            estimate_success_probability(np.zeros((2, 4)), 2, 0)
+
+    def test_estimator_reproducible(self):
+        gen = np.random.default_rng(0)
+        V = gen.integers(0, 2, (20, 32), dtype=np.int8)
+        a = estimate_success_probability(V, 4, 20, rng=5)
+        b = estimate_success_probability(V, 4, 20, rng=5)
+        assert a == b
+
+
+class TestShapes:
+    def test_loglog_recovers_power(self):
+        xs = np.asarray([1.0, 2, 4, 8, 16])
+        ys = 3.0 * xs**1.5
+        assert fit_loglog_slope(xs, ys) == pytest.approx(1.5)
+
+    def test_log_recovers_log_slope(self):
+        xs = np.asarray([1.0, 2, 4, 8, 16])
+        ys = 7.0 * np.log(xs) + 2
+        assert fit_log_slope(xs, ys) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_loglog_slope([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1.0, 2.0], [0.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_log_slope([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_log_slope([1.0, 2.0, 3.0], [1.0, 2.0])

@@ -1,0 +1,98 @@
+"""Tests for the concentration-bound helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_two_sided,
+    min_leaf_constant_for,
+    zero_radius_vote_failure_bound,
+)
+
+
+class TestChernoff:
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(8.0, 0.5) == pytest.approx(math.exp(-1.0))
+
+    def test_lower_tail_edges(self):
+        assert chernoff_lower_tail(10, 0) == 1.0
+        assert chernoff_lower_tail(0, 1) == 1.0
+
+    def test_lower_tail_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(1, 1.5)
+
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(9.0, 1.0) == pytest.approx(math.exp(-3.0))
+
+    def test_upper_tail_large_delta_branch(self):
+        assert chernoff_upper_tail(3.0, 2.0) == pytest.approx(math.exp(-2.0))
+
+    def test_upper_tail_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(1, -0.1)
+
+    def test_lower_tail_empirically_valid(self):
+        # Binomial(40, 0.5), threshold (1-δ)μ with δ=0.5: empirical tail
+        # must not exceed the bound (plus Monte-Carlo slack).
+        gen = np.random.default_rng(0)
+        mu, delta = 20.0, 0.5
+        samples = gen.binomial(40, 0.5, size=20_000)
+        empirical = float((samples <= (1 - delta) * mu).mean())
+        assert empirical <= chernoff_lower_tail(mu, delta) + 0.01
+
+
+class TestHoeffding:
+    def test_formula(self):
+        assert hoeffding_two_sided(50, 0.1) == pytest.approx(2 * math.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_two_sided(0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_two_sided(10, -1)
+
+    def test_decreases_with_n(self):
+        assert hoeffding_two_sided(100, 0.1) < hoeffding_two_sided(10, 0.1)
+
+
+class TestVoteFailure:
+    def test_decreases_with_constant(self):
+        a = zero_radius_vote_failure_bound(1.0, 0.25, 512)
+        b = zero_radius_vote_failure_bound(5.0, 0.25, 512)
+        assert b < a
+
+    def test_alpha_free(self):
+        # The expected member count at the deciding vote is alpha-free
+        # (leaf size scales as 1/alpha), so the bound is too.
+        a = zero_radius_vote_failure_bound(2.0, 0.5, 512)
+        b = zero_radius_vote_failure_bound(2.0, 0.1, 512)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zero_radius_vote_failure_bound(0, 0.5, 512)
+        with pytest.raises(ValueError):
+            zero_radius_vote_failure_bound(1, 0.5, 512, vote_frac=1.0)
+
+    def test_inverse_consistency(self):
+        n = 1024
+        c = min_leaf_constant_for(0.01, n)
+        assert zero_radius_vote_failure_bound(c, 0.5, n) == pytest.approx(0.01, rel=1e-6)
+
+    def test_min_constant_validation(self):
+        with pytest.raises(ValueError):
+            min_leaf_constant_for(0.0, 100)
+        with pytest.raises(ValueError):
+            min_leaf_constant_for(0.5, 1)
+        with pytest.raises(ValueError):
+            min_leaf_constant_for(0.5, 100, vote_frac=0)
+
+    def test_min_constant_monotone_in_target(self):
+        assert min_leaf_constant_for(0.001, 512) > min_leaf_constant_for(0.1, 512)

@@ -1,0 +1,92 @@
+"""Tests for cost profiling and the ASCII plot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost_profile import CostSummary, load_imbalance, phase_breakdown, summarize
+from repro.billboard.accounting import ProbeStats
+from repro.billboard.oracle import ProbeOracle
+from repro.utils.ascii_plot import line_plot, sparkline
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize(ProbeStats(np.asarray([10, 20, 30, 40])))
+        assert s.total == 100
+        assert s.rounds == 40
+        assert s.mean == 25.0
+        assert s.median == 25.0
+        assert s.imbalance == pytest.approx(1.6)
+
+    def test_empty(self):
+        s = summarize(ProbeStats(np.asarray([], dtype=np.int64)))
+        assert s == CostSummary(0, 0, 0.0, 0.0, 0.0, 1.0)
+
+    def test_all_zero(self):
+        s = summarize(ProbeStats(np.zeros(5, dtype=np.int64)))
+        assert s.imbalance == 1.0
+
+    def test_p90(self):
+        s = summarize(ProbeStats(np.arange(101)))
+        assert s.p90 == 90.0
+
+    def test_load_imbalance_shortcut(self):
+        stats = ProbeStats(np.asarray([1, 3]))
+        assert load_imbalance(stats) == summarize(stats).imbalance
+
+
+class TestPhaseBreakdown:
+    def test_table_contents(self):
+        oracle = ProbeOracle(np.zeros((4, 8), dtype=np.int8))
+        oracle.start_phase("warmup")
+        oracle.probe(0, 0)
+        oracle.finish_phase("warmup")
+        oracle.start_phase("main")
+        oracle.probe_all(1, np.arange(8))
+        oracle.finish_phase("main")
+        table = phase_breakdown(oracle)
+        assert [r["phase"] for r in table.rows] == ["warmup", "main"]
+        assert table.rows[1]["total"] == 8
+        assert table.rows[1]["share"] == "89%"
+
+    def test_no_phases(self):
+        oracle = ProbeOracle(np.zeros((2, 2), dtype=np.int8))
+        assert phase_breakdown(oracle).rows == []
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_length(self):
+        assert len(sparkline(range(10))) == 10
+
+
+class TestLinePlot:
+    def test_renders_axes_and_legend(self):
+        out = line_plot({"a": ([1, 2, 3], [1, 4, 9])}, width=20, height=6, x_label="n", y_label="cost")
+        assert "cost" in out and "n: 1 .. 3" in out
+        assert "o a" in out
+
+    def test_multiple_series_markers(self):
+        out = line_plot({"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])}, width=10, height=5)
+        assert "o" in out and "x" in out
+
+    def test_constant_series(self):
+        out = line_plot({"flat": ([1, 2], [5, 5])}, width=10, height=4)
+        assert "top=5" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": ([1], [1, 2])})
+        with pytest.raises(ValueError):
+            line_plot({"a": ([1], [1])}, width=2, height=2)

@@ -1,0 +1,164 @@
+"""Tests for the baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import knn_baseline
+from repro.baselines.majority import majority_baseline
+from repro.baselines.solo import solo_baseline
+from repro.baselines.svd import svd_baseline
+from repro.billboard.oracle import ProbeOracle
+from repro.metrics.evaluation import errors
+from repro.workloads.mixtures import mixture_instance
+from repro.workloads.planted import planted_instance
+
+
+@pytest.fixture
+def mixture():
+    return mixture_instance(64, 64, 2, noise=0.02, rng=50)
+
+
+class TestSolo:
+    def test_full_budget_exact(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = solo_baseline(oracle)
+        assert (errors(res.outputs, mixture.prefs) == 0).all()
+        assert res.rounds == 64
+        assert res.algorithm == "solo"
+
+    def test_partial_budget_costs_budget(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = solo_baseline(oracle, budget=10, rng=0)
+        assert res.rounds == 10
+        assert res.meta["budget"] == 10
+
+    def test_partial_budget_probed_entries_exact(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = solo_baseline(oracle, budget=10, rng=1)
+        mask = oracle.billboard.revealed_mask()
+        assert (res.outputs[mask] == mixture.prefs[mask]).all()
+
+    def test_budget_capped_at_m(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = solo_baseline(oracle, budget=10_000)
+        assert res.rounds == 64
+
+    def test_zero_budget(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = solo_baseline(oracle, budget=0)
+        assert res.rounds == 0
+        assert (res.outputs == 0).all()
+
+    def test_negative_budget_rejected(self, mixture):
+        with pytest.raises(ValueError):
+            solo_baseline(ProbeOracle(mixture), budget=-1)
+
+
+class TestMajority:
+    def test_single_community_recovers(self):
+        inst = planted_instance(64, 64, 1.0, 0, rng=51)
+        oracle = ProbeOracle(inst)
+        res = majority_baseline(oracle, 16, rng=2)
+        assert (errors(res.outputs, inst.prefs) == 0).all()
+
+    def test_all_players_same_output(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = majority_baseline(oracle, 8, rng=3)
+        assert (res.outputs == res.outputs[0]).all()
+
+    def test_cost_equals_budget(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = majority_baseline(oracle, 12, rng=4)
+        assert res.rounds == 12
+
+    def test_minority_community_suffers(self):
+        # Two opposing types at 75% / 25%: the column majority converges
+        # to the dominant type, so minority members get ~half the
+        # coordinates wrong — the failure mode that motivates
+        # per-community reconstruction.
+        inst = mixture_instance(80, 64, 2, noise=0.0, weights=[0.75, 0.25], rng=52)
+        minority = min(inst.communities, key=lambda c: c.size)
+        oracle = ProbeOracle(inst)
+        res = majority_baseline(oracle, 32, rng=5)
+        member_errs = errors(res.outputs, inst.prefs)[minority.members]
+        assert member_errs.mean() > 10
+
+    def test_rejects_zero_budget(self, mixture):
+        with pytest.raises(ValueError):
+            majority_baseline(ProbeOracle(mixture), 0)
+
+
+class TestKnn:
+    def test_costs_anchor_plus_spread(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = knn_baseline(oracle, 10, 6, rng=6)
+        assert res.rounds == 16
+        assert res.meta["anchor"] == 10 and res.meta["spread"] == 6
+
+    def test_own_probes_kept(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = knn_baseline(oracle, 10, 6, rng=7)
+        mask = oracle.billboard.revealed_mask()
+        assert (res.outputs[mask] == mixture.prefs[mask]).all()
+
+    def test_clustered_instance_good_accuracy(self):
+        inst = mixture_instance(80, 80, 2, noise=0.0, rng=53)
+        oracle = ProbeOracle(inst)
+        res = knn_baseline(oracle, 20, 20, 10, rng=8)
+        assert errors(res.outputs, inst.prefs).mean() < 20
+
+    def test_neighbor_cap(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = knn_baseline(oracle, 8, 0, k_neighbors=1000, rng=9)
+        assert res.meta["k_neighbors"] == 63
+
+    def test_validation(self, mixture):
+        oracle = ProbeOracle(mixture)
+        with pytest.raises(ValueError):
+            knn_baseline(oracle, 0, 5)
+        with pytest.raises(ValueError):
+            knn_baseline(oracle, 5, -1)
+        with pytest.raises(ValueError):
+            knn_baseline(oracle, 5, 5, k_neighbors=0)
+
+
+class TestSvd:
+    def test_low_rank_instance_good(self):
+        inst = mixture_instance(96, 96, 2, noise=0.0, rng=54)
+        oracle = ProbeOracle(inst)
+        res = svd_baseline(oracle, 24, rank=2, rng=10)
+        assert errors(res.outputs, inst.prefs).mean() < 15
+
+    def test_cost_equals_budget(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = svd_baseline(oracle, 16, rank=2, rng=11)
+        assert res.rounds == 16
+
+    def test_own_probes_kept(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = svd_baseline(oracle, 16, rank=2, rng=12)
+        mask = oracle.billboard.revealed_mask()
+        assert (res.outputs[mask] == mixture.prefs[mask]).all()
+
+    def test_rank_capped(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = svd_baseline(oracle, 16, rank=1000, rng=13)
+        assert res.meta["rank"] < 64
+
+    def test_outputs_binary(self, mixture):
+        oracle = ProbeOracle(mixture)
+        res = svd_baseline(oracle, 16, rank=4, rng=14)
+        assert np.isin(res.outputs, (0, 1)).all()
+
+    def test_validation(self, mixture):
+        oracle = ProbeOracle(mixture)
+        with pytest.raises(ValueError):
+            svd_baseline(oracle, 0)
+        with pytest.raises(ValueError):
+            svd_baseline(oracle, 5, rank=0)
+
+    def test_tiny_matrix_dense_fallback(self):
+        inst = mixture_instance(4, 4, 1, rng=55)
+        oracle = ProbeOracle(inst)
+        res = svd_baseline(oracle, 4, rank=2, rng=15)
+        assert res.outputs.shape == (4, 4)

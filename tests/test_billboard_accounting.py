@@ -1,0 +1,78 @@
+"""Tests for ProbeStats and PhaseLedger."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.accounting import PhaseLedger, ProbeStats
+
+
+class TestProbeStats:
+    def test_totals(self):
+        s = ProbeStats(np.asarray([3, 0, 5]))
+        assert s.total == 8
+        assert s.rounds == 5
+        assert s.mean == pytest.approx(8 / 3)
+
+    def test_empty(self):
+        s = ProbeStats(np.asarray([], dtype=np.int64))
+        assert s.total == 0
+        assert s.rounds == 0
+        assert s.mean == 0.0
+
+    def test_subtraction(self):
+        a = ProbeStats(np.asarray([5, 5]))
+        b = ProbeStats(np.asarray([2, 1]))
+        assert (a - b).per_player.tolist() == [3, 4]
+
+    def test_subtraction_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ProbeStats(np.asarray([1])) - ProbeStats(np.asarray([1, 2]))
+
+    def test_repr(self):
+        assert "total=3" in repr(ProbeStats(np.asarray([3])))
+
+
+class TestPhaseLedger:
+    def test_start_finish_delta(self):
+        ledger = PhaseLedger()
+        ledger.start("p", ProbeStats(np.asarray([1, 1])))
+        delta = ledger.finish("p", ProbeStats(np.asarray([4, 2])))
+        assert delta.per_player.tolist() == [3, 1]
+        assert ledger.get("p").per_player.tolist() == [3, 1]
+
+    def test_repeated_phase_accumulates(self):
+        ledger = PhaseLedger()
+        for hi in (2, 5):
+            ledger.start("p", ProbeStats(np.asarray([0])))
+            ledger.finish("p", ProbeStats(np.asarray([hi])))
+        assert ledger.get("p").per_player.tolist() == [7]
+
+    def test_double_start_rejected(self):
+        ledger = PhaseLedger()
+        ledger.start("p", ProbeStats(np.asarray([0])))
+        with pytest.raises(ValueError):
+            ledger.start("p", ProbeStats(np.asarray([0])))
+
+    def test_finish_without_start_rejected(self):
+        ledger = PhaseLedger()
+        with pytest.raises(ValueError):
+            ledger.finish("p", ProbeStats(np.asarray([0])))
+
+    def test_get_unknown_phase(self):
+        with pytest.raises(KeyError):
+            PhaseLedger().get("nope")
+
+    def test_iteration_order(self):
+        ledger = PhaseLedger()
+        for name in ("first", "second"):
+            ledger.start(name, ProbeStats(np.asarray([0])))
+            ledger.finish(name, ProbeStats(np.asarray([1])))
+        assert [n for n, _ in ledger.phases()] == ["first", "second"]
+
+    def test_contains(self):
+        ledger = PhaseLedger()
+        assert "x" not in ledger
+        ledger.start("x", ProbeStats(np.asarray([0])))
+        assert "x" not in ledger  # open, not closed
+        ledger.finish("x", ProbeStats(np.asarray([0])))
+        assert "x" in ledger

@@ -1,0 +1,113 @@
+"""Tests for probe-event tracing."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.billboard.trace import ProbeEvent, ProbeTrace
+from repro.core.main import find_preferences
+from repro.workloads.planted import planted_instance
+
+
+@pytest.fixture
+def traced_oracle():
+    prefs = np.asarray([[0, 1, 0], [1, 0, 1]], dtype=np.int8)
+    oracle = ProbeOracle(prefs)
+    trace = ProbeTrace()
+    oracle.attach_trace(trace)
+    return oracle, trace
+
+
+class TestRecording:
+    def test_scalar_probe_recorded(self, traced_oracle):
+        oracle, trace = traced_oracle
+        oracle.probe(0, 1)
+        assert len(trace) == 1
+        e = trace[0]
+        assert (e.player, e.obj, e.value, e.charged) == (0, 1, 1, True)
+
+    def test_batch_probe_recorded_in_order(self, traced_oracle):
+        oracle, trace = traced_oracle
+        oracle.probe_many(np.asarray([0, 1]), np.asarray([2, 0]))
+        assert len(trace) == 2
+        assert trace[0].obj == 2
+        assert trace[1].player == 1
+
+    def test_uncharged_reprobe_marked(self):
+        prefs = np.zeros((2, 2), dtype=np.int8)
+        oracle = ProbeOracle(prefs, charge_repeats=False)
+        trace = ProbeTrace()
+        oracle.attach_trace(trace)
+        oracle.probe(0, 0)
+        oracle.probe(0, 0)
+        assert trace[0].charged and not trace[1].charged
+
+    def test_negative_index(self, traced_oracle):
+        oracle, trace = traced_oracle
+        oracle.probe(0, 0)
+        oracle.probe(1, 1)
+        assert trace[-1].player == 1
+
+    def test_iteration_yields_events(self, traced_oracle):
+        oracle, trace = traced_oracle
+        oracle.probe(0, 0)
+        events = list(trace)
+        assert len(events) == 1
+        assert isinstance(events[0], ProbeEvent)
+        assert events[0].seq == 0
+
+
+class TestAnalysis:
+    def test_charged_counts_match_oracle(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=90)
+        oracle = ProbeOracle(inst)
+        trace = ProbeTrace()
+        oracle.attach_trace(trace)
+        find_preferences(oracle, 0.5, 0, rng=91)
+        assert np.array_equal(trace.charged_counts(64), oracle.stats().per_player)
+
+    def test_replay_mask_matches_billboard(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=92)
+        oracle = ProbeOracle(inst)
+        trace = ProbeTrace()
+        oracle.attach_trace(trace)
+        find_preferences(oracle, 0.5, 0, rng=93)
+        assert np.array_equal(
+            trace.replay_mask(64, 64), np.asarray(oracle.billboard.revealed_mask())
+        )
+
+    def test_events_for_player(self, traced_oracle):
+        oracle, trace = traced_oracle
+        oracle.probe(0, 0)
+        oracle.probe(1, 1)
+        oracle.probe(0, 2)
+        mine = trace.events_for_player(0)
+        assert [e.obj for e in mine] == [0, 2]
+
+    def test_as_arrays(self, traced_oracle):
+        oracle, trace = traced_oracle
+        oracle.probe(0, 1)
+        cols = trace.as_arrays()
+        assert cols["players"].tolist() == [0]
+        assert cols["objects"].tolist() == [1]
+        assert cols["values"].tolist() == [1]
+        assert cols["charged"].tolist() == [True]
+
+    def test_values_are_true_grades(self):
+        inst = planted_instance(32, 32, 0.5, 0, rng=94)
+        oracle = ProbeOracle(inst)
+        trace = ProbeTrace()
+        oracle.attach_trace(trace)
+        find_preferences(oracle, 0.5, 0, rng=95)
+        cols = trace.as_arrays()
+        assert (inst.prefs[cols["players"], cols["objects"]] == cols["values"]).all()
+
+    def test_tracing_does_not_change_outputs(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=96)
+        o1 = ProbeOracle(inst)
+        res1 = find_preferences(o1, 0.5, 0, rng=97)
+        o2 = ProbeOracle(inst)
+        o2.attach_trace(ProbeTrace())
+        res2 = find_preferences(o2, 0.5, 0, rng=97)
+        assert np.array_equal(res1.outputs, res2.outputs)
+        assert res1.rounds == res2.rounds

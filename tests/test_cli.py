@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "E1", "E2", "--seed", "5", "--full"])
+        assert args.experiments == ["E1", "E2"]
+        assert args.seed == 5
+        assert args.full
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.n == 256 and args.alpha == 0.5 and args.d == 0
+
+
+class TestCommands:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 13):
+            assert f"E{i}" in out
+        for i in range(1, 9):
+            assert f"X{i}" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "E2", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: PASS" in out
+
+    def test_run_archives_report(self, tmp_path, capsys):
+        assert main(["run", "E2", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "E2.txt").exists()
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--n", "64", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "discrepancy: 0" in out
+
+    def test_demo_robust(self, capsys):
+        assert main(["demo", "--n", "64", "--robust", "--seed", "4"]) == 0
+
+    def test_demo_unknown_d(self, capsys):
+        assert main(["demo", "--n", "64", "--d", "2", "--unknown-d", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "unknown_d" in out

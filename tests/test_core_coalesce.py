@@ -1,0 +1,134 @@
+"""Tests for Algorithm Coalesce (Fig. 6 / Theorem 5.3) — unit + property-based."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalesce import coalesce
+from repro.metrics.tilde import tilde_dist, tilde_dist_to_each, wildcard_count
+from repro.utils.validation import WILDCARD
+
+
+def clustered_multiset(M, L, D, alpha, seed, chaff="random"):
+    """Multiset with a planted VT of ceil(alpha*M) vectors within D/2 of a center."""
+    gen = np.random.default_rng(seed)
+    size = math.ceil(alpha * M)
+    center = gen.integers(0, 2, size=L, dtype=np.int8)
+    V = gen.integers(0, 2, size=(M, L), dtype=np.int8)
+    for i in range(size):
+        row = center.copy()
+        flips = gen.integers(0, D // 2 + 1)
+        if flips:
+            row[gen.choice(L, size=flips, replace=False)] ^= 1
+        V[i] = row
+    return V, np.arange(size), center
+
+
+class TestBasics:
+    def test_single_vector(self):
+        V = np.asarray([[0, 1, 0]], dtype=np.int8)
+        res = coalesce(V, 0, 1.0)
+        assert res.size == 1
+        assert np.array_equal(res.vectors[0], V[0])
+
+    def test_identical_multiset_collapses(self):
+        V = np.tile(np.asarray([1, 0, 1], dtype=np.int8), (8, 1))
+        res = coalesce(V, 0, 0.5)
+        assert res.size == 1
+        assert res.vectors[0].tolist() == [1, 0, 1]
+
+    def test_all_isolated_vectors_dropped(self):
+        # alpha*M = 3 but every ball has exactly 1 vector -> empty output.
+        V = np.asarray([[0, 0, 0, 0], [1, 1, 0, 0], [0, 0, 1, 1], [1, 1, 1, 1]], dtype=np.int8)
+        res = coalesce(V, 0, 0.5)
+        assert res.size == 0
+        assert res.cover.shape[0] == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            coalesce(np.empty((0, 3)), 1, 0.5)
+
+    def test_rejects_bad_args(self):
+        V = np.zeros((2, 2), dtype=np.int8)
+        with pytest.raises(ValueError):
+            coalesce(V, -1, 0.5)
+        with pytest.raises(ValueError):
+            coalesce(V, 1, 0.0)
+        with pytest.raises(ValueError):
+            coalesce(V, 1, 0.5, merge_radius=-1)
+
+    def test_merge_produces_wildcards(self):
+        # Two clusters of 2 identical vectors each, within merge radius.
+        a = np.asarray([0, 0, 0, 0], dtype=np.int8)
+        b = np.asarray([0, 0, 0, 1], dtype=np.int8)
+        V = np.stack([a, a, b, b])
+        res = coalesce(V, 0, 0.5)  # both survive cover; d̃(a,b)=1 <= 5*0=0? no
+        # merge radius 5*D = 0 -> no merge, two outputs
+        assert res.size == 2
+        res2 = coalesce(V, 0, 0.5, merge_radius=1)
+        assert res2.size == 1
+        assert wildcard_count(res2.vectors[0]) == 1
+        assert res2.vectors[0][3] == WILDCARD
+
+    def test_deterministic(self):
+        V, _, _ = clustered_multiset(30, 40, 6, 0.5, seed=1)
+        a = coalesce(V, 6, 0.5)
+        b = coalesce(V, 6, 0.5)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_output_sorted_lexicographically(self):
+        V = np.asarray([[1, 1], [1, 1], [0, 0], [0, 0]], dtype=np.int8)
+        res = coalesce(V, 0, 0.5)
+        keys = [res.vectors[i].tobytes() for i in range(res.size)]
+        assert keys == sorted(keys)
+
+
+class TestTheorem53:
+    @pytest.mark.parametrize("alpha,D,seed", [(0.5, 4, 0), (0.4, 8, 1), (0.25, 6, 2), (0.34, 2, 3)])
+    def test_invariants(self, alpha, D, seed):
+        V, vt_idx, _ = clustered_multiset(40, 64, D, alpha, seed)
+        res = coalesce(V, D, alpha)
+        # size <= 1/alpha
+        assert res.size <= math.floor(1 / alpha)
+        assert res.size >= 1
+        # unique closest representative within 2D of every VT member
+        closest = set()
+        for i in vt_idx:
+            dists = tilde_dist_to_each(V[i], res.vectors)
+            assert dists.min() <= 2 * D
+            closest.add(int(np.argmin(dists)))
+        assert len(closest) == 1
+        # wildcard cap
+        rep = res.vectors[next(iter(closest))]
+        assert wildcard_count(rep) <= 5 * D / alpha
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([(0.5, 2), (0.4, 6), (0.3, 4)]))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_random(self, seed, cfg):
+        alpha, D = cfg
+        V, vt_idx, _ = clustered_multiset(30, 48, D, alpha, seed)
+        res = coalesce(V, D, alpha)
+        assert res.size <= math.floor(1 / alpha)
+        if res.size:
+            for i in vt_idx:
+                assert tilde_dist_to_each(V[i], res.vectors).min() <= 2 * D
+
+    def test_lemma51_cover_represented(self):
+        # Every input vector in a large-enough ball is within 2D of some
+        # output (Lemma 5.2 for VT members; here we check cover members).
+        V, vt_idx, _ = clustered_multiset(30, 48, 4, 0.5, seed=9)
+        res = coalesce(V, 4, 0.5)
+        for row in res.cover:
+            d = tilde_dist_to_each(row, res.vectors)
+            assert d.min() == 0  # rep(v) agrees with v off its wildcards
+
+    def test_merge_stopping_condition(self):
+        # After phase 2, no two outputs are within the merge radius.
+        V, _, _ = clustered_multiset(40, 64, 8, 0.25, seed=4)
+        res = coalesce(V, 8, 0.25)
+        for i in range(res.size):
+            for j in range(i + 1, res.size):
+                assert tilde_dist(res.vectors[i], res.vectors[j]) > 5 * 8

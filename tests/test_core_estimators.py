@@ -1,0 +1,74 @@
+"""Tests for the Section 6 parameter estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import alpha_for_budget, budget_for_alpha, empirical_d_of_alpha
+from repro.core.params import Params
+from repro.workloads.planted import planted_instance
+
+
+class TestAlphaBudgetInversion:
+    def test_roundtrip_consistency(self):
+        n = 1024
+        for alpha in (0.5, 0.25, 0.1):
+            budget = budget_for_alpha(alpha, n)
+            recovered = alpha_for_budget(budget, n)
+            # inversion up to the ceil in the threshold
+            assert recovered <= alpha * 1.1
+
+    def test_bigger_budget_smaller_alpha(self):
+        n = 1024
+        assert alpha_for_budget(400, n) < alpha_for_budget(40, n)
+
+    def test_clamped_to_one(self):
+        assert alpha_for_budget(1, 1024) == 1.0
+
+    def test_validity_floor(self):
+        # alpha never drops below log n / n (the paper's validity bound).
+        n = 256
+        assert alpha_for_budget(10**9, n) >= np.log(n) / n
+
+    def test_budget_formula_matches_params(self):
+        p = Params.practical()
+        assert budget_for_alpha(0.5, 512, p) == p.zr_leaf_threshold(512, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alpha_for_budget(0, 100)
+        with pytest.raises(ValueError):
+            budget_for_alpha(0.0, 100)
+
+
+class TestEmpiricalDOfAlpha:
+    def test_planted_profile(self):
+        inst = planted_instance(100, 100, 0.5, 0, rng=0)
+        member = int(inst.main_community().members[0])
+        profile = empirical_d_of_alpha(inst.prefs, member, [0.25, 0.5])
+        # half the population is at distance 0 from a member
+        assert profile[0.5] == 0
+        assert profile[0.25] == 0
+
+    def test_monotone_in_alpha(self):
+        gen = np.random.default_rng(1)
+        prefs = gen.integers(0, 2, (60, 80), dtype=np.int8)
+        profile = empirical_d_of_alpha(prefs, 0, [0.1, 0.5, 1.0])
+        assert profile[0.1] <= profile[0.5] <= profile[1.0]
+
+    def test_alpha_one_is_eccentricity(self):
+        gen = np.random.default_rng(2)
+        prefs = gen.integers(0, 2, (20, 30), dtype=np.int8)
+        from repro.metrics.hamming import hamming_to_each
+
+        profile = empirical_d_of_alpha(prefs, 3, [1.0])
+        assert profile[1.0] == int(hamming_to_each(prefs[3], prefs).max())
+
+    def test_tiny_alpha_is_zero(self):
+        gen = np.random.default_rng(3)
+        prefs = gen.integers(0, 2, (20, 30), dtype=np.int8)
+        # k = 1 -> the player itself
+        assert empirical_d_of_alpha(prefs, 0, [0.01])[0.01] == 0
+
+    def test_player_range_check(self):
+        with pytest.raises(ValueError):
+            empirical_d_of_alpha(np.zeros((4, 4), dtype=np.int8), 9, [0.5])

@@ -1,0 +1,87 @@
+"""Tests for Algorithm Large Radius (Fig. 5 / Theorem 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.large_radius import large_radius
+from repro.core.params import Params
+from repro.metrics.evaluation import evaluate
+from repro.utils.validation import WILDCARD
+from repro.workloads.planted import planted_instance
+
+
+class TestLargeRadius:
+    def test_constant_stretch(self):
+        inst = planted_instance(192, 192, 0.5, 48, rng=41)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, 0.5, 48, rng=6)
+        rep = evaluate(out, inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.stretch <= 8.0
+
+    def test_output_values_legal(self):
+        inst = planted_instance(96, 96, 0.5, 24, rng=42)
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, 0.5, 24, rng=7)
+        assert np.isin(out, (0, 1, WILDCARD)).all()
+        assert out.shape == (96, 96)
+
+    def test_community_members_agree(self):
+        # Theorem 5.4's mechanism: all typical players end with the same
+        # composed vector.
+        inst = planted_instance(128, 128, 0.5, 32, rng=43)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, 0.5, 32, rng=8)
+        member_rows = out[comm.members]
+        agree_frac = (member_rows == member_rows[0]).all(axis=1).mean()
+        assert agree_frac >= 0.9
+
+    def test_wildcards_bounded(self):
+        inst = planted_instance(128, 128, 0.5, 32, rng=44)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, 0.5, 32, rng=9)
+        wildcards = (out[comm.members] == WILDCARD).sum(axis=1)
+        # O(D/alpha) bound with a generous constant.
+        assert wildcards.max() <= 4 * 32 / 0.5
+
+    def test_rejects_bad_args(self):
+        oracle = ProbeOracle(np.zeros((8, 8), dtype=np.int8))
+        with pytest.raises(ValueError):
+            large_radius(oracle, 0.0, 16)
+        with pytest.raises(ValueError):
+            large_radius(oracle, 0.5, 0)
+
+    def test_reproducible(self):
+        inst = planted_instance(96, 96, 0.5, 24, rng=45)
+        outs = []
+        for _ in range(2):
+            oracle = ProbeOracle(inst)
+            outs.append(large_radius(oracle, 0.5, 24, rng=10))
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_tiny_population_no_crash(self):
+        inst = planted_instance(16, 16, 0.5, 8, rng=46)
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, 0.5, 8, rng=11)
+        assert out.shape == (16, 16)
+
+    def test_num_groups_capped_by_objects(self):
+        # Huge D relative to m: group count would exceed m.
+        inst = planted_instance(64, 16, 0.5, 16, rng=47)
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, 0.5, 200, rng=12)
+        assert out.shape == (64, 16)
+
+    def test_error_scales_with_d_not_m(self):
+        # Doubling D should roughly double the error cap; it must stay
+        # far below m for community members.
+        inst = planted_instance(192, 192, 0.5, 64, rng=48)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = large_radius(oracle, 0.5, 64, rng=13)
+        rep = evaluate(out, inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.discrepancy < 192 * 0.9
+        assert rep.discrepancy <= 8 * comm.diameter

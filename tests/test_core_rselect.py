@@ -1,0 +1,140 @@
+"""Tests for Algorithm RSelect (Fig. 7 / Theorem 6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import Params
+from repro.core.rselect import rselect, rselect_coroutine
+from repro.metrics.hamming import hamming, hamming_to_each
+from repro.utils.validation import WILDCARD
+
+
+def make_probe(hidden, counter=None):
+    def probe(j):
+        if counter is not None:
+            counter.append(j)
+        return int(hidden[j])
+
+    return probe
+
+
+def vector_at_distance(hidden, d, gen):
+    row = hidden.copy()
+    if d:
+        row[gen.choice(hidden.size, size=min(d, hidden.size), replace=False)] ^= 1
+    return row
+
+
+class TestBasics:
+    def test_single_candidate(self):
+        hidden = np.asarray([0, 1, 0], dtype=np.int8)
+        out = rselect(np.asarray([[1, 1, 1]], dtype=np.int8), make_probe(hidden), 64, rng=0)
+        assert out.index == 0
+        assert out.probes == 0
+
+    def test_picks_exact_match(self):
+        gen = np.random.default_rng(0)
+        hidden = gen.integers(0, 2, 200, dtype=np.int8)
+        far = vector_at_distance(hidden, 80, gen)
+        cands = np.stack([far, hidden.copy()])
+        out = rselect(cands, make_probe(hidden), 1024, rng=1)
+        assert out.index == 1
+
+    def test_identical_candidates_no_probes(self):
+        hidden = np.zeros(10, dtype=np.int8)
+        cands = np.zeros((3, 10), dtype=np.int8)
+        counter = []
+        out = rselect(cands, make_probe(hidden, counter), 64, rng=2)
+        assert counter == []
+        assert out.index in (0, 1, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rselect(np.empty((0, 3)), lambda j: 0, 10)
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            rselect(np.asarray([[0]]), lambda j: 0, 0)
+
+    def test_wildcards_skipped(self):
+        hidden = np.asarray([0, 0, 0, 0], dtype=np.int8)
+        cands = np.asarray([[WILDCARD, 0, 0, 0], [WILDCARD, 1, 1, 1]], dtype=np.int8)
+        out = rselect(cands, make_probe(hidden), 1024, rng=3)
+        assert out.index == 0
+
+
+class TestProbeBudget:
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_budget_respected(self, k, seed):
+        gen = np.random.default_rng(seed)
+        hidden = gen.integers(0, 2, 128, dtype=np.int8)
+        cands = gen.integers(0, 2, (k, 128), dtype=np.int8)
+        counter = []
+        p = Params.practical()
+        rselect(cands, make_probe(hidden, counter), 1024, params=p, rng=gen)
+        pairs = k * (k - 1) // 2
+        assert len(counter) <= pairs * p.rs_num_probes(1024)
+
+    def test_caching_within_invocation(self):
+        # Coordinates shared between pair-games must be probed once.
+        gen = np.random.default_rng(5)
+        hidden = gen.integers(0, 2, 64, dtype=np.int8)
+        cands = gen.integers(0, 2, (4, 64), dtype=np.int8)
+        counter = []
+        rselect(cands, make_probe(hidden, counter), 1024, rng=6)
+        assert len(counter) == len(set(counter))
+
+
+class TestQuality:
+    def test_never_picks_far_decoy_whp(self):
+        gen = np.random.default_rng(7)
+        failures = 0
+        for trial in range(20):
+            hidden = gen.integers(0, 2, 400, dtype=np.int8)
+            near = vector_at_distance(hidden, 5, gen)
+            decoys = [vector_at_distance(hidden, 200, gen) for _ in range(3)]
+            cands = np.stack([near] + decoys)
+            out = rselect(cands, make_probe(hidden), 1024, rng=gen)
+            if hamming(out.vector.astype(np.int8), hidden) > 50:
+                failures += 1
+        assert failures == 0
+
+    def test_constant_factor_closeness(self):
+        gen = np.random.default_rng(8)
+        worst = 0.0
+        for trial in range(20):
+            hidden = gen.integers(0, 2, 400, dtype=np.int8)
+            cands = np.stack([vector_at_distance(hidden, d, gen) for d in (10, 20, 40, 80)])
+            out = rselect(cands, make_probe(hidden), 1024, rng=gen)
+            dist = hamming(out.vector.astype(np.int8), hidden)
+            worst = max(worst, dist / 10)
+        assert worst <= 4.0
+
+    def test_coroutine_matches_callable_driver(self):
+        # rselect() is a thin driver over rselect_coroutine(); driving
+        # the coroutine by hand must give the identical outcome.
+        gen = np.random.default_rng(11)
+        hidden = gen.integers(0, 2, 128, dtype=np.int8)
+        cands = gen.integers(0, 2, (4, 128), dtype=np.int8)
+        a = rselect(cands, make_probe(hidden), 512, rng=7)
+        co = rselect_coroutine(cands, 512, rng=7)
+        try:
+            coord = next(co)
+            while True:
+                coord = co.send(int(hidden[coord]))
+        except StopIteration as stop:
+            b = stop.value
+        assert a.index == b.index
+        assert a.probes == b.probes
+
+    def test_exhausted_fallback_fewest_losses(self):
+        # Candidates engineered so that everyone may lose some game at a
+        # tiny sample size; output must still be one of the inputs.
+        gen = np.random.default_rng(9)
+        hidden = gen.integers(0, 2, 16, dtype=np.int8)
+        cands = gen.integers(0, 2, (5, 16), dtype=np.int8)
+        out = rselect(cands, make_probe(hidden), 2, rng=10)
+        assert 0 <= out.index < 5

@@ -1,0 +1,214 @@
+"""Tests for Algorithm Select (Fig. 3 / Theorem 3.2) — unit + property-based."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.select import distinguishing_coords, select, select_candidate_index
+from repro.metrics.hamming import hamming_to_each
+from repro.metrics.tilde import tilde_dist_to_each
+from repro.utils.validation import WILDCARD
+
+
+def make_probe(hidden, counter=None):
+    def probe(j):
+        if counter is not None:
+            counter.append(j)
+        return int(hidden[j])
+
+    return probe
+
+
+class TestDistinguishingCoords:
+    def test_identical_rows(self):
+        c = np.asarray([[0, 1], [0, 1]])
+        assert distinguishing_coords(c).size == 0
+
+    def test_single_row(self):
+        assert distinguishing_coords(np.asarray([[0, 1, 0]])).size == 0
+
+    def test_differences_found_in_order(self):
+        c = np.asarray([[0, 1, 0, 1], [0, 0, 0, 0]])
+        assert distinguishing_coords(c).tolist() == [1, 3]
+
+    def test_wildcard_not_a_difference(self):
+        c = np.asarray([[WILDCARD, 1], [0, 1]])
+        assert distinguishing_coords(c).size == 0
+
+    def test_wildcard_pair_vs_value(self):
+        c = np.asarray([[WILDCARD, 0], [WILDCARD, 1]])
+        assert distinguishing_coords(c).tolist() == [1]
+
+    def test_non_binary_values(self):
+        c = np.asarray([[5, 2], [5, 3]])
+        assert distinguishing_coords(c).tolist() == [1]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            distinguishing_coords(np.asarray([0, 1]))
+
+
+class TestSelectBasics:
+    def test_single_candidate_no_probes(self):
+        c = np.asarray([[0, 1, 0]])
+        counter = []
+        out = select(c, make_probe(np.asarray([1, 1, 1]), counter), 0)
+        assert out.index == 0
+        assert out.probes == 0
+        assert counter == []
+
+    def test_exact_match_found(self):
+        hidden = np.asarray([0, 1, 1, 0])
+        c = np.asarray([[0, 1, 1, 0], [1, 0, 1, 0], [0, 0, 0, 0]])
+        out = select(c, make_probe(hidden), 0)
+        assert out.index == 0
+        assert not out.exhausted
+
+    def test_bound_d_closest(self):
+        hidden = np.asarray([0, 0, 0, 0, 0, 0])
+        c = np.asarray([[0, 0, 0, 0, 0, 1], [1, 1, 1, 0, 0, 0]])  # dist 1 and 3
+        out = select(c, make_probe(hidden), 1)
+        assert out.index == 0
+
+    def test_far_last_survivor_not_exhausted(self):
+        # With binary candidates the last survivor can never be
+        # eliminated (a probed coordinate where both candidates disagree
+        # with the hidden value means they agree with each other), so
+        # Select returns it un-flagged even when its true distance
+        # exceeds the bound — exactly the paper's "guarantee only under
+        # the precondition" semantics.
+        hidden = np.zeros(6, dtype=np.int8)
+        c = np.asarray([[1, 1, 1, 1, 1, 1], [1, 1, 1, 0, 1, 1]])
+        out = select(c, make_probe(hidden), 0)
+        assert not out.exhausted
+        assert out.index == 1
+
+    def test_exhausted_with_nonbinary_values(self):
+        # Non-binary values (the super-object reuse) can eliminate every
+        # candidate at once: the hidden value matches neither.
+        hidden = np.asarray([2, 2])
+        c = np.asarray([[0, 0], [1, 1]])
+        out = select(c, make_probe(hidden), 0)
+        assert out.exhausted
+        assert out.index in (0, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            select(np.empty((0, 3)), lambda j: 0, 0)
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            select(np.asarray([[0]]), lambda j: 0, -1)
+
+    def test_wrapper_returns_index(self):
+        hidden = np.asarray([1, 1])
+        c = np.asarray([[0, 0], [1, 1]])
+        assert select_candidate_index(c, make_probe(hidden), 0) == 1
+
+    def test_wildcard_candidates(self):
+        hidden = np.asarray([0, 1, 1])
+        c = np.asarray([[WILDCARD, 1, 1], [0, 0, 0]], dtype=np.int8)
+        out = select(c, make_probe(hidden), 0)
+        assert out.index == 0
+
+
+class TestLexicographicTieBreak:
+    def test_ties_resolved_lexicographically(self):
+        # Two candidates equally distant from hidden; Select must return
+        # the lexicographically first (paper: "lexicographically first
+        # vector in U").
+        hidden = np.asarray([0, 0])
+        c = np.asarray([[0, 1], [1, 0]])  # both at distance 1
+        out = select(c, make_probe(hidden), 1)
+        assert out.vector.tolist() == [0, 1]
+
+    def test_duplicate_candidates(self):
+        hidden = np.asarray([1, 1])
+        c = np.asarray([[1, 1], [1, 1], [0, 0]])
+        out = select(c, make_probe(hidden), 0)
+        assert out.vector.tolist() == [1, 1]
+
+
+hidden_and_candidates = st.integers(2, 40).flatmap(
+    lambda L: st.tuples(
+        arrays(np.int8, L, elements=st.integers(0, 1)),
+        arrays(np.int8, st.tuples(st.integers(1, 8), st.just(L)), elements=st.integers(0, 1)),
+        st.integers(0, 6),
+    )
+)
+
+
+class TestSelectProperties:
+    @given(hidden_and_candidates)
+    @settings(max_examples=150, deadline=None)
+    def test_probe_bound_always_holds(self, case):
+        hidden, cands, bound = case
+        counter = []
+        out = select(cands, make_probe(hidden, counter), bound)
+        k = cands.shape[0]
+        assert out.probes <= k * (bound + 1)
+        assert out.probes == len(counter)
+
+    @given(hidden_and_candidates)
+    @settings(max_examples=150, deadline=None)
+    def test_exact_when_precondition_holds(self, case):
+        hidden, cands, bound = case
+        dists = hamming_to_each(hidden, cands)
+        out = select(cands, make_probe(hidden), bound)
+        if dists.min() <= bound:
+            # Theorem 3.2 applies: exact lexicographically-first closest.
+            assert not out.exhausted
+            closest = np.flatnonzero(dists == dists.min())
+            lex_first = min(closest, key=lambda i: cands[i].tobytes())
+            assert out.index == lex_first
+
+    @given(hidden_and_candidates)
+    @settings(max_examples=100, deadline=None)
+    def test_never_probes_same_coord_twice(self, case):
+        hidden, cands, bound = case
+        counter = []
+        select(cands, make_probe(hidden, counter), bound)
+        assert len(counter) == len(set(counter))
+
+    @given(hidden_and_candidates)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, case):
+        hidden, cands, bound = case
+        a = select(cands, make_probe(hidden), bound)
+        b = select(cands, make_probe(hidden), bound)
+        assert a.index == b.index
+        assert a.probes == b.probes
+
+    @given(
+        st.integers(2, 30).flatmap(
+            lambda L: st.tuples(
+                arrays(np.int8, L, elements=st.integers(0, 1)),
+                arrays(
+                    np.int8,
+                    st.tuples(st.integers(1, 6), st.just(L)),
+                    elements=st.sampled_from([0, 1, WILDCARD]),
+                ),
+                st.integers(0, 4),
+            )
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_wildcard_candidates_tilde_semantics(self, case):
+        # The well-defined guarantee with wildcards: any candidate whose
+        # *full* d̃ to the hidden vector is within the bound survives
+        # (its probed disagreements are a subset), so the winner's
+        # probed-coordinate disagreement count never exceeds the best
+        # candidate's full d̃.
+        hidden, cands, bound = case
+        counter = []
+        out = select(cands, make_probe(hidden, counter), bound)
+        d = tilde_dist_to_each(hidden, cands)
+        if d.min() <= bound:
+            assert not out.exhausted
+            winner = cands[out.index]
+            winner_probed_dis = sum(
+                1 for j in counter if winner[j] != WILDCARD and winner[j] != hidden[j]
+            )
+            assert winner_probed_dis <= d.min()

@@ -1,0 +1,96 @@
+"""Tests for the population-batched Select driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.select import select, select_batched
+
+
+def _setup(n=6, m=24, seed=0):
+    rng = np.random.default_rng(seed)
+    prefs = rng.integers(0, 2, (n, m), dtype=np.int8)
+    return prefs, ProbeOracle(prefs)
+
+
+class TestSharedCandidates:
+    def test_matches_sequential_select(self):
+        prefs, oracle = _setup()
+        rng = np.random.default_rng(1)
+        cands = rng.integers(0, 2, (4, 24), dtype=np.int8)
+        players = np.arange(6)
+        outcomes = select_batched(oracle, players, cands, 2, np.arange(24))
+
+        for pl in players:
+            ref_oracle = ProbeOracle(prefs)
+            ref = select(cands, lambda j, _p=int(pl): ref_oracle.probe(_p, j), 2)
+            got = outcomes[int(pl)]
+            assert got.index == ref.index
+            assert got.probes == ref.probes
+            assert got.exhausted == ref.exhausted
+
+    def test_probe_counts_match_sequential(self):
+        prefs, oracle = _setup(seed=2)
+        rng = np.random.default_rng(3)
+        cands = rng.integers(0, 2, (3, 24), dtype=np.int8)
+        players = np.arange(6)
+        select_batched(oracle, players, cands, 1, np.arange(24))
+
+        seq_oracle = ProbeOracle(prefs)
+        for pl in players:
+            select(cands, lambda j, _p=int(pl): seq_oracle.probe(_p, j), 1)
+        assert np.array_equal(oracle.stats().per_player, seq_oracle.stats().per_player)
+
+    def test_single_candidate_no_probes(self):
+        prefs, oracle = _setup(seed=4)
+        cands = np.zeros((1, 24), dtype=np.int8)
+        outcomes = select_batched(oracle, np.arange(6), cands, 0, np.arange(24))
+        assert all(o.probes == 0 for o in outcomes.values())
+        assert oracle.stats().total == 0
+
+    def test_coord_map_remaps_objects(self):
+        prefs, oracle = _setup(seed=5)
+        cands = np.asarray([[0, 1], [1, 0]], dtype=np.int8)
+        coord_map = np.asarray([10, 20])
+        select_batched(oracle, np.asarray([0]), cands, 0, coord_map)
+        mask = oracle.billboard.revealed_mask()
+        probed_objs = set(np.flatnonzero(mask[0]).tolist())
+        assert probed_objs <= {10, 20}
+
+    def test_coord_map_length_validated(self):
+        _, oracle = _setup()
+        cands = np.zeros((2, 3), dtype=np.int8)
+        with pytest.raises(ValueError):
+            select_batched(oracle, np.asarray([0]), cands, 0, np.asarray([0, 1]))
+
+
+class TestPerPlayerCandidates:
+    def test_dict_candidates(self):
+        prefs, oracle = _setup(seed=6)
+        rng = np.random.default_rng(7)
+        cand_by_player = {
+            pl: rng.integers(0, 2, (2 + pl % 2, 24), dtype=np.int8) for pl in range(6)
+        }
+        outcomes = select_batched(oracle, np.arange(6), cand_by_player, 3, np.arange(24))
+        for pl in range(6):
+            ref_oracle = ProbeOracle(prefs)
+            ref = select(cand_by_player[pl], lambda j, _p=pl: ref_oracle.probe(_p, j), 3)
+            assert outcomes[pl].index == ref.index
+            assert np.array_equal(outcomes[pl].vector, ref.vector)
+
+
+class TestProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 5), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_random(self, seed, k, bound):
+        rng = np.random.default_rng(seed)
+        prefs = rng.integers(0, 2, (4, 16), dtype=np.int8)
+        cands = rng.integers(0, 2, (k, 16), dtype=np.int8)
+        oracle = ProbeOracle(prefs)
+        outcomes = select_batched(oracle, np.arange(4), cands, bound, np.arange(16))
+        for pl in range(4):
+            ref = select(cands, lambda j, _p=pl: int(prefs[_p, j]), bound)
+            assert outcomes[pl].index == ref.index
+            assert outcomes[pl].probes == ref.probes

@@ -1,0 +1,110 @@
+"""Tests for Algorithm Small Radius (Fig. 4 / Theorem 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.params import Params
+from repro.core.small_radius import _popular_rows, small_radius
+from repro.core.zero_radius import NO_OUTPUT
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import planted_instance
+
+
+class TestPopularRows:
+    def test_threshold_respected(self):
+        rows = np.asarray([[0, 1]] * 4 + [[1, 0]] * 2)
+        out = _popular_rows(rows, 3)
+        assert out.shape[0] == 1
+
+    def test_fallback_capped(self):
+        rows = np.eye(8, dtype=np.int16)
+        out = _popular_rows(rows, 4)
+        assert 1 <= out.shape[0] <= 2
+
+
+class TestSmallRadius:
+    def test_error_bound_d2(self, d4_instance):
+        inst = planted_instance(128, 128, 0.5, 2, rng=31)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = small_radius(oracle, np.arange(128), np.arange(128), 0.5, 2, rng=7)
+        rep = evaluate(out.astype(np.int8), inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.discrepancy <= 5 * 2
+
+    def test_error_bound_d4(self, d4_instance):
+        comm = d4_instance.main_community()
+        oracle = ProbeOracle(d4_instance)
+        out = small_radius(oracle, np.arange(128), np.arange(128), 0.5, 4, rng=8)
+        rep = evaluate(out.astype(np.int8), d4_instance.prefs, comm.members, diam=comm.diameter)
+        assert rep.discrepancy <= 5 * 4
+
+    def test_d_zero_degenerates_to_zero_radius_quality(self):
+        inst = planted_instance(96, 96, 0.5, 0, rng=32)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out = small_radius(oracle, np.arange(96), np.arange(96), 0.5, 0, rng=9)
+        assert np.array_equal(out[comm.members].astype(np.int8), inst.prefs[comm.members])
+
+    def test_object_subset(self):
+        inst = planted_instance(96, 128, 0.5, 2, rng=33)
+        comm = inst.main_community()
+        objects = np.arange(16, 80)
+        oracle = ProbeOracle(inst)
+        out = small_radius(oracle, np.arange(96), objects, 0.5, 2, rng=10)
+        sub_truth = inst.prefs[:, objects]
+        errs = (out[comm.members].astype(np.int8) != sub_truth[comm.members]).sum(axis=1)
+        assert errs.max() <= 5 * 2
+
+    def test_player_subset_rows_marked(self):
+        inst = planted_instance(64, 64, 1.0, 2, rng=34)
+        players = np.arange(0, 64, 2)
+        oracle = ProbeOracle(inst)
+        out = small_radius(oracle, players, np.arange(64), 1.0, 2, rng=11)
+        others = np.arange(1, 64, 2)
+        assert (out[others] == NO_OUTPUT).all()
+        assert not (out[players] == NO_OUTPUT).any()
+
+    def test_k_parameter_override(self):
+        inst = planted_instance(64, 64, 0.5, 2, rng=35)
+        oracle = ProbeOracle(inst)
+        out = small_radius(oracle, np.arange(64), np.arange(64), 0.5, 2, rng=12, K=1)
+        assert out.shape == (64, 64)
+
+    def test_k1_cheaper_than_k4(self):
+        inst = planted_instance(64, 64, 0.5, 2, rng=36)
+        costs = []
+        for K in (1, 4):
+            oracle = ProbeOracle(inst)
+            small_radius(oracle, np.arange(64), np.arange(64), 0.5, 2, rng=13, K=K)
+            costs.append(oracle.stats().rounds)
+        assert costs[0] < costs[1]
+
+    def test_rejects_bad_args(self):
+        oracle = ProbeOracle(np.zeros((4, 4), dtype=np.int8))
+        players, objects = np.arange(4), np.arange(4)
+        with pytest.raises(ValueError):
+            small_radius(oracle, np.asarray([], dtype=int), objects, 0.5, 1)
+        with pytest.raises(ValueError):
+            small_radius(oracle, players, np.asarray([], dtype=int), 0.5, 1)
+        with pytest.raises(ValueError):
+            small_radius(oracle, players, objects, 0.0, 1)
+        with pytest.raises(ValueError):
+            small_radius(oracle, players, objects, 0.5, -1)
+        with pytest.raises(ValueError):
+            small_radius(oracle, players, objects, 0.5, 1, K=0)
+
+    def test_parts_capped_by_objects(self):
+        # s = D^{3/2} may exceed the object count; must not crash.
+        inst = planted_instance(48, 8, 0.5, 4, rng=37)
+        oracle = ProbeOracle(inst)
+        out = small_radius(oracle, np.arange(48), np.arange(8), 0.5, 4, rng=14)
+        assert out.shape == (48, 8)
+
+    def test_reproducible(self):
+        inst = planted_instance(64, 64, 0.5, 2, rng=38)
+        outs = []
+        for _ in range(2):
+            oracle = ProbeOracle(inst)
+            outs.append(small_radius(oracle, np.arange(64), np.arange(64), 0.5, 2, rng=15))
+        assert np.array_equal(outs[0], outs[1])

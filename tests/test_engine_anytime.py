@@ -1,0 +1,72 @@
+"""Tests for the distributed §6 anytime loop."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import anytime_find_preferences
+from repro.engine.anytime_player import run_anytime_engine
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import planted_instance
+
+
+class TestUnbudgeted:
+    def test_bitwise_equal_to_global(self):
+        inst = planted_instance(48, 48, 0.5, 0, rng=3)
+        o1 = ProbeOracle(inst)
+        g = anytime_find_preferences(o1, rng=55, max_phases=2, d_max=4)
+        o2 = ProbeOracle(inst)
+        e, meta = run_anytime_engine(o2, rng=55, max_phases=2, d_max=4)
+        assert np.array_equal(g.outputs, e)
+        assert np.array_equal(o1.stats().per_player, o2.stats().per_player)
+        assert meta["phases"] == g.meta["phases"]
+        assert not meta["budget_exhausted"]
+
+    def test_quality(self):
+        inst = planted_instance(48, 48, 0.5, 0, rng=7)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out, meta = run_anytime_engine(oracle, rng=8, max_phases=2, d_max=4)
+        rep = evaluate(out, inst.prefs, comm.members)
+        assert rep.discrepancy <= 4
+
+
+class TestBudgeted:
+    def test_exhaustion_flagged_and_graceful(self):
+        inst = planted_instance(48, 48, 0.5, 0, rng=9)
+        oracle = ProbeOracle(inst, budget=120)
+        out, meta = run_anytime_engine(oracle, rng=10, d_max=4)
+        assert meta["budget_exhausted"]
+        assert out.shape == (48, 48)
+
+    def test_completed_phase_preserved_across_abort(self):
+        # Budget large enough for phase 1 but not phase 2: the returned
+        # output is phase 1's, which matches the global run bitwise
+        # (phase 1's probes are identical; phase 2's partial probes do
+        # not touch `best`).
+        inst = planted_instance(48, 48, 0.5, 0, rng=11)
+        o_probe = ProbeOracle(inst)
+        full = anytime_find_preferences(o_probe, rng=12, max_phases=1, d_max=4)
+        phase1_rounds = full.rounds
+        budget = phase1_rounds + 20  # enough for phase 1, not phase 2
+
+        o1 = ProbeOracle(inst, budget=budget)
+        g = anytime_find_preferences(o1, rng=12, d_max=4)
+        o2 = ProbeOracle(inst, budget=budget)
+        e, meta = run_anytime_engine(o2, rng=12, d_max=4)
+        if g.meta["phases"] and meta["phases"]:
+            assert np.array_equal(g.outputs, e)
+
+    def test_zero_phase_fallback_uses_revealed_entries(self):
+        # With no phase completed, outputs fall back to each player's
+        # revealed entries.  The engine's lockstep interleaving reveals a
+        # different partial set than the global sequential run before the
+        # budget trips, so outputs legitimately differ — but both must be
+        # consistent with their own billboards.
+        inst = planted_instance(48, 48, 0.5, 0, rng=13)
+        oracle = ProbeOracle(inst, budget=10)
+        out, meta = run_anytime_engine(oracle, rng=14, d_max=4)
+        assert meta["phases"] == []
+        mask = oracle.billboard.revealed_mask()
+        assert (out[mask] == inst.prefs[mask]).all()
+        assert (out[~np.asarray(mask)] == 0).all()

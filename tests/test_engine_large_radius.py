@@ -1,0 +1,90 @@
+"""Tests for the player-local Large Radius program (engine twin of Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.large_radius import large_radius
+from repro.engine import LargeRadiusCoins, run_large_radius_engine
+from repro.metrics.evaluation import evaluate
+from repro.utils.validation import WILDCARD
+from repro.workloads.planted import planted_instance
+
+
+class TestLargeRadiusCoins:
+    def test_draw_structure(self):
+        coins = LargeRadiusCoins.draw(64, 64, 0.5, 24, rng=0)
+        assert len(coins.groups) == len(coins.player_groups) == len(coins.sr_coins)
+        covered = np.sort(np.concatenate(coins.groups))
+        assert np.array_equal(covered, np.arange(64))
+        assert all(g.size > 0 for g in coins.player_groups)
+        assert coins.lam >= 1
+        assert coins.super_tree.root.players.size == 64
+
+    def test_deterministic(self):
+        a = LargeRadiusCoins.draw(64, 64, 0.5, 24, rng=9)
+        b = LargeRadiusCoins.draw(64, 64, 0.5, 24, rng=9)
+        for ga, gb in zip(a.groups, b.groups):
+            assert np.array_equal(ga, gb)
+        for pa, pb in zip(a.player_groups, b.player_groups):
+            assert np.array_equal(pa, pb)
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("seed,D", [(4, 24), (17, 32)])
+    def test_matches_global(self, seed, D):
+        inst = planted_instance(96, 96, 0.5, D, rng=seed)
+        o1 = ProbeOracle(inst)
+        global_out = large_radius(o1, 0.5, D, rng=seed + 27)
+        o2 = ProbeOracle(inst)
+        engine_out, result = run_large_radius_engine(o2, 0.5, D, rng=seed + 27)
+        assert np.array_equal(global_out, engine_out)
+        assert np.array_equal(o1.stats().per_player, o2.stats().per_player)
+        assert result.probe_rounds == o1.stats().rounds
+
+    def test_multi_group_membership_matches_global(self):
+        # copies = ceil(D/(alpha n)) > 1: each player runs Small Radius
+        # for several groups; the engine must still match bitwise.
+        from repro.core.params import Params
+
+        p = Params.practical()
+        assert p.lr_player_copies(48, 0.25, 64) == 3
+        inst = planted_instance(64, 64, 0.25, 48, rng=5)
+        o1 = ProbeOracle(inst)
+        g = large_radius(o1, 0.25, 48, rng=31)
+        o2 = ProbeOracle(inst)
+        e, _ = run_large_radius_engine(o2, 0.25, 48, rng=31)
+        assert np.array_equal(g, e)
+        assert np.array_equal(o1.stats().per_player, o2.stats().per_player)
+
+    def test_lockstep_at_least_probe_rounds(self):
+        inst = planted_instance(64, 64, 0.5, 20, rng=5)
+        oracle = ProbeOracle(inst)
+        _, result = run_large_radius_engine(oracle, 0.5, 20, rng=6)
+        assert result.rounds >= result.probe_rounds
+
+
+class TestQuality:
+    def test_constant_stretch(self):
+        inst = planted_instance(96, 96, 0.5, 24, rng=7)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out, _ = run_large_radius_engine(oracle, 0.5, 24, rng=8)
+        rep = evaluate(out, inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.stretch <= 8.0
+
+    def test_output_domain(self):
+        inst = planted_instance(64, 64, 0.5, 20, rng=9)
+        oracle = ProbeOracle(inst)
+        out, _ = run_large_radius_engine(oracle, 0.5, 20, rng=10)
+        assert np.isin(out, (0, 1, WILDCARD)).all()
+        assert out.shape == (64, 64)
+
+    def test_all_players_agree_per_community(self):
+        inst = planted_instance(96, 96, 0.5, 24, rng=11)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out, _ = run_large_radius_engine(oracle, 0.5, 24, rng=12)
+        rows = out[comm.members]
+        agree = (rows == rows[0]).all(axis=1).mean()
+        assert agree >= 0.9

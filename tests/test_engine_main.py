@@ -1,0 +1,72 @@
+"""Tests for the distributed Fig. 1 dispatcher and §6 unknown-D programs."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import find_preferences, find_preferences_unknown_d
+from repro.core.params import Params
+from repro.engine import (
+    MainCoins,
+    UnknownDCoins,
+    run_find_preferences_engine,
+    run_find_preferences_unknown_d_engine,
+)
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import planted_instance
+
+
+class TestMainCoins:
+    def test_branch_dispatch(self):
+        assert MainCoins.draw(64, 64, 0.5, 0, rng=0).branch == "zero_radius"
+        assert MainCoins.draw(64, 64, 0.5, 2, rng=0).branch == "small_radius"
+        assert MainCoins.draw(64, 64, 0.5, 32, rng=0).branch == "large_radius"
+
+    def test_branch_threshold_uses_params(self):
+        p = Params.practical().with_overrides(lr_small_d_c=0.1)
+        assert MainCoins.draw(64, 64, 0.5, 3, params=p, rng=0).branch == "large_radius"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MainCoins.draw(8, 8, 0.0, 0)
+        with pytest.raises(ValueError):
+            MainCoins.draw(8, 8, 0.5, -1)
+
+
+class TestDispatcherEquivalence:
+    @pytest.mark.parametrize("D", [0, 2, 24])
+    def test_bitwise_all_branches(self, D):
+        inst = planted_instance(64, 64, 0.5, D, rng=D + 3)
+        o1 = ProbeOracle(inst)
+        g = find_preferences(o1, 0.5, D, rng=99)
+        o2 = ProbeOracle(inst)
+        e, result = run_find_preferences_engine(o2, 0.5, D, rng=99)
+        assert np.array_equal(g.outputs, e)
+        assert np.array_equal(o1.stats().per_player, o2.stats().per_player)
+        assert result.probe_rounds == g.rounds
+
+
+class TestUnknownDEquivalence:
+    def test_bitwise(self):
+        inst = planted_instance(48, 48, 0.5, 2, rng=8)
+        o1 = ProbeOracle(inst)
+        g = find_preferences_unknown_d(o1, 0.5, rng=77, d_max=4)
+        o2 = ProbeOracle(inst)
+        e, result = run_find_preferences_unknown_d_engine(o2, 0.5, rng=77, d_max=4)
+        assert np.array_equal(g.outputs, e)
+        assert np.array_equal(o1.stats().per_player, o2.stats().per_player)
+        assert result.probe_rounds == g.rounds
+
+    def test_coins_schedule_matches_global(self):
+        coins = UnknownDCoins.draw(32, 32, 0.5, rng=5, d_max=8)
+        assert coins.schedule == [0, 1, 2, 4, 8]
+        assert len(coins.versions) == 5
+        assert len(coins.player_rngs) == 32
+
+    def test_quality(self):
+        inst = planted_instance(48, 48, 0.5, 2, rng=21)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out, _ = run_find_preferences_unknown_d_engine(oracle, 0.5, rng=22, d_max=4)
+        rep = evaluate(out, inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.discrepancy <= 5 * max(comm.diameter, 1)

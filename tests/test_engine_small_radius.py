@@ -1,0 +1,86 @@
+"""Tests for the player-local Small Radius program (engine twin of Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.params import Params
+from repro.core.small_radius import small_radius
+from repro.core.zero_radius import NO_OUTPUT
+from repro.engine import SmallRadiusCoins, run_small_radius_engine
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import planted_instance
+
+
+class TestSmallRadiusCoins:
+    def test_draw_shapes(self):
+        coins = SmallRadiusCoins.draw(np.arange(32), 32, 0.5, 2, n_global=32, rng=0, K=2)
+        assert coins.K == 2
+        assert len(coins.parts) == 2
+        for parts, trees in zip(coins.parts, coins.trees):
+            assert len(parts) == len(trees)
+            covered = np.sort(np.concatenate(parts))
+            assert covered.size <= 32  # empty parts dropped, others disjoint
+            assert np.unique(covered).size == covered.size
+
+    def test_deterministic(self):
+        a = SmallRadiusCoins.draw(np.arange(32), 32, 0.5, 2, n_global=32, rng=5, K=2)
+        b = SmallRadiusCoins.draw(np.arange(32), 32, 0.5, 2, n_global=32, rng=5, K=2)
+        for pa, pb in zip(a.parts, b.parts):
+            for x, y in zip(pa, pb):
+                assert np.array_equal(x, y)
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("seed,D", [(7, 2), (13, 1), (29, 3)])
+    def test_matches_global(self, seed, D):
+        inst = planted_instance(48, 48, 0.5, D, rng=seed)
+        players, objects = np.arange(48), np.arange(48)
+        o1 = ProbeOracle(inst)
+        global_out = small_radius(o1, players, objects, 0.5, D, rng=seed + 50, K=2)
+        o2 = ProbeOracle(inst)
+        engine_out, result = run_small_radius_engine(
+            o2, players, objects, 0.5, D, rng=seed + 50, K=2
+        )
+        assert np.array_equal(global_out, engine_out)
+        assert np.array_equal(o1.stats().per_player, o2.stats().per_player)
+        assert result.probe_rounds == o1.stats().rounds
+
+    def test_object_subset(self):
+        inst = planted_instance(40, 64, 0.5, 2, rng=3)
+        players = np.arange(40)
+        objects = np.arange(8, 40)
+        o1 = ProbeOracle(inst)
+        g = small_radius(o1, players, objects, 0.5, 2, rng=9, K=2)
+        o2 = ProbeOracle(inst)
+        e, _ = run_small_radius_engine(o2, players, objects, 0.5, 2, rng=9, K=2)
+        assert np.array_equal(g, e)
+
+
+class TestQuality:
+    def test_error_bound_holds(self):
+        inst = planted_instance(48, 48, 0.5, 2, rng=11)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out, _ = run_small_radius_engine(
+            oracle, np.arange(48), np.arange(48), 0.5, 2, rng=12, K=2
+        )
+        rep = evaluate(out.astype(np.int8), inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.discrepancy <= 10
+
+    def test_lockstep_rounds_upper_bound_probe_rounds(self):
+        inst = planted_instance(48, 48, 0.5, 2, rng=14)
+        oracle = ProbeOracle(inst)
+        _, result = run_small_radius_engine(
+            oracle, np.arange(48), np.arange(48), 0.5, 2, rng=15, K=2
+        )
+        assert result.rounds >= result.probe_rounds
+
+    def test_non_participants_marked(self):
+        inst = planted_instance(48, 48, 1.0, 2, rng=16)
+        players = np.arange(0, 48, 2)
+        oracle = ProbeOracle(inst)
+        out, _ = run_small_radius_engine(
+            oracle, players, np.arange(48), 1.0, 2, rng=17, K=2
+        )
+        assert (out[np.arange(1, 48, 2)] == NO_OUTPUT).all()

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment modules' internal helpers.
+
+The experiments themselves run end-to-end in the benchmark suite; these
+tests pin down the helper functions that construct their workloads and
+measurements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.exp_lemma41 import _low_diameter_set
+from repro.experiments.exp_rselect import _adversarial_case
+from repro.experiments.exp_select import _make_case
+from repro.experiments.exp_coalesce import _clustered_multiset
+from repro.experiments.exp_svd_breakdown import _sv_gap
+from repro.metrics.hamming import diameter, hamming, hamming_to_each
+
+
+class TestSelectCase:
+    @pytest.mark.parametrize("k,D", [(2, 0), (4, 3), (8, 10)])
+    def test_one_candidate_within_d(self, k, D):
+        gen = np.random.default_rng(0)
+        for _ in range(10):
+            hidden, cands = _make_case(k, 64, D, gen)
+            assert cands.shape == (k, 64)
+            assert hamming_to_each(hidden, cands).min() <= D
+
+
+class TestRSelectCase:
+    def test_best_candidate_at_d_min(self):
+        gen = np.random.default_rng(1)
+        hidden, cands = _adversarial_case(4, 256, 8, gen)
+        dists = hamming_to_each(hidden, cands)
+        assert dists.min() <= 8
+        # decoys strictly worse
+        assert np.sort(dists)[1] > 8
+
+    def test_k_rows(self):
+        gen = np.random.default_rng(2)
+        _, cands = _adversarial_case(6, 128, 4, gen)
+        assert cands.shape[0] == 6
+
+
+class TestLemma41Set:
+    def test_diameter_bounded(self):
+        gen = np.random.default_rng(3)
+        for d in (4, 9, 16):
+            V = _low_diameter_set(30, 256, d, gen)
+            assert diameter(V) <= d
+
+    def test_disagreements_concentrated(self):
+        gen = np.random.default_rng(4)
+        V = _low_diameter_set(30, 512, 8, gen)
+        differing = np.flatnonzero((V != V[0]).any(axis=0))
+        assert differing.size <= 2 * 8  # window of 2d coords
+
+
+class TestClusteredMultiset:
+    def test_vt_within_d(self):
+        gen = np.random.default_rng(5)
+        V, vt_idx = _clustered_multiset(40, 64, 6, 0.5, 1, gen)
+        assert diameter(V[vt_idx]) <= 6
+        assert vt_idx.size == 20
+
+
+class TestSvGap:
+    def test_rank_one_matrix_has_huge_gap(self):
+        row = np.random.default_rng(6).integers(0, 2, 64, dtype=np.int8)
+        m = np.tile(row, (64, 1))
+        assert _sv_gap(m, 1) > 100
+
+    def test_random_matrix_has_no_gap(self):
+        m = np.random.default_rng(7).integers(0, 2, (64, 64), dtype=np.int8)
+        assert _sv_gap(m, 4) < 3

@@ -1,0 +1,80 @@
+"""Tests for the experiment harness and the cheap experiments.
+
+The heavy experiments (E1, E4, E6, E8–E12) are exercised by the
+benchmark suite; here we test the harness machinery and run the cheap
+ones end-to-end.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments.harness import ExperimentResult, register
+from repro.utils.tables import Table
+
+
+class TestHarness:
+    def test_all_experiments_registered(self):
+        core = {f"E{i}" for i in range(1, 13)}
+        extensions = {"X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"}
+        assert set(REGISTRY) == core | extensions
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("E1")(lambda **kw: None)
+
+    def test_render_contains_checks(self):
+        t = Table("t", ["a"])
+        t.add(a=1)
+        res = ExperimentResult(
+            experiment="EX", claim="c", table=t, passed=False,
+            checks={"good": True, "bad": False}, notes="note",
+        )
+        out = res.render()
+        assert "check good: PASS" in out
+        assert "check bad: FAIL" in out
+        assert "overall: FAIL" in out
+        assert "note" in out
+
+
+class TestCheapExperiments:
+    def test_e2_select(self):
+        res = run_experiment("E2", quick=True, seed=3)
+        assert res.passed
+        assert len(res.table.rows) == 9
+
+    def test_e5_coalesce(self):
+        res = run_experiment("E5", quick=True, seed=3)
+        assert res.passed
+
+    def test_e7_rselect(self):
+        res = run_experiment("E7", quick=True, seed=3)
+        assert res.passed
+
+    def test_e3_lemma41_small(self):
+        res = run_experiment("E3", quick=True, seed=3)
+        assert res.passed
+        probs = res.table.column("success_prob")
+        assert all(0 <= p <= 1 for p in probs)
+
+    def test_results_have_tables_and_claims(self):
+        res = run_experiment("E2", quick=True, seed=0)
+        assert res.claim
+        assert res.table.rows
+        assert res.experiment == "E2"
+
+    def test_x2_dynamic(self):
+        res = run_experiment("X2", quick=True, seed=3)
+        assert res.passed
+
+    def test_x4_engine(self):
+        res = run_experiment("X4", quick=True, seed=3)
+        assert res.passed
+        assert all(r["bitwise_equal"] for r in res.table.rows)
+
+    def test_x5_confidence(self):
+        res = run_experiment("X5", quick=True, seed=3)
+        assert res.passed

@@ -1,0 +1,67 @@
+"""Tests for the Byzantine-player extension."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.zero_radius import NO_OUTPUT
+from repro.extensions.byzantine import run_zero_radius_with_byzantine
+from repro.workloads.planted import planted_instance
+
+
+class TestRunWithByzantine:
+    def test_zero_fraction_matches_honest_run(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=0)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out, bad, result = run_zero_radius_with_byzantine(oracle, 0.5, 0.0, rng=1)
+        assert not bad.any()
+        assert np.array_equal(out[comm.members], inst.prefs[comm.members])
+
+    def test_fraction_materialised(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=2)
+        oracle = ProbeOracle(inst)
+        _, bad, _ = run_zero_radius_with_byzantine(oracle, 0.5, 0.25, rng=3)
+        assert bad.sum() == 16
+
+    def test_small_fraction_honest_members_recover(self):
+        inst = planted_instance(128, 128, 0.5, 0, rng=4)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        out, bad, _ = run_zero_radius_with_byzantine(oracle, 0.5, 0.1, rng=5)
+        honest = [p for p in comm.members if not bad[p]]
+        assert (out[honest] == inst.prefs[honest]).all()
+
+    def test_majority_liars_break_recovery(self):
+        inst = planted_instance(128, 128, 0.5, 0, rng=6)
+        comm = inst.main_community()
+        errs_max = 0
+        for seed in (7, 8):
+            oracle = ProbeOracle(inst)
+            out, bad, _ = run_zero_radius_with_byzantine(oracle, 0.5, 0.7, rng=seed)
+            honest = [p for p in comm.members if not bad[p]]
+            errs = (out[honest] != inst.prefs[honest]).sum(axis=1)
+            errs_max = max(errs_max, int(errs.max()))
+        assert errs_max > 0
+
+    def test_all_players_produce_output(self):
+        inst = planted_instance(64, 64, 0.5, 0, rng=9)
+        oracle = ProbeOracle(inst)
+        out, _, result = run_zero_radius_with_byzantine(oracle, 0.5, 0.25, rng=10)
+        assert not (out == NO_OUTPUT).any()
+        assert len(result.outputs) == 64
+
+    def test_liars_cost_extra_select_probes_only(self):
+        inst = planted_instance(128, 128, 0.5, 0, rng=11)
+        o_clean = ProbeOracle(inst)
+        _, _, clean = run_zero_radius_with_byzantine(o_clean, 0.5, 0.0, rng=12)
+        o_dirty = ProbeOracle(inst)
+        _, _, dirty = run_zero_radius_with_byzantine(o_dirty, 0.5, 0.2, rng=12)
+        assert dirty.probe_rounds <= 2 * clean.probe_rounds
+
+    def test_fraction_validation(self):
+        oracle = ProbeOracle(np.zeros((8, 8), dtype=np.int8))
+        with pytest.raises(ValueError):
+            run_zero_radius_with_byzantine(oracle, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            run_zero_radius_with_byzantine(oracle, 0.5, -0.1)

@@ -1,0 +1,94 @@
+"""Tests for the good-object extension (reference [4]) and its workload."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.extensions.good_object import good_object_protocol, solo_good_object
+from repro.workloads.sparse import sparse_likes_instance
+
+
+class TestSparseLikesWorkload:
+    def test_common_object_liked_by_all_members(self):
+        inst, common = sparse_likes_instance(64, 128, 0.5, 0.01, rng=0)
+        members = inst.main_community().members
+        assert (inst.prefs[members, common] == 1).all()
+        assert members.size >= 32
+
+    def test_sparsity(self):
+        inst, _ = sparse_likes_instance(64, 256, 0.25, 2 / 256, rng=1)
+        assert inst.prefs.mean() < 0.05
+
+    def test_zero_like_prob(self):
+        inst, common = sparse_likes_instance(32, 64, 0.5, 0.0, rng=2)
+        members = inst.main_community().members
+        # only the common object is liked, only by members
+        assert inst.prefs.sum() == members.size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparse_likes_instance(0, 10, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            sparse_likes_instance(10, 10, 0.5, 1.5)
+
+
+class TestProtocol:
+    def _instance(self, seed=3):
+        return sparse_likes_instance(96, 384, 0.5, 2 / 384, rng=seed)
+
+    def test_members_always_satisfied(self):
+        inst, _ = self._instance()
+        oracle = ProbeOracle(inst.prefs)
+        res = good_object_protocol(oracle, rng=4)
+        members = inst.main_community().members
+        assert res.satisfied[members].all()
+
+    def test_found_objects_are_liked(self):
+        inst, _ = self._instance(5)
+        oracle = ProbeOracle(inst.prefs)
+        res = good_object_protocol(oracle, rng=6)
+        done = np.flatnonzero(res.satisfied)
+        assert (inst.prefs[done, res.found[done]] == 1).all()
+
+    def test_probe_accounting_consistent(self):
+        inst, _ = self._instance(7)
+        oracle = ProbeOracle(inst.prefs)
+        res = good_object_protocol(oracle, rng=8)
+        assert res.total_probes == oracle.stats().total
+
+    def test_hater_never_satisfied(self):
+        # A player liking nothing terminates unsatisfied without hanging.
+        prefs = np.zeros((4, 16), dtype=np.int8)
+        prefs[0, 3] = 1
+        oracle = ProbeOracle(prefs)
+        res = good_object_protocol(oracle, rng=9)
+        assert res.found[0] == 3
+        assert (res.found[1:] == -1).all()
+
+    def test_max_rounds_cap(self):
+        prefs = np.zeros((4, 64), dtype=np.int8)
+        oracle = ProbeOracle(prefs)
+        res = good_object_protocol(oracle, max_rounds=5, rng=10)
+        assert res.rounds <= 5
+        assert not res.satisfied.any()
+
+    def test_explore_prob_validation(self):
+        oracle = ProbeOracle(np.zeros((2, 4), dtype=np.int8))
+        with pytest.raises(ValueError):
+            good_object_protocol(oracle, explore_prob=0.0)
+
+    def test_protocol_beats_solo_on_large_sharing_set(self):
+        inst, _ = sparse_likes_instance(128, 512, 0.75, 1 / 512, rng=11)
+        o1 = ProbeOracle(inst.prefs)
+        proto = good_object_protocol(o1, rng=12)
+        o2 = ProbeOracle(inst.prefs)
+        solo = solo_good_object(o2, rng=13)
+        assert proto.total_probes < solo.total_probes
+
+    def test_solo_never_uses_recommendations(self):
+        # With explore_prob=1.0 the trajectory is identical whether or
+        # not other players post: probes are all uniform exploration.
+        inst, _ = self._instance(14)
+        oracle = ProbeOracle(inst.prefs)
+        res = solo_good_object(oracle, rng=15)
+        assert res.total_probes > 0

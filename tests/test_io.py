@@ -1,0 +1,95 @@
+"""Tests for npz archiving of instances and run results."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import find_preferences
+from repro.io import load_instance, load_run, save_instance, save_run
+from repro.workloads.planted import planted_instance
+
+
+class TestInstanceRoundTrip:
+    def test_prefs_exact(self, tmp_path):
+        inst = planted_instance(32, 40, 0.5, 2, rng=0)
+        p = save_instance(tmp_path / "inst.npz", inst)
+        loaded = load_instance(p)
+        assert np.array_equal(loaded.prefs, inst.prefs)
+        assert loaded.name == inst.name
+
+    def test_communities_roundtrip(self, tmp_path):
+        inst = planted_instance(32, 40, 0.25, 4, n_communities=2, rng=1)
+        loaded = load_instance(save_instance(tmp_path / "i.npz", inst))
+        assert len(loaded.communities) == 2
+        for a, b in zip(inst.communities, loaded.communities):
+            assert np.array_equal(a.members, b.members)
+            assert a.diameter == b.diameter
+            assert a.label == b.label
+            assert np.array_equal(a.center, b.center)
+
+    def test_instance_without_communities(self, tmp_path):
+        from repro.model.instance import Instance
+
+        inst = Instance(prefs=np.zeros((3, 3), dtype=np.int8), name="bare")
+        loaded = load_instance(save_instance(tmp_path / "bare.npz", inst))
+        assert loaded.communities == []
+
+    def test_suffix_added(self, tmp_path):
+        inst = planted_instance(8, 8, 0.5, 0, rng=2)
+        p = save_instance(tmp_path / "noext", inst)
+        assert p.suffix == ".npz"
+        assert load_instance(p).shape == (8, 8)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        inst = planted_instance(8, 8, 0.5, 0, rng=3)
+        oracle = ProbeOracle(inst)
+        run = find_preferences(oracle, 0.5, 0, rng=4)
+        p = save_run(tmp_path / "run.npz", run)
+        with pytest.raises(ValueError):
+            load_instance(p)
+
+
+class TestRunRoundTrip:
+    def _run(self):
+        inst = planted_instance(32, 32, 0.5, 0, rng=5)
+        oracle = ProbeOracle(inst)
+        return find_preferences(oracle, 0.5, 0, rng=6)
+
+    def test_outputs_and_stats(self, tmp_path):
+        run = self._run()
+        loaded = load_run(save_run(tmp_path / "r.npz", run))
+        assert np.array_equal(loaded.outputs, run.outputs)
+        assert np.array_equal(loaded.stats.per_player, run.stats.per_player)
+        assert loaded.algorithm == run.algorithm
+        assert loaded.rounds == run.rounds
+
+    def test_meta_scalars_kept(self, tmp_path):
+        run = self._run()
+        run.meta["note"] = "hello"
+        run.meta["unpicklable"] = object()  # silently dropped
+        loaded = load_run(save_run(tmp_path / "r.npz", run))
+        assert loaded.meta["note"] == "hello"
+        assert "unpicklable" not in loaded.meta
+        assert loaded.meta["alpha"] == 0.5
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        inst = planted_instance(8, 8, 0.5, 0, rng=7)
+        p = save_instance(tmp_path / "i.npz", inst)
+        with pytest.raises(ValueError):
+            load_run(p)
+
+    def test_wildcard_outputs_roundtrip(self, tmp_path):
+        # Large Radius outputs may contain -1 wildcards; they must
+        # survive the archive byte-exactly.
+        from repro.core.large_radius import large_radius
+
+        inst = planted_instance(48, 48, 0.5, 16, rng=8)
+        oracle = ProbeOracle(inst)
+        from repro.billboard.accounting import ProbeStats
+        from repro.core.result import RunResult
+
+        out = large_radius(oracle, 0.5, 16, rng=9)
+        run = RunResult(outputs=out, stats=oracle.stats(), algorithm="large_radius")
+        loaded = load_run(save_run(tmp_path / "lr.npz", run))
+        assert np.array_equal(loaded.outputs, out)
+        assert loaded.outputs.dtype == out.dtype

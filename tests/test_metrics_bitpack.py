@@ -1,0 +1,90 @@
+"""Tests for bit-packed matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.bitpack import BitMatrix
+from repro.metrics.hamming import diameter, hamming_to_each, pairwise_hamming
+
+binary_matrix = arrays(
+    np.int8,
+    st.tuples(st.integers(1, 12), st.integers(1, 40)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestRoundTrip:
+    @given(binary_matrix)
+    @settings(max_examples=60)
+    def test_unpack_inverts_pack(self, m):
+        assert np.array_equal(BitMatrix(m).unpack(), m)
+
+    def test_row_access(self):
+        m = np.asarray([[0, 1, 1], [1, 0, 0]], dtype=np.int8)
+        bm = BitMatrix(m)
+        assert bm.row(1).tolist() == [1, 0, 0]
+
+    def test_row_out_of_range(self):
+        bm = BitMatrix(np.zeros((2, 3), dtype=np.int8))
+        with pytest.raises(IndexError):
+            bm.row(5)
+
+    def test_shape_and_compression(self):
+        bm = BitMatrix(np.zeros((10, 80), dtype=np.int8))
+        assert bm.shape == (10, 80)
+        assert bm.nbytes == 100  # 80 bits -> 10 bytes per row
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            BitMatrix(np.asarray([[2]]))
+
+    def test_equality(self):
+        m = np.asarray([[0, 1]], dtype=np.int8)
+        assert BitMatrix(m) == BitMatrix(m.copy())
+        assert BitMatrix(m) != BitMatrix(1 - m)
+
+
+class TestHammingOps:
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_hamming_to_row_matches_dense(self, m):
+        bm = BitMatrix(m)
+        for i in range(m.shape[0]):
+            assert np.array_equal(bm.hamming_to_row(i), hamming_to_each(m[i], m))
+
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_pairwise_matches_dense(self, m):
+        assert np.array_equal(BitMatrix(m).pairwise_hamming(), pairwise_hamming(m))
+
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_diameter_matches_dense(self, m):
+        assert BitMatrix(m).diameter() == diameter(m)
+
+    def test_hamming_to_vector(self):
+        m = np.asarray([[0, 0, 0], [1, 1, 1]], dtype=np.int8)
+        bm = BitMatrix(m)
+        assert bm.hamming_to_vector(np.asarray([0, 1, 0])).tolist() == [1, 2]
+
+    def test_hamming_to_vector_shape_check(self):
+        bm = BitMatrix(np.zeros((2, 3), dtype=np.int8))
+        with pytest.raises(ValueError):
+            bm.hamming_to_vector(np.zeros(4))
+
+    def test_hamming_to_row_range_check(self):
+        bm = BitMatrix(np.zeros((2, 3), dtype=np.int8))
+        with pytest.raises(IndexError):
+            bm.hamming_to_row(-1)
+
+    def test_single_row_diameter(self):
+        assert BitMatrix(np.ones((1, 9), dtype=np.int8)).diameter() == 0
+
+    def test_non_multiple_of_eight_width(self):
+        # padding bits must not leak into distances
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, (6, 13), dtype=np.int8)
+        assert np.array_equal(BitMatrix(m).pairwise_hamming(), pairwise_hamming(m))

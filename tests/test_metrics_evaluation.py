@@ -1,0 +1,106 @@
+"""Tests for discrepancy / stretch / evaluation reports (Section 1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.evaluation import EvaluationReport, discrepancy, errors, evaluate, stretch
+from repro.utils.validation import WILDCARD
+
+
+@pytest.fixture
+def truth():
+    return np.asarray([[0, 0, 0, 0], [1, 1, 1, 1], [0, 1, 0, 1]], dtype=np.int8)
+
+
+class TestErrors:
+    def test_exact(self, truth):
+        assert errors(truth.copy(), truth).tolist() == [0, 0, 0]
+
+    def test_counts_flips(self, truth):
+        out = truth.copy()
+        out[0, 0] ^= 1
+        out[1] ^= 1
+        assert errors(out, truth).tolist() == [1, 4, 0]
+
+    def test_wildcard_scored_as_zero(self, truth):
+        out = truth.copy()
+        out[0, :2] = WILDCARD  # truth row0 is zeros -> wildcards are free
+        out[1, 0] = WILDCARD  # truth row1 is ones -> wildcard-as-0 is an error
+        e = errors(out, truth)
+        assert e.tolist() == [0, 1, 0]
+
+    def test_wildcard_pessimistic_mode(self, truth):
+        out = truth.copy()
+        out[0, :2] = WILDCARD
+        e = errors(out, truth, wildcard_as_zero=False)
+        assert e[0] == 2
+
+    def test_shape_mismatch(self, truth):
+        with pytest.raises(ValueError):
+            errors(truth[:2], truth)
+
+
+class TestDiscrepancy:
+    def test_over_all(self, truth):
+        out = truth.copy()
+        out[2] ^= 1
+        assert discrepancy(out, truth) == 4
+
+    def test_over_members(self, truth):
+        out = truth.copy()
+        out[2] ^= 1
+        assert discrepancy(out, truth, members=[0, 1]) == 0
+
+    def test_empty_members_rejected(self, truth):
+        with pytest.raises(ValueError):
+            discrepancy(truth, truth, members=[])
+
+
+class TestStretch:
+    def test_zero_diameter_convention(self, truth):
+        same = np.tile(truth[0], (3, 1))
+        assert stretch(same.copy(), same, diam=0) == 0.0
+
+    def test_uses_given_diameter(self, truth):
+        out = truth.copy()
+        out[0, 0] ^= 1
+        assert stretch(out, truth, diam=2) == 0.5
+
+    def test_computes_diameter(self):
+        truth = np.asarray([[0, 0], [0, 1]], dtype=np.int8)  # diameter 1
+        out = np.asarray([[1, 1], [0, 1]], dtype=np.int8)  # worst error 2
+        assert stretch(out, truth) == 2.0
+
+
+class TestEvaluate:
+    def test_report_fields(self, truth):
+        out = truth.copy()
+        out[0, 0] ^= 1
+        rep = evaluate(out, truth, members=[0, 1], diam=4)
+        assert isinstance(rep, EvaluationReport)
+        assert rep.discrepancy == 1
+        assert rep.diameter == 4
+        assert rep.stretch == 0.25
+        assert rep.n_members == 2
+        assert rep.mean_error == 0.5
+        assert rep.max_error == 1
+
+    def test_default_members_all(self, truth):
+        rep = evaluate(truth.copy(), truth)
+        assert rep.n_members == 3
+        assert rep.discrepancy == 0
+
+    def test_median(self, truth):
+        out = truth.copy()
+        out[0] ^= 1
+        rep = evaluate(out, truth)
+        assert rep.median_error == 0.0
+
+    def test_empty_members_rejected(self, truth):
+        with pytest.raises(ValueError):
+            evaluate(truth, truth, members=np.asarray([], dtype=int))
+
+    def test_str_contains_stats(self, truth):
+        rep = evaluate(truth.copy(), truth)
+        s = str(rep)
+        assert "Δ=0" in s

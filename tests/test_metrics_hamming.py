@@ -1,0 +1,145 @@
+"""Tests for repro.metrics.hamming (unit + property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.hamming import (
+    _packed_diameter,
+    diameter,
+    hamming,
+    hamming_many,
+    hamming_to_each,
+    pairwise_hamming,
+)
+
+binary_matrix = arrays(
+    np.int8,
+    st.tuples(st.integers(1, 12), st.integers(1, 24)),
+    elements=st.integers(0, 1),
+)
+binary_pair = st.integers(1, 64).flatmap(
+    lambda L: st.tuples(
+        arrays(np.int8, L, elements=st.integers(0, 1)),
+        arrays(np.int8, L, elements=st.integers(0, 1)),
+    )
+)
+
+
+class TestHamming:
+    def test_identical(self):
+        v = np.asarray([0, 1, 1, 0])
+        assert hamming(v, v) == 0
+
+    def test_all_differ(self):
+        assert hamming(np.asarray([0, 0]), np.asarray([1, 1])) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming(np.asarray([0]), np.asarray([0, 1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            hamming(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    @given(binary_pair)
+    def test_symmetry(self, pair):
+        x, y = pair
+        assert hamming(x, y) == hamming(y, x)
+
+    @given(binary_pair)
+    def test_range(self, pair):
+        x, y = pair
+        assert 0 <= hamming(x, y) <= x.size
+
+    @given(st.integers(1, 64).flatmap(
+        lambda L: st.tuples(*[arrays(np.int8, L, elements=st.integers(0, 1))] * 3)
+    ))
+    def test_triangle_inequality(self, triple):
+        x, y, z = triple
+        assert hamming(x, z) <= hamming(x, y) + hamming(y, z)
+
+
+class TestHammingMany:
+    def test_rowwise(self):
+        xs = np.asarray([[0, 0], [1, 1]])
+        ys = np.asarray([[0, 1], [1, 1]])
+        assert hamming_many(xs, ys).tolist() == [1, 0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_many(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestHammingToEach:
+    def test_basic(self):
+        v = np.asarray([0, 1])
+        m = np.asarray([[0, 1], [1, 0], [0, 0]])
+        assert hamming_to_each(v, m).tolist() == [0, 2, 1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_to_each(np.asarray([0, 1, 0]), np.zeros((2, 2)))
+
+    @given(binary_matrix)
+    def test_matches_scalar(self, m):
+        v = m[0]
+        expected = [hamming(v, row) for row in m]
+        assert hamming_to_each(v, m).tolist() == expected
+
+
+class TestPairwise:
+    def test_small_exact(self):
+        m = np.asarray([[0, 0, 1], [1, 0, 1], [1, 1, 0]])
+        d = pairwise_hamming(m)
+        assert d[0, 1] == 1
+        assert d[0, 2] == 3
+        assert d[1, 2] == 2
+
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_symmetric_zero_diag(self, m):
+        d = pairwise_hamming(m)
+        assert np.array_equal(d, d.T)
+        assert (np.diag(d) == 0).all()
+
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_matches_bruteforce(self, m):
+        d = pairwise_hamming(m)
+        n = m.shape[0]
+        for i in range(n):
+            for j in range(n):
+                assert d[i, j] == hamming(m[i], m[j])
+
+
+class TestDiameter:
+    def test_empty_and_single(self):
+        assert diameter(np.empty((0, 5))) == 0
+        assert diameter(np.asarray([[0, 1, 0]])) == 0
+
+    def test_identical_rows(self):
+        assert diameter(np.tile(np.asarray([0, 1], dtype=np.int8), (5, 1))) == 0
+
+    def test_known(self):
+        m = np.asarray([[0, 0, 0], [1, 1, 1], [0, 1, 0]])
+        assert diameter(m) == 3
+
+    @given(binary_matrix)
+    @settings(max_examples=30)
+    def test_equals_pairwise_max(self, m):
+        assert diameter(m) == int(pairwise_hamming(m).max(initial=0))
+
+    def test_packed_path_agrees(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, size=(50, 70), dtype=np.int8)
+        assert _packed_diameter(m) == int(pairwise_hamming(m).max())
+
+    def test_large_input_uses_packed_path(self):
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, 2, size=(1030, 16), dtype=np.int8)
+        # Just exercises the packed branch (n > 1024) for consistency.
+        d = diameter(m)
+        assert 0 < d <= 16

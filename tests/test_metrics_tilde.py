@@ -1,0 +1,126 @@
+"""Tests for the wildcard-aware d̃ metric (Notation 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.hamming import hamming
+from repro.metrics.tilde import (
+    ball_sizes,
+    tilde_ball,
+    tilde_dist,
+    tilde_dist_to_each,
+    tilde_pairwise,
+    wildcard_count,
+)
+from repro.utils.validation import WILDCARD
+
+value_matrix = arrays(
+    np.int8,
+    st.tuples(st.integers(1, 10), st.integers(1, 20)),
+    elements=st.sampled_from([0, 1, WILDCARD]),
+)
+value_pair = st.integers(1, 48).flatmap(
+    lambda L: st.tuples(
+        arrays(np.int8, L, elements=st.sampled_from([0, 1, WILDCARD])),
+        arrays(np.int8, L, elements=st.sampled_from([0, 1, WILDCARD])),
+    )
+)
+
+
+class TestTildeDist:
+    def test_matches_hamming_without_wildcards(self):
+        x = np.asarray([0, 1, 1, 0], dtype=np.int8)
+        y = np.asarray([1, 1, 0, 0], dtype=np.int8)
+        assert tilde_dist(x, y) == hamming(x, y) == 2
+
+    def test_wildcard_never_counts(self):
+        x = np.asarray([WILDCARD, 1], dtype=np.int8)
+        y = np.asarray([0, 0], dtype=np.int8)
+        assert tilde_dist(x, y) == 1
+
+    def test_both_wildcard(self):
+        x = np.asarray([WILDCARD], dtype=np.int8)
+        assert tilde_dist(x, x) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            tilde_dist(np.asarray([0]), np.asarray([0, 1]))
+
+    @given(value_pair)
+    def test_symmetry(self, pair):
+        x, y = pair
+        assert tilde_dist(x, y) == tilde_dist(y, x)
+
+    @given(value_pair)
+    def test_upper_bounded_by_hamming_on_binary(self, pair):
+        # Replacing any entry with "?" can only decrease d̃.
+        x, y = pair
+        bx = np.where(x == WILDCARD, 0, x).astype(np.int8)
+        by = np.where(y == WILDCARD, 0, y).astype(np.int8)
+        assert tilde_dist(x, y) <= hamming(bx, by)
+
+    @given(value_pair, st.integers(0, 47))
+    def test_adding_wildcard_monotone(self, pair, idx):
+        x, y = pair
+        idx = idx % x.size
+        d_before = tilde_dist(x, y)
+        x2 = x.copy()
+        x2[idx] = WILDCARD
+        assert tilde_dist(x2, y) <= d_before
+
+
+class TestTildeVectorized:
+    @given(value_matrix)
+    @settings(max_examples=40)
+    def test_to_each_matches_scalar(self, m):
+        v = m[0]
+        expected = [tilde_dist(v, row) for row in m]
+        assert tilde_dist_to_each(v, m).tolist() == expected
+
+    @given(value_matrix)
+    @settings(max_examples=40)
+    def test_pairwise_matches_scalar(self, m):
+        d = tilde_pairwise(m)
+        for i in range(m.shape[0]):
+            for j in range(m.shape[0]):
+                assert d[i, j] == tilde_dist(m[i], m[j])
+
+    def test_pairwise_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            tilde_pairwise(np.asarray([[3]]))
+
+
+class TestBalls:
+    def test_ball_includes_self(self):
+        m = np.asarray([[0, 1], [1, 1]], dtype=np.int8)
+        assert 0 in tilde_ball(m[0], m, 0)
+
+    def test_ball_radius(self):
+        m = np.asarray([[0, 0], [0, 1], [1, 1]], dtype=np.int8)
+        assert tilde_ball(m[0], m, 1).tolist() == [0, 1]
+
+    def test_ball_negative_radius(self):
+        with pytest.raises(ValueError):
+            tilde_ball(np.asarray([0]), np.asarray([[0]]), -1)
+
+    def test_ball_sizes(self):
+        m = np.asarray([[0, 0], [0, 0], [1, 1]], dtype=np.int8)
+        assert ball_sizes(m, 0).tolist() == [2, 2, 1]
+
+    @given(value_matrix, st.integers(0, 5))
+    @settings(max_examples=30)
+    def test_sizes_match_balls(self, m, r):
+        sizes = ball_sizes(m, r)
+        for i in range(m.shape[0]):
+            assert sizes[i] == tilde_ball(m[i], m, r).size
+
+
+class TestWildcardCount:
+    def test_zero(self):
+        assert wildcard_count(np.asarray([0, 1, 0])) == 0
+
+    def test_counts(self):
+        assert wildcard_count(np.asarray([WILDCARD, 1, WILDCARD])) == 2

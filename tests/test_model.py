@@ -1,0 +1,110 @@
+"""Tests for repro.model (Community, Instance)."""
+
+import numpy as np
+import pytest
+
+from repro.model.community import Community
+from repro.model.instance import Instance
+
+
+class TestCommunity:
+    def test_members_sorted_and_typed(self):
+        c = Community(members=np.asarray([3, 1, 2]), diameter=0)
+        assert c.members.tolist() == [1, 2, 3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Community(members=np.asarray([], dtype=int), diameter=0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Community(members=np.asarray([1, 1]), diameter=0)
+
+    def test_rejects_negative_diameter(self):
+        with pytest.raises(ValueError):
+            Community(members=np.asarray([0]), diameter=-1)
+
+    def test_size_and_alpha(self):
+        c = Community(members=np.arange(25), diameter=2)
+        assert c.size == 25
+        assert c.alpha(100) == 0.25
+
+    def test_alpha_rejects_bad_n(self):
+        c = Community(members=np.asarray([0]), diameter=0)
+        with pytest.raises(ValueError):
+            c.alpha(0)
+
+    def test_contains(self):
+        c = Community(members=np.asarray([2, 5, 9]), diameter=0)
+        assert c.contains(5)
+        assert not c.contains(3)
+        assert not c.contains(100)
+
+    def test_equality_and_hash(self):
+        a = Community(members=np.asarray([1, 2]), diameter=3, label="x")
+        b = Community(members=np.asarray([2, 1]), diameter=3, label="x")
+        c = Community(members=np.asarray([1, 2]), diameter=4, label="x")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_center_stored_as_int8(self):
+        c = Community(members=np.asarray([0]), diameter=0, center=np.asarray([0.0, 1.0]))
+        assert c.center.dtype == np.int8
+
+
+class TestInstance:
+    def _prefs(self):
+        return np.asarray([[0, 1, 0], [0, 1, 0], [1, 0, 1], [1, 1, 1]], dtype=np.int8)
+
+    def test_shape_properties(self):
+        inst = Instance(prefs=self._prefs())
+        assert inst.n_players == 4
+        assert inst.n_objects == 3
+        assert inst.shape == (4, 3)
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            Instance(prefs=np.asarray([[2, 0]]))
+
+    def test_rejects_out_of_range_community(self):
+        comm = Community(members=np.asarray([10]), diameter=0)
+        with pytest.raises(ValueError):
+            Instance(prefs=self._prefs(), communities=[comm])
+
+    def test_main_community_is_largest(self):
+        c1 = Community(members=np.asarray([0]), diameter=0, label="a")
+        c2 = Community(members=np.asarray([1, 2]), diameter=3, label="b")
+        inst = Instance(prefs=self._prefs(), communities=[c1, c2])
+        assert inst.main_community().label == "b"
+
+    def test_main_community_requires_one(self):
+        inst = Instance(prefs=self._prefs())
+        with pytest.raises(ValueError):
+            inst.main_community()
+
+    def test_community_alpha(self):
+        c = Community(members=np.asarray([0, 1]), diameter=0)
+        inst = Instance(prefs=self._prefs(), communities=[c])
+        assert inst.community_alpha() == 0.5
+
+    def test_measured_diameter(self):
+        c = Community(members=np.asarray([0, 1]), diameter=0)
+        inst = Instance(prefs=self._prefs(), communities=[c])
+        assert inst.measured_diameter(c) == 0
+        c2 = Community(members=np.asarray([0, 2]), diameter=3)
+        inst2 = Instance(prefs=self._prefs(), communities=[c2])
+        assert inst2.measured_diameter(c2) == 3
+
+    def test_restrict_objects(self):
+        c = Community(members=np.asarray([0, 2]), diameter=3)
+        inst = Instance(prefs=self._prefs(), communities=[c])
+        sub = inst.restrict_objects(np.asarray([0, 2]))
+        assert sub.shape == (4, 2)
+        assert sub.communities[0].diameter == 2
+
+    def test_restrict_objects_keeps_center_slice(self):
+        c = Community(members=np.asarray([0]), diameter=0, center=np.asarray([0, 1, 0]))
+        inst = Instance(prefs=self._prefs(), communities=[c])
+        sub = inst.restrict_objects(np.asarray([1]))
+        assert sub.communities[0].center.tolist() == [1]

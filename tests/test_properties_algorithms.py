@@ -1,0 +1,121 @@
+"""Cross-cutting property-based tests of the algorithm tower.
+
+These complement the per-module unit tests with invariants that must
+hold on *arbitrary* small inputs: output domains, determinism, cost
+sanity, and consistency between the metrics and the algorithms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.coalesce import coalesce
+from repro.core.main import find_preferences
+from repro.core.params import Params
+from repro.core.small_radius import small_radius
+from repro.core.zero_radius import NO_OUTPUT, PrimitiveSpace, zero_radius
+from repro.metrics.evaluation import discrepancy, stretch
+from repro.metrics.tilde import tilde_dist
+from repro.utils.validation import WILDCARD
+from repro.workloads.planted import planted_instance
+
+# Small but non-trivial instance shapes.
+shapes = st.tuples(st.integers(8, 40), st.integers(8, 40))
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestZeroRadiusProperties:
+    @given(shapes, seeds, st.sampled_from([0.5, 1.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_output_domain_and_coverage(self, shape, seed, alpha):
+        n, m = shape
+        inst = planted_instance(n, m, alpha, 0, rng=seed)
+        oracle = ProbeOracle(inst)
+        space = PrimitiveSpace(oracle, np.arange(m))
+        out = zero_radius(space, np.arange(n), alpha, n_global=n, rng=seed + 1)
+        # all players covered, all values binary
+        assert not (out == NO_OUTPUT).any()
+        assert np.isin(out, (0, 1)).all()
+
+    @given(shapes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_total_work_at_most_solo(self, shape, seed):
+        # Zero Radius never does more *total* work than everyone probing
+        # everything (leaves partition the object space; selects add
+        # candidate-bounded extras, bounded by the vote cap).
+        n, m = shape
+        inst = planted_instance(n, m, 1.0, 0, rng=seed)
+        oracle = ProbeOracle(inst)
+        space = PrimitiveSpace(oracle, np.arange(m))
+        zero_radius(space, np.arange(n), 1.0, n_global=n, rng=seed + 1)
+        assert oracle.stats().total <= 2 * n * m
+
+
+class TestSmallRadiusProperties:
+    @given(seeds, st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_output_domain(self, seed, D):
+        n = 32
+        inst = planted_instance(n, n, 0.5, D, rng=seed)
+        oracle = ProbeOracle(inst)
+        out = small_radius(oracle, np.arange(n), np.arange(n), 0.5, D, rng=seed + 1, K=2)
+        assert np.isin(out, (0, 1)).all()
+
+
+class TestMainDispatchProperties:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_outputs_always_full_shape(self, seed):
+        inst = planted_instance(24, 24, 0.5, 0, rng=seed)
+        oracle = ProbeOracle(inst)
+        res = find_preferences(oracle, 0.5, 0, rng=seed + 1)
+        assert res.outputs.shape == (24, 24)
+        assert res.stats.per_player.shape == (24,)
+        assert (res.stats.per_player >= 0).all()
+
+
+class TestCoalesceProperties:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(4, 20),
+        st.integers(4, 24),
+        st.integers(0, 4),
+        st.sampled_from([0.3, 0.5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_on_arbitrary_multisets(self, seed, M, L, D, alpha):
+        gen = np.random.default_rng(seed)
+        V = gen.integers(0, 2, (M, L), dtype=np.int8)
+        res = coalesce(V, D, alpha)
+        # output values legal
+        assert np.isin(res.vectors, (0, 1, WILDCARD)).all()
+        # no two outputs within the merge radius
+        for i in range(res.size):
+            for j in range(i + 1, res.size):
+                assert tilde_dist(res.vectors[i], res.vectors[j]) > 5 * D
+        # determinism
+        assert np.array_equal(res.vectors, coalesce(V, D, alpha).vectors)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_cover_never_larger_than_one_over_alpha(self, seed):
+        gen = np.random.default_rng(seed)
+        V = gen.integers(0, 2, (16, 12), dtype=np.int8)
+        res = coalesce(V, 2, 0.25)
+        assert res.cover.shape[0] <= 4
+        assert res.size <= 4
+
+
+class TestMetricAlgorithmConsistency:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_stretch_definition(self, seed):
+        inst = planted_instance(24, 24, 0.5, 2, rng=seed)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        res = find_preferences(oracle, 0.5, 2, rng=seed + 1)
+        d = discrepancy(res.outputs, inst.prefs, comm.members)
+        s = stretch(res.outputs, inst.prefs, comm.members, diam=comm.diameter)
+        assert s == d / max(comm.diameter, 1)

@@ -1,0 +1,62 @@
+"""Tests for the reproduction-report builder."""
+
+import pytest
+
+from repro.cli import main
+from repro.reporting import ReproductionReport, build_report, render_markdown, write_report
+
+
+class TestBuildReport:
+    def test_subset(self):
+        report = build_report(["E2", "E5"], quick=True, seed=2)
+        assert [r.experiment for r in report.results] == ["E2", "E5"]
+        assert report.n_passed == 2
+        assert report.all_passed
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_report(["E99"])
+
+    def test_quick_flag_recorded(self):
+        report = build_report(["E5"], quick=True, seed=3)
+        assert report.quick
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        report = build_report(["E2"], quick=True, seed=2)
+        md = render_markdown(report)
+        assert md.startswith("# Reproduction report")
+        assert "| E2 |" in md
+        assert "## E2" in md
+        assert "```" in md
+        assert "✅" in md
+
+    def test_failed_check_rendered(self):
+        from repro.experiments.harness import ExperimentResult
+        from repro.utils.tables import Table
+
+        t = Table("t", ["a"])
+        t.add(a=1)
+        fake = ExperimentResult(experiment="EX", claim="c", table=t, passed=False,
+                                checks={"bad": False})
+        report = ReproductionReport(results=[fake])
+        md = render_markdown(report)
+        assert "FAIL" in md and "❌" in md
+        assert not report.all_passed
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "r.md"
+        report = write_report(out, ["E5"], quick=True, seed=4)
+        assert out.exists()
+        assert report.all_passed
+        assert "E5" in out.read_text()
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        out = tmp_path / "cli.md"
+        code = main(["report", "--out", str(out), "--experiments", "E5", "--seed", "2"])
+        assert code == 0
+        assert out.exists()
+        assert "1/1 experiments passed" in capsys.readouterr().out

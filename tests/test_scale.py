@@ -1,0 +1,54 @@
+"""Larger-scale smoke tests (gated behind REPRO_SCALE=1).
+
+The regular suite keeps instances small for speed; these runs exercise
+the sizes the experiments actually use and the memory-sensitive code
+paths (bit-packed diameter, big batched probes).  Enable with::
+
+    REPRO_SCALE=1 pytest tests/test_scale.py
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.billboard.oracle import ProbeOracle
+from repro.metrics.bitpack import BitMatrix
+from repro.metrics.hamming import diameter
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE", "0") != "1",
+    reason="scale tests enabled with REPRO_SCALE=1",
+)
+
+
+class TestScale:
+    def test_zero_radius_2048(self):
+        inst = repro.planted_instance(2048, 2048, 0.5, 0, rng=0)
+        oracle = ProbeOracle(inst)
+        res = repro.find_preferences(oracle, 0.5, 0, rng=1)
+        rep = repro.evaluate(res.outputs, inst.prefs, inst.main_community().members)
+        assert rep.discrepancy == 0
+        assert res.rounds < 64
+
+    def test_packed_diameter_large(self):
+        gen = np.random.default_rng(2)
+        m = gen.integers(0, 2, (2000, 512), dtype=np.int8)
+        assert diameter(m) == BitMatrix(m).diameter()
+
+    def test_small_radius_1024(self):
+        inst = repro.planted_instance(1024, 1024, 0.5, 2, rng=3)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        res = repro.find_preferences(oracle, 0.5, 2, rng=4)
+        rep = repro.evaluate(res.outputs, inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.discrepancy <= 10
+
+    def test_large_radius_1024(self):
+        inst = repro.planted_instance(1024, 1024, 0.5, 100, rng=5)
+        comm = inst.main_community()
+        oracle = ProbeOracle(inst)
+        res = repro.find_preferences(oracle, 0.5, 100, rng=6)
+        rep = repro.evaluate(res.outputs, inst.prefs, comm.members, diam=comm.diameter)
+        assert rep.stretch <= 8.0

@@ -1,0 +1,81 @@
+"""Seeded statistical tests: empirical failure rates vs theory.
+
+These run many independent trials (fixed base seeds, so deterministic)
+and compare empirical rates against the concentration analysis — the
+"w.h.p." spine of every theorem.  Thresholds are deliberately loose;
+the goal is catching *systematic* regressions (a broken vote threshold,
+a mis-scaled constant), not re-proving the bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import zero_radius_vote_failure_bound
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import find_preferences
+from repro.core.params import Params
+from repro.core.rselect import rselect
+from repro.metrics.evaluation import evaluate
+from repro.workloads.planted import planted_instance
+
+
+class TestZeroRadiusReliability:
+    TRIALS = 30
+
+    def _failure_rate(self, n, alpha, params):
+        fails = 0
+        for seed in range(self.TRIALS):
+            inst = planted_instance(n, n, alpha, 0, rng=1000 + seed)
+            oracle = ProbeOracle(inst)
+            res = find_preferences(oracle, alpha, 0, params=params, rng=2000 + seed)
+            rep = evaluate(res.outputs, inst.prefs, inst.main_community().members)
+            fails += rep.discrepancy > 0
+        return fails / self.TRIALS
+
+    def test_practical_constants_reliable_on_planted(self):
+        rate = self._failure_rate(256, 0.25, Params.practical())
+        assert rate <= 0.1
+
+    def test_robust_constants_more_reliable_than_tiny_leaf(self):
+        tiny = self._failure_rate(128, 0.25, Params.practical().with_overrides(zr_leaf_c=0.5))
+        robust = self._failure_rate(128, 0.25, Params.robust())
+        assert robust <= tiny
+
+    def test_reliability_improves_with_n(self):
+        # The w.h.p. guarantee strengthens with n; allow equality (both
+        # may be 0 at these sizes).
+        small = self._failure_rate(64, 0.25, Params.practical())
+        large = self._failure_rate(512, 0.25, Params.practical())
+        assert large <= small + 0.05
+
+
+class TestChernoffPredictionDirection:
+    def test_vote_bound_orders_constants(self):
+        # The analytic per-vote bound must order the empirical rates of
+        # the leaf-constant ablation (X1's premise).
+        bounds = [zero_radius_vote_failure_bound(c, 0.25, 512) for c in (1.0, 2.0, 5.0)]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+
+class TestRSelectReliability:
+    def test_tournament_failure_rate(self):
+        # Pr[far decoy survives] decays with the per-pair sample count;
+        # at c*log2(1024)=20 probes per pair the empirical rate over 50
+        # trials should be 0 for decoys at 10x the true distance.
+        gen = np.random.default_rng(5)
+        failures = 0
+        for _ in range(50):
+            hidden = gen.integers(0, 2, 300, dtype=np.int8)
+            near = hidden.copy()
+            near[gen.choice(300, 10, replace=False)] ^= 1
+            far = hidden.copy()
+            far[gen.choice(300, 120, replace=False)] ^= 1
+            cands = np.stack([far, near])
+
+            def probe(j):
+                return int(hidden[j])
+
+            out = rselect(cands, probe, 1024, rng=gen)
+            if out.index == 0:
+                failures += 1
+        assert failures == 0

@@ -1,0 +1,83 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_first(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_float_compact(self):
+        out = format_table(["x"], [[123456.0]])
+        assert "1.23e+05" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_nan(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_zero(self):
+        out = format_table(["x"], [[0.0]])
+        assert out.splitlines()[-1].strip() == "0"
+
+    def test_wrong_row_width_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("title", ["n", "err"])
+        t.add(n=10, err=0.5)
+        t.add(n=20, err=0.25)
+        out = t.render()
+        assert "title" in out
+        assert "10" in out and "20" in out
+
+    def test_unknown_column_rejected(self):
+        t = Table("t", ["a"])
+        with pytest.raises(KeyError):
+            t.add(b=1)
+
+    def test_missing_cell_renders_dash(self):
+        t = Table("t", ["a", "b"])
+        t.add(a=1)
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_column_accessor(self):
+        t = Table("t", ["a", "b"])
+        t.add(a=1, b=2)
+        t.add(a=3, b=4)
+        assert t.column("a") == [1, 3]
+
+    def test_column_unknown(self):
+        t = Table("t", ["a"])
+        with pytest.raises(KeyError):
+            t.column("z")
+
+    def test_extend(self):
+        t = Table("t", ["a"])
+        t.extend([{"a": 1}, {"a": 2}])
+        assert len(t.rows) == 2
+
+    def test_str_same_as_render(self):
+        t = Table("t", ["a"])
+        t.add(a=1)
+        assert str(t) == t.render()

@@ -1,0 +1,110 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    WILDCARD,
+    check_alpha,
+    check_binary_matrix,
+    check_fraction,
+    check_nonneg_int,
+    check_pos_int,
+    check_value_matrix,
+)
+
+
+class TestIntChecks:
+    def test_pos_int_accepts_positive(self):
+        assert check_pos_int(3, "x") == 3
+
+    def test_pos_int_accepts_numpy_int(self):
+        assert check_pos_int(np.int32(5), "x") == 5
+
+    def test_pos_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_pos_int(0, "x")
+
+    def test_pos_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_pos_int(-2, "x")
+
+    def test_pos_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_pos_int(True, "x")
+
+    def test_pos_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_pos_int(2.0, "x")
+
+    def test_nonneg_accepts_zero(self):
+        assert check_nonneg_int(0, "x") == 0
+
+    def test_nonneg_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonneg_int(-1, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_pos_int(-1, "myparam")
+
+
+class TestFractionChecks:
+    def test_accepts_one(self):
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f")
+
+    def test_inclusive_low_accepts_zero(self):
+        assert check_fraction(0.0, "f", inclusive_low=True) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.01, "f")
+
+    def test_alpha_requires_one_player(self):
+        with pytest.raises(ValueError):
+            check_alpha(0.001, n=100)
+
+    def test_alpha_ok_without_n(self):
+        assert check_alpha(0.001) == 0.001
+
+    def test_alpha_boundary(self):
+        assert check_alpha(0.01, n=100) == 0.01
+
+
+class TestMatrixChecks:
+    def test_binary_ok(self):
+        out = check_binary_matrix(np.asarray([[0, 1], [1, 0]]))
+        assert out.dtype == np.int8
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_binary_rejects_wildcard(self):
+        with pytest.raises(ValueError):
+            check_binary_matrix(np.asarray([[0, WILDCARD]]))
+
+    def test_binary_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_binary_matrix(np.asarray([0, 1]))
+
+    def test_binary_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            check_binary_matrix(np.asarray([[0, 2]]))
+
+    def test_binary_empty_ok(self):
+        out = check_binary_matrix(np.empty((0, 4)))
+        assert out.shape == (0, 4)
+
+    def test_value_matrix_accepts_wildcard(self):
+        out = check_value_matrix(np.asarray([[0, 1, WILDCARD]]))
+        assert out.dtype == np.int8
+
+    def test_value_matrix_rejects_two(self):
+        with pytest.raises(ValueError):
+            check_value_matrix(np.asarray([[2]]))
+
+    def test_wildcard_is_minus_one(self):
+        # The whole library encodes "?" as -1; lock it down.
+        assert WILDCARD == -1

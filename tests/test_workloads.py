@@ -1,0 +1,192 @@
+"""Tests for workload generators (planted, nested, mixtures, adversarial, noise)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.hamming import diameter
+from repro.workloads.adversarial import adversarial_instance, anti_spectral_instance
+from repro.workloads.mixtures import mixture_instance
+from repro.workloads.noise import flip_noise
+from repro.workloads.planted import nested_instance, planted_instance
+
+
+class TestPlanted:
+    def test_shape_and_labels(self):
+        inst = planted_instance(50, 40, 0.5, 2, rng=0)
+        assert inst.shape == (50, 40)
+        assert len(inst.communities) == 1
+        assert inst.communities[0].label == "community-0"
+
+    def test_community_size_at_least_alpha_n(self):
+        inst = planted_instance(100, 100, 0.3, 0, rng=1)
+        assert inst.main_community().size >= 30
+
+    @given(
+        st.integers(10, 60),
+        st.integers(10, 60),
+        st.sampled_from([0.25, 0.5, 1.0]),
+        st.integers(0, 8),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_planted_diameter_within_target(self, n, m, alpha, D, seed):
+        inst = planted_instance(n, m, alpha, D, rng=seed)
+        comm = inst.main_community()
+        measured = diameter(inst.prefs[comm.members])
+        assert measured <= D
+        assert comm.diameter == measured
+
+    def test_d_zero_members_identical(self):
+        inst = planted_instance(30, 30, 0.5, 0, rng=2)
+        rows = inst.prefs[inst.main_community().members]
+        assert (rows == rows[0]).all()
+
+    def test_multiple_communities_disjoint(self):
+        inst = planted_instance(100, 50, 0.25, 2, n_communities=3, rng=3)
+        assert len(inst.communities) == 3
+        all_members = np.concatenate([c.members for c in inst.communities])
+        assert np.unique(all_members).size == all_members.size
+
+    def test_too_many_communities_rejected(self):
+        with pytest.raises(ValueError):
+            planted_instance(10, 10, 0.5, 0, n_communities=3, rng=0)
+
+    def test_unique_background(self):
+        inst = planted_instance(60, 60, 0.25, 0, background="unique", rng=4)
+        assert inst.shape == (60, 60)
+
+    def test_unknown_background_rejected(self):
+        with pytest.raises(ValueError):
+            planted_instance(10, 10, 0.5, 0, background="weird")
+
+    def test_reproducible(self):
+        a = planted_instance(30, 30, 0.5, 2, rng=9)
+        b = planted_instance(30, 30, 0.5, 2, rng=9)
+        assert np.array_equal(a.prefs, b.prefs)
+
+    def test_custom_name(self):
+        inst = planted_instance(10, 10, 0.5, 0, rng=0, name="custom")
+        assert inst.name == "custom"
+
+
+class TestNested:
+    def test_rings_nested(self):
+        inst = nested_instance(80, 60, [2, 8], [0.3, 0.6], rng=5)
+        rings = {c.label: c for c in inst.communities}
+        inner = set(rings["ring-0"].members.tolist())
+        outer = set(rings["ring-1"].members.tolist())
+        assert inner <= outer
+
+    def test_ring_diameters_bounded(self):
+        inst = nested_instance(80, 60, [2, 8], [0.3, 0.6], rng=6)
+        for c, radius in zip(inst.communities, [2, 8]):
+            assert c.diameter <= radius
+
+    def test_rejects_nonincreasing_radii(self):
+        with pytest.raises(ValueError):
+            nested_instance(20, 20, [8, 2], [0.3, 0.6])
+
+    def test_rejects_nonincreasing_fractions(self):
+        with pytest.raises(ValueError):
+            nested_instance(20, 20, [2, 8], [0.6, 0.3])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            nested_instance(20, 20, [2], [0.3, 0.6])
+
+
+class TestMixture:
+    def test_every_type_inhabited(self):
+        inst = mixture_instance(40, 40, 5, rng=7)
+        assert len(inst.communities) == 5
+        assert all(c.size >= 1 for c in inst.communities)
+
+    def test_zero_noise_types_exact(self):
+        inst = mixture_instance(40, 64, 3, noise=0.0, rng=8)
+        for c in inst.communities:
+            assert c.diameter == 0
+            assert (inst.prefs[c.members] == c.center).all()
+
+    def test_noise_grows_diameter(self):
+        inst = mixture_instance(60, 128, 2, noise=0.2, rng=9)
+        assert max(c.diameter for c in inst.communities) > 0
+
+    def test_weights_respected(self):
+        inst = mixture_instance(200, 30, 2, weights=[0.9, 0.1], rng=10)
+        sizes = sorted(c.size for c in inst.communities)
+        assert sizes[1] > sizes[0] * 3
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            mixture_instance(10, 10, 2, weights=[1.0])
+        with pytest.raises(ValueError):
+            mixture_instance(10, 10, 2, weights=[-1.0, 2.0])
+
+    def test_more_types_than_players_rejected(self):
+        with pytest.raises(ValueError):
+            mixture_instance(3, 10, 5)
+
+    def test_type_separation(self):
+        inst = mixture_instance(20, 64, 4, min_type_distance=16, rng=11)
+        from repro.metrics.hamming import pairwise_hamming
+
+        centers = np.asarray([c.center for c in inst.communities])
+        d = pairwise_hamming(centers)
+        off = d[~np.eye(4, dtype=bool)]
+        assert off.min() >= 16
+
+    def test_impossible_separation_rejected(self):
+        with pytest.raises(ValueError):
+            mixture_instance(10, 8, 2, min_type_distance=20)
+
+
+class TestAdversarial:
+    def test_community_planted(self):
+        inst = adversarial_instance(100, 60, 0.3, 4, decoys=2, rng=12)
+        comm = inst.main_community()
+        assert comm.size >= 30
+        assert comm.diameter <= 4
+
+    def test_decoys_below_popularity_threshold(self):
+        inst = adversarial_instance(100, 60, 0.3, 4, decoys=2, rng=13)
+        decoys = [c for c in inst.communities if c.label.startswith("decoy")]
+        assert len(decoys) == 2
+        threshold = int(np.floor(0.3 * 100 / 5))
+        assert all(d.size < threshold for d in decoys)
+
+    def test_population_limit(self):
+        with pytest.raises(ValueError):
+            adversarial_instance(10, 10, 0.9, 2, decoys=20)
+
+    def test_anti_spectral_name(self):
+        inst = anti_spectral_instance(50, 50, 0.5, 4, rng=14)
+        assert inst.name.startswith("anti_spectral")
+        assert inst.main_community().diameter <= 4
+
+
+class TestNoise:
+    def test_zero_noise_identity(self):
+        base = planted_instance(30, 30, 0.5, 0, rng=15)
+        noisy = flip_noise(base, 0.0, rng=0)
+        assert np.array_equal(base.prefs, noisy.prefs)
+
+    def test_full_flip_complements(self):
+        base = planted_instance(20, 20, 0.5, 0, rng=16)
+        flipped = flip_noise(base, 1.0, rng=0)
+        assert np.array_equal(flipped.prefs, 1 - base.prefs)
+
+    def test_diameters_remeasured(self):
+        base = planted_instance(40, 100, 0.5, 0, rng=17)
+        noisy = flip_noise(base, 0.2, rng=1)
+        assert noisy.main_community().diameter > 0
+
+    def test_membership_preserved(self):
+        base = planted_instance(40, 40, 0.5, 2, rng=18)
+        noisy = flip_noise(base, 0.1, rng=2)
+        assert np.array_equal(base.main_community().members, noisy.main_community().members)
+
+    def test_name_annotated(self):
+        base = planted_instance(10, 10, 0.5, 0, rng=19)
+        assert "noise" in flip_noise(base, 0.1, rng=3).name

@@ -1,0 +1,83 @@
+"""Tests for dynamic (drifting) preference workloads."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.hamming import hamming
+from repro.workloads.dynamic import DynamicInstance, track_preferences
+
+
+class TestDynamicInstance:
+    def test_planted_construction(self):
+        dyn = DynamicInstance.planted(64, 64, 0.5, 0, drift=4, rng=0)
+        assert dyn.epoch == 0
+        assert dyn.instance.shape == (64, 64)
+
+    def test_step_advances_epoch(self):
+        dyn = DynamicInstance.planted(32, 32, 0.5, 0, drift=2, rng=1)
+        dyn.step()
+        assert dyn.epoch == 1
+        assert "epoch1" in dyn.instance.name
+
+    def test_drift_moves_center_by_drift(self):
+        dyn = DynamicInstance.planted(32, 64, 0.5, 0, drift=5, rng=2)
+        before = dyn.instance.main_community().center.copy()
+        dyn.step()
+        after = dyn.instance.main_community().center
+        assert hamming(before, after) == 5
+
+    def test_members_follow_center(self):
+        # D=0: members stay exactly on the (moving) center.
+        dyn = DynamicInstance.planted(32, 64, 0.5, 0, drift=5, rng=3)
+        dyn.step()
+        comm = dyn.instance.main_community()
+        rows = dyn.instance.prefs[comm.members]
+        assert (rows == comm.center).all()
+        assert comm.diameter == 0
+
+    def test_diameter_preserved_under_drift(self):
+        dyn = DynamicInstance.planted(48, 96, 0.5, 6, drift=10, rng=4)
+        d0 = dyn.instance.main_community().diameter
+        for _ in range(3):
+            dyn.step()
+        assert dyn.instance.main_community().diameter == d0
+
+    def test_zero_drift_is_identity(self):
+        dyn = DynamicInstance.planted(32, 32, 0.5, 0, drift=0, rng=5)
+        before = dyn.instance.prefs.copy()
+        dyn.step()
+        assert np.array_equal(dyn.instance.prefs, before)
+
+    def test_outsiders_also_drift(self):
+        dyn = DynamicInstance.planted(32, 64, 0.5, 0, drift=4, rng=6)
+        members = set(dyn.instance.main_community().members.tolist())
+        outsiders = [p for p in range(32) if p not in members]
+        before = dyn.instance.prefs[outsiders].copy()
+        dyn.step()
+        after = dyn.instance.prefs[outsiders]
+        assert (before != after).sum(axis=1).tolist() == [4] * len(outsiders)
+
+    def test_drift_validation(self):
+        with pytest.raises(ValueError):
+            DynamicInstance.planted(16, 16, 0.5, 0, drift=-1, rng=7)
+
+
+class TestTracking:
+    def test_history_length(self):
+        dyn = DynamicInstance.planted(64, 64, 0.5, 0, drift=4, rng=8)
+        history = track_preferences(dyn, 0.5, 0, epochs=3, rng=9)
+        assert len(history) == 3
+        assert dyn.epoch == 3
+
+    def test_each_epoch_scored_against_its_matrix(self):
+        dyn = DynamicInstance.planted(64, 64, 0.5, 0, drift=8, rng=10)
+        history = track_preferences(dyn, 0.5, 0, epochs=3, rng=11)
+        for inst, res in history:
+            comm = inst.main_community()
+            errs = (res.outputs[comm.members] != inst.prefs[comm.members]).sum(axis=1)
+            assert errs.max() == 0
+
+    def test_epochs_validation(self):
+        dyn = DynamicInstance.planted(16, 16, 0.5, 0, drift=1, rng=12)
+        with pytest.raises(ValueError):
+            track_preferences(dyn, 0.5, 0, epochs=0)

@@ -1,0 +1,64 @@
+"""Tests for the §2 probabilistic (Markov/type) workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.markov import markov_instance
+
+
+class TestMarkovInstance:
+    def test_shape_and_communities(self):
+        inst = markov_instance(60, 80, 3, rng=0)
+        assert inst.shape == (60, 80)
+        assert len(inst.communities) == 3
+        assert all(c.size >= 1 for c in inst.communities)
+
+    def test_large_type_diameters(self):
+        # Bernoulli sampling makes same-type rows genuinely far apart —
+        # the defining difference from the mixture workload.
+        inst = markov_instance(60, 256, 2, rng=1)
+        assert min(c.diameter for c in inst.communities) > 5
+
+    def test_core_objects_mostly_liked(self):
+        inst = markov_instance(100, 100, 1, core_size=20, core_like=0.95, rng=2)
+        comm = inst.communities[0]
+        core = np.flatnonzero(comm.center == 1)
+        assert core.size >= 20
+        like_rate = inst.prefs[:, core].mean()
+        assert like_rate > 0.8
+
+    def test_tail_sparse(self):
+        inst = markov_instance(100, 200, 1, core_size=0, tail_like=0.02, rng=3)
+        assert inst.prefs.mean() < 0.15
+
+    def test_weights_respected(self):
+        inst = markov_instance(200, 40, 2, weights=[0.9, 0.1], rng=4)
+        sizes = sorted(c.size for c in inst.communities)
+        assert sizes[1] > 3 * sizes[0]
+
+    def test_zipf_popularity_monotone(self):
+        # With zero cores, popular objects must be liked more often.
+        inst = markov_instance(400, 100, 1, core_size=0, tail_like=0.1, zipf_s=1.5, rng=5)
+        col_rates = inst.prefs.mean(axis=0)
+        top = np.sort(col_rates)[-10:].mean()
+        bottom = np.sort(col_rates)[:10].mean()
+        assert top > bottom
+
+    def test_reproducible(self):
+        a = markov_instance(30, 30, 2, rng=6)
+        b = markov_instance(30, 30, 2, rng=6)
+        assert np.array_equal(a.prefs, b.prefs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            markov_instance(5, 10, 8)
+        with pytest.raises(ValueError):
+            markov_instance(10, 10, 2, core_size=50)
+        with pytest.raises(ValueError):
+            markov_instance(10, 10, 2, zipf_s=-1)
+        with pytest.raises(ValueError):
+            markov_instance(10, 10, 2, weights=[1.0])
+
+    def test_every_type_inhabited(self):
+        inst = markov_instance(12, 20, 4, weights=[0.97, 0.01, 0.01, 0.01], rng=7)
+        assert all(c.size >= 1 for c in inst.communities)

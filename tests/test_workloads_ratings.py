@@ -1,0 +1,76 @@
+"""Tests for the ratings-import surface and community discovery."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.planted import planted_instance
+from repro.workloads.ratings import discover_communities, instance_from_ratings
+
+
+class TestInstanceFromRatings:
+    def test_thresholding(self):
+        ratings = np.asarray([[1.0, 5.0], [4.0, 2.0]])
+        inst = instance_from_ratings(ratings, threshold=3.0)
+        assert inst.prefs.tolist() == [[0, 1], [1, 0]]
+
+    def test_missing_zero(self):
+        ratings = np.asarray([[np.nan, 5.0]])
+        inst = instance_from_ratings(ratings, 3.0, missing="zero")
+        assert inst.prefs.tolist() == [[0, 1]]
+
+    def test_missing_one(self):
+        ratings = np.asarray([[np.nan, 1.0]])
+        inst = instance_from_ratings(ratings, 3.0, missing="one")
+        assert inst.prefs.tolist() == [[1, 0]]
+
+    def test_missing_majority(self):
+        ratings = np.asarray([[5.0], [5.0], [1.0], [np.nan]])
+        inst = instance_from_ratings(ratings, 3.0, missing="majority")
+        assert inst.prefs[3, 0] == 1
+
+    def test_custom_marker(self):
+        ratings = np.asarray([[-1.0, 5.0]])
+        inst = instance_from_ratings(ratings, 3.0, missing="one", missing_marker=-1.0)
+        assert inst.prefs.tolist() == [[1, 1]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            instance_from_ratings(np.zeros((0, 2)), 1.0)
+        with pytest.raises(ValueError):
+            instance_from_ratings(np.zeros(3), 1.0)
+        with pytest.raises(ValueError):
+            instance_from_ratings(np.zeros((2, 2)), 1.0, missing="weird")
+
+    def test_discovery_attached(self):
+        base = planted_instance(60, 40, 0.5, 2, rng=0)
+        ratings = np.where(base.prefs == 1, 5.0, 1.0)
+        inst = instance_from_ratings(ratings, 3.0, discover=True, discover_radius=2)
+        assert inst.communities
+        assert inst.main_community().size >= 30
+
+
+class TestDiscoverCommunities:
+    def test_recovers_planted_community(self):
+        base = planted_instance(80, 60, 0.5, 4, rng=1)
+        found = discover_communities(base.prefs, radius=4, min_frequency=0.3)
+        assert found
+        planted = set(base.main_community().members.tolist())
+        best = max(found, key=lambda c: len(planted & set(c.members.tolist())))
+        overlap = len(planted & set(best.members.tolist())) / len(planted)
+        assert overlap >= 0.8
+
+    def test_all_distinct_yields_nothing(self):
+        gen = np.random.default_rng(2)
+        prefs = gen.integers(0, 2, (30, 64), dtype=np.int8)
+        assert discover_communities(prefs, radius=1, min_frequency=0.3) == []
+
+    def test_diameter_bounded_by_twice_radius(self):
+        base = planted_instance(60, 60, 0.5, 4, rng=3)
+        for c in discover_communities(base.prefs, radius=4, min_frequency=0.2):
+            assert c.diameter <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            discover_communities(np.zeros((4, 4), dtype=np.int8), -1)
+        with pytest.raises(ValueError):
+            discover_communities(np.zeros((4, 4), dtype=np.int8), 2, min_frequency=0)

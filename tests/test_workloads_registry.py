@@ -1,0 +1,36 @@
+"""Tests for the named workload registry."""
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.workloads.registry import WORKLOADS, make_instance
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert {
+            "planted", "planted-unique", "mixture", "adversarial",
+            "anti-spectral", "markov",
+        } == set(WORKLOADS)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_factory_builds(self, name):
+        inst = make_instance(name, 48, 48, 0.25, 4, rng=1)
+        assert isinstance(inst, Instance)
+        assert inst.shape == (48, 48)
+        assert inst.communities
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_instance("nope", 10, 10, 0.5, 0)
+
+    def test_mixture_types_from_alpha(self):
+        inst = make_instance("mixture", 60, 60, 0.25, 0, rng=2)
+        assert len(inst.communities) == 4
+
+    def test_reproducible(self):
+        import numpy as np
+
+        a = make_instance("adversarial", 40, 40, 0.25, 2, rng=5)
+        b = make_instance("adversarial", 40, 40, 0.25, 2, rng=5)
+        assert np.array_equal(a.prefs, b.prefs)
