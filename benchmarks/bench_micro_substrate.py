@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.billboard.oracle import ProbeOracle
+from repro.billboard.trace import ProbeTrace
 from repro.core.coalesce import coalesce
 from repro.core.rselect import rselect
 from repro.core.select import select
@@ -71,6 +72,50 @@ def test_coalesce_kernel(benchmark):
     V = np.bitwise_xor(V, flips.astype(np.int8))
     out = benchmark(coalesce, V, 16, 0.5)
     assert out.size >= 1
+
+
+def _filled_trace(n_events: int, n_players: int = 1024) -> ProbeTrace:
+    rng = np.random.default_rng(6)
+    trace = ProbeTrace()
+    players = rng.integers(0, n_players, n_events).astype(np.intp)
+    objects = rng.integers(0, n_players, n_events).astype(np.intp)
+    values = rng.integers(0, 2, n_events).astype(np.int8)
+    charged = np.ones(n_events, dtype=bool)
+    for i in range(0, n_events, 512):
+        trace.record_batch(players[i : i + 512], objects[i : i + 512], values[i : i + 512], charged[i : i + 512])
+    return trace
+
+
+def test_trace_record_batches(benchmark):
+    """Appending 200k events in 512-probe batches (oracle-side cost)."""
+    rng = np.random.default_rng(7)
+    players = rng.integers(0, 1024, 200_000).astype(np.intp)
+    objects = rng.integers(0, 1024, 200_000).astype(np.intp)
+    values = rng.integers(0, 2, 200_000).astype(np.int8)
+    charged = np.ones(200_000, dtype=bool)
+
+    def record():
+        trace = ProbeTrace()
+        for i in range(0, 200_000, 512):
+            trace.record_batch(players[i : i + 512], objects[i : i + 512], values[i : i + 512], charged[i : i + 512])
+        return trace
+
+    out = benchmark(record)
+    assert len(out) == 200_000
+
+
+def test_trace_charged_counts(benchmark):
+    """Per-player attribution over a 200k-event trace (np.bincount path)."""
+    trace = _filled_trace(200_000)
+    counts = benchmark(trace.charged_counts, 1024)
+    assert int(counts.sum()) == 200_000
+
+
+def test_trace_events_for_player(benchmark):
+    """Single-player slice of a 200k-event trace (mask path)."""
+    trace = _filled_trace(200_000)
+    events = benchmark(trace.events_for_player, 3)
+    assert all(e.player == 3 for e in events)
 
 
 def test_zero_radius_end_to_end_512(benchmark):

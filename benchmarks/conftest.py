@@ -22,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.experiments import run_experiment
 
 #: Full sweeps when REPRO_FULL=1, quick sweeps otherwise.
@@ -33,15 +34,27 @@ REPORT_DIR = Path(__file__).parent / "reports" / ("quick" if QUICK else "full")
 
 
 def run_and_report(benchmark, experiment_id: str, seed: int = 1):
-    """Benchmark one experiment, archive and print its table, assert checks."""
-    result = benchmark.pedantic(
-        lambda: run_experiment(experiment_id, quick=QUICK, seed=seed),
-        iterations=1,
-        rounds=1,
+    """Benchmark one experiment, archive and print its table, assert checks.
+
+    Every bench run records telemetry: the JSONL run log and a rendered
+    per-phase cost profile land next to the experiment's report under
+    ``benchmarks/reports/``, so probe-cost regressions are diffable
+    artifacts, not folklore.
+    """
+    recorder = obs.Recorder(
+        meta={"command": "bench", "experiment": experiment_id, "quick": QUICK, "seed": seed}
     )
+
+    def run():
+        with obs.recording(recorder):
+            return run_experiment(experiment_id, quick=QUICK, seed=seed)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
     rendered = result.render()
     REPORT_DIR.mkdir(parents=True, exist_ok=True)
     (REPORT_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+    recorder.dump_jsonl(REPORT_DIR / f"{experiment_id}.telemetry.jsonl")
+    (REPORT_DIR / f"{experiment_id}.profile.txt").write_text(recorder.render() + "\n")
     print("\n" + rendered)
     assert result.passed, f"{experiment_id} shape checks failed:\n{rendered}"
     return result

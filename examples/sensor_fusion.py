@@ -42,17 +42,17 @@ def main() -> None:
     print(f"  true map diameter across sensors: {region.diameter}")
 
     oracle = repro.ProbeOracle(inst)
-    oracle.start_phase("mapping")
-    out = small_radius(
-        oracle,
-        np.arange(n_sensors),
-        np.arange(n_cells),
-        alpha=1.0,
-        D=local_variation,
-        rng=5,
-        K=2,
-    )
-    phase = oracle.finish_phase("mapping")
+    with oracle.phase("mapping"):
+        out = small_radius(
+            oracle,
+            np.arange(n_sensors),
+            np.arange(n_cells),
+            alpha=1.0,
+            D=local_variation,
+            rng=5,
+            K=2,
+        )
+    phase = oracle.ledger.get("mapping")
 
     report = repro.evaluate(out.astype(np.int8), inst.prefs, region.members, diam=region.diameter)
     print(f"\n  energy (probing rounds): {phase.rounds}  (solo mapping costs {n_cells})")

@@ -13,10 +13,14 @@ went (Zero Radius recursion vs Select calls vs the final stitch, etc.).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (oracle imports us)
+    from repro.billboard.oracle import ProbeOracle
 
 __all__ = ["ProbeStats", "PhaseLedger"]
 
@@ -66,6 +70,11 @@ class PhaseLedger:
         ...
         ledger.finish("zero_radius", snapshot)
 
+    or, exception-safe (the phase closes even if the body raises)::
+
+        with ledger.phase("zero_radius", oracle):
+            ...
+
     Repeated phases with the same name accumulate.
     """
 
@@ -91,6 +100,21 @@ class PhaseLedger:
             self._closed[phase] = delta
             self._order.append(phase)
         return ProbeStats(delta)
+
+    @contextmanager
+    def phase(self, name: str, oracle: "ProbeOracle") -> Iterator[None]:
+        """Attribute all probes charged inside the block to phase *name*.
+
+        Snapshots *oracle* on entry and exit; the phase is closed via
+        ``finally``, so an exception in the body (a budget trip, a
+        validation error) can never leak an open phase — the probes
+        spent before the raise still land in the ledger.
+        """
+        self.start(name, oracle.stats())
+        try:
+            yield
+        finally:
+            self.finish(name, oracle.stats())
 
     def phases(self) -> Iterator[tuple[str, ProbeStats]]:
         """Iterate closed phases in first-start order."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.utils.validation import WILDCARD
 
 __all__ = ["Billboard"]
@@ -78,12 +79,14 @@ class Billboard:
         arr = np.asarray(matrix)
         if arr.ndim != 2:
             raise ValueError(f"posted vectors must be 2-D, got shape {arr.shape}")
+        obs.incr("billboard.vector_posts")
         self._channels[channel] = np.array(arr, dtype=np.int16, copy=True)
 
     def read_vectors(self, channel: str) -> np.ndarray:
         """Read the matrix posted under *channel* (copy, so readers can't mutate)."""
         if channel not in self._channels:
             raise KeyError(f"no vectors posted under channel {channel!r}")
+        obs.incr("billboard.vector_reads")
         return self._channels[channel].copy()
 
     def has_channel(self, channel: str) -> bool:

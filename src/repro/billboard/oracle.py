@@ -21,8 +21,12 @@ Cost model fidelity:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
 import numpy as np
 
+from repro import obs
 from repro.billboard.accounting import PhaseLedger, ProbeStats
 from repro.billboard.board import Billboard
 from repro.billboard.exceptions import BudgetExceededError, ProbeError
@@ -99,6 +103,11 @@ class ProbeOracle:
                 raise BudgetExceededError(player, self.budget)
             self._counts[player] += 1
         value = int(self._prefs[player, obj])
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.counters.incr(
+                "oracle.probes_charged" if charged else "oracle.reprobes_uncharged"
+            )
         self.billboard.post_grades(np.asarray([player]), np.asarray([obj]), np.asarray([value], dtype=np.int8))
         if self._trace is not None:
             self._trace.record_batch(
@@ -146,6 +155,14 @@ class ProbeOracle:
                 raise BudgetExceededError(int(over[0]), self.budget)
         self._counts += add
 
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            n_charged = int(charged.sum())
+            recorder.counters.incr("oracle.probes_charged", n_charged)
+            if n_charged < players.size:
+                recorder.counters.incr("oracle.reprobes_uncharged", players.size - n_charged)
+            recorder.counters.incr("oracle.probe_batches")
+
         values = self._prefs[players, objects]
         self.billboard.post_grades(players, objects, values)
         if self._trace is not None:
@@ -176,12 +193,27 @@ class ProbeOracle:
         self._trace = trace
 
     def start_phase(self, name: str) -> None:
-        """Open a named accounting phase."""
+        """Open a named accounting phase (prefer :meth:`phase`)."""
         self.ledger.start(name, self.stats())
 
     def finish_phase(self, name: str) -> ProbeStats:
         """Close a named accounting phase, returning its probe delta."""
         return self.ledger.finish(name, self.stats())
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Exception-safe phase accounting, unified with run telemetry.
+
+        One ``with oracle.phase("small_radius/final_select"):`` block
+        both attributes the probes charged inside to the ledger phase
+        *name* (exactly like a ``start_phase``/``finish_phase`` pair,
+        but closed via ``finally`` so an exception cannot leak an open
+        phase) *and* emits an :mod:`repro.obs` span of the same name —
+        wall-clock timing plus probe deltas — when a recorder is active.
+        """
+        with obs.span(name, oracle=self):
+            with self.ledger.phase(name, self):
+                yield
 
     def __repr__(self) -> str:  # pragma: no cover - convenience
         return f"ProbeOracle(n={self.n_players}, m={self.n_objects}, total_probes={int(self._counts.sum())})"

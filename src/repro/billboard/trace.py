@@ -15,6 +15,16 @@ Attach one to a :class:`~repro.billboard.oracle.ProbeOracle` via
 
 Tracing is strictly observational: it never alters values, charging, or
 randomness.
+
+Storage is chunked-columnar NumPy: :meth:`record_batch` appends each
+batch's columns as-is (no per-element Python loop), and readers
+concatenate the chunks once, on demand, into cached contiguous columns.
+Appending invalidates the cache; consolidation also *replaces* the chunk
+list with the merged columns, so alternating append/read workloads stay
+amortised O(1) per event.  The analysis paths are pure NumPy:
+:meth:`charged_counts` is one ``np.bincount``, :meth:`events_for_player`
+a boolean-mask slice (see ``benchmarks/bench_micro_substrate.py`` for
+the throughput targets).
 """
 
 from __future__ import annotations
@@ -52,13 +62,13 @@ class ProbeEvent:
 
 
 class ProbeTrace:
-    """Append-only log of probe events (columnar storage for cheap slicing)."""
+    """Append-only log of probe events (chunked columnar storage)."""
 
     def __init__(self) -> None:
-        self._players: list[int] = []
-        self._objects: list[int] = []
-        self._values: list[int] = []
-        self._charged: list[bool] = []
+        # Chunks of (players, objects, values, charged) column arrays.
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._columns: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._n = 0
 
     # ------------------------------------------------------------------
     # recording (called by the oracle)
@@ -71,56 +81,94 @@ class ProbeTrace:
         charged: np.ndarray,
     ) -> None:
         """Append a batch of probe events in order."""
-        self._players.extend(int(p) for p in players)
-        self._objects.extend(int(o) for o in objects)
-        self._values.extend(int(v) for v in values)
-        self._charged.extend(bool(c) for c in charged)
+        players = np.array(players, dtype=np.intp, copy=True).ravel()
+        objects = np.array(objects, dtype=np.intp, copy=True).ravel()
+        values = np.array(values, dtype=np.int8, copy=True).ravel()
+        charged = np.array(charged, dtype=bool, copy=True).ravel()
+        if not (players.size == objects.size == values.size == charged.size):
+            raise ValueError("record_batch columns must be equal length")
+        if players.size == 0:
+            return
+        self._chunks.append((players, objects, values, charged))
+        self._columns = None
+        self._n += players.size
+
+    def _consolidated(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Contiguous columns over all events (cached until next append)."""
+        if self._columns is None:
+            if not self._chunks:
+                self._columns = (
+                    np.empty(0, dtype=np.intp),
+                    np.empty(0, dtype=np.intp),
+                    np.empty(0, dtype=np.int8),
+                    np.empty(0, dtype=bool),
+                )
+            elif len(self._chunks) == 1:
+                self._columns = self._chunks[0]
+            else:
+                merged = tuple(
+                    np.concatenate([chunk[i] for chunk in self._chunks]) for i in range(4)
+                )
+                # Future appends extend *past* the merged prefix instead
+                # of re-concatenating it from scratch.
+                self._chunks = [merged]
+                self._columns = merged
+        return self._columns
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._players)
+        return self._n
 
     def __getitem__(self, seq: int) -> ProbeEvent:
+        players, objects, values, charged = self._consolidated()
+        idx = seq if seq >= 0 else self._n + seq
+        if not (0 <= idx < self._n):
+            raise IndexError(f"event {seq} out of range for trace of {self._n} events")
         return ProbeEvent(
-            seq=seq if seq >= 0 else len(self) + seq,
-            player=self._players[seq],
-            obj=self._objects[seq],
-            value=self._values[seq],
-            charged=self._charged[seq],
+            seq=idx,
+            player=int(players[idx]),
+            obj=int(objects[idx]),
+            value=int(values[idx]),
+            charged=bool(charged[idx]),
         )
 
     def __iter__(self) -> Iterator[ProbeEvent]:
-        for i in range(len(self)):
-            yield self[i]
+        players, objects, values, charged = self._consolidated()
+        for i in range(self._n):
+            yield ProbeEvent(i, int(players[i]), int(objects[i]), int(values[i]), bool(charged[i]))
 
     def events_for_player(self, player: int) -> list[ProbeEvent]:
-        """All events of one player, in order."""
-        return [e for e in self if e.player == player]
+        """All events of one player, in order (mask slice, not a full scan)."""
+        players, objects, values, charged = self._consolidated()
+        idx = np.flatnonzero(players == player)
+        return [
+            ProbeEvent(int(i), player, int(objects[i]), int(values[i]), bool(charged[i]))
+            for i in idx
+        ]
 
     def charged_counts(self, n_players: int) -> np.ndarray:
         """Per-player charged-probe counts (must equal the oracle's stats)."""
-        counts = np.zeros(n_players, dtype=np.int64)
-        for p, c in zip(self._players, self._charged):
-            if c:
-                counts[p] += 1
-        return counts
+        players, _, _, charged = self._consolidated()
+        return np.bincount(players[charged], minlength=n_players).astype(np.int64)
 
     def replay_mask(self, n_players: int, n_objects: int) -> np.ndarray:
         """Reconstruct the revealed-entry mask from the event log."""
+        players, objects, _, _ = self._consolidated()
         mask = np.zeros((n_players, n_objects), dtype=bool)
-        if self._players:
-            mask[np.asarray(self._players), np.asarray(self._objects)] = True
+        if players.size:
+            mask[players, objects] = True
         return mask
 
     def as_arrays(self) -> dict[str, np.ndarray]:
         """Columnar dump (players, objects, values, charged)."""
+        players, objects, values, charged = self._consolidated()
         return {
-            "players": np.asarray(self._players, dtype=np.intp),
-            "objects": np.asarray(self._objects, dtype=np.intp),
-            "values": np.asarray(self._values, dtype=np.int8),
-            "charged": np.asarray(self._charged, dtype=bool),
+            "players": players.copy(),
+            "objects": objects.copy(),
+            "values": values.copy(),
+            "charged": charged.copy(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - convenience

@@ -1,29 +1,36 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro list                      # experiments + one-line claims
     python -m repro run E1 E4 --seed 3        # run experiments, print tables
     python -m repro demo --n 256 --alpha 0.5 --d 0
                                               # one algorithm run + report
+    python -m repro demo --n 256 --telemetry out.jsonl
+                                              # + record spans/counters
+    python -m repro obs summarize out.jsonl   # render a telemetry file
+    python -m repro report --out REPORT.md --telemetry
+                                              # Markdown report + JSONL
 
 ``run`` accepts ``--full`` for the full (slow) sweeps and ``--out DIR``
 to archive rendered reports (what the benchmark suite does via
-``benchmarks/reports/``).
+``benchmarks/reports/``).  ``--telemetry`` records the run through
+:mod:`repro.obs` (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.billboard.oracle import ProbeOracle
 from repro.core.main import find_preferences, find_preferences_unknown_d
 from repro.core.params import Params
 from repro.metrics.evaluation import evaluate
-from repro.workloads.planted import planted_instance
 
 __all__ = ["main", "build_parser"]
 
@@ -55,12 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--robust", action="store_true", help="use Params.robust() constants")
     demo.add_argument("--profile", action="store_true", help="print the per-phase cost breakdown")
     demo.add_argument("--seed", type=int, default=7, help="RNG seed")
+    demo.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="OUT.jsonl",
+        help="record run telemetry (spans, counters, events) to this JSONL file",
+    )
 
     report = sub.add_parser("report", help="run experiments and write a Markdown report")
     report.add_argument("--out", type=Path, default=Path("REPORT.md"), help="output file")
     report.add_argument("--experiments", nargs="*", default=None, help="subset of experiment ids")
     report.add_argument("--seed", type=int, default=1, help="base RNG seed")
     report.add_argument("--full", action="store_true", help="full (slow) sweeps")
+    report.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="archive run telemetry as <out>.telemetry.jsonl next to the report",
+    )
+
+    obs_cmd = sub.add_parser("obs", help="telemetry utilities")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser("summarize", help="render a telemetry JSONL file")
+    summarize.add_argument("file", type=Path, help="telemetry file written with --telemetry")
     return parser
 
 
@@ -107,14 +131,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     community = inst.main_community()
     oracle = ProbeOracle(inst)
     params = Params.robust() if args.robust else Params.practical()
-    oracle.start_phase("find_preferences")
-    if args.unknown_d:
-        result = find_preferences_unknown_d(
-            oracle, args.alpha, params=params, rng=args.seed + 1, d_max=max(args.d * 2, 4)
+    recorder = None
+    ctx: contextlib.AbstractContextManager = contextlib.nullcontext()
+    if args.telemetry is not None:
+        recorder = obs.Recorder(
+            meta={"command": "demo", "workload": args.workload, "n": args.n, "seed": args.seed}
         )
-    else:
-        result = find_preferences(oracle, args.alpha, args.d, params=params, rng=args.seed + 1)
-    oracle.finish_phase("find_preferences")
+        ctx = obs.recording(recorder)
+    with ctx:
+        with obs.span("demo", oracle=oracle, alpha=args.alpha, D=args.d):
+            with oracle.phase("find_preferences"):
+                if args.unknown_d:
+                    result = find_preferences_unknown_d(
+                        oracle, args.alpha, params=params, rng=args.seed + 1, d_max=max(args.d * 2, 4)
+                    )
+                else:
+                    result = find_preferences(oracle, args.alpha, args.d, params=params, rng=args.seed + 1)
     report = evaluate(result.outputs, inst.prefs, community.members, diam=community.diameter)
     print(f"instance   : {inst.name}")
     print(f"community  : {community.size} players, diameter {community.diameter}")
@@ -127,7 +159,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
         print()
         print(phase_breakdown(oracle).render())
+    if recorder is not None:
+        recorder.dump_jsonl(args.telemetry)
+        print(f"telemetry  : {args.telemetry} ({len(recorder.spans)} spans, "
+              f"{len(recorder.counters)} counters)")
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summarize":
+        try:
+            run = obs.load_jsonl(args.file)
+        except FileNotFoundError:
+            print(f"no such telemetry file: {args.file}")
+            return 2
+        except ValueError as exc:
+            print(f"cannot read {args.file}: {exc}")
+            return 2
+        print(obs.render_summary(run))
+        return 0
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")  # pragma: no cover
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -139,11 +190,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "report":
         from repro.reporting import write_report
 
         experiments = args.experiments or None
-        report = write_report(args.out, experiments, quick=not args.full, seed=args.seed)
+        telemetry = args.out.with_suffix(".telemetry.jsonl") if args.telemetry else None
+        report = write_report(
+            args.out, experiments, quick=not args.full, seed=args.seed, telemetry=telemetry
+        )
         print(f"wrote {args.out} — {report.n_passed}/{len(report.results)} experiments passed")
+        if telemetry is not None:
+            print(f"telemetry archived at {telemetry}")
         return 0 if report.all_passed else 1
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

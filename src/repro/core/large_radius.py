@@ -30,6 +30,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.billboard.oracle import ProbeOracle
 from repro.core.coalesce import coalesce
 from repro.core.params import Params
@@ -103,40 +104,40 @@ def large_radius(
     # Steps 2 + 3: per-group Small Radius, then Coalesce the posted outputs.
     # ------------------------------------------------------------------
     candidate_sets: list[np.ndarray] = []
-    oracle.start_phase("large_radius/groups")
-    for group, members in zip(groups, player_groups):
-        sr_out = small_radius(
-            oracle,
-            members,
-            group,
-            sr_alpha,
-            lam,
-            params=p,
-            rng=spawn(gen),
-            K=K,
-        )
-        posted = sr_out[members].astype(np.int8)
-        result = coalesce(posted, coalesce_D, sr_alpha)
-        cands = result.vectors
-        if cands.shape[0] == 0:
-            cands = _fallback_candidates(posted)
-        candidate_sets.append(cands)
-    oracle.finish_phase("large_radius/groups")
+    with oracle.phase("large_radius/groups"):
+        for group, members in zip(groups, player_groups):
+            sr_out = small_radius(
+                oracle,
+                members,
+                group,
+                sr_alpha,
+                lam,
+                params=p,
+                rng=spawn(gen),
+                K=K,
+            )
+            posted = sr_out[members].astype(np.int8)
+            result = coalesce(posted, coalesce_D, sr_alpha)
+            cands = result.vectors
+            if cands.shape[0] == 0:
+                obs.incr("coalesce.fallbacks")
+                cands = _fallback_candidates(posted)
+            obs.incr("coalesce.candidates", int(cands.shape[0]))
+            candidate_sets.append(cands)
 
     # ------------------------------------------------------------------
     # Step 4: Zero Radius over super-objects (one per group).
     # ------------------------------------------------------------------
-    oracle.start_phase("large_radius/stitch")
-    space = SuperObjectSpace(oracle, groups, candidate_sets, select_bound)
-    chosen = zero_radius(
-        space,
-        np.arange(n, dtype=np.intp),
-        alpha,
-        n_global=n,
-        params=p,
-        rng=spawn(gen),
-    )
-    oracle.finish_phase("large_radius/stitch")
+    with oracle.phase("large_radius/stitch"):
+        space = SuperObjectSpace(oracle, groups, candidate_sets, select_bound)
+        chosen = zero_radius(
+            space,
+            np.arange(n, dtype=np.intp),
+            alpha,
+            n_global=n,
+            params=p,
+            rng=spawn(gen),
+        )
 
     out = np.full((n, m), WILDCARD, dtype=np.int8)
     for l, group in enumerate(groups):

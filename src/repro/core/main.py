@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.billboard.exceptions import BudgetExceededError
 from repro.billboard.oracle import ProbeOracle
 from repro.core.large_radius import large_radius
@@ -60,17 +61,22 @@ def find_preferences(
     before = oracle.stats()
 
     if D == 0:
-        space = PrimitiveSpace(oracle, np.arange(m, dtype=np.intp))
-        outputs = zero_radius(space, players, alpha, n_global=n, params=p, rng=gen).astype(np.int8)
         branch = "zero_radius"
     elif D <= p.small_d_threshold(n):
-        outputs = small_radius(
-            oracle, players, np.arange(m, dtype=np.intp), alpha, D, params=p, rng=gen
-        ).astype(np.int8)
         branch = "small_radius"
     else:
-        outputs = large_radius(oracle, alpha, D, params=p, rng=gen)
         branch = "large_radius"
+
+    with obs.span(f"find_preferences/{branch}", oracle=oracle, alpha=alpha, D=D):
+        if branch == "zero_radius":
+            space = PrimitiveSpace(oracle, np.arange(m, dtype=np.intp))
+            outputs = zero_radius(space, players, alpha, n_global=n, params=p, rng=gen).astype(np.int8)
+        elif branch == "small_radius":
+            outputs = small_radius(
+                oracle, players, np.arange(m, dtype=np.intp), alpha, D, params=p, rng=gen
+            ).astype(np.int8)
+        else:
+            outputs = large_radius(oracle, alpha, D, params=p, rng=gen)
 
     stats = oracle.stats() - before
     return RunResult(outputs=outputs, stats=stats, algorithm=branch, meta={"alpha": alpha, "D": D, "branch": branch})
@@ -111,7 +117,11 @@ def find_preferences_unknown_d(
     versions: list[np.ndarray] = []
     per_d_rounds: list[int] = []
     for D in schedule:
-        res = find_preferences(oracle, alpha, D, params=p, rng=spawn(gen))
+        # One span per doubling guess; the nested find_preferences span
+        # carries the branch that guess dispatched to.
+        with obs.span("unknown_d/guess", oracle=oracle, D=D):
+            obs.incr("doubling.iterations")
+            res = find_preferences(oracle, alpha, D, params=p, rng=spawn(gen))
         versions.append(res.outputs)
         per_d_rounds.append(res.rounds)
 
@@ -122,14 +132,15 @@ def find_preferences_unknown_d(
     stacked = np.stack(versions, axis=0)  # (n_versions, n, m)
     outputs = np.empty((n, m), dtype=np.int8)
     player_rngs = spawn_many(spawn(gen), n)
-    for player in range(n):
-        cands = np.ascontiguousarray(stacked[:, player, :])
+    with obs.span("unknown_d/rselect", oracle=oracle, versions=len(schedule)):
+        for player in range(n):
+            cands = np.ascontiguousarray(stacked[:, player, :])
 
-        def probe_coord(j: int, _pl: int = player) -> int:
-            return oracle.probe(_pl, j)
+            def probe_coord(j: int, _pl: int = player) -> int:
+                return oracle.probe(_pl, j)
 
-        outcome = rselect(cands, probe_coord, n, params=p, rng=player_rngs[player])
-        outputs[player] = outcome.vector
+            outcome = rselect(cands, probe_coord, n, params=p, rng=player_rngs[player])
+            outputs[player] = outcome.vector
 
     stats = oracle.stats() - before
     return RunResult(
@@ -177,24 +188,26 @@ def anytime_find_preferences(
     for j in range(max_j + 1):
         alpha_j = 2.0 ** (-j)
         try:
-            res = find_preferences_unknown_d(oracle, alpha_j, params=p, rng=spawn(gen), d_max=d_max)
-            new = res.outputs
-            if best is None:
-                merged = new
-            else:
-                merged = np.empty_like(new)
-                merge_rngs = spawn_many(spawn(gen), n)
-                for player in range(n):
-                    cands = np.ascontiguousarray(np.stack([best[player], new[player]]))
+            with obs.span("anytime/phase", oracle=oracle, j=j, alpha=alpha_j):
+                res = find_preferences_unknown_d(oracle, alpha_j, params=p, rng=spawn(gen), d_max=d_max)
+                new = res.outputs
+                if best is None:
+                    merged = new
+                else:
+                    merged = np.empty_like(new)
+                    merge_rngs = spawn_many(spawn(gen), n)
+                    for player in range(n):
+                        cands = np.ascontiguousarray(np.stack([best[player], new[player]]))
 
-                    def probe_coord(jj: int, _pl: int = player) -> int:
-                        return oracle.probe(_pl, jj)
+                        def probe_coord(jj: int, _pl: int = player) -> int:
+                            return oracle.probe(_pl, jj)
 
-                    outcome = rselect(cands, probe_coord, n, params=p, rng=merge_rngs[player])
-                    merged[player] = outcome.vector
-            best = merged
+                        outcome = rselect(cands, probe_coord, n, params=p, rng=merge_rngs[player])
+                        merged[player] = outcome.vector
+                best = merged
         except BudgetExceededError:
             exhausted = True
+            obs.event("anytime.budget_exhausted", phase=j, alpha=alpha_j)
             break
         completed.append(alpha_j)
         if phase_callback is not None:

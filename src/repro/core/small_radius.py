@@ -121,36 +121,33 @@ def small_radius(
             part_objects = objects[part]
             # Step 1b: Zero Radius on this part with frequency α/5.
             space = PrimitiveSpace(oracle, part_objects)
-            oracle.start_phase("small_radius/zero_radius")
-            zr_out = zero_radius(
-                space, players, zr_alpha, n_global=n_global, params=p, rng=spawn(iter_rng)
-            )
-            oracle.finish_phase("small_radius/zero_radius")
+            with oracle.phase("small_radius/zero_radius"):
+                zr_out = zero_radius(
+                    space, players, zr_alpha, n_global=n_global, params=p, rng=spawn(iter_rng)
+                )
             candidates = _popular_rows(zr_out[players], pop_threshold)
             # Step 1c: each player adopts the closest popular vector
             # (population-batched; per-player sequences unchanged).
-            oracle.start_phase("small_radius/part_select")
-            if candidates.shape[0] == 1:
-                stitched[t][np.ix_(players, part)] = candidates[0]
-            else:
-                outcomes = select_batched(oracle, players, candidates, D, part_objects)
-                for player, outcome in outcomes.items():
-                    stitched[t, player, part] = outcome.vector
-            oracle.finish_phase("small_radius/part_select")
+            with oracle.phase("small_radius/part_select"):
+                if candidates.shape[0] == 1:
+                    stitched[t][np.ix_(players, part)] = candidates[0]
+                else:
+                    outcomes = select_batched(oracle, players, candidates, D, part_objects)
+                    for player, outcome in outcomes.items():
+                        stitched[t, player, part] = outcome.vector
 
     # Step 2: each player selects among its K stitched candidates with
     # bound 5D (Lemma 4.3); candidates are per-player, probing is batched.
     final_bound = int(np.ceil(p.sr_final_bound_mult * max(D, 1)))
     out = np.full((n_global, L), NO_OUTPUT, dtype=np.int16)
-    oracle.start_phase("small_radius/final_select")
-    if K == 1:
-        out[players] = stitched[0, players, :]
-    else:
-        cand_by_player = {
-            int(player): np.ascontiguousarray(stitched[:, player, :]) for player in players
-        }
-        outcomes = select_batched(oracle, players, cand_by_player, final_bound, objects)
-        for player, outcome in outcomes.items():
-            out[player] = outcome.vector
-    oracle.finish_phase("small_radius/final_select")
+    with oracle.phase("small_radius/final_select"):
+        if K == 1:
+            out[players] = stitched[0, players, :]
+        else:
+            cand_by_player = {
+                int(player): np.ascontiguousarray(stitched[:, player, :]) for player in players
+            }
+            outcomes = select_batched(oracle, players, cand_by_player, final_bound, objects)
+            for player, outcome in outcomes.items():
+                out[player] = outcome.vector
     return out.astype(np.int16)

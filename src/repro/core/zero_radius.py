@@ -27,6 +27,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.billboard.oracle import ProbeOracle
 from repro.core.params import Params
 from repro.core.partition import random_halves
@@ -213,6 +214,7 @@ def zero_radius(
     def recurse(P: np.ndarray, O: np.ndarray) -> None:
         # Step 1: base case — probe everything.
         if min(P.size, O.size) < threshold:
+            obs.incr("zero_radius.leaves")
             block = getattr(space, "probe_block", None)
             if block is not None:
                 out[np.ix_(P, O)] = block(P, O)
@@ -221,6 +223,7 @@ def zero_radius(
                     out[player, O] = space.probe_all(int(player), O)
             return
         # Step 2: public-coin halving of players and objects.
+        obs.incr("zero_radius.halvings")
         P1, P2 = random_halves(P, gen)
         O1, O2 = random_halves(O, gen)
         # Step 3: both halves recurse on their own objects.
@@ -232,6 +235,7 @@ def zero_radius(
             votes = out[np.ix_(voters, voted_objs)]
             min_votes = p.zr_vote_threshold(alpha, voters.size)
             candidates = _vote_candidates(votes, min_votes)
+            obs.incr("zero_radius.vote_candidates", int(candidates.shape[0]))
             if candidates.shape[0] == 1:
                 # A single candidate needs no probes (X(V) is empty).
                 out[np.ix_(adopters, voted_objs)] = candidates[0]
@@ -251,5 +255,11 @@ def zero_radius(
                 outcome = select(candidates, probe_coord, 0)
                 out[player, voted_objs] = outcome.vector
 
-    recurse(np.sort(players), np.arange(L, dtype=np.intp))
+    with obs.span(
+        "zero_radius",
+        oracle=getattr(space, "oracle", None),
+        players=int(players.size),
+        objects=int(L),
+    ):
+        recurse(np.sort(players), np.arange(L, dtype=np.intp))
     return out

@@ -27,6 +27,7 @@ from typing import Any, Generator, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.billboard.oracle import ProbeOracle
 from repro.engine.actions import Post, Probe, Wait
 
@@ -70,6 +71,12 @@ class RoundScheduler:
         """Run all programs to completion (or *max_rounds*)."""
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        with obs.span("engine/run", oracle=self.oracle, players=len(self._programs)) as sp:
+            result = self._run(max_rounds)
+            sp.set(rounds=result.rounds)
+        return result
+
+    def _run(self, max_rounds: int) -> EngineResult:
         live: dict[int, PlayerProgram] = dict(self._programs)
         pending: dict[int, Any] = {p: None for p in live}  # value to send next
         outputs: dict[int, np.ndarray] = {}
@@ -90,6 +97,7 @@ class RoundScheduler:
                         del live[player]
                         break
                     if isinstance(action, Post):
+                        obs.incr("engine.posts")
                         self.oracle.billboard.post_vectors(action.channel, np.atleast_2d(action.vector))
                         send_value = None
                         continue
@@ -98,6 +106,7 @@ class RoundScheduler:
                         consumed = True
                         break
                     if isinstance(action, Wait):
+                        obs.incr("engine.waits")
                         pending[player] = None
                         consumed = True
                         break
@@ -109,5 +118,6 @@ class RoundScheduler:
 
         if live:
             raise RuntimeError(f"{len(live)} players still running after {max_rounds} rounds")
+        obs.incr("engine.rounds", rounds)
         probe_rounds = (self.oracle.stats() - before).rounds
         return EngineResult(outputs=outputs, rounds=rounds, probe_rounds=probe_rounds)

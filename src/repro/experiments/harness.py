@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.utils.tables import Table
 
 __all__ = ["ExperimentResult", "REGISTRY", "register", "run_experiment"]
@@ -81,4 +82,8 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run a registered experiment by id (importing brings registration)."""
     if experiment_id not in REGISTRY:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}")
-    return REGISTRY[experiment_id](**kwargs)
+    with obs.span(f"experiment/{experiment_id}") as sp:
+        result = REGISTRY[experiment_id](**kwargs)
+        sp.set(passed=result.passed)
+        obs.event("experiment.result", experiment=experiment_id, passed=result.passed)
+    return result

@@ -1,0 +1,98 @@
+"""Run telemetry for the reproduction: spans, counters, JSONL events.
+
+Instrumented library code uses the module-level helpers::
+
+    from repro import obs
+
+    with obs.span("large_radius/stitch", oracle=oracle, groups=n_groups):
+        ...
+    obs.incr("coalesce.candidates", cands.shape[0])
+    obs.event("experiment.result", experiment="E4", passed=True)
+
+All helpers are no-ops (a single ``None`` check) unless a
+:class:`Recorder` is active::
+
+    rec = obs.Recorder(meta={"command": "demo"})
+    with obs.recording(rec):
+        run_something()
+    rec.dump_jsonl("out.jsonl")
+    print(rec.render())
+
+See :mod:`repro.obs.recorder` for the data model,
+:mod:`repro.obs.schema` for the JSONL format, and
+``docs/observability.md`` for the full guide.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.recorder import (
+    NULL_SPAN,
+    Counters,
+    Event,
+    Recorder,
+    Span,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.schema import SpanNode, TelemetryRun, dump_jsonl, load_jsonl, run_from_recorder
+from repro.obs.summary import phase_table, render_summary
+
+__all__ = [
+    "Counters",
+    "Event",
+    "NULL_SPAN",
+    "Recorder",
+    "Span",
+    "SpanNode",
+    "TelemetryRun",
+    "dump_jsonl",
+    "enabled",
+    "event",
+    "gauge",
+    "get_recorder",
+    "incr",
+    "load_jsonl",
+    "phase_table",
+    "recording",
+    "render_summary",
+    "run_from_recorder",
+    "set_recorder",
+    "span",
+]
+
+
+def enabled() -> bool:
+    """Whether a recorder is currently active."""
+    return get_recorder() is not None
+
+
+def span(name: str, *, oracle: Any = None, **attrs: Any):
+    """Open a telemetry span (the shared no-op singleton when disabled)."""
+    recorder = get_recorder()
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, oracle=oracle, **attrs)
+
+
+def incr(name: str, amount: int | float = 1) -> None:
+    """Bump counter *name* on the active recorder (no-op when disabled)."""
+    recorder = get_recorder()
+    if recorder is not None:
+        recorder.counters.incr(name, amount)
+
+
+def gauge(name: str, value: int | float) -> None:
+    """Set gauge *name* on the active recorder (no-op when disabled)."""
+    recorder = get_recorder()
+    if recorder is not None:
+        recorder.counters.gauge(name, value)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a structured event on the active recorder (no-op when disabled)."""
+    recorder = get_recorder()
+    if recorder is not None:
+        recorder.event(name, **attrs)

@@ -1,0 +1,360 @@
+"""Run telemetry: spans, counters, gauges, and structured events.
+
+The paper's guarantees are resource claims — probing rounds, per-phase
+probe budgets — so the observability layer treats **probe cost** as a
+first-class signal next to wall-clock time:
+
+* a :class:`Span` is one timed region of a run (a doubling guess, a
+  Small Radius iteration, an engine execution).  Spans nest, carry
+  free-form attributes, and — when opened with an oracle — snapshot
+  :meth:`ProbeOracle.stats() <repro.billboard.oracle.ProbeOracle.stats>`
+  on enter/exit so every span knows its probe delta (total and parallel
+  rounds) in addition to its duration;
+* :class:`Counters` is a flat registry of monotonic counters and
+  last-write-wins gauges (probes charged, re-probes skipped, billboard
+  posts, coalesce candidates, doubling iterations, …);
+* :class:`Recorder` owns the span tree, the counters, and an ordered
+  event log, and sinks them to JSONL via
+  :func:`repro.obs.schema.dump_jsonl`.
+
+Instrumented library code never talks to a ``Recorder`` directly; it
+calls the module-level helpers in :mod:`repro.obs` (``obs.span``,
+``obs.incr``, ``obs.event``), which are no-ops — a single ``None``
+check — unless a recorder has been activated with
+:func:`recording`/:func:`set_recorder`.  With no recorder active the
+library takes the exact same code paths (no RNG use, no probing, no
+allocation beyond the call itself), so telemetry-off runs are bitwise
+identical to uninstrumented ones (``tests/test_obs.py`` pins this
+against pre-instrumentation golden digests).
+
+The recorder is deliberately not thread-safe: the population simulation
+is single-threaded by design (see ``docs/performance.md``), and
+:mod:`repro.parallel` fans out *processes*, which never share a
+recorder.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Counters",
+    "Event",
+    "NULL_SPAN",
+    "Recorder",
+    "Span",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+]
+
+
+class Span:
+    """One timed (and probe-metered) region of a run.
+
+    Spans are created by :meth:`Recorder.span` and used as context
+    managers; entering pushes the span onto the recorder's stack (so
+    spans opened inside become children), exiting pops it and freezes
+    the timing and probe deltas.  All recorded spans stay reachable from
+    :attr:`Recorder.spans` / :attr:`Recorder.roots`.
+    """
+
+    __slots__ = (
+        "span_id",
+        "name",
+        "parent",
+        "attrs",
+        "children",
+        "t_start",
+        "t_end",
+        "probes_enter",
+        "probes_exit",
+        "rounds_enter",
+        "rounds_exit",
+        "_recorder",
+        "_oracle",
+    )
+
+    def __init__(
+        self,
+        recorder: "Recorder | None",
+        span_id: int,
+        name: str,
+        parent: "Span | None",
+        oracle: Any = None,
+        attrs: dict[str, Any] | None = None,
+    ):
+        self.span_id = span_id
+        self.name = name
+        self.parent = parent
+        self.attrs: dict[str, Any] = attrs or {}
+        self.children: list[Span] = []
+        self.t_start: float | None = None
+        self.t_end: float | None = None
+        self.probes_enter: int | None = None
+        self.probes_exit: int | None = None
+        self.rounds_enter: int | None = None
+        self.rounds_exit: int | None = None
+        self._recorder = recorder
+        self._oracle = oracle
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def duration(self) -> float | None:
+        """Wall-clock seconds between enter and exit (``None`` while open)."""
+        if self.t_start is None or self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    @property
+    def probes(self) -> int | None:
+        """Charged probes during this span, children included."""
+        if self.probes_enter is None or self.probes_exit is None:
+            return None
+        return self.probes_exit - self.probes_enter
+
+    @property
+    def probe_rounds(self) -> int | None:
+        """Growth of the parallel-round clock (max per-player probes)."""
+        if self.rounds_enter is None or self.rounds_exit is None:
+            return None
+        return self.rounds_exit - self.rounds_enter
+
+    @property
+    def probes_self(self) -> int | None:
+        """Probes charged in this span but in none of its metered children.
+
+        Summing ``probes_self`` over a whole tree reproduces the root's
+        inclusive delta exactly — the invariant ``obs summarize``
+        checks against ``ProbeOracle.stats().total``.
+        """
+        if self.probes is None:
+            return None
+        return self.probes - sum(c.probes or 0 for c in self.children)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after entry (e.g. outcomes known only at exit)."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "Span":
+        self.t_start = time.perf_counter()
+        if self._oracle is not None:
+            stats = self._oracle.stats()
+            self.probes_enter = stats.total
+            self.rounds_enter = stats.rounds
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._oracle is not None:
+            stats = self._oracle.stats()
+            self.probes_exit = stats.total
+            self.rounds_exit = stats.rounds
+        self.t_end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._recorder is not None:
+            self._recorder._pop(self)
+        return False
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        dur = f"{self.duration:.6f}s" if self.duration is not None else "open"
+        probes = "-" if self.probes is None else str(self.probes)
+        return f"Span({self.name!r}, {dur}, probes={probes}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Reusable do-nothing span (what ``obs.span`` returns when disabled)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: Singleton no-op span — shared so the disabled path allocates nothing.
+NULL_SPAN = _NullSpan()
+
+
+class Counters:
+    """Flat registry of monotonic counters and last-write-wins gauges."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int | float] = {}
+        self._gauges: dict[str, int | float] = {}
+
+    def incr(self, name: str, amount: int | float = 1) -> None:
+        """Add *amount* (default 1) to counter *name*, creating it at 0."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: int | float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        self._gauges[name] = value
+
+    def get(self, name: str, default: int | float = 0) -> int | float:
+        """Current value of counter or gauge *name*."""
+        if name in self._counters:
+            return self._counters[name]
+        return self._gauges.get(name, default)
+
+    def as_dict(self) -> dict[str, dict[str, int | float]]:
+        """``{"counters": {...}, "gauges": {...}}`` snapshot (sorted keys)."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters or name in self._gauges
+
+
+class Event:
+    """One point-in-time structured event, attached to the enclosing span."""
+
+    __slots__ = ("seq", "t", "name", "span_id", "attrs")
+
+    def __init__(self, seq: int, t: float, name: str, span_id: int | None, attrs: dict[str, Any]):
+        self.seq = seq
+        self.t = t
+        self.name = name
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Event({self.seq}, {self.name!r}, span={self.span_id})"
+
+
+class Recorder:
+    """In-memory sink for one run's spans, counters, and events.
+
+    Usage::
+
+        rec = Recorder(meta={"command": "demo"})
+        with recording(rec):
+            ...  # instrumented library code
+        rec.dump_jsonl("out.jsonl")
+    """
+
+    def __init__(self, meta: dict[str, Any] | None = None):
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.spans: list[Span] = []  # every recorded span, in start order
+        self.roots: list[Span] = []
+        self.counters = Counters()
+        self.events: list[Event] = []
+        self._stack: list[Span] = []
+
+    # -- spans --------------------------------------------------------------
+    def span(self, name: str, *, oracle: Any = None, **attrs: Any) -> Span:
+        """Create a child span of the currently open span (use with ``with``)."""
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(self, len(self.spans), name, parent, oracle=oracle, attrs=attrs or None)
+        self.spans.append(sp)
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            self.roots.append(sp)
+        self._stack.append(sp)
+        return sp
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate exception-path unwinding closing spans out of order:
+        # drop everything above (and including) the closing span.
+        if span in self._stack:
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+
+    @property
+    def current_span(self) -> Span | None:
+        """Innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- counters / events --------------------------------------------------
+    def incr(self, name: str, amount: int | float = 1) -> None:
+        """Shortcut for ``recorder.counters.incr``."""
+        self.counters.incr(name, amount)
+
+    def gauge(self, name: str, value: int | float) -> None:
+        """Shortcut for ``recorder.counters.gauge``."""
+        self.counters.gauge(name, value)
+
+    def event(self, name: str, **attrs: Any) -> Event:
+        """Append a structured event, attached to the innermost open span."""
+        span = self.current_span
+        ev = Event(
+            seq=len(self.events),
+            t=time.perf_counter(),
+            name=name,
+            span_id=span.span_id if span is not None else None,
+            attrs=attrs,
+        )
+        self.events.append(ev)
+        return ev
+
+    # -- sinks --------------------------------------------------------------
+    def dump_jsonl(self, path) -> None:
+        """Write the run to *path* as JSONL (see :mod:`repro.obs.schema`)."""
+        from repro.obs.schema import dump_jsonl
+
+        dump_jsonl(self, path)
+
+    def render(self) -> str:
+        """Human-readable ASCII breakdown (see :mod:`repro.obs.summary`)."""
+        from repro.obs.schema import run_from_recorder
+        from repro.obs.summary import render_summary
+
+        return render_summary(run_from_recorder(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"Recorder(spans={len(self.spans)}, events={len(self.events)}, "
+            f"counters={len(self.counters)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Active-recorder runtime: the zero-overhead-when-disabled switch.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Recorder | None = None
+
+
+def get_recorder() -> Recorder | None:
+    """The currently active recorder, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Recorder | None) -> Recorder | None:
+    """Install *recorder* as the active sink; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+@contextmanager
+def recording(recorder: Recorder) -> Iterator[Recorder]:
+    """Activate *recorder* for the duration of the ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,258 @@
+"""The machine-readable telemetry format: JSONL with a stable schema.
+
+One telemetry file is a sequence of JSON objects, one per line, in this
+order:
+
+1. exactly one ``meta`` line (always first)::
+
+       {"type": "meta", "version": 1, "tool": "repro.obs", "meta": {...}}
+
+2. zero or more ``span`` lines, in span start order (ids are dense,
+   parents always precede children)::
+
+       {"type": "span", "id": 3, "parent": 0, "name": "unknown_d/guess",
+        "t_start": 0.0123, "t_end": 0.0456, "wall_s": 0.0333,
+        "probes": 2048, "probe_rounds": 16, "probes_self": 512,
+        "attrs": {"D": 4}}
+
+   ``probes``/``probe_rounds``/``probes_self`` are ``null`` for spans
+   recorded without an oracle; times come from ``perf_counter`` and are
+   only meaningful relative to each other within one file;
+
+3. zero or more ``event`` lines, in emission order::
+
+       {"type": "event", "seq": 0, "t": 0.02, "name": "experiment.result",
+        "span": 3, "attrs": {"passed": true}}
+
+4. zero or more ``counter`` / ``gauge`` lines (sorted by name)::
+
+       {"type": "counter", "name": "oracle.probes_charged", "value": 4096}
+       {"type": "gauge", "name": "engine.live_players", "value": 64}
+
+The schema version is bumped on any incompatible change;
+:func:`load_jsonl` rejects files from a newer major version rather than
+misreading them.  Round-tripping is exact: Python's JSON float encoding
+is ``repr``-based, so ``dump_jsonl`` → ``load_jsonl`` reproduces the
+span tree bit for bit (``tests/test_obs.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.recorder import Recorder
+
+__all__ = ["SCHEMA_VERSION", "SpanNode", "TelemetryRun", "dump_jsonl", "load_jsonl", "run_from_recorder"]
+
+#: Current JSONL schema version (see module docstring).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class SpanNode:
+    """One span as represented in a telemetry file (or converted recorder)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    t_start: float | None
+    t_end: float | None
+    probes: int | None
+    probe_rounds: int | None
+    probes_self: int | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float | None:
+        """Wall-clock seconds (``None`` for spans never closed)."""
+        if self.t_start is None or self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def walk(self) -> Iterator["SpanNode"]:
+        """This node and all descendants, depth-first in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class TelemetryRun:
+    """A parsed telemetry file: span tree + counters + events."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    spans: list[SpanNode] = field(default_factory=list)  # id order
+    roots: list[SpanNode] = field(default_factory=list)
+    counters: dict[str, int | float] = field(default_factory=dict)
+    gauges: dict[str, int | float] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def probes_total(self) -> int:
+        """The run's charged-probe total: summed top-most metered spans.
+
+        A root recorded without an oracle (an experiment wrapper, say)
+        has no probe delta of its own; descend until the first metered
+        span on each path so unmetered ancestors don't hide the total.
+        """
+        total = 0
+        stack = list(self.roots)
+        while stack:
+            node = stack.pop()
+            if node.probes is not None:
+                total += node.probes
+            else:
+                stack.extend(node.children)
+        return total
+
+    @property
+    def probes_accounted(self) -> int:
+        """Sum of exclusive (self) probe deltas across every span."""
+        return sum(s.probes_self or 0 for s in self.spans)
+
+
+def _span_line(span) -> dict[str, Any]:
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent.span_id if span.parent is not None else None,
+        "name": span.name,
+        "t_start": span.t_start,
+        "t_end": span.t_end,
+        "wall_s": span.duration,
+        "probes": span.probes,
+        "probe_rounds": span.probe_rounds,
+        "probes_self": span.probes_self,
+        "attrs": span.attrs,
+    }
+
+
+def dump_jsonl(recorder: Recorder, path: str | Path) -> Path:
+    """Serialise *recorder* to *path* (parents created); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines: list[dict[str, Any]] = [
+        {"type": "meta", "version": SCHEMA_VERSION, "tool": "repro.obs", "meta": recorder.meta}
+    ]
+    for span in recorder.spans:
+        lines.append(_span_line(span))
+    for ev in recorder.events:
+        lines.append(
+            {"type": "event", "seq": ev.seq, "t": ev.t, "name": ev.name, "span": ev.span_id, "attrs": ev.attrs}
+        )
+    snapshot = recorder.counters.as_dict()
+    for name, value in snapshot["counters"].items():
+        lines.append({"type": "counter", "name": name, "value": value})
+    for name, value in snapshot["gauges"].items():
+        lines.append({"type": "gauge", "name": name, "value": value})
+    with path.open("w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(json.dumps(line, sort_keys=True, default=_jsonable) + "\n")
+    return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback encoder: NumPy scalars and arrays become plain Python."""
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "ndim", 1) == 0:
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    raise TypeError(f"cannot serialise {type(value).__name__} to telemetry JSON")
+
+
+def run_from_recorder(recorder: Recorder) -> TelemetryRun:
+    """Convert an in-memory :class:`Recorder` to the file-level view."""
+    run = TelemetryRun(meta=dict(recorder.meta))
+    by_id: dict[int, SpanNode] = {}
+    for span in recorder.spans:
+        node = SpanNode(
+            span_id=span.span_id,
+            parent_id=span.parent.span_id if span.parent is not None else None,
+            name=span.name,
+            t_start=span.t_start,
+            t_end=span.t_end,
+            probes=span.probes,
+            probe_rounds=span.probe_rounds,
+            probes_self=span.probes_self,
+            attrs=dict(span.attrs),
+        )
+        by_id[node.span_id] = node
+        run.spans.append(node)
+        if node.parent_id is None:
+            run.roots.append(node)
+        else:
+            by_id[node.parent_id].children.append(node)
+    snapshot = recorder.counters.as_dict()
+    run.counters = snapshot["counters"]
+    run.gauges = snapshot["gauges"]
+    run.events = [
+        {"seq": ev.seq, "t": ev.t, "name": ev.name, "span": ev.span_id, "attrs": dict(ev.attrs)}
+        for ev in recorder.events
+    ]
+    return run
+
+
+def load_jsonl(path: str | Path) -> TelemetryRun:
+    """Parse a telemetry file back into a :class:`TelemetryRun` tree."""
+    path = Path(path)
+    run = TelemetryRun()
+    by_id: dict[int, SpanNode] = {}
+    saw_meta = False
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            kind = obj.get("type")
+            if kind == "meta":
+                version = obj.get("version")
+                if not isinstance(version, int) or version > SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}:{lineno}: unsupported telemetry schema version {version!r} "
+                        f"(this reader understands <= {SCHEMA_VERSION})"
+                    )
+                run.meta = obj.get("meta", {})
+                saw_meta = True
+            elif kind == "span":
+                node = SpanNode(
+                    span_id=obj["id"],
+                    parent_id=obj.get("parent"),
+                    name=obj["name"],
+                    t_start=obj.get("t_start"),
+                    t_end=obj.get("t_end"),
+                    probes=obj.get("probes"),
+                    probe_rounds=obj.get("probe_rounds"),
+                    probes_self=obj.get("probes_self"),
+                    attrs=obj.get("attrs", {}),
+                )
+                by_id[node.span_id] = node
+                run.spans.append(node)
+                if node.parent_id is None:
+                    run.roots.append(node)
+                elif node.parent_id in by_id:
+                    by_id[node.parent_id].children.append(node)
+                else:
+                    raise ValueError(f"{path}:{lineno}: span {node.span_id} references unknown parent {node.parent_id}")
+            elif kind == "event":
+                run.events.append(
+                    {"seq": obj["seq"], "t": obj.get("t"), "name": obj["name"], "span": obj.get("span"), "attrs": obj.get("attrs", {})}
+                )
+            elif kind == "counter":
+                run.counters[obj["name"]] = obj["value"]
+            elif kind == "gauge":
+                run.gauges[obj["name"]] = obj["value"]
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    if not saw_meta:
+        raise ValueError(f"{path}: missing meta line — not a repro telemetry file")
+    return run

@@ -1,0 +1,122 @@
+"""Human-readable telemetry breakdowns.
+
+Turns a :class:`~repro.obs.schema.TelemetryRun` into the ASCII report
+behind ``python -m repro obs summarize out.jsonl``: a per-phase table
+(spans aggregated by name), the probe-accounting check (exclusive span
+deltas must sum to the root delta = the oracle's charged total), the
+counter registry, and a sparkline of wall time over span starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.schema import TelemetryRun
+from repro.utils.ascii_plot import sparkline
+from repro.utils.tables import Table
+
+__all__ = ["PhaseRow", "aggregate_phases", "phase_table", "render_summary"]
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """Aggregate over all spans sharing one name.
+
+    Attributes
+    ----------
+    name:
+        The span name (e.g. ``"small_radius/zero_radius"``).
+    count:
+        Number of spans with that name.
+    wall_s:
+        Summed wall-clock duration.
+    probes, probes_self, probe_rounds:
+        Summed inclusive probes, exclusive probes, and round-clock growth.
+    """
+
+    name: str
+    count: int
+    wall_s: float
+    probes: int
+    probes_self: int
+    probe_rounds: int
+
+
+def aggregate_phases(run: TelemetryRun) -> list[PhaseRow]:
+    """Group the run's spans by name, in first-appearance order."""
+    order: list[str] = []
+    acc: dict[str, list[float]] = {}
+    for span in run.spans:
+        if span.name not in acc:
+            acc[span.name] = [0, 0.0, 0, 0, 0]
+            order.append(span.name)
+        bucket = acc[span.name]
+        bucket[0] += 1
+        bucket[1] += span.duration or 0.0
+        bucket[2] += span.probes or 0
+        bucket[3] += span.probes_self or 0
+        bucket[4] += span.probe_rounds or 0
+    return [
+        PhaseRow(name=name, count=int(acc[name][0]), wall_s=acc[name][1],
+                 probes=int(acc[name][2]), probes_self=int(acc[name][3]),
+                 probe_rounds=int(acc[name][4]))
+        for name in order
+    ]
+
+
+def phase_table(run: TelemetryRun) -> Table:
+    """The per-phase cost table (probe shares are of the run's total)."""
+    table = Table(
+        title="Telemetry by phase (span name)",
+        columns=["phase", "spans", "wall s", "probes", "excl", "rounds", "share"],
+    )
+    grand = max(run.probes_total, 1)
+    for row in aggregate_phases(run):
+        table.add(
+            phase=row.name,
+            spans=row.count,
+            **{"wall s": round(row.wall_s, 4)},
+            probes=row.probes,
+            excl=row.probes_self,
+            rounds=row.probe_rounds,
+            share=f"{100 * row.probes_self / grand:.0f}%",
+        )
+    return table
+
+
+def _counters_table(run: TelemetryRun) -> Table:
+    table = Table(title="Counters", columns=["name", "value"])
+    for name, value in run.counters.items():
+        table.add(name=name, value=value)
+    for name, value in run.gauges.items():
+        table.add(name=f"{name} (gauge)", value=value)
+    return table
+
+
+def render_summary(run: TelemetryRun) -> str:
+    """Render the full ASCII summary of one telemetry run."""
+    lines: list[str] = []
+    if run.meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(run.meta.items()))
+        lines.append(f"run meta: {pairs}")
+        lines.append("")
+    lines.append(phase_table(run).render())
+    lines.append("")
+    total = run.probes_total
+    accounted = run.probes_accounted
+    if total:
+        exact = "exact" if accounted == total else "INCOMPLETE"
+        lines.append(f"probe accounting: {accounted} / {total} charged probes attributed ({exact})")
+    else:
+        lines.append("probe accounting: no probe-metered spans recorded")
+    if run.counters or run.gauges:
+        lines.append("")
+        lines.append(_counters_table(run).render())
+    if run.events:
+        lines.append("")
+        lines.append(f"events: {len(run.events)}")
+    durations = [s.duration for s in run.spans if s.duration is not None]
+    if len(durations) >= 2:
+        lines.append("")
+        lines.append(f"span wall time (start order): {sparkline(durations)}")
+    return "\n".join(lines)

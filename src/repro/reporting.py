@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.experiments import REGISTRY, ExperimentResult, run_experiment
 
 __all__ = ["ReproductionReport", "build_report", "render_markdown"]
@@ -102,8 +103,24 @@ def write_report(
     *,
     quick: bool = True,
     seed: int = 1,
+    telemetry: str | Path | None = None,
 ) -> ReproductionReport:
-    """Build a report and write its Markdown rendering to *path*."""
-    report = build_report(experiments, quick=quick, seed=seed)
+    """Build a report and write its Markdown rendering to *path*.
+
+    With *telemetry* set, the whole build is recorded through
+    :mod:`repro.obs` (one span per experiment, from the harness) and the
+    JSONL run log is archived at that path — conventionally
+    ``<report>.telemetry.jsonl`` next to the Markdown, which is what the
+    CLI's ``report --telemetry`` passes.
+    """
+    if telemetry is not None:
+        recorder = obs.Recorder(
+            meta={"command": "report", "quick": quick, "seed": seed}
+        )
+        with obs.recording(recorder):
+            report = build_report(experiments, quick=quick, seed=seed)
+        recorder.dump_jsonl(telemetry)
+    else:
+        report = build_report(experiments, quick=quick, seed=seed)
     Path(path).write_text(render_markdown(report))
     return report

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -59,3 +62,60 @@ class TestCommands:
         assert main(["demo", "--n", "64", "--d", "2", "--unknown-d", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "unknown_d" in out
+
+
+class TestTelemetryFlags:
+    def test_demo_telemetry_writes_valid_jsonl(self, tmp_path, capsys):
+        """The ISSUE acceptance: demo --telemetry emits valid JSONL whose
+        per-phase probe deltas sum exactly to the oracle's charged total."""
+        path = tmp_path / "out.jsonl"
+        assert main(["demo", "--n", "64", "--seed", "3", "--telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"telemetry  : {path}" in out
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        run = obs.load_jsonl(path)
+        assert run.meta["command"] == "demo"
+        assert run.probes_total > 0
+        assert run.probes_accounted == run.probes_total
+        assert run.probes_total == run.counters["oracle.probes_charged"]
+        names = {s.name for s in run.spans}
+        assert {"demo", "find_preferences"} <= names
+
+    def test_demo_without_telemetry_leaves_recorder_off(self):
+        assert main(["demo", "--n", "64", "--seed", "3"]) == 0
+        assert not obs.enabled()
+
+    def test_obs_summarize_renders_phase_table(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        main(["demo", "--n", "64", "--d", "2", "--seed", "5", "--telemetry", str(path)])
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry by phase" in out
+        assert "find_preferences" in out
+        assert "(exact)" in out
+
+    def test_obs_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such telemetry file" in capsys.readouterr().out
+
+    def test_obs_summarize_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["obs", "summarize", str(bad)]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_report_telemetry_archives_jsonl(self, tmp_path, capsys):
+        out_md = tmp_path / "REPORT.md"
+        code = main(
+            ["report", "--out", str(out_md), "--experiments", "E2", "--telemetry"]
+        )
+        assert code == 0
+        assert out_md.exists()
+        sidecar = tmp_path / "REPORT.telemetry.jsonl"
+        assert sidecar.exists()
+        assert f"telemetry archived at {sidecar}" in capsys.readouterr().out
+        run = obs.load_jsonl(sidecar)
+        assert run.meta["command"] == "report"
+        assert any(s.name == "experiment/E2" for s in run.spans)

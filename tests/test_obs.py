@@ -1,0 +1,390 @@
+"""Tests for the run-telemetry layer (repro.obs).
+
+Covers the span tree (nesting, timing monotonicity, probe metering),
+counter accumulation, the JSONL schema round-trip, and — the load-bearing
+guarantee — that telemetry-off runs are bitwise identical to the
+pre-instrumentation implementation, pinned by golden digests captured
+from the seed code.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.billboard.accounting import PhaseLedger, ProbeStats
+from repro.billboard.oracle import ProbeOracle
+from repro.billboard.trace import ProbeTrace
+from repro.core.main import find_preferences, find_preferences_unknown_d
+from repro.engine import run_find_preferences_engine
+from repro.obs.schema import SCHEMA_VERSION
+from repro.workloads.planted import planted_instance
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_recorder():
+    """Every test starts and ends with telemetry disabled."""
+    obs.set_recorder(None)
+    yield
+    obs.set_recorder(None)
+
+
+class TestSpanTree:
+    def test_disabled_returns_null_span(self):
+        assert obs.span("x") is obs.NULL_SPAN
+        with obs.span("x") as sp:
+            sp.set(ignored=True)  # chainable no-op
+
+    def test_nesting_builds_tree(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("root"):
+                with obs.span("a"):
+                    with obs.span("leaf"):
+                        pass
+                with obs.span("b"):
+                    pass
+        assert [s.name for s in rec.roots] == ["root"]
+        root = rec.roots[0]
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+        assert all(s.parent is root for s in root.children)
+
+    def test_timing_monotone_and_nested(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("root"):
+                with obs.span("child"):
+                    pass
+        root, child = rec.spans
+        assert root.t_start <= child.t_start <= child.t_end <= root.t_end
+        assert root.duration >= child.duration >= 0.0
+
+    def test_start_order_is_span_id_order(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            for name in ("a", "b", "c"):
+                with obs.span(name):
+                    pass
+        assert [s.span_id for s in rec.spans] == [0, 1, 2]
+        assert [s.name for s in rec.spans] == ["a", "b", "c"]
+
+    def test_exception_closes_span_and_tags_error(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with pytest.raises(RuntimeError):
+                with obs.span("boom"):
+                    raise RuntimeError("x")
+        sp = rec.spans[0]
+        assert sp.t_end is not None
+        assert sp.attrs["error"] == "RuntimeError"
+        assert rec.current_span is None
+
+    def test_attrs_and_set(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("s", alpha=0.5) as sp:
+                sp.set(branch="zero_radius")
+        assert rec.spans[0].attrs == {"alpha": 0.5, "branch": "zero_radius"}
+
+
+class TestProbeMetering:
+    def test_span_records_probe_delta(self):
+        oracle = ProbeOracle(np.zeros((4, 8), dtype=np.int8))
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("outer", oracle=oracle):
+                oracle.probe_all(0, np.arange(8))
+                with obs.span("inner", oracle=oracle):
+                    oracle.probe(1, 0)
+        outer, inner = rec.spans
+        assert outer.probes == 9 and outer.probe_rounds == 8
+        assert inner.probes == 1
+        assert outer.probes_self == 8
+        assert inner.probes_self == 1
+
+    def test_exclusive_deltas_sum_to_total(self):
+        inst = planted_instance(64, 64, 0.5, 2, rng=3)
+        oracle = ProbeOracle(inst)
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("run", oracle=oracle):
+                find_preferences(oracle, 0.5, 2, rng=4)
+        run = obs.run_from_recorder(rec)
+        assert run.probes_total == oracle.stats().total
+        assert run.probes_accounted == oracle.stats().total
+
+    def test_unmetered_span_has_null_probes(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("no-oracle"):
+                pass
+        assert rec.spans[0].probes is None
+        assert rec.spans[0].probes_self is None
+
+    def test_unmetered_root_does_not_hide_metered_descendants(self):
+        # report/experiment wrappers open spans without an oracle; the
+        # run total must come from the top-most *metered* spans below.
+        oracle = ProbeOracle(np.zeros((2, 4), dtype=np.int8))
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("experiment/E1"):
+                with obs.span("trial", oracle=oracle):
+                    oracle.probe_all(0, np.arange(4))
+        run = obs.run_from_recorder(rec)
+        assert run.probes_total == 4
+        assert run.probes_accounted == 4
+        assert "4 / 4" in obs.render_summary(run)
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        c = obs.Counters()
+        c.incr("x")
+        c.incr("x", 4)
+        c.incr("y", 2.5)
+        assert c.get("x") == 5
+        assert c.get("y") == 2.5
+        assert c.get("missing") == 0
+
+    def test_gauge_last_write_wins(self):
+        c = obs.Counters()
+        c.gauge("g", 1)
+        c.gauge("g", 7)
+        assert c.get("g") == 7
+        assert c.as_dict() == {"counters": {}, "gauges": {"g": 7}}
+
+    def test_module_helpers_accumulate_on_active_recorder(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            obs.incr("hits")
+            obs.incr("hits", 2)
+            obs.gauge("level", 9)
+        assert rec.counters.get("hits") == 3
+        assert rec.counters.get("level") == 9
+
+    def test_helpers_are_noops_when_disabled(self):
+        obs.incr("nowhere")
+        obs.gauge("nowhere", 1)
+        obs.event("nowhere")
+        assert not obs.enabled()
+
+
+class TestEvents:
+    def test_event_attaches_to_open_span(self):
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            obs.event("outside")
+            with obs.span("s"):
+                obs.event("inside", detail=1)
+        outside, inside = rec.events
+        assert outside.span_id is None
+        assert inside.span_id == rec.spans[0].span_id
+        assert inside.attrs == {"detail": 1}
+        assert [e.seq for e in rec.events] == [0, 1]
+
+
+def _build_rich_recorder() -> obs.Recorder:
+    oracle = ProbeOracle(np.zeros((4, 8), dtype=np.int8))
+    rec = obs.Recorder(meta={"command": "test", "seed": 1})
+    with obs.recording(rec):
+        with obs.span("root", oracle=oracle, alpha=0.5):
+            oracle.probe_all(0, np.arange(8))
+            with obs.span("child", oracle=oracle, D=2):
+                oracle.probe(1, 3)
+            obs.event("milestone", step=1)
+        obs.incr("oracle.checks", 3)
+        obs.gauge("temperature", 21.5)
+    return rec
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_reproduces_tree(self, tmp_path):
+        rec = _build_rich_recorder()
+        path = tmp_path / "run.jsonl"
+        rec.dump_jsonl(path)
+        loaded = obs.load_jsonl(path)
+        direct = obs.run_from_recorder(rec)
+        assert loaded.meta == direct.meta
+        assert len(loaded.spans) == len(direct.spans)
+        for a, b in zip(loaded.spans, direct.spans):
+            assert (a.span_id, a.parent_id, a.name) == (b.span_id, b.parent_id, b.name)
+            assert a.t_start == b.t_start and a.t_end == b.t_end  # exact float round-trip
+            assert a.probes == b.probes
+            assert a.probe_rounds == b.probe_rounds
+            assert a.probes_self == b.probes_self
+            assert a.attrs == b.attrs
+            assert [c.span_id for c in a.children] == [c.span_id for c in b.children]
+        assert loaded.counters == direct.counters
+        assert loaded.gauges == direct.gauges
+        assert loaded.events == direct.events
+
+    def test_every_line_is_json(self, tmp_path):
+        import json
+
+        rec = _build_rich_recorder()
+        path = tmp_path / "run.jsonl"
+        rec.dump_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "meta"
+        assert parsed[0]["version"] == SCHEMA_VERSION
+        assert {p["type"] for p in parsed} == {"meta", "span", "event", "counter", "gauge"}
+
+    def test_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"type": "meta", "version": 999, "meta": {}}\n')
+        with pytest.raises(ValueError, match="schema version"):
+            obs.load_jsonl(path)
+
+    def test_rejects_file_without_meta(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text('{"type": "counter", "name": "x", "value": 1}\n')
+        with pytest.raises(ValueError, match="missing meta"):
+            obs.load_jsonl(path)
+
+    def test_summary_renders_phase_table(self, tmp_path):
+        rec = _build_rich_recorder()
+        path = tmp_path / "run.jsonl"
+        rec.dump_jsonl(path)
+        text = obs.render_summary(obs.load_jsonl(path))
+        assert "root" in text and "child" in text
+        assert "probe accounting: 9 / 9" in text and "(exact)" in text
+
+
+class TestLedgerPhaseContextManager:
+    def test_phase_closes_on_exception(self):
+        oracle = ProbeOracle(np.zeros((2, 4), dtype=np.int8))
+        with pytest.raises(RuntimeError):
+            with oracle.ledger.phase("p", oracle):
+                oracle.probe(0, 0)
+                raise RuntimeError("mid-phase")
+        # The phase is closed, its probes attributed — and reopenable.
+        assert oracle.ledger.get("p").total == 1
+        with oracle.ledger.phase("p", oracle):
+            oracle.probe(0, 1)
+        assert oracle.ledger.get("p").total == 2
+
+    def test_ledger_phase_matches_start_finish(self):
+        ledger = PhaseLedger()
+        ledger.start("manual", ProbeStats(np.asarray([0, 0])))
+        ledger.finish("manual", ProbeStats(np.asarray([3, 1])))
+        oracle = ProbeOracle(np.zeros((2, 4), dtype=np.int8))
+        with oracle.ledger.phase("ctx", oracle):
+            oracle.probe_all(0, np.arange(3))
+            oracle.probe(1, 0)
+        assert oracle.ledger.get("ctx").per_player.tolist() == [3, 1]
+        assert ledger.get("manual").per_player.tolist() == [3, 1]
+
+    def test_oracle_phase_unifies_ledger_and_span(self):
+        oracle = ProbeOracle(np.zeros((2, 4), dtype=np.int8))
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with oracle.phase("work"):
+                oracle.probe(0, 0)
+        assert oracle.ledger.get("work").total == 1
+        assert [s.name for s in rec.spans] == ["work"]
+        assert rec.spans[0].probes == 1
+
+    def test_oracle_phase_without_recorder_only_feeds_ledger(self):
+        oracle = ProbeOracle(np.zeros((2, 4), dtype=np.int8))
+        with oracle.phase("quiet"):
+            oracle.probe(0, 0)
+        assert oracle.ledger.get("quiet").total == 1
+
+
+def _digest(*arrays) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()[:16]
+
+
+#: Golden digests of sha256(outputs || per-player counts), captured by
+#: running the PRE-INSTRUMENTATION seed code (commit b213d42) with the
+#: exact configurations below.  Telemetry must never change them.
+GOLDEN = {
+    "zero_radius": ("9d2b88ed3cc23bca", 2048),
+    "small_radius": ("c7ca0a9af69f160b", 65536),
+    "large_radius": ("54bc2871ce5b84ea", 14112),
+    "unknown_d": ("23dbf4633d0f463f", 166391),
+}
+
+_CONFIGS = {
+    "zero_radius": (0, False),
+    "small_radius": (2, False),
+    "large_radius": (40, False),
+    "unknown_d": (2, True),
+}
+
+
+def _run_config(label: str):
+    D, unknown = _CONFIGS[label]
+    inst = planted_instance(128, 128, 0.5, D, rng=13)
+    oracle = ProbeOracle(inst)
+    trace = ProbeTrace()
+    oracle.attach_trace(trace)
+    if unknown:
+        result = find_preferences_unknown_d(oracle, 0.5, rng=17, d_max=4)
+    else:
+        result = find_preferences(oracle, 0.5, D, rng=17)
+    return result, oracle, trace
+
+
+class TestBitwiseIdentityWithSeed:
+    """Telemetry-off runs are bitwise identical to the pre-obs seed code."""
+
+    @pytest.mark.parametrize("label", sorted(GOLDEN))
+    def test_matches_pre_instrumentation_golden(self, label):
+        result, oracle, _ = _run_config(label)
+        digest, total = GOLDEN[label]
+        assert oracle.stats().total == total
+        assert _digest(result.outputs, oracle.stats().per_player) == digest
+
+    def test_engine_matches_pre_instrumentation_golden(self):
+        inst = planted_instance(64, 64, 0.5, 2, rng=5)
+        oracle = ProbeOracle(inst)
+        outputs, engine_result = run_find_preferences_engine(oracle, 0.5, 2, rng=21)
+        assert _digest(outputs, oracle.stats().per_player) == "73c88d9a47cca1ca"
+        assert oracle.stats().total == 12288
+        assert engine_result.rounds == 201
+
+
+class TestTelemetryOnIsObservationOnly:
+    """Recording changes nothing: outputs, probe counts, probe order, RNG."""
+
+    @pytest.mark.parametrize("label", ["zero_radius", "large_radius"])
+    def test_recorded_run_identical_to_quiet_run(self, label):
+        quiet_result, quiet_oracle, quiet_trace = _run_config(label)
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            with obs.span("run"):
+                loud_result, loud_oracle, loud_trace = _run_config(label)
+        assert np.array_equal(quiet_result.outputs, loud_result.outputs)
+        assert np.array_equal(
+            quiet_oracle.stats().per_player, loud_oracle.stats().per_player
+        )
+        # The full probe sequence — every (player, object, value, charged)
+        # event in order — is the strongest observable proxy for "same
+        # RNG draws": any divergence in randomness reorders it.
+        quiet_cols = quiet_trace.as_arrays()
+        loud_cols = loud_trace.as_arrays()
+        for key in quiet_cols:
+            assert np.array_equal(quiet_cols[key], loud_cols[key]), key
+        assert len(rec.spans) >= 1
+
+    def test_engine_recorded_run_identical(self):
+        inst = planted_instance(64, 64, 0.5, 2, rng=5)
+        o1 = ProbeOracle(inst)
+        out1, r1 = run_find_preferences_engine(o1, 0.5, 2, rng=21)
+        rec = obs.Recorder()
+        o2 = ProbeOracle(inst)
+        with obs.recording(rec):
+            out2, r2 = run_find_preferences_engine(o2, 0.5, 2, rng=21)
+        assert np.array_equal(out1, out2)
+        assert np.array_equal(o1.stats().per_player, o2.stats().per_player)
+        assert (r1.rounds, r1.probe_rounds) == (r2.rounds, r2.probe_rounds)
+        engine_spans = [s for s in rec.spans if s.name == "engine/run"]
+        assert engine_spans and engine_spans[0].probes == o2.stats().total
+        assert rec.counters.get("engine.rounds") == r2.rounds
