@@ -60,6 +60,25 @@ def run_and_report(benchmark, experiment_id: str, seed: int = 1):
     return result
 
 
+def archive_text(name: str, text: str) -> Path:
+    """Archive a free-form benchmark report under ``benchmarks/reports/``.
+
+    For benches that are not experiment sweeps (micro-benchmarks,
+    before/after comparisons): same quick/full split, same diffable-
+    artifact convention as :func:`run_and_report`.
+    """
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text.rstrip("\n") + "\n")
+    return path
+
+
+@pytest.fixture
+def text_archiver():
+    """Fixture form of :func:`archive_text`."""
+    return archive_text
+
+
 @pytest.fixture
 def experiment_runner(benchmark):
     """Fixture form of :func:`run_and_report`."""

@@ -19,6 +19,7 @@ Quickstart::
     print(report, result.stats)
 """
 
+from repro import api
 from repro.billboard import Billboard, BudgetExceededError, ProbeOracle, ProbeStats
 from repro.core import (
     Params,
@@ -48,6 +49,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # stable facade (the supported external surface)
+    "api",
     # substrate
     "Billboard",
     "ProbeOracle",

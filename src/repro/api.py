@@ -1,0 +1,94 @@
+"""The stable public API of :mod:`repro`.
+
+``repro.api`` is the supported, version-stable surface for external
+callers: everything here has a pinned name and signature (guarded by
+``tests/test_api_surface.py``), while the submodules it re-exports from
+remain free to reorganise internally.  Import from here::
+
+    from repro import api
+
+    inst = api.make_instance("planted", n=256, m=256, alpha=0.5, D=2, rng=7)
+    oracle = api.ProbeOracle(inst)
+    result = api.find_preferences(oracle, alpha=0.5, D=2, rng=7)
+
+The surface groups into four layers:
+
+* **substrate** — :class:`ProbeOracle` (per-player charging; the batched
+  ``probe_many`` fast path charges identically to scalar ``probe``) and
+  :class:`ProbeStats`.
+* **algorithms** — :func:`find_preferences` and the unknown-parameter
+  wrappers, :class:`Params`, :class:`RunResult` (whose ``meta`` keys are
+  the closed vocabulary :data:`META_KEYS`, checked by
+  :func:`validate_meta`), plus the :func:`sequential_probes` /
+  :func:`batching_enabled` switch that trades the population-batched
+  probe drivers for the per-player reference loops.
+* **workloads** — the :data:`WORKLOADS` registry and
+  :func:`make_instance`.
+* **parallel trials** — :func:`run_trials` / :func:`derive_seeds` and
+  the shared-memory instance transport
+  (:class:`SharedInstanceStore` / :class:`SharedInstanceHandle`,
+  composed by :func:`sweep_trials`).
+
+Every ``rng`` / ``seed`` parameter across this surface uniformly accepts
+``int | numpy.random.Generator | None`` (see
+:func:`repro.utils.rng.as_generator`).
+"""
+
+from __future__ import annotations
+
+from repro.billboard.accounting import ProbeStats
+from repro.billboard.oracle import BudgetExceededError, ProbeOracle
+from repro.core.batching import batched_probes, batching_enabled, sequential_probes
+from repro.core.main import (
+    anytime_find_preferences,
+    find_preferences,
+    find_preferences_unknown_d,
+)
+from repro.core.params import Params
+from repro.core.result import META_KEYS, RunResult, validate_meta
+from repro.experiments.harness import sweep_trials
+from repro.metrics.evaluation import evaluate
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.parallel import (
+    SharedInstanceHandle,
+    SharedInstanceStore,
+    derive_seeds,
+    run_trials,
+)
+from repro.utils.rng import as_generator
+from repro.workloads.registry import WORKLOADS, make_instance
+
+__all__ = [
+    # substrate
+    "ProbeOracle",
+    "ProbeStats",
+    "BudgetExceededError",
+    # model
+    "Instance",
+    "Community",
+    # algorithms
+    "Params",
+    "RunResult",
+    "META_KEYS",
+    "validate_meta",
+    "find_preferences",
+    "find_preferences_unknown_d",
+    "anytime_find_preferences",
+    "batching_enabled",
+    "batched_probes",
+    "sequential_probes",
+    # metrics
+    "evaluate",
+    # workloads
+    "WORKLOADS",
+    "make_instance",
+    # parallel trials
+    "run_trials",
+    "derive_seeds",
+    "sweep_trials",
+    "SharedInstanceStore",
+    "SharedInstanceHandle",
+    # rng contract
+    "as_generator",
+]

@@ -57,6 +57,18 @@ class ProbeStats:
             raise ValueError("cannot subtract stats over different populations")
         return ProbeStats(self.per_player - other.per_player)
 
+    def __add__(self, other: "ProbeStats") -> "ProbeStats":
+        """Elementwise sum over the same population.
+
+        The aggregation the parallel trial runner needs: per-trial
+        deltas returned by workers add up to the sweep's combined
+        per-player cost (each trial runs on its own oracle, so sums —
+        not maxima — are the meaningful combination).
+        """
+        if self.per_player.shape != other.per_player.shape:
+            raise ValueError("cannot add stats over different populations")
+        return ProbeStats(self.per_player + other.per_player)
+
     def __repr__(self) -> str:  # pragma: no cover - convenience
         return f"ProbeStats(total={self.total}, rounds={self.rounds}, mean={self.mean:.1f})"
 

@@ -72,6 +72,7 @@ class ProbeOracle:
         self.budget = budget
         self.charge_repeats = bool(charge_repeats)
         self._counts = np.zeros(n, dtype=np.int64)
+        self._batches = 0
         self.ledger = PhaseLedger()
         self._trace = None
 
@@ -154,6 +155,7 @@ class ProbeOracle:
             if over.size:
                 raise BudgetExceededError(int(over[0]), self.budget)
         self._counts += add
+        self._batches += 1
 
         recorder = obs.get_recorder()
         if recorder is not None:
@@ -181,6 +183,17 @@ class ProbeOracle:
     def stats(self) -> ProbeStats:
         """Snapshot of per-player probe counts."""
         return ProbeStats(self._counts.copy())
+
+    @property
+    def batch_count(self) -> int:
+        """Number of :meth:`probe_many` batches issued so far.
+
+        A probe-count-preserving diagnostic for the batched fast path:
+        total charged probes are identical between the sequential and
+        batched drivers, but the batched path amortises them over a few
+        large batches (``total / batch_count`` is the mean batch width).
+        """
+        return self._batches
 
     def remaining(self, player: int) -> int | float:
         """Remaining budget of *player* (``inf`` when unbudgeted)."""

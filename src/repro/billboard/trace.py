@@ -139,6 +139,27 @@ class ProbeTrace:
         for i in range(self._n):
             yield ProbeEvent(i, int(players[i]), int(objects[i]), int(values[i]), bool(charged[i]))
 
+    @property
+    def n_batches(self) -> int:
+        """Number of ``record_batch`` calls recorded (before consolidation).
+
+        Consolidation merges chunks for read efficiency, so this is the
+        count of *recorded* batches only until the first read; use it
+        immediately after a run to audit the batched path's batch count.
+        """
+        return len(self._chunks)
+
+    def player_sequence(self, player: int) -> np.ndarray:
+        """Objects probed by *player*, in the player's own probe order.
+
+        The per-player observation stream — the quantity the batched
+        drivers must preserve exactly: batches land in issue order and a
+        batch lists each player's probes in that player's own order, so
+        this subsequence is invariant under batching.
+        """
+        players, objects, _, _ = self._consolidated()
+        return objects[players == player].copy()
+
     def events_for_player(self, player: int) -> list[ProbeEvent]:
         """All events of one player, in order (mask slice, not a full scan)."""
         players, objects, values, charged = self._consolidated()

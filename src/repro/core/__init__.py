@@ -25,8 +25,9 @@ All constants are exposed on :class:`~repro.core.params.Params`, with a
 (same functional forms, laptop-scale leading constants).
 """
 
+from repro.core.batching import batched_probes, batching_enabled, sequential_probes
 from repro.core.params import Params
-from repro.core.result import RunResult, SelectOutcome
+from repro.core.result import META_KEYS, RunResult, SelectOutcome, validate_meta
 from repro.core.select import select, select_candidate_index, select_coroutine
 from repro.core.rselect import rselect
 from repro.core.partition import (
@@ -52,6 +53,11 @@ __all__ = [
     "Params",
     "RunResult",
     "SelectOutcome",
+    "META_KEYS",
+    "validate_meta",
+    "batching_enabled",
+    "batched_probes",
+    "sequential_probes",
     "select",
     "select_candidate_index",
     "select_coroutine",

@@ -38,6 +38,7 @@ from repro.core.partition import partition_parts, partition_players, random_part
 from repro.core.small_radius import small_radius
 from repro.core.zero_radius import NO_OUTPUT, SuperObjectSpace, zero_radius
 from repro.utils.rng import as_generator, spawn
+from repro.utils.rowset import plurality_row
 from repro.utils.validation import WILDCARD
 
 __all__ = ["large_radius"]
@@ -45,8 +46,7 @@ __all__ = ["large_radius"]
 
 def _fallback_candidates(rows: np.ndarray) -> np.ndarray:
     """Plurality row as a 1-row candidate set (off-nominal Coalesce rescue)."""
-    uniq, counts = np.unique(np.ascontiguousarray(rows), axis=0, return_counts=True)
-    return uniq[counts == counts.max()][:1]
+    return plurality_row(np.ascontiguousarray(rows))
 
 
 def large_radius(

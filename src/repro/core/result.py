@@ -9,7 +9,45 @@ import numpy as np
 
 from repro.billboard.accounting import ProbeStats
 
-__all__ = ["SelectOutcome", "RunResult"]
+__all__ = ["SelectOutcome", "RunResult", "META_KEYS", "validate_meta"]
+
+#: The ``RunResult.meta`` schema: every key any repro algorithm or
+#: baseline may emit, with its meaning.  ``meta`` stays a plain dict
+#: (algorithms attach only the keys relevant to their branch), but the
+#: key *vocabulary* is closed — additions belong here, with a one-line
+#: description, so downstream consumers (io round-trip, reports,
+#: dashboards) have a single place to look keys up.
+META_KEYS: dict[str, str] = {
+    "alpha": "population fraction α the run assumed",
+    "D": "distance bound the run assumed (known-D branches)",
+    "branch": "algorithm branch main() dispatched to (zero/small/large radius)",
+    "schedule": "D values tried by the unknown-D doubling schedule, in order",
+    "per_d_rounds": "per-version probing rounds matching `schedule`",
+    "phases": "completed α phases of an anytime run, in order",
+    "budget_exhausted": "True when an anytime run stopped on budget, not completion",
+    "virtual_factor": "population-simulation factor of a virtual-players run",
+    "budget": "per-player probe budget a baseline was given",
+    "rank": "truncation rank the SVD baseline used",
+    "anchor": "anchor object index the kNN baseline pivoted on",
+    "spread": "anchor-disagreement spread measured by the kNN baseline",
+    "k_neighbors": "effective neighbour count the kNN baseline averaged over",
+}
+
+
+def validate_meta(meta: dict[str, Any]) -> dict[str, Any]:
+    """Check *meta* against :data:`META_KEYS`; returns it unchanged.
+
+    Raises ``ValueError`` naming any unknown keys — the guard the API
+    surface tests run over real results so the documented vocabulary
+    and the emitted one cannot drift apart silently.
+    """
+    unknown = sorted(set(meta) - set(META_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown RunResult.meta keys {unknown}; document new keys in "
+            "repro.core.result.META_KEYS"
+        )
+    return meta
 
 
 @dataclass(frozen=True)
@@ -52,7 +90,9 @@ class RunResult:
     algorithm:
         Which branch produced the outputs (``"zero_radius"``, …).
     meta:
-        Free-form run metadata (D used, part counts, per-phase costs…).
+        Run metadata.  Plain dict, but the key vocabulary is closed:
+        every key must be documented in :data:`META_KEYS` (enforced by
+        :func:`validate_meta` in the API surface tests).
     """
 
     outputs: np.ndarray

@@ -180,75 +180,20 @@ def select_candidate_index(
     return select(candidates, probe, bound).index
 
 
-def select_batched(
-    oracle,
-    players: np.ndarray,
-    candidates: np.ndarray,
-    bound: int,
-    coord_to_object: np.ndarray,
-) -> dict[int, SelectOutcome]:
-    """Run one Select per player, batching probes across players.
+def __getattr__(name: str):
+    # select_batched moved to repro.core.batching (the population-batched
+    # execution layer) in the repro.api facade redesign.
+    if name == "select_batched":
+        import warnings
 
-    Every player runs the *identical* Fig. 3 procedure over the same
-    candidate set (via :func:`select_coroutine`), so per-player outcomes
-    and probe sequences are exactly those of calling :func:`select` in a
-    loop.  The only change is mechanical: at each step, all players'
-    pending coordinate probes are issued as one
-    :meth:`~repro.billboard.oracle.ProbeOracle.probe_many` batch — the
-    model's "players probe in parallel", and an order-of-magnitude fewer
-    Python-level oracle calls on population-scale adoptions.
-
-    Parameters
-    ----------
-    oracle:
-        The probe gate (must expose ``probe_many``).
-    players:
-        Global player indices, one Select per player.
-    candidates:
-        ``(k, L)`` candidate matrix shared by all players, or a mapping
-        ``player -> (k_p, L)`` matrix for per-player candidate sets
-        (Small Radius step 2 selects among each player's own stitched
-        vectors).
-    bound:
-        Distance bound ``D``.
-    coord_to_object:
-        Length-``L`` map from candidate-column index to global object.
-
-    Returns
-    -------
-    dict
-        ``player -> SelectOutcome``.
-    """
-    players = np.asarray(players, dtype=np.intp)
-    coord_to_object = np.asarray(coord_to_object, dtype=np.intp)
-    per_player = isinstance(candidates, dict)
-    if not per_player and coord_to_object.shape != (np.asarray(candidates).shape[1],):
-        raise ValueError(
-            f"coord_to_object must have length {np.asarray(candidates).shape[1]}, "
-            f"got {coord_to_object.shape}"
+        warnings.warn(
+            "repro.core.select.select_batched has moved to "
+            "repro.core.batching.select_batched; import it from there "
+            "(or use the repro.api facade)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    outcomes: dict[int, SelectOutcome] = {}
-    coroutines: dict[int, Generator[int, int, SelectOutcome]] = {}
-    pending: dict[int, int] = {}
-    for pl in players:
-        cand = candidates[int(pl)] if per_player else candidates
-        co = select_coroutine(cand, bound)
-        try:
-            pending[int(pl)] = next(co)
-            coroutines[int(pl)] = co
-        except StopIteration as stop:
-            outcomes[int(pl)] = stop.value
+        from repro.core.batching import select_batched
 
-    while pending:
-        batch_players = np.fromiter(pending.keys(), dtype=np.intp, count=len(pending))
-        batch_objects = coord_to_object[np.fromiter(pending.values(), dtype=np.intp, count=len(pending))]
-        values = oracle.probe_many(batch_players, batch_objects)
-        next_pending: dict[int, int] = {}
-        for pl, value in zip(batch_players, values):
-            pl = int(pl)
-            try:
-                next_pending[pl] = coroutines[pl].send(int(value))
-            except StopIteration as stop:
-                outcomes[pl] = stop.value
-        pending = next_pending
-    return outcomes
+        return select_batched
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -25,30 +25,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.billboard.oracle import ProbeOracle
+from repro.core.batching import batching_enabled, select_batched
 from repro.core.params import Params
 from repro.core.partition import partition_parts, random_partition
-from repro.core.select import select_batched
+from repro.core.select import select
 from repro.core.zero_radius import NO_OUTPUT, PrimitiveSpace, zero_radius
 from repro.utils.rng import as_generator, spawn
+from repro.utils.rowset import popular_rows
 
 __all__ = ["small_radius"]
 
 
 def _popular_rows(rows: np.ndarray, min_votes: int) -> np.ndarray:
-    """Unique rows with at least *min_votes* supporters.
+    """Unique rows with at least *min_votes* supporters (plurality
+    fallback capped at ``|rows| // min_votes``, cf. the ``5/α`` candidate
+    bound in Theorem 4.4's accounting; vectorized dedup in
+    :func:`repro.utils.rowset.popular_rows`)."""
+    return popular_rows(np.ascontiguousarray(rows), min_votes)
 
-    Plurality fallback when nothing is popular, capped at
-    ``|rows| // min_votes`` candidates so a degenerate vote cannot blow
-    up the downstream Select probe cost (cf. the ``5/α`` candidate bound
-    in Theorem 4.4's accounting).
-    """
-    uniq, counts = np.unique(np.ascontiguousarray(rows), axis=0, return_counts=True)
-    popular = uniq[counts >= min_votes]
-    if popular.shape[0] == 0:
-        cap = max(1, rows.shape[0] // max(min_votes, 1))
-        order = np.argsort(-counts, kind="stable")
-        popular = uniq[order[:cap]]
-    return popular
+
+def _select_each(
+    oracle: ProbeOracle,
+    players: np.ndarray,
+    candidates,
+    bound: int,
+    coord_to_object: np.ndarray,
+):
+    """Sequential reference twin of :func:`select_batched` (one scalar
+    ``select`` per player); same per-player probe sequences and outcomes."""
+    per_player = isinstance(candidates, dict)
+    outcomes = {}
+    for pl in players:
+        cand = candidates[int(pl)] if per_player else candidates
+
+        def probe_coord(j: int, _pl: int = int(pl)) -> int:
+            return oracle.probe(_pl, int(coord_to_object[j]))
+
+        outcomes[int(pl)] = select(cand, probe_coord, bound)
+    return outcomes
 
 
 def small_radius(
@@ -131,8 +145,12 @@ def small_radius(
             with oracle.phase("small_radius/part_select"):
                 if candidates.shape[0] == 1:
                     stitched[t][np.ix_(players, part)] = candidates[0]
-                else:
+                elif batching_enabled():
                     outcomes = select_batched(oracle, players, candidates, D, part_objects)
+                    for player, outcome in outcomes.items():
+                        stitched[t, player, part] = outcome.vector
+                else:
+                    outcomes = _select_each(oracle, players, candidates, D, part_objects)
                     for player, outcome in outcomes.items():
                         stitched[t, player, part] = outcome.vector
 
@@ -147,7 +165,8 @@ def small_radius(
             cand_by_player = {
                 int(player): np.ascontiguousarray(stitched[:, player, :]) for player in players
             }
-            outcomes = select_batched(oracle, players, cand_by_player, final_bound, objects)
+            driver = select_batched if batching_enabled() else _select_each
+            outcomes = driver(oracle, players, cand_by_player, final_bound, objects)
             for player, outcome in outcomes.items():
                 out[player] = outcome.vector
     return out.astype(np.int16)

@@ -29,10 +29,12 @@ import numpy as np
 
 from repro import obs
 from repro.billboard.oracle import ProbeOracle
+from repro.core.batching import batching_enabled, select_batched
 from repro.core.params import Params
 from repro.core.partition import random_halves
 from repro.core.select import select
 from repro.utils.rng import as_generator, spawn
+from repro.utils.rowset import popular_rows
 
 __all__ = ["ValueSpace", "PrimitiveSpace", "SuperObjectSpace", "zero_radius", "NO_OUTPUT"]
 
@@ -91,9 +93,7 @@ class PrimitiveSpace:
         return values.reshape(players.size, objects.size)
 
     def select_batched(self, players: np.ndarray, candidates: np.ndarray, bound: int, local_coords: np.ndarray):
-        """Population-batched Select (see :func:`repro.core.select.select_batched`)."""
-        from repro.core.select import select_batched
-
+        """Population-batched Select (see :func:`repro.core.batching.select_batched`)."""
         coord_map = self.objects[np.asarray(local_coords, dtype=np.intp)]
         return select_batched(self.oracle, players, candidates, bound, coord_map)
 
@@ -143,23 +143,75 @@ class SuperObjectSpace:
     def probe_all(self, player: int, objects: np.ndarray) -> np.ndarray:
         return np.asarray([self.probe(player, int(o)) for o in np.asarray(objects)], dtype=np.int16)
 
+    def probe_block(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
+        """Batch base-case probing: every player resolves every super-object.
+
+        For each super-object the inner Selects of all players run as one
+        :func:`~repro.core.batching.select_batched` drive, so the number
+        of Python-level oracle calls is per *batch step*, not per player.
+        Per-player probe sequences match :meth:`probe_all` exactly: a
+        player still resolves the listed super-objects in order, and the
+        inner Select probes each group's coordinates in its deterministic
+        Fig. 3 order.
+        """
+        players = np.asarray(players, dtype=np.intp)
+        objects = np.asarray(objects, dtype=np.intp)
+        out = np.empty((players.size, objects.size), dtype=np.int16)
+        for col, l in enumerate(objects):
+            outcomes = select_batched(
+                self.oracle, players, self.candidates[int(l)], self.bound, self.groups[int(l)]
+            )
+            for row, pl in enumerate(players):
+                out[row, col] = outcomes[int(pl)].index
+        return out
+
+    def select_batched(self, players: np.ndarray, candidates: np.ndarray, bound: int, local_coords: np.ndarray):
+        """Population-batched Select over super-object-valued candidates.
+
+        The outer Fig. 3 coroutines yield super-object coordinates; each
+        logical probe is an inner Select over that group's Coalesce
+        candidates, and the inner Selects of all players pending on the
+        same group run as one batched drive.
+        """
+        coord_map = np.asarray(local_coords, dtype=np.intp)
+        return select_batched(players=players, candidates=candidates, bound=bound,
+                              coord_to_object=coord_map, oracle=_SuperBatchProbe(self))
+
+
+class _SuperBatchProbe:
+    """``probe_many`` adapter over a :class:`SuperObjectSpace`.
+
+    ``probe_many(players, super_objects)`` resolves each (player,
+    super-object) pair by running the group's inner Select; players
+    pending on the same group are batched together.  Grouping only
+    reorders work *across* players — each player's own probe stream is
+    untouched, preserving observation-equivalence with the scalar
+    :meth:`SuperObjectSpace.probe`.
+    """
+
+    def __init__(self, space: "SuperObjectSpace"):
+        self.space = space
+
+    def probe_many(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
+        values = np.empty(players.size, dtype=np.int16)
+        for l in np.unique(objects):
+            mask = objects == l
+            outcomes = select_batched(
+                self.space.oracle,
+                players[mask],
+                self.space.candidates[int(l)],
+                self.space.bound,
+                self.space.groups[int(l)],
+            )
+            values[mask] = [outcomes[int(p)].index for p in players[mask]]
+        return values
+
 
 def _vote_candidates(rows: np.ndarray, min_votes: int) -> np.ndarray:
-    """Unique rows supported by at least *min_votes* voters.
-
-    Off-nominal fallback (the paper's w.h.p. analysis excludes it): when
-    no row reaches the threshold, the plurality rows stand — capped at
-    ``|rows| // min_votes`` candidates (the same cap the threshold
-    implies), so a degenerate all-distinct vote cannot explode the
-    downstream ``Select`` probe cost.
-    """
-    uniq, counts = np.unique(np.ascontiguousarray(rows), axis=0, return_counts=True)
-    popular = uniq[counts >= min_votes]
-    if popular.shape[0] == 0:
-        cap = max(1, rows.shape[0] // max(min_votes, 1))
-        order = np.argsort(-counts, kind="stable")
-        popular = uniq[order[:cap]]
-    return popular
+    """Unique rows supported by at least *min_votes* voters (see
+    :func:`repro.utils.rowset.popular_rows` for the off-nominal
+    plurality fallback and the vectorized dedup underneath)."""
+    return popular_rows(np.ascontiguousarray(rows), min_votes)
 
 
 def zero_radius(
@@ -215,7 +267,7 @@ def zero_radius(
         # Step 1: base case — probe everything.
         if min(P.size, O.size) < threshold:
             obs.incr("zero_radius.leaves")
-            block = getattr(space, "probe_block", None)
+            block = getattr(space, "probe_block", None) if batching_enabled() else None
             if block is not None:
                 out[np.ix_(P, O)] = block(P, O)
             else:
@@ -240,7 +292,7 @@ def zero_radius(
                 # A single candidate needs no probes (X(V) is empty).
                 out[np.ix_(adopters, voted_objs)] = candidates[0]
                 continue
-            batched = getattr(space, "select_batched", None)
+            batched = getattr(space, "select_batched", None) if batching_enabled() else None
             if batched is not None:
                 # Population-batched Select: identical per-player probe
                 # sequences and outcomes, one probe_many call per step.

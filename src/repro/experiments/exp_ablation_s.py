@@ -32,7 +32,7 @@ __all__ = ["run"]
 
 
 @register("E11")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E11 (see module docstring)."""
     base = params or Params.practical()
     gen = as_generator(seed)

@@ -32,7 +32,7 @@ STRETCH_CEILING = 10.0
 
 
 @register("E8")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E8 (see module docstring)."""
     p = params or Params.practical()
     gen = as_generator(seed)

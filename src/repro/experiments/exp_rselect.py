@@ -50,7 +50,7 @@ def _adversarial_case(
 
 
 @register("E7")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E7 (see module docstring)."""
     p = params or Params.practical()
     gen = as_generator(seed)

@@ -44,7 +44,7 @@ def _sv_gap(prefs: np.ndarray, rank: int) -> float:
 
 
 @register("E12")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E12 (see module docstring)."""
     p = params or Params.practical()
     gen = as_generator(seed)

@@ -37,7 +37,7 @@ QUALITY_FACTOR_CEILING = 5.0
 
 
 @register("E10")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E10 (see module docstring)."""
     p = params or Params.practical()
     gen = as_generator(seed)

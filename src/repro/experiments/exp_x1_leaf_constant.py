@@ -34,7 +34,7 @@ __all__ = ["run"]
 
 
 @register("X1")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X1 (see module docstring)."""
     base = params or Params.practical()
     gen = as_generator(seed)

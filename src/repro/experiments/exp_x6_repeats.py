@@ -32,7 +32,7 @@ __all__ = ["run"]
 
 
 @register("X6")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X6 (see module docstring)."""
     from repro.workloads.planted import planted_instance
 

@@ -31,7 +31,7 @@ __all__ = ["run"]
 
 
 @register("X8")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X8 (see module docstring)."""
     p = params or Params.practical()
     gen = as_generator(seed)

@@ -33,7 +33,7 @@ __all__ = ["run"]
 
 
 @register("E1")
-def run(quick: bool = True, seed: int = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E1 (see module docstring)."""
     p = params or Params.practical()
     gen = as_generator(seed)

@@ -14,12 +14,14 @@ is the full sweep recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.model.instance import Instance
+from repro.parallel import SharedInstanceStore, run_trials
 from repro.utils.tables import Table
 
-__all__ = ["ExperimentResult", "REGISTRY", "register", "run_experiment"]
+__all__ = ["ExperimentResult", "REGISTRY", "register", "run_experiment", "sweep_trials"]
 
 
 @dataclass
@@ -87,3 +89,34 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
         sp.set(passed=result.passed)
         obs.event("experiment.result", experiment=experiment_id, passed=result.passed)
     return result
+
+
+def sweep_trials(
+    worker: Callable[..., Any],
+    instance: Instance,
+    seeds: Sequence[int],
+    *,
+    parallel: bool | None = None,
+    max_workers: int | None = None,
+) -> list[Any]:
+    """Run ``worker(handle, seed)`` for each seed against one shared instance.
+
+    The sweep pattern every experiment repeats — many trials over one
+    planted instance — with the instance published to shared memory
+    once: *worker* (a module-level, picklable function) receives a
+    :class:`~repro.parallel.SharedInstanceHandle` plus its trial seed
+    and rebuilds the instance via ``handle.instance()``, instead of the
+    dense matrix crossing the process-pool pipe per trial.  The segment
+    is unlinked after the last trial returns.
+    """
+    with obs.span("sweep_trials", trials=len(seeds)) as sp:
+        with SharedInstanceStore() as store:
+            handle = store.publish(instance)
+            results = run_trials(
+                worker,
+                [(handle, seed) for seed in seeds],
+                parallel=parallel,
+                max_workers=max_workers,
+            )
+        sp.set(n=int(instance.prefs.shape[0]), m=int(instance.prefs.shape[1]))
+    return results

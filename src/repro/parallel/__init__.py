@@ -1,0 +1,25 @@
+"""Trial-level parallelism: process-pool runner + shared-memory instances.
+
+``repro.parallel`` fans independent (instance, seed) trials out over
+worker processes and publishes the big shared input — the hidden
+preference matrix — through POSIX shared memory so workers attach
+instead of unpickling it per trial.
+
+Public surface:
+
+* :func:`run_trials` / :func:`derive_seeds` — the process-pool runner
+  (formerly the ``repro.parallel`` module; same import path, same
+  semantics).
+* :class:`SharedInstanceStore` / :class:`SharedInstanceHandle` — the
+  publish-once / attach-many instance transport.
+"""
+
+from repro.parallel.runner import derive_seeds, run_trials
+from repro.parallel.shared import SharedInstanceHandle, SharedInstanceStore
+
+__all__ = [
+    "run_trials",
+    "derive_seeds",
+    "SharedInstanceStore",
+    "SharedInstanceHandle",
+]

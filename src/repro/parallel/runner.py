@@ -10,7 +10,12 @@ worker gets an independent, deterministically-derived seed).
 
 The worker callable must be a module-level function (picklable); trial
 inputs and outputs cross process boundaries, so keep them small —
-return summary statistics, not output matrices.
+return summary statistics, not output matrices.  For the big input that
+every trial shares — the hidden preference matrix — pass a
+:class:`~repro.parallel.shared.SharedInstanceHandle` instead of the
+matrix itself: the parent publishes the bit-packed matrix to POSIX
+shared memory once, and each worker attaches in place of unpickling
+megabytes per trial.
 """
 
 from __future__ import annotations
@@ -26,8 +31,13 @@ from repro.utils.rng import as_generator
 __all__ = ["run_trials", "derive_seeds"]
 
 
-def derive_seeds(base_seed: int | None, count: int) -> list[int]:
-    """Derive *count* independent trial seeds from one base seed."""
+def derive_seeds(base_seed: int | np.random.Generator | None, count: int) -> list[int]:
+    """Derive *count* independent trial seeds from one base seed.
+
+    *base_seed* may be an integer, an existing
+    :class:`numpy.random.Generator`, or ``None`` (fresh entropy) — the
+    same rng-like contract as every other entry point.
+    """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     gen = as_generator(base_seed)

@@ -1,0 +1,184 @@
+"""Shared-memory publication of trial instances.
+
+Pre-PR, every parallel trial re-pickled the full ``n × m`` preference
+matrix through the process-pool pipe — at ``n = m = 2048`` that is 4 MB
+per trial, serialized, copied, and deserialized 16 times for a 16-trial
+sweep.  A :class:`SharedInstanceStore` instead publishes the matrix
+**once**, bit-packed (one bit per entry, 8× smaller than ``int8``), to
+POSIX shared memory; trials carry only a tiny
+:class:`SharedInstanceHandle` (segment name + shape + community
+metadata) and each worker attaches and unpacks in place of unpickling.
+
+Lifecycle contract:
+
+* the **publisher** owns the segment: :meth:`SharedInstanceStore.close`
+  (or the ``with`` block) closes *and unlinks* every published segment —
+  call it only after all trials consuming the handles have finished;
+* **workers** are read-only attachers: :meth:`SharedInstanceHandle.prefs`
+  / :meth:`~SharedInstanceHandle.instance` attach, copy out, and detach
+  immediately, and never unlink (attachment is untracked, so a worker's
+  exit cannot reap a segment other workers still read);
+* handles are cheap picklable values — pass them through
+  :func:`~repro.parallel.runner.run_trials` trial args freely.
+
+Usage::
+
+    with SharedInstanceStore() as store:
+        handle = store.publish(instance)
+        results = run_trials(worker, [(handle, s) for s in seeds])
+    # segments unlinked here
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.model.community import Community
+from repro.model.instance import Instance
+from repro.utils.validation import check_binary_matrix
+
+__all__ = ["SharedInstanceHandle", "SharedInstanceStore"]
+
+# Segments published by THIS process (and, under fork, inherited from the
+# parent).  Readers that find the name here reuse the publisher's own
+# mapping — zero-copy for forked workers, and it keeps the resource
+# tracker honest: attaching via SharedMemory(name=...) on Python < 3.13
+# *registers* the segment, so a same-process attach + unregister would
+# strip the publisher's registration and make the eventual unlink
+# double-unregister.
+_LOCAL_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering as its owner.
+
+    Attachers must not be tracked: the resource tracker unlinks tracked
+    segments when a process exits, so a tracked *reader* exiting early
+    would reap the segment out from under the publisher and its sibling
+    workers.  Python 3.13 exposes ``track=False``; earlier versions need
+    the unregister workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track kwarg
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - best-effort on exotic platforms
+            pass
+        return shm
+
+
+@dataclass(frozen=True)
+class SharedInstanceHandle:
+    """Picklable reference to a published instance.
+
+    Attributes
+    ----------
+    shm_name:
+        Shared-memory segment holding the bit-packed preference matrix.
+    shape:
+        Logical ``(n, m)`` of the dense matrix.
+    instance_name:
+        The source instance's workload label.
+    communities:
+        The planted ground truth (small arrays; pickled with the handle
+        so workers can evaluate without touching shared memory twice).
+    """
+
+    shm_name: str
+    shape: tuple[int, int]
+    instance_name: str = "instance"
+    communities: tuple[Community, ...] = field(default=())
+
+    @property
+    def packed_shape(self) -> tuple[int, int]:
+        """Shape of the bit-packed storage, ``(n, ceil(m / 8))``."""
+        n, m = self.shape
+        return (n, (m + 7) // 8)
+
+    def prefs(self) -> np.ndarray:
+        """Attach, unpack the dense ``(n, m)`` int8 matrix, and detach.
+
+        A segment published by this process (or inherited through fork)
+        is read through the publisher's existing mapping; only a foreign
+        process actually re-attaches.
+        """
+        n, m = self.shape
+        pn, pm = self.packed_shape
+        local = _LOCAL_SEGMENTS.get(self.shm_name)
+        shm = local if local is not None else _attach(self.shm_name)
+        try:
+            packed = np.ndarray((pn, pm), dtype=np.uint8, buffer=shm.buf)
+            dense = np.unpackbits(packed, axis=1)[:, :m].astype(np.int8)
+        finally:
+            if local is None:
+                shm.close()
+        return dense
+
+    def instance(self) -> Instance:
+        """Rebuild the full :class:`~repro.model.Instance` in this process."""
+        return Instance(
+            prefs=self.prefs(), communities=list(self.communities), name=self.instance_name
+        )
+
+
+class SharedInstanceStore:
+    """Publisher-side registry of shared-memory instance segments.
+
+    The store owns every segment it publishes; :meth:`close` (or leaving
+    the ``with`` block) closes and unlinks them all.  Keep the store
+    alive for as long as any worker may still attach.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def publish(self, instance: Instance | np.ndarray) -> SharedInstanceHandle:
+        """Publish an instance's preference matrix; returns the handle."""
+        if isinstance(instance, Instance):
+            prefs = instance.prefs
+            name = instance.name
+            communities = tuple(instance.communities)
+        else:
+            prefs = check_binary_matrix(instance, "instance")
+            name = "instance"
+            communities = ()
+        packed = np.packbits(prefs.astype(np.uint8), axis=1)
+        shm = shared_memory.SharedMemory(create=True, size=packed.nbytes)
+        view = np.ndarray(packed.shape, dtype=np.uint8, buffer=shm.buf)
+        view[:] = packed
+        self._segments.append(shm)
+        _LOCAL_SEGMENTS[shm.name] = shm
+        return SharedInstanceHandle(
+            shm_name=shm.name,
+            shape=(int(prefs.shape[0]), int(prefs.shape[1])),
+            instance_name=name,
+            communities=communities,
+        )
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            _LOCAL_SEGMENTS.pop(shm.name, None)
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+
+    def __enter__(self) -> "SharedInstanceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"SharedInstanceStore(segments={len(self._segments)})"

@@ -12,8 +12,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro import obs
 from repro.experiments import REGISTRY, ExperimentResult, run_experiment
+from repro.utils.rng import as_seed
 
 __all__ = ["ReproductionReport", "build_report", "render_markdown"]
 
@@ -53,9 +56,16 @@ def build_report(
     experiments: Sequence[str] | None = None,
     *,
     quick: bool = True,
-    seed: int = 1,
+    seed: int | np.random.Generator | None = 1,
 ) -> ReproductionReport:
-    """Run *experiments* (default: all registered) and collect the results."""
+    """Run *experiments* (default: all registered) and collect the results.
+
+    *seed* follows the uniform rng contract; a ``Generator`` (or
+    ``None``) is resolved to one concrete integer up front so the report
+    header and telemetry record the seed the experiments actually ran
+    with.
+    """
+    seed = as_seed(seed)
     ids = sorted(REGISTRY, key=_sort_key) if experiments is None else list(experiments)
     unknown = [e for e in ids if e not in REGISTRY]
     if unknown:
@@ -102,7 +112,7 @@ def write_report(
     experiments: Sequence[str] | None = None,
     *,
     quick: bool = True,
-    seed: int = 1,
+    seed: int | np.random.Generator | None = 1,
     telemetry: str | Path | None = None,
 ) -> ReproductionReport:
     """Build a report and write its Markdown rendering to *path*.
@@ -113,6 +123,7 @@ def write_report(
     ``<report>.telemetry.jsonl`` next to the Markdown, which is what the
     CLI's ``report --telemetry`` passes.
     """
+    seed = as_seed(seed)
     if telemetry is not None:
         recorder = obs.Recorder(
             meta={"command": "report", "quick": quick, "seed": seed}

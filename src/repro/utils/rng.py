@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn", "spawn_many"]
+__all__ = ["as_generator", "as_seed", "spawn", "spawn_many"]
 
 RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
 
@@ -44,6 +44,20 @@ def as_generator(rng: int | np.random.Generator | np.random.SeedSequence | None)
     if rng is None or isinstance(rng, (int, np.integer)):
         return np.random.default_rng(rng)
     raise TypeError(f"cannot interpret {type(rng).__name__!r} as a random generator")
+
+
+def as_seed(rng: int | np.random.Generator | None) -> int:
+    """Normalise *rng* to a plain integer seed.
+
+    The inverse convenience of :func:`as_generator`, for call sites that
+    must *record* the seed (report headers, telemetry metadata) or fan
+    it out as an integer.  An integer passes through unchanged — callers
+    that already hold a seed keep bit-for-bit compatible behaviour — a
+    ``Generator`` (or ``None``) has one integer drawn from it.
+    """
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return int(rng)
+    return int(as_generator(rng).integers(0, 2**31 - 1))
 
 
 def spawn(rng: np.random.Generator) -> np.random.Generator:

@@ -1,0 +1,235 @@
+"""Guards on the stable ``repro.api`` surface.
+
+Three layers of pinning:
+
+* **name snapshot** — ``repro.api.__all__`` must equal the golden list
+  below.  Adding a name is a conscious act (update the golden and
+  ``docs/api.md``); removing or renaming one is a breaking change.
+* **signature snapshot** — ``inspect.signature`` strings of the
+  callable surface.  Any parameter rename, reorder, default change, or
+  annotation change fails here before it reaches a caller.
+* **behavioural contracts** — the ``RunResult.meta`` vocabulary
+  (:func:`repro.core.result.validate_meta`) holds on real runs, every
+  rng-accepting entry point takes ``int | Generator | None``, and moved
+  names keep working through their deprecation shims.
+"""
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.baselines import knn_baseline, majority_baseline, solo_baseline, svd_baseline
+from repro.core.result import META_KEYS, validate_meta
+from repro.utils.rng import as_seed
+
+#: Golden snapshot of the stable surface.  Keep sorted groups in sync
+#: with repro/api.py — an api change must edit both files (and docs).
+GOLDEN_ALL = [
+    # substrate
+    "ProbeOracle",
+    "ProbeStats",
+    "BudgetExceededError",
+    # model
+    "Instance",
+    "Community",
+    # algorithms
+    "Params",
+    "RunResult",
+    "META_KEYS",
+    "validate_meta",
+    "find_preferences",
+    "find_preferences_unknown_d",
+    "anytime_find_preferences",
+    "batching_enabled",
+    "batched_probes",
+    "sequential_probes",
+    # metrics
+    "evaluate",
+    # workloads
+    "WORKLOADS",
+    "make_instance",
+    # parallel trials
+    "run_trials",
+    "derive_seeds",
+    "sweep_trials",
+    "SharedInstanceStore",
+    "SharedInstanceHandle",
+    # rng contract
+    "as_generator",
+]
+
+#: Golden ``inspect.signature`` strings for the callable surface.
+GOLDEN_SIGNATURES = {
+    "find_preferences": (
+        "(oracle: 'ProbeOracle', alpha: 'float', D: 'int', *, "
+        "params: 'Params | None' = None, "
+        "rng: 'int | np.random.Generator | None' = None) -> 'RunResult'"
+    ),
+    "find_preferences_unknown_d": (
+        "(oracle: 'ProbeOracle', alpha: 'float', *, "
+        "params: 'Params | None' = None, "
+        "rng: 'int | np.random.Generator | None' = None, "
+        "d_max: 'int | None' = None) -> 'RunResult'"
+    ),
+    "anytime_find_preferences": (
+        "(oracle: 'ProbeOracle', *, params: 'Params | None' = None, "
+        "rng: 'int | np.random.Generator | None' = None, "
+        "max_phases: 'int | None' = None, d_max: 'int | None' = None, "
+        "phase_callback: 'Callable[[int, float, np.ndarray], None] | None' = None)"
+        " -> 'RunResult'"
+    ),
+    "make_instance": (
+        "(workload: 'str', n: 'int', m: 'int', alpha: 'float', D: 'int', "
+        "rng: 'int | np.random.Generator | None' = None) -> 'Instance'"
+    ),
+    "run_trials": (
+        "(worker: 'Callable[..., Any]', trial_args: 'Sequence[tuple]', *, "
+        "max_workers: 'int | None' = None, parallel: 'bool | None' = None)"
+        " -> 'list[Any]'"
+    ),
+    "derive_seeds": (
+        "(base_seed: 'int | np.random.Generator | None', count: 'int')"
+        " -> 'list[int]'"
+    ),
+    "sweep_trials": (
+        "(worker: 'Callable[..., Any]', instance: 'Instance', "
+        "seeds: 'Sequence[int]', *, parallel: 'bool | None' = None, "
+        "max_workers: 'int | None' = None) -> 'list[Any]'"
+    ),
+    "evaluate": (
+        "(outputs: 'np.ndarray', truth: 'np.ndarray', "
+        "members: 'Sequence[int] | np.ndarray | None' = None, *, "
+        "diam: 'int | None' = None) -> 'EvaluationReport'"
+    ),
+    "as_generator": (
+        "(rng: 'int | np.random.Generator | np.random.SeedSequence | None')"
+        " -> 'np.random.Generator'"
+    ),
+}
+
+
+class TestSurfaceSnapshot:
+    def test_all_matches_golden(self):
+        assert list(api.__all__) == GOLDEN_ALL
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_signatures_match_golden(self):
+        for name, golden in GOLDEN_SIGNATURES.items():
+            actual = str(inspect.signature(getattr(api, name)))
+            assert actual == golden, f"signature drift on api.{name}:\n{actual}"
+
+    def test_top_level_package_exposes_api(self):
+        import repro
+
+        assert "api" in repro.__all__
+        assert repro.api is api
+
+
+def _instance(n=32, m=32, D=0, seed=3):
+    return api.make_instance("planted", n=n, m=m, alpha=0.5, D=D, rng=seed)
+
+
+class TestMetaVocabulary:
+    def test_meta_keys_documented(self):
+        for key, doc in META_KEYS.items():
+            assert isinstance(doc, str) and doc, f"META_KEYS[{key!r}] lacks a description"
+
+    def test_validate_meta_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown RunResult.meta keys"):
+            validate_meta({"alpha": 0.5, "made_up_key": 1})
+
+    def test_real_runs_stay_within_vocabulary(self):
+        inst = _instance(D=2)
+        runs = [
+            api.find_preferences(api.ProbeOracle(inst), 0.5, 2, rng=7),
+            api.find_preferences_unknown_d(api.ProbeOracle(inst), 0.5, rng=7, d_max=4),
+            api.anytime_find_preferences(
+                api.ProbeOracle(inst, budget=64), rng=7, d_max=2, max_phases=1
+            ),
+        ]
+        for run in runs:
+            assert validate_meta(run.meta) is run.meta
+
+    def test_baselines_stay_within_vocabulary(self):
+        inst = _instance(D=2)
+        runs = [
+            majority_baseline(api.ProbeOracle(inst), 8, rng=7),
+            solo_baseline(api.ProbeOracle(inst), budget=8, rng=7),
+            svd_baseline(api.ProbeOracle(inst), 8, rng=7),
+            knn_baseline(api.ProbeOracle(inst), anchor=1, spread=4, rng=7),
+        ]
+        for run in runs:
+            assert validate_meta(run.meta) is run.meta
+
+
+class TestRngContract:
+    """Every seed-ish parameter accepts int | Generator | None uniformly."""
+
+    def test_find_preferences_accepts_generator(self):
+        inst = _instance()
+        a = api.find_preferences(api.ProbeOracle(inst), 0.5, 0, rng=11)
+        b = api.find_preferences(
+            api.ProbeOracle(inst), 0.5, 0, rng=np.random.default_rng(11)
+        )
+        assert np.array_equal(a.outputs, b.outputs)
+
+    def test_derive_seeds_accepts_generator_and_none(self):
+        assert api.derive_seeds(9, 4) == api.derive_seeds(np.random.default_rng(9), 4)
+        assert len(api.derive_seeds(None, 4)) == 4
+
+    def test_experiment_run_accepts_generator(self):
+        from repro.experiments import exp_select
+
+        a = exp_select.run(quick=True, seed=5)
+        b = exp_select.run(quick=True, seed=np.random.default_rng(5))
+        assert a.passed == b.passed
+        assert a.table.rows == b.table.rows
+
+    def test_build_report_accepts_generator(self):
+        from repro.reporting import build_report
+
+        report = build_report(["E1"], quick=True, seed=np.random.default_rng(2))
+        assert isinstance(report.seed, int)  # resolved for the report header
+
+    def test_as_seed_roundtrip(self):
+        assert as_seed(123) == 123
+        assert as_seed(np.int64(7)) == 7
+        drawn = as_seed(np.random.default_rng(1))
+        assert drawn == as_seed(np.random.default_rng(1))
+        assert isinstance(drawn, int)
+
+
+class TestDeprecationShims:
+    # importlib, not `import repro.core.select as m`: the package
+    # re-exports the `select` *function*, which shadows the submodule in
+    # plain attribute-style imports.
+    def test_select_batched_moved_to_batching(self):
+        import importlib
+
+        batching = importlib.import_module("repro.core.batching")
+        select_mod = importlib.import_module("repro.core.select")
+        with pytest.deprecated_call(match="moved to repro.core.batching"):
+            shimmed = select_mod.select_batched
+        assert shimmed is batching.select_batched
+
+    def test_unknown_attribute_still_raises(self):
+        import importlib
+
+        select_mod = importlib.import_module("repro.core.select")
+        with pytest.raises(AttributeError):
+            select_mod.does_not_exist
+
+    def test_stable_surface_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            inst = _instance()
+            api.find_preferences(api.ProbeOracle(inst), 0.5, 0, rng=1)
+            with api.sequential_probes():
+                pass
+            api.derive_seeds(1, 2)

@@ -1,0 +1,128 @@
+"""Observation-equivalence of the batched probe drivers.
+
+The contract the tentpole rests on: population-batching probes through
+``ProbeOracle.probe_many`` is a *scheduling* change, not an algorithmic
+one.  Within a lockstep round every player's probes are independent, so
+batching may interleave players differently but must preserve, exactly,
+
+* each player's outputs,
+* each player's charged-probe count, and
+* each player's own probe sequence (the objects it probed, in order).
+
+These tests run every algorithm branch twice — batched (the default)
+and under :func:`repro.core.batching.sequential_probes` (the per-player
+reference loops) — and assert all three invariants, then pin both modes
+to the golden digests captured from the pre-batching seed code (the
+same constants ``tests/test_obs.py`` guards), so neither mode can drift
+from the sequential seed semantics without failing loudly.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.billboard.trace import ProbeTrace
+from repro.core.batching import batching_enabled, sequential_probes
+from repro.core.main import find_preferences, find_preferences_unknown_d
+from repro.workloads.planted import planted_instance
+
+N = M = 128
+ALPHA = 0.5
+INSTANCE_SEED = 13
+ALGO_SEED = 17
+
+#: sha256(outputs || per-player counts) and total probes, captured from
+#: the pre-batching seed code (commit b213d42) — duplicated from
+#: tests/test_obs.py on purpose: this file guards batching, that one
+#: guards telemetry, and either regression should fail its own guard.
+GOLDEN = {
+    "zero_radius": ("9d2b88ed3cc23bca", 2048),
+    "small_radius": ("c7ca0a9af69f160b", 65536),
+    "large_radius": ("54bc2871ce5b84ea", 14112),
+    "unknown_d": ("23dbf4633d0f463f", 166391),
+}
+
+_CONFIGS = {
+    "zero_radius": (0, False),
+    "small_radius": (2, False),
+    "large_radius": (40, False),
+    "unknown_d": (2, True),
+}
+
+
+def _digest(*arrays) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()[:16]
+
+
+def _run_config(label: str):
+    D, unknown = _CONFIGS[label]
+    inst = planted_instance(N, M, ALPHA, D, rng=INSTANCE_SEED)
+    oracle = ProbeOracle(inst)
+    trace = ProbeTrace()
+    oracle.attach_trace(trace)
+    if unknown:
+        result = find_preferences_unknown_d(oracle, ALPHA, rng=ALGO_SEED, d_max=4)
+    else:
+        result = find_preferences(oracle, ALPHA, D, rng=ALGO_SEED)
+    return result, oracle, trace
+
+
+class TestBatchedMatchesSequential:
+    """Batched and sequential drivers are observation-equivalent."""
+
+    @pytest.mark.parametrize("label", sorted(_CONFIGS))
+    def test_outputs_counts_and_per_player_sequences(self, label):
+        assert batching_enabled()
+        batched_result, batched_oracle, batched_trace = _run_config(label)
+        with sequential_probes():
+            assert not batching_enabled()
+            seq_result, seq_oracle, seq_trace = _run_config(label)
+        assert batching_enabled()
+
+        assert np.array_equal(batched_result.outputs, seq_result.outputs)
+        assert np.array_equal(
+            batched_oracle.stats().per_player, seq_oracle.stats().per_player
+        )
+        # Strongest per-player invariant: the exact object sequence each
+        # player probed.  Batching may interleave players differently
+        # (the traces as wholes differ) but never reorders, adds, or
+        # drops any single player's probes.
+        for player in range(N):
+            assert np.array_equal(
+                batched_trace.player_sequence(player),
+                seq_trace.player_sequence(player),
+            ), f"{label}: probe sequence diverged for player {player}"
+
+    @pytest.mark.parametrize("mode", ["batched", "sequential"])
+    @pytest.mark.parametrize("label", sorted(GOLDEN))
+    def test_both_modes_match_seed_golden(self, label, mode):
+        if mode == "sequential":
+            with sequential_probes():
+                result, oracle, _ = _run_config(label)
+        else:
+            result, oracle, _ = _run_config(label)
+        digest, total = GOLDEN[label]
+        assert oracle.stats().total == total
+        assert _digest(result.outputs, oracle.stats().per_player) == digest
+
+
+class TestToggleScoping:
+    def test_sequential_probes_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with sequential_probes():
+                raise RuntimeError("boom")
+        assert batching_enabled()
+
+    def test_toggle_nests(self):
+        from repro.core.batching import batched_probes
+
+        with sequential_probes():
+            with batched_probes():
+                assert batching_enabled()
+            assert not batching_enabled()
+        assert batching_enabled()

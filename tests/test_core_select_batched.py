@@ -6,7 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.billboard.oracle import ProbeOracle
-from repro.core.select import select, select_batched
+from repro.core.batching import select_batched
+from repro.core.select import select
 
 
 def _setup(n=6, m=24, seed=0):

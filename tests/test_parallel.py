@@ -1,9 +1,14 @@
-"""Tests for the trial-level parallel runner."""
+"""Tests for the trial-level parallel runner and shared-memory instances."""
 
 import numpy as np
 import pytest
 
-from repro.parallel import derive_seeds, run_trials
+from repro.parallel import (
+    SharedInstanceHandle,
+    SharedInstanceStore,
+    derive_seeds,
+    run_trials,
+)
 
 
 def _square(x):
@@ -39,6 +44,12 @@ class TestDeriveSeeds:
         with pytest.raises(ValueError):
             derive_seeds(0, -1)
 
+    def test_generator_base_seed(self):
+        assert derive_seeds(7, 5) == derive_seeds(np.random.default_rng(7), 5)
+
+    def test_none_base_seed(self):
+        assert len(derive_seeds(None, 3)) == 3
+
 
 class TestRunTrials:
     def test_empty(self):
@@ -68,3 +79,111 @@ class TestRunTrials:
     def test_auto_mode_small_stays_serial(self):
         # 2 trials: heuristics pick serial; result correctness either way.
         assert run_trials(_square, [(1,), (2,)]) == [1, 4]
+
+
+def _make_instance(n=40, m=56, D=2, seed=13):
+    from repro.workloads.planted import planted_instance
+
+    return planted_instance(n, m, 0.5, D, rng=seed)
+
+
+def _handle_trial(handle, seed):
+    # Module-level worker: rebuild the instance from the shared handle.
+    from repro.billboard.oracle import ProbeOracle
+    from repro.core.main import find_preferences
+
+    inst = handle.instance()
+    res = find_preferences(ProbeOracle(inst), 0.5, 0, rng=seed)
+    return int(res.outputs.sum()), res.total_probes
+
+
+class TestSharedInstanceStore:
+    def test_prefs_round_trip(self):
+        inst = _make_instance()
+        with SharedInstanceStore() as store:
+            handle = store.publish(inst)
+            got = handle.prefs()
+            assert got.dtype == np.int8
+            assert np.array_equal(got, inst.prefs)
+
+    def test_instance_round_trip_with_communities(self):
+        inst = _make_instance()
+        with SharedInstanceStore() as store:
+            rebuilt = store.publish(inst).instance()
+        assert rebuilt.name == inst.name
+        assert len(rebuilt.communities) == len(inst.communities)
+        for a, b in zip(rebuilt.communities, inst.communities):
+            assert np.array_equal(a.members, b.members)
+            assert (a.diameter, a.label) == (b.diameter, b.label)
+
+    def test_raw_matrix_publish(self):
+        rng = np.random.default_rng(4)
+        prefs = rng.integers(0, 2, (9, 21), dtype=np.int8)  # m not a multiple of 8
+        with SharedInstanceStore() as store:
+            handle = store.publish(prefs)
+            assert handle.shape == (9, 21)
+            assert np.array_equal(handle.prefs(), prefs)
+
+    def test_bit_packed_storage(self):
+        # The published segment holds ceil(m/8) bytes per row, not m.
+        with SharedInstanceStore() as store:
+            handle = store.publish(np.ones((16, 100), dtype=np.int8))
+            assert handle.packed_shape == (16, 13)
+
+    def test_close_unlinks_and_is_idempotent(self):
+        store = SharedInstanceStore()
+        handle = store.publish(np.zeros((4, 8), dtype=np.int8))
+        assert len(store) == 1
+        store.close()
+        assert len(store) == 0
+        store.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            from repro.parallel.shared import _attach
+
+            _attach(handle.shm_name)
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        with SharedInstanceStore() as store:
+            handle = store.publish(_make_instance())
+            clone = pickle.loads(pickle.dumps(handle))
+            assert isinstance(clone, SharedInstanceHandle)
+            assert clone.shm_name == handle.shm_name
+            assert np.array_equal(clone.prefs(), handle.prefs())
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_run_trials_with_handles(self, parallel):
+        inst = _make_instance(D=0)
+        seeds = derive_seeds(5, 4)
+        with SharedInstanceStore() as store:
+            handle = store.publish(inst)
+            results = run_trials(
+                _handle_trial,
+                [(handle, s) for s in seeds],
+                parallel=parallel,
+                max_workers=2,
+            )
+        assert len(results) == 4
+        assert len({r for r in results}) >= 1
+        # Both modes agree trial-for-trial.
+        if parallel:
+            with SharedInstanceStore() as store:
+                handle = store.publish(inst)
+                serial = run_trials(
+                    _handle_trial, [(handle, s) for s in seeds], parallel=False
+                )
+            assert serial == results
+
+
+class TestSweepTrials:
+    def test_matches_manual_publish(self):
+        from repro.experiments.harness import sweep_trials
+
+        inst = _make_instance(D=0)
+        seeds = derive_seeds(8, 3)
+        via_sweep = sweep_trials(_handle_trial, inst, seeds, parallel=False)
+        with SharedInstanceStore() as store:
+            handle = store.publish(inst)
+            manual = run_trials(_handle_trial, [(handle, s) for s in seeds], parallel=False)
+        assert via_sweep == manual
