@@ -11,6 +11,7 @@ Subcommands::
     python -m repro obs summarize out.jsonl   # render a telemetry file
     python -m repro report --out REPORT.md --telemetry
                                               # Markdown report + JSONL
+    python -m repro lint src tests            # repro contract checks (RPL rules)
 
 ``run`` accepts ``--full`` for the full (slow) sweeps and ``--out DIR``
 to archive rendered reports (what the benchmark suite does via
@@ -85,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser("summarize", help="render a telemetry JSONL file")
     summarize.add_argument("file", type=Path, help="telemetry file written with --telemetry")
+
+    from repro.lint.cli import add_lint_subparser
+
+    add_lint_subparser(sub)
     return parser
 
 
@@ -110,7 +115,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     failures = 0
     for eid in wanted:
-        result = run_experiment(eid, quick=not args.full, seed=args.seed)
+        result = run_experiment(eid, quick=not args.full, rng=args.seed)
         rendered = result.render()
         print(rendered)
         print()
@@ -192,6 +197,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_demo(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "report":
         from repro.reporting import write_report
 

@@ -1,0 +1,55 @@
+"""Contract-checking static analysis for the repro codebase.
+
+The paper's guarantees only hold if every algorithm plays by the
+billboard model: each probe goes through the oracle and is charged
+(Sec. 2 cost model), and randomness is reproducible so the
+``1 - n^{-O(1)}`` claims can be re-verified over seeded trials.  PR 1/2
+introduced the repo-wide conventions that encode those obligations —
+the ``int | Generator | None`` rng contract, the closed
+``RunResult.meta`` vocabulary, oracle-mediated probing, the ``rowset``
+replacement for ``np.unique(axis=0)`` — and this package machine-checks
+them so "refactor freely" stays safe at production scale.
+
+Usage, CLI::
+
+    python -m repro lint src tests benchmarks examples
+    python -m repro lint src --format json --select RPL001,RPL002
+
+Usage, library::
+
+    from repro import lint
+
+    diagnostics = lint.lint_paths(["src"])
+    for d in diagnostics:
+        print(d.format())
+
+A finding can be locally waived with an in-line suppression comment —
+``# repro: noqa[RPL002]`` (specific rules) or ``# repro: noqa``
+(blanket) — which should always carry a justification.  The rule
+catalog with per-rule rationale lives in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    Diagnostic,
+    LintContext,
+    Rule,
+    collect_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LintContext",
+    "Rule",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rules_by_id",
+]

@@ -1,0 +1,118 @@
+"""``python -m repro lint`` — the CLI front end of :mod:`repro.lint`.
+
+Exit codes follow the usual linter convention: ``0`` clean, ``1``
+findings, ``2`` usage error (unknown rule id, no files matched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.engine import collect_files, lint_file
+from repro.lint.rules import ALL_RULES, rules_by_id
+
+__all__ = ["add_lint_subparser", "run_lint"]
+
+#: Default lint surface when no paths are given (the repo's own code).
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def add_lint_subparser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    """Register the ``lint`` subcommand on the repro CLI parser."""
+    lint = sub.add_parser("lint", help="run the repro contract checks (RPL rules)")
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return lint
+
+
+def _parse_rule_ids(spec: str | None) -> set[str] | None:
+    if spec is None:
+        return None
+    return {token.strip() for token in spec.split(",") if token.strip()}
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the ``lint`` subcommand; returns the process exit code."""
+    catalog = rules_by_id()
+    if args.list_rules:
+        for rule_id, rule in sorted(catalog.items()):
+            print(f"{rule_id}  [{rule.severity}]  {rule.summary}")
+        return 0
+
+    select = _parse_rule_ids(args.select)
+    ignore = _parse_rule_ids(args.ignore)
+    for spec_name, spec in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted(spec - set(catalog)) if spec else []
+        if unknown:
+            print(f"{spec_name}: unknown rule ids {', '.join(unknown)}; known: {', '.join(sorted(catalog))}")
+            return 2
+
+    rules = ALL_RULES
+    if select is not None:
+        rules = [r for r in rules if r.id in select]
+    if ignore is not None:
+        rules = [r for r in rules if r.id not in ignore]
+
+    files = collect_files(args.paths)
+    if not files:
+        print(f"no python files found under: {' '.join(map(str, args.paths))}")
+        return 2
+
+    diagnostics = []
+    for file in files:
+        diagnostics.extend(lint_file(file, rules))
+
+    if args.format == "json":
+        print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        errors = sum(1 for d in diagnostics if d.severity == "error")
+        warnings = len(diagnostics) - errors
+        summary = f"{len(files)} files checked: {errors} errors, {warnings} warnings"
+        print(summary if diagnostics else f"{len(files)} files checked: clean")
+    return 1 if diagnostics else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry (``python -m repro.lint.cli``), mainly for tests."""
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(prog="repro lint")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_subparser(sub)
+    return run_lint(parser.parse_args(["lint", *argv]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,321 @@
+"""The lint engine: rule protocol, diagnostics, suppressions, file runner.
+
+Deliberately dependency-free (stdlib ``ast`` only): the linter must be
+runnable in any environment the library itself runs in, including CI
+images before dev extras are installed.
+
+Layers
+------
+* :class:`Diagnostic` — one finding, with file/line/column, rule id,
+  severity, message, and an optional autofix hint.
+* :class:`Rule` — per-rule class: declares ``id`` / ``severity`` /
+  ``summary`` / ``hint``, scopes itself via :meth:`Rule.applies_to`,
+  and emits findings from :meth:`Rule.check` (usually by walking the
+  pre-parsed AST with a small :class:`ast.NodeVisitor`).
+* :class:`LintContext` — everything a rule may need about one file:
+  path, source, parsed tree, the repo-relative module path (``None``
+  for non-library files such as tests), and the suppression table.
+* :func:`lint_source` / :func:`lint_file` / :func:`lint_paths` — the
+  runners, applying ``# repro: noqa[...]`` suppressions and
+  select/ignore filters.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "Rule",
+    "RuleVisitor",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: ``# repro: noqa`` (blanket) or ``# repro: noqa[RPL001, RPL002]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+#: Directories never linted: bytecode caches and the deliberately
+#: rule-violating lint fixtures (test data, not code).
+_SKIP_DIRS = frozenset({"__pycache__", "lint_fixtures"})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes
+    ----------
+    rule:
+        Rule id, e.g. ``"RPL002"``.
+    severity:
+        ``"error"`` or ``"warning"`` — errors fail the CLI run.
+    path:
+        File the finding is in (as given to the runner).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        What is wrong, concretely, at this site.
+    hint:
+        How to fix it (the rule's autofix hint).
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """Render as the classic ``path:line:col: RULE message`` line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" [{self.hint}]"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form for ``--format json``."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything the rules may need about one file under analysis."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Path relative to the ``repro`` package root, e.g.
+    #: ``"repro/core/main.py"`` — ``None`` for files outside the
+    #: library (tests, benchmarks, examples), which lets library-only
+    #: rules scope themselves out cheaply.
+    module_path: str | None
+    #: line -> suppressed rule ids; an empty set means blanket noqa.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """Whether an in-line ``# repro: noqa`` waives *diagnostic*."""
+        rules = self.suppressions.get(diagnostic.line)
+        if rules is None:
+            return False
+        return not rules or diagnostic.rule in rules
+
+    def in_library(self, *prefixes: str, exclude: Sequence[str] = ()) -> bool:
+        """Whether this file is library code under any of *prefixes*.
+
+        ``prefixes`` / ``exclude`` are ``repro``-relative posix paths
+        (``"repro/core"``, ``"repro/utils/rng.py"``).  With no prefixes,
+        any library file matches.  Non-library files never match.
+        """
+        if self.module_path is None:
+            return False
+        for stop in exclude:
+            if self.module_path == stop or self.module_path.startswith(stop.rstrip("/") + "/"):
+                return False
+        if not prefixes:
+            return True
+        return any(
+            self.module_path == p or self.module_path.startswith(p.rstrip("/") + "/")
+            for p in prefixes
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` scopes the rule to a file subset (default: all
+    files handed to the runner).
+    """
+
+    #: Stable rule id (``RPL...``); also the suppression token.
+    id: str = ""
+    #: ``"error"`` (fails the run) or ``"warning"``.
+    severity: str = "error"
+    #: One-line statement of the contract the rule enforces.
+    summary: str = ""
+    #: Autofix hint appended to every diagnostic of this rule.
+    hint: str = ""
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Whether this rule runs on *ctx* at all (path scoping)."""
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for *ctx*; the engine applies suppressions."""
+        raise NotImplementedError
+
+    def diagnostic(self, ctx: LintContext, node: ast.AST, message: str) -> Diagnostic:
+        """Build a finding of this rule anchored at *node*."""
+        return Diagnostic(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+        )
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Shared visitor base: collects findings for one rule over one file."""
+
+    def __init__(self, rule: Rule, ctx: LintContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.found: list[Diagnostic] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at *node*."""
+        self.found.append(self.rule.diagnostic(self.ctx, node, message))
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Extract the ``# repro: noqa`` table (line -> rule ids)."""
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            table[lineno] = set()
+        else:
+            table[lineno] = {token.strip() for token in spec.split(",") if token.strip()}
+    return table
+
+
+def module_path_of(path: str | PurePath) -> str | None:
+    """Repo path -> ``repro``-relative module path, or ``None``.
+
+    Works for any spelling that contains a ``src/repro`` segment
+    (relative, absolute, or from a sibling checkout): the part after the
+    last ``src/`` that starts a ``repro`` package is the module path.
+    """
+    parts = PurePath(path).as_posix().split("/")
+    for i in range(len(parts) - 1, 0, -1):
+        if parts[i] == "repro" and parts[i - 1] == "src":
+            return "/".join(parts[i:])
+    return None
+
+
+def build_context(path: str, source: str) -> LintContext:
+    """Parse *source* and assemble the :class:`LintContext` for it."""
+    tree = ast.parse(source, filename=path)
+    return LintContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module_path=module_path_of(path),
+        suppressions=_parse_suppressions(source),
+    )
+
+
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    *,
+    path: str = "<string>",
+) -> list[Diagnostic]:
+    """Lint one in-memory source string; returns unsuppressed findings."""
+    try:
+        ctx = build_context(path, source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="RPL000",
+                severity="error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    found: list[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for diagnostic in rule.check(ctx):
+            if not ctx.is_suppressed(diagnostic):
+                found.append(diagnostic)
+    found.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return found
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule]) -> list[Diagnostic]:
+    """Lint one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, rules, path=str(path))
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand *paths* (files or directories) to the ``.py`` files to lint.
+
+    Directories are walked recursively; ``__pycache__`` and
+    ``lint_fixtures`` directories are skipped (caches and deliberately
+    rule-violating test data).  Order is deterministic.
+    """
+    out: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if _SKIP_DIRS.isdisjoint(sub.parts):
+                    out.append(sub)
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint files/directories with an optional rule id filter.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories (directories are walked for ``.py`` files).
+    rules:
+        Rule instances to run; defaults to the full repro rule set.
+    select / ignore:
+        Rule ids to keep / drop (``select`` wins first, then ``ignore``).
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    if select is not None:
+        wanted = set(select)
+        rules = [r for r in rules if r.id in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.id not in dropped]
+    found: list[Diagnostic] = []
+    for file in collect_files(paths):
+        found.extend(lint_file(file, rules))
+    return found

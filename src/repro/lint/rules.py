@@ -1,0 +1,452 @@
+"""The repro rule set: eight machine-checked model/API contracts.
+
+Each rule encodes one convention the paper's guarantees (or the repo's
+refactoring safety) depend on; the catalog with full rationale is
+``docs/static-analysis.md``.  Rules are intentionally small, pure-AST
+visitors — no type inference — so they are fast, deterministic, and
+easy to reason about; sites where a rule is deliberately violated
+(e.g. the virtual-players substrate peering into the oracle) carry an
+in-line ``# repro: noqa[RPLxxx]`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.lint.engine import Diagnostic, LintContext, Rule, RuleVisitor
+
+__all__ = ["ALL_RULES", "rules_by_id"]
+
+#: Mutable (or otherwise shared-state) constructors banned as defaults.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque", "defaultdict"})
+
+#: Literal nodes that evaluate to a fresh mutable object.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+class RngConstructionRule(Rule):
+    """RPL001 — all randomness flows through :mod:`repro.utils.rng`.
+
+    Seeded reproducibility of the whole population simulation hinges on
+    one normalisation point for generators (``as_generator`` /
+    ``spawn``): a stray ``np.random.default_rng()``, legacy
+    ``RandomState``, or global ``np.random.seed()`` inside the library
+    forks an unseeded stream and silently breaks trial replay.
+    """
+
+    id = "RPL001"
+    severity = "error"
+    summary = "no raw RNG construction outside repro.utils.rng"
+    hint = "use repro.utils.rng.as_generator / spawn"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_library(exclude=("repro/utils/rng.py",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _RngVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _RngVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain:
+            tail = chain[-1]
+            if tail in ("default_rng", "RandomState"):
+                self.report(node, f"raw generator construction via {'.'.join(chain)}()")
+            elif tail == "seed" and "random" in chain[:-1]:
+                self.report(node, "global np.random.seed() poisons unrelated streams")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.endswith("random"):
+            for alias in node.names:
+                if alias.name in ("default_rng", "RandomState", "seed"):
+                    self.report(node, f"importing {alias.name} from {node.module}")
+        self.generic_visit(node)
+
+
+class DirectPreferenceReadRule(Rule):
+    """RPL002 — probes go through the oracle, never the raw matrix.
+
+    The Sec. 2 cost model charges every preference read to a player;
+    code that indexes ``instance.prefs[...]`` or reaches into
+    ``oracle._prefs`` learns hidden grades for free and voids the probe
+    accounting every theorem is stated in.  Only the substrate itself
+    (``billboard/``, ``model/``) touches the matrix.
+    """
+
+    id = "RPL002"
+    severity = "error"
+    summary = "no direct preference-matrix reads outside billboard/ + model/"
+    hint = "route probes through ProbeOracle.probe/probe_many"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_library(exclude=("repro/billboard", "repro/model"))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _PrefsVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _PrefsVisitor(RuleVisitor):
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "_prefs":
+            self.report(node, "reach-through into the oracle's hidden matrix (._prefs)")
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.value, ast.Attribute) and node.value.attr == "prefs":
+            self.report(node, "uncharged preference read: .prefs[...] bypasses the oracle")
+        self.generic_visit(node)
+
+
+class MetaVocabularyRule(Rule):
+    """RPL003 — ``RunResult.meta`` keys come from the closed vocabulary.
+
+    ``META_KEYS`` is the single documented schema for run metadata; a
+    key invented at a call site (or computed at runtime) is invisible
+    to the io round-trip, reports, and dashboards until it breaks them.
+    Literal keys let the check run statically, before any run exists.
+    """
+
+    id = "RPL003"
+    severity = "error"
+    summary = "RunResult.meta keys must be literals from META_KEYS"
+    hint = "document new keys in repro.core.result.META_KEYS"
+
+    _meta_keys: frozenset[str] | None = None
+
+    @classmethod
+    def known_keys(cls) -> frozenset[str]:
+        """The authoritative key set, imported lazily from the library."""
+        if cls._meta_keys is None:
+            from repro.core.result import META_KEYS
+
+            cls._meta_keys = frozenset(META_KEYS)
+        return cls._meta_keys
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _MetaVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _MetaVisitor(RuleVisitor):
+    def _check_key(self, key_node: ast.AST) -> None:
+        known = MetaVocabularyRule.known_keys()
+        if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+            if key_node.value not in known:
+                self.report(
+                    key_node,
+                    f"unknown RunResult.meta key {key_node.value!r} "
+                    f"(not in repro.core.result.META_KEYS)",
+                )
+        else:
+            self.report(key_node, "RunResult.meta keys must be string literals")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain and chain[-1] == "RunResult":
+            for keyword in node.keywords:
+                if keyword.arg == "meta" and isinstance(keyword.value, ast.Dict):
+                    for key in keyword.value.keys:
+                        if key is not None:  # None == **spread, checked at its source
+                            self._check_key(key)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            isinstance(node.ctx, ast.Store)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "meta"
+        ):
+            self._check_key(node.slice)
+        self.generic_visit(node)
+
+
+class UniqueAxisRule(Rule):
+    """RPL004 — no ``np.unique(..., axis=...)`` outside the rowset kernel.
+
+    Row-wise ``np.unique`` sorts full-width structured scalars and was
+    the profiled hot spot of population-scale runs (~85% of a Small
+    Radius trial); :func:`repro.utils.rowset.unique_rows` is the
+    bit-identical order-preserving-key replacement.  Reintroductions
+    silently reopen the regression.
+    """
+
+    id = "RPL004"
+    severity = "error"
+    summary = "no np.unique(axis=...) reintroduction"
+    hint = "use repro.utils.rowset.unique_rows"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_library(exclude=("repro/utils/rowset.py",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _UniqueVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _UniqueVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain and chain[-1] == "unique":
+            for keyword in node.keywords:
+                if keyword.arg == "axis":
+                    self.report(node, "row-wise np.unique(axis=...) is the replaced hot spot")
+        self.generic_visit(node)
+
+
+class SpanContextRule(Rule):
+    """RPL005 — phases and spans open via context managers only.
+
+    A manual ``start_phase``/``finish_phase`` pair (or a span object
+    that is never entered) leaks an open phase on any exception path —
+    the probes spent before the raise vanish from the ledger and the
+    telemetry tree silently truncates.  ``with oracle.phase(...)`` and
+    ``with obs.span(...)`` close via ``finally`` and cannot leak.
+    """
+
+    id = "RPL005"
+    severity = "error"
+    summary = "spans/phases via context manager, never bare start()/finish()"
+    hint = "use `with oracle.phase(name):` / `with obs.span(name):`"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        # The manual API's own implementation lives in billboard/.
+        if ctx.module_path is None:
+            return True
+        return ctx.in_library(exclude=("repro/billboard",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _SpanVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _SpanVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "start_phase",
+            "finish_phase",
+        ):
+            self.report(node, f"manual {node.func.attr}() call; an exception leaks the phase")
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # A span/phase factory whose result is discarded: nothing ever
+        # enters (or exits) the context, so the span never closes.
+        call = node.value
+        if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
+            if call.func.attr in ("span", "phase"):
+                self.report(node, f"discarded {call.func.attr}(...) — span is never entered")
+        self.generic_visit(node)
+
+
+def _toplevel_bindings(body: Sequence[ast.stmt]) -> set[str]:
+    """Names bound at module top level (descending into if/try/with/for)."""
+    names: set[str] = set()
+
+    def add_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                add_target(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            add_target(node.target)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.If):
+            names |= _toplevel_bindings(node.body)
+            names |= _toplevel_bindings(node.orelse)
+        elif isinstance(node, ast.Try):
+            names |= _toplevel_bindings(node.body)
+            names |= _toplevel_bindings(node.orelse)
+            names |= _toplevel_bindings(node.finalbody)
+            for handler in node.handlers:
+                names |= _toplevel_bindings(handler.body)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            add_target(node.target)
+            names |= _toplevel_bindings(node.body)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    add_target(item.optional_vars)
+            names |= _toplevel_bindings(node.body)
+    return names
+
+
+class DunderAllRule(Rule):
+    """RPL006 — public modules declare an honest ``__all__``.
+
+    The api facade, the docs build, and ``import *`` hygiene all key
+    off ``__all__``; a module without one has an undefined public
+    surface, and a stale entry (name listed but never bound) raises
+    only at the first star-import or doc build.
+    """
+
+    id = "RPL006"
+    severity = "error"
+    summary = "public modules define __all__ and every listed name exists"
+    hint = "add/update the module's __all__"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_library(exclude=("repro/__main__.py",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        declaration: ast.Assign | None = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                declaration = node
+                break
+        if declaration is None:
+            yield self.diagnostic(ctx, ctx.tree, "module does not define __all__")
+            return
+        value = declaration.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            yield self.diagnostic(ctx, declaration, "__all__ must be a literal list/tuple")
+            return
+        bound = _toplevel_bindings(ctx.tree.body)
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                yield self.diagnostic(ctx, element, "__all__ entries must be string literals")
+            elif element.value not in bound:
+                yield self.diagnostic(
+                    ctx, element, f"__all__ lists {element.value!r} but the module never binds it"
+                )
+
+
+class MutableDefaultRule(Rule):
+    """RPL007 — no mutable default arguments in the library.
+
+    A ``def f(x=[])`` default is evaluated once and shared across every
+    call — state bleeds between runs, which is exactly the
+    cross-trial contamination the seeded-reproducibility story cannot
+    tolerate.
+    """
+
+    id = "RPL007"
+    severity = "error"
+    summary = "no mutable default arguments"
+    hint = "default to None and construct inside the function"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_library()
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _MutableDefaultVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _MutableDefaultVisitor(RuleVisitor):
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, _MUTABLE_LITERALS):
+                self.report(default, f"mutable default argument in {node.name}()")
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            ):
+                self.report(default, f"mutable default argument in {node.name}()")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+class ExperimentRngParamRule(Rule):
+    """RPL008 — experiment entry points take the uniform ``rng`` param.
+
+    Every experiment ``run()`` must accept ``rng: int | Generator |
+    None`` — the one contract (normalised via ``as_generator``) that
+    lets the harness, CLI, benchmarks, and parallel sweeps thread
+    reproducible randomness through any experiment interchangeably.
+    """
+
+    id = "RPL008"
+    severity = "error"
+    summary = "experiment run() must accept the uniform `rng` parameter"
+    hint = "signature: run(quick=True, rng=0, ...)"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        if ctx.module_path is None or not ctx.in_library("repro/experiments"):
+            return False
+        name = ctx.module_path.rsplit("/", 1)[-1]
+        return name.startswith("exp_")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        run_def: ast.FunctionDef | None = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "run":
+                run_def = node
+                break
+        if run_def is None:
+            yield self.diagnostic(ctx, ctx.tree, "experiment module defines no run() entry point")
+            return
+        args = run_def.args
+        params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if "rng" not in params:
+            message = "run() does not accept the uniform `rng` parameter"
+            if "seed" in params:
+                message += " (rename `seed` to `rng`)"
+            yield self.diagnostic(ctx, run_def, message)
+
+
+#: The full rule set, id order.
+ALL_RULES: list[Rule] = [
+    RngConstructionRule(),
+    DirectPreferenceReadRule(),
+    MetaVocabularyRule(),
+    UniqueAxisRule(),
+    SpanContextRule(),
+    DunderAllRule(),
+    MutableDefaultRule(),
+    ExperimentRngParamRule(),
+]
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """Rule id -> rule instance, for select/ignore validation and docs."""
+    return {rule.id: rule for rule in ALL_RULES}
