@@ -47,7 +47,7 @@ def run_and_report(benchmark, experiment_id: str, seed: int = 1):
 
     def run():
         with obs.recording(recorder):
-            return run_experiment(experiment_id, quick=QUICK, seed=seed)
+            return run_experiment(experiment_id, quick=QUICK, rng=seed)
 
     result = benchmark.pedantic(run, iterations=1, rounds=1)
     rendered = result.render()

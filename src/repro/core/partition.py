@@ -20,6 +20,7 @@ import math
 import numpy as np
 
 from repro.utils.rng import as_generator
+from repro.utils.rowset import unique_rows
 from repro.utils.validation import check_pos_int
 
 __all__ = [
@@ -133,7 +134,7 @@ def is_partition_successful(
         if part.size == 0:
             continue
         sub = np.ascontiguousarray(vectors[:, part])
-        _, counts = np.unique(sub, axis=0, return_counts=True)
+        _, counts = unique_rows(sub, return_counts=True)
         if counts.max() < need:
             return False
     return True

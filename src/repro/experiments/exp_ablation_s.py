@@ -32,10 +32,10 @@ __all__ = ["run"]
 
 
 @register("E11")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E11 (see module docstring)."""
     base = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 256 if quick else 512
     alpha = 0.5
     D = 6 if quick else 9

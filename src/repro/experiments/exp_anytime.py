@@ -32,10 +32,10 @@ STRETCH_CEILING = 10.0
 
 
 @register("E8")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E8 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 128 if quick else 256
     radii = [2, 12]
     fractions = [0.45, 0.8]

@@ -78,10 +78,10 @@ def _panel(
 
 
 @register("E9")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E9 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 256 if quick else 512
 
     table = Table(

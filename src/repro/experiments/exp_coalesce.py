@@ -56,9 +56,9 @@ def _clustered_multiset(
 
 
 @register("E5")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
     """Run experiment E5 (see module docstring)."""
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     M, L = (60, 256) if quick else (150, 1024)
     cases = [(0.5, 4, 0), (0.4, 8, 1), (0.25, 8, 2)] if quick else [
         (0.5, 4, 0), (0.4, 8, 1), (0.25, 8, 2), (0.2, 16, 3), (0.34, 2, 2),

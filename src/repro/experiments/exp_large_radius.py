@@ -33,10 +33,10 @@ STRETCH_CEILING = 8.0
 
 
 @register("E6")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E6 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     alpha = 0.5
     n_fixed = 256 if quick else 512
     Ds = [32, 64] if quick else [32, 64, 128, 192]

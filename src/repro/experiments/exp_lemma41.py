@@ -50,9 +50,9 @@ def _low_diameter_set(M: int, L: int, d: int, gen: np.random.Generator) -> np.nd
 
 
 @register("E3")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
     """Run experiment E3 (see module docstring)."""
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     M, L = (40, 512) if quick else (100, 2048)
     ds = [4, 9] if quick else [4, 9, 16, 25]
     ratios = [0.25, 0.5, 1.0, 2.0, 4.0]

@@ -50,10 +50,10 @@ def _adversarial_case(
 
 
 @register("E7")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E7 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n_pop = 1024
     L = 512 if quick else 2048
     ks = [2, 4, 8]

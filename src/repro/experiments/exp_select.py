@@ -35,9 +35,9 @@ def _make_case(k: int, L: int, D: int, gen: np.random.Generator) -> tuple[np.nda
 
 
 @register("E2")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
     """Run experiment E2 (see module docstring)."""
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     ks = [2, 4, 8] if quick else [2, 4, 8, 16]
     Ds = [0, 2, 8] if quick else [0, 1, 2, 4, 8, 16]
     L = 256

@@ -28,10 +28,10 @@ __all__ = ["run"]
 
 
 @register("E4")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E4 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 256 if quick else 512
     alpha = 0.5
     Ds = [1, 2, 4] if quick else [1, 2, 4, 8, 12]

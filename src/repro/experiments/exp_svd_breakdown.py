@@ -44,10 +44,10 @@ def _sv_gap(prefs: np.ndarray, rank: int) -> float:
 
 
 @register("E12")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E12 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 256 if quick else 512
     assumed_rank = 4
     budget = 48 if quick else 64

@@ -37,10 +37,10 @@ QUALITY_FACTOR_CEILING = 5.0
 
 
 @register("E10")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E10 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 128 if quick else 256
     alpha = 0.5
     Ds = [0, 2] if quick else [0, 2, 4, 8]

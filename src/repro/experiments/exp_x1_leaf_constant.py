@@ -34,10 +34,10 @@ __all__ = ["run"]
 
 
 @register("X1")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X1 (see module docstring)."""
     base = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 512
     constants = [1.0, 2.0, 5.0] if quick else [1.0, 2.0, 3.0, 5.0, 8.0]
     trials = 4 if quick else 12

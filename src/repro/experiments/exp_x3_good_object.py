@@ -30,9 +30,9 @@ __all__ = ["run"]
 
 
 @register("X3")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
     """Run extension experiment X3 (see module docstring)."""
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n, m = (192, 768) if quick else (384, 1536)
     like_prob = 2.0 / m
     alphas = [0.125, 0.5] if quick else [0.0625, 0.125, 0.25, 0.5, 1.0]

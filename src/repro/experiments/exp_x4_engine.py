@@ -37,10 +37,10 @@ __all__ = ["run"]
 
 
 @register("X4")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X4 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     ns = [48, 96] if quick else [48, 96, 192]
 
     table = Table(

@@ -35,10 +35,10 @@ __all__ = ["run"]
 
 
 @register("X5")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X5 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 128 if quick else 256
     alpha, D = 0.5, 3
     Ks = [1, 2, 4] if quick else [1, 2, 4, 8]

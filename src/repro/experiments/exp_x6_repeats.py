@@ -32,12 +32,12 @@ __all__ = ["run"]
 
 
 @register("X6")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X6 (see module docstring)."""
     from repro.workloads.planted import planted_instance
 
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 256 if quick else 512
     cases = [("zero_radius", 0), ("small_radius", 2), ("small_radius", 4)]
 

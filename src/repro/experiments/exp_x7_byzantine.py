@@ -41,10 +41,10 @@ __all__ = ["run"]
 
 
 @register("X7")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X7 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 128 if quick else 256
     alpha = 0.5
     fractions = [0.0, 0.1, 0.2, 0.4, 0.6] if quick else [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
@@ -76,7 +76,7 @@ def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: 
                 oracle, alpha, f, params=p, rng=int(gen.integers(2**31))
             )
             honest = np.asarray([pl for pl in comm.members if not bad[pl]])
-            errs = (out[honest] != inst.prefs[honest]).sum(axis=1)
+            errs = (out[honest] != inst.prefs[honest]).sum(axis=1)  # repro: noqa[RPL002] — post-hoc evaluation against ground truth, not a probe
             worst = max(worst, int(errs.max()))
             exact_trials += int(errs.max()) == 0
             means.append(float(errs.mean()))

@@ -31,10 +31,10 @@ __all__ = ["run"]
 
 
 @register("X8")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run extension experiment X8 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     n = 128 if quick else 256
     ratios = [1, 2, 4] if quick else [1, 2, 4, 8]
     trials = 2 if quick else 4

@@ -33,10 +33,10 @@ __all__ = ["run"]
 
 
 @register("E1")
-def run(quick: bool = True, seed: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, params: Params | None = None) -> ExperimentResult:
     """Run experiment E1 (see module docstring)."""
     p = params or Params.practical()
-    gen = as_generator(seed)
+    gen = as_generator(rng)
     ns = [128, 256, 512] if quick else [128, 256, 512, 1024, 2048]
     alphas = [0.5, 0.25]
     trials = 3 if quick else 10

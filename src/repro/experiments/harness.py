@@ -1,7 +1,8 @@
 """Experiment harness shared by E1–E12.
 
-Every experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``: a parameter sweep producing a table (the paper has no
+Every experiment module exposes ``run(quick=True, rng=0) ->
+ExperimentResult`` (``rng`` following the uniform ``int | Generator |
+None`` contract, enforced by lint rule RPL008): a parameter sweep producing a table (the paper has no
 numeric tables of its own — this *is* the evaluation surface, one
 experiment per theorem/lemma, see DESIGN.md §2) plus an automated
 *shape check*: the pass/fail predicate asserting the theorem's claim on

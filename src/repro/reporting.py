@@ -72,7 +72,7 @@ def build_report(
         raise KeyError(f"unknown experiments {unknown}; known: {sorted(REGISTRY)}")
     report = ReproductionReport(quick=quick, seed=seed)
     for eid in ids:
-        report.results.append(run_experiment(eid, quick=quick, seed=seed))
+        report.results.append(run_experiment(eid, quick=quick, rng=seed))
     return report
 
 

@@ -38,12 +38,12 @@ class TestSummarize:
 class TestPhaseBreakdown:
     def test_table_contents(self):
         oracle = ProbeOracle(np.zeros((4, 8), dtype=np.int8))
-        oracle.start_phase("warmup")
+        oracle.start_phase("warmup")  # repro: noqa[RPL005] — exercises the manual pair API
         oracle.probe(0, 0)
-        oracle.finish_phase("warmup")
-        oracle.start_phase("main")
+        oracle.finish_phase("warmup")  # repro: noqa[RPL005]
+        oracle.start_phase("main")  # repro: noqa[RPL005]
         oracle.probe_all(1, np.arange(8))
-        oracle.finish_phase("main")
+        oracle.finish_phase("main")  # repro: noqa[RPL005]
         table = phase_breakdown(oracle)
         assert [r["phase"] for r in table.rows] == ["warmup", "main"]
         assert table.rows[1]["total"] == 8

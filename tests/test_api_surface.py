@@ -186,8 +186,8 @@ class TestRngContract:
     def test_experiment_run_accepts_generator(self):
         from repro.experiments import exp_select
 
-        a = exp_select.run(quick=True, seed=5)
-        b = exp_select.run(quick=True, seed=np.random.default_rng(5))
+        a = exp_select.run(quick=True, rng=5)
+        b = exp_select.run(quick=True, rng=np.random.default_rng(5))
         assert a.passed == b.passed
         assert a.table.rows == b.table.rows
 

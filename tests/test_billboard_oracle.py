@@ -135,9 +135,9 @@ class TestBudget:
 
 class TestPhases:
     def test_phase_accounting(self, oracle):
-        oracle.start_phase("a")
+        oracle.start_phase("a")  # repro: noqa[RPL005] — exercises the manual pair API
         oracle.probe(0, 0)
-        delta = oracle.finish_phase("a")
+        delta = oracle.finish_phase("a")  # repro: noqa[RPL005]
         assert delta.total == 1
         assert "a" in oracle.ledger
 

@@ -42,39 +42,39 @@ class TestHarness:
 
 class TestCheapExperiments:
     def test_e2_select(self):
-        res = run_experiment("E2", quick=True, seed=3)
+        res = run_experiment("E2", quick=True, rng=3)
         assert res.passed
         assert len(res.table.rows) == 9
 
     def test_e5_coalesce(self):
-        res = run_experiment("E5", quick=True, seed=3)
+        res = run_experiment("E5", quick=True, rng=3)
         assert res.passed
 
     def test_e7_rselect(self):
-        res = run_experiment("E7", quick=True, seed=3)
+        res = run_experiment("E7", quick=True, rng=3)
         assert res.passed
 
     def test_e3_lemma41_small(self):
-        res = run_experiment("E3", quick=True, seed=3)
+        res = run_experiment("E3", quick=True, rng=3)
         assert res.passed
         probs = res.table.column("success_prob")
         assert all(0 <= p <= 1 for p in probs)
 
     def test_results_have_tables_and_claims(self):
-        res = run_experiment("E2", quick=True, seed=0)
+        res = run_experiment("E2", quick=True, rng=0)
         assert res.claim
         assert res.table.rows
         assert res.experiment == "E2"
 
     def test_x2_dynamic(self):
-        res = run_experiment("X2", quick=True, seed=3)
+        res = run_experiment("X2", quick=True, rng=3)
         assert res.passed
 
     def test_x4_engine(self):
-        res = run_experiment("X4", quick=True, seed=3)
+        res = run_experiment("X4", quick=True, rng=3)
         assert res.passed
         assert all(r["bitwise_equal"] for r in res.table.rows)
 
     def test_x5_confidence(self):
-        res = run_experiment("X5", quick=True, seed=3)
+        res = run_experiment("X5", quick=True, rng=3)
         assert res.passed

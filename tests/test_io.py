@@ -65,8 +65,8 @@ class TestRunRoundTrip:
 
     def test_meta_scalars_kept(self, tmp_path):
         run = self._run()
-        run.meta["note"] = "hello"
-        run.meta["unpicklable"] = object()  # silently dropped
+        run.meta["note"] = "hello"  # repro: noqa[RPL003] — io robustness: off-vocabulary key
+        run.meta["unpicklable"] = object()  # silently dropped  # repro: noqa[RPL003]
         loaded = load_run(save_run(tmp_path / "r.npz", run))
         assert loaded.meta["note"] == "hello"
         assert "unpicklable" not in loaded.meta
