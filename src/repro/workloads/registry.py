@@ -15,6 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.model.instance import Instance
+from repro.utils.rng import RngLike
 from repro.workloads.adversarial import adversarial_instance, anti_spectral_instance
 from repro.workloads.markov import markov_instance
 from repro.workloads.mixtures import mixture_instance
@@ -23,30 +24,30 @@ from repro.workloads.planted import planted_instance
 __all__ = ["WORKLOADS", "make_instance"]
 
 
-def _planted(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+def _planted(n: int, m: int, alpha: float, D: int, rng: RngLike) -> Instance:
     return planted_instance(n, m, alpha, D, rng=rng)
 
 
-def _planted_unique(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+def _planted_unique(n: int, m: int, alpha: float, D: int, rng: RngLike) -> Instance:
     return planted_instance(n, m, alpha, D, background="unique", rng=rng)
 
 
-def _mixture(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+def _mixture(n: int, m: int, alpha: float, D: int, rng: RngLike) -> Instance:
     # alpha fixes the number of (equal-weight) types; D maps to noise.
     k = max(1, round(1.0 / alpha))
     noise = min(0.5, D / (2.0 * m)) if m else 0.0
     return mixture_instance(n, m, k, noise=noise, rng=rng)
 
 
-def _adversarial(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+def _adversarial(n: int, m: int, alpha: float, D: int, rng: RngLike) -> Instance:
     return adversarial_instance(n, m, alpha, D, decoys=2, rng=rng)
 
 
-def _anti_spectral(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+def _anti_spectral(n: int, m: int, alpha: float, D: int, rng: RngLike) -> Instance:
     return anti_spectral_instance(n, m, alpha, D, rng=rng)
 
 
-def _markov(n: int, m: int, alpha: float, D: int, rng) -> Instance:
+def _markov(n: int, m: int, alpha: float, D: int, rng: RngLike) -> Instance:
     # alpha fixes the number of (equal-weight) types, as for "mixture".
     k = max(1, round(1.0 / alpha))
     return markov_instance(n, m, k, rng=rng)
