@@ -28,6 +28,7 @@ from repro.billboard.oracle import ProbeOracle
 from repro.core.batching import batching_enabled, select_batched
 from repro.core.params import Params
 from repro.core.partition import partition_parts, random_partition
+from repro.core.result import SelectOutcome
 from repro.core.select import select
 from repro.core.zero_radius import NO_OUTPUT, PrimitiveSpace, zero_radius
 from repro.utils.rng import as_generator, spawn
@@ -47,10 +48,10 @@ def _popular_rows(rows: np.ndarray, min_votes: int) -> np.ndarray:
 def _select_each(
     oracle: ProbeOracle,
     players: np.ndarray,
-    candidates,
+    candidates: np.ndarray | dict[int, np.ndarray],
     bound: int,
     coord_to_object: np.ndarray,
-):
+) -> dict[int, SelectOutcome]:
     """Sequential reference twin of :func:`select_batched` (one scalar
     ``select`` per player); same per-player probe sequences and outcomes."""
     per_player = isinstance(candidates, dict)

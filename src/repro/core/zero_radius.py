@@ -32,6 +32,7 @@ from repro.billboard.oracle import ProbeOracle
 from repro.core.batching import batching_enabled, select_batched
 from repro.core.params import Params
 from repro.core.partition import random_halves
+from repro.core.result import SelectOutcome
 from repro.core.select import select
 from repro.utils.rng import as_generator, spawn
 from repro.utils.rowset import popular_rows
@@ -62,7 +63,7 @@ class ValueSpace(Protocol):
 class PrimitiveSpace:
     """Valued object space over real objects, probing the oracle directly."""
 
-    def __init__(self, oracle: ProbeOracle, objects: np.ndarray):
+    def __init__(self, oracle: ProbeOracle, objects: np.ndarray) -> None:
         self.oracle = oracle
         self.objects = np.asarray(objects, dtype=np.intp)
         if self.objects.ndim != 1 or self.objects.size == 0:
@@ -92,7 +93,9 @@ class PrimitiveSpace:
         values = self.oracle.probe_many(flat_players, flat_objects)
         return values.reshape(players.size, objects.size)
 
-    def select_batched(self, players: np.ndarray, candidates: np.ndarray, bound: int, local_coords: np.ndarray):
+    def select_batched(
+        self, players: np.ndarray, candidates: np.ndarray, bound: int, local_coords: np.ndarray
+    ) -> dict[int, SelectOutcome]:
         """Population-batched Select (see :func:`repro.core.batching.select_batched`)."""
         coord_map = self.objects[np.asarray(local_coords, dtype=np.intp)]
         return select_batched(self.oracle, players, candidates, bound, coord_map)
@@ -114,7 +117,7 @@ class SuperObjectSpace:
         groups: Sequence[np.ndarray],
         candidates: Sequence[np.ndarray],
         bound: int,
-    ):
+    ) -> None:
         if len(groups) != len(candidates) or not groups:
             raise ValueError("groups and candidates must be equal-length and non-empty")
         if bound < 0:
@@ -165,7 +168,9 @@ class SuperObjectSpace:
                 out[row, col] = outcomes[int(pl)].index
         return out
 
-    def select_batched(self, players: np.ndarray, candidates: np.ndarray, bound: int, local_coords: np.ndarray):
+    def select_batched(
+        self, players: np.ndarray, candidates: np.ndarray, bound: int, local_coords: np.ndarray
+    ) -> dict[int, SelectOutcome]:
         """Population-batched Select over super-object-valued candidates.
 
         The outer Fig. 3 coroutines yield super-object coordinates; each
@@ -189,7 +194,7 @@ class _SuperBatchProbe:
     :meth:`SuperObjectSpace.probe`.
     """
 
-    def __init__(self, space: "SuperObjectSpace"):
+    def __init__(self, space: "SuperObjectSpace") -> None:
         self.space = space
 
     def probe_many(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
