@@ -9,11 +9,14 @@ least-squares fits the EXPERIMENTS.md tables report.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
+
+ArrayLike = npt.ArrayLike
 
 __all__ = ["fit_loglog_slope", "fit_log_slope"]
 
 
-def _validate(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+def _validate(xs: ArrayLike, ys: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
     if xs.shape != ys.shape or xs.ndim != 1 or xs.size < 2:
@@ -21,7 +24,7 @@ def _validate(xs, ys) -> tuple[np.ndarray, np.ndarray]:
     return xs, ys
 
 
-def fit_loglog_slope(xs, ys) -> float:
+def fit_loglog_slope(xs: ArrayLike, ys: ArrayLike) -> float:
     """Least-squares slope of ``log y`` against ``log x``.
 
     A power law ``y = c·x^p`` fits with slope ``p``; experiments compare
@@ -34,7 +37,7 @@ def fit_loglog_slope(xs, ys) -> float:
     return float(np.polyfit(np.log(xs), np.log(ys), 1)[0])
 
 
-def fit_log_slope(xs, ys) -> float:
+def fit_log_slope(xs: ArrayLike, ys: ArrayLike) -> float:
     """Least-squares slope of ``y`` against ``log x``.
 
     ``y = a·log x + b`` fits with slope ``a``; used to check

@@ -27,7 +27,7 @@ __all__ = ["Billboard"]
 class Billboard:
     """Public shared state for one algorithm run over an ``n × m`` instance."""
 
-    def __init__(self, n_players: int, n_objects: int):
+    def __init__(self, n_players: int, n_objects: int) -> None:
         if n_players <= 0 or n_objects <= 0:
             raise ValueError(f"population must be positive, got n={n_players}, m={n_objects}")
         self.n_players = int(n_players)

@@ -17,7 +17,7 @@ class BudgetExceededError(ProbeError):
     budget) use this to stop an algorithm mid-flight.
     """
 
-    def __init__(self, player: int, budget: int):
+    def __init__(self, player: int, budget: int) -> None:
         self.player = int(player)
         self.budget = int(budget)
         super().__init__(f"player {player} exceeded probe budget of {budget}")

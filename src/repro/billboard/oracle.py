@@ -22,7 +22,7 @@ Cost model fidelity:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.billboard.board import Billboard
 from repro.billboard.exceptions import BudgetExceededError, ProbeError
 from repro.model.instance import Instance
 from repro.utils.validation import check_binary_matrix
+
+if TYPE_CHECKING:  # observational layer; imported for annotations only
+    from repro.billboard.trace import ProbeTrace
 
 __all__ = ["ProbeOracle"]
 
@@ -59,7 +62,7 @@ class ProbeOracle:
         billboard: Billboard | None = None,
         budget: int | None = None,
         charge_repeats: bool = True,
-    ):
+    ) -> None:
         if isinstance(prefs, Instance):
             prefs = prefs.prefs
         self._prefs = check_binary_matrix(prefs, "prefs")
@@ -74,7 +77,7 @@ class ProbeOracle:
         self._counts = np.zeros(n, dtype=np.int64)
         self._batches = 0
         self.ledger = PhaseLedger()
-        self._trace = None
+        self._trace: ProbeTrace | None = None
 
     # ------------------------------------------------------------------
     # shape
@@ -201,7 +204,7 @@ class ProbeOracle:
             return float("inf")
         return int(self.budget - self._counts[player])
 
-    def attach_trace(self, trace) -> None:
+    def attach_trace(self, trace: ProbeTrace) -> None:
         """Attach a :class:`~repro.billboard.trace.ProbeTrace` (observational)."""
         self._trace = trace
 

@@ -137,7 +137,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     oracle = ProbeOracle(inst)
     params = Params.robust() if args.robust else Params.practical()
     recorder = None
-    ctx: contextlib.AbstractContextManager = contextlib.nullcontext()
+    ctx: contextlib.AbstractContextManager[None] = contextlib.nullcontext()
     if args.telemetry is not None:
         recorder = obs.Recorder(
             meta={"command": "demo", "workload": args.workload, "n": args.n, "seed": args.seed}

@@ -28,11 +28,15 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Generator, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Generator, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.result import SelectOutcome
+
+if TYPE_CHECKING:  # import cycle: billboard never imports core at runtime
+    from repro.billboard.oracle import ProbeOracle
+    from repro.core.params import Params
 from repro.core.rselect import rselect_coroutine
 from repro.core.select import select_coroutine
 
@@ -77,7 +81,7 @@ def batched_probes() -> Iterator[None]:
 
 def _drive_batched(
     coroutines: dict[int, Generator[int, int, SelectOutcome]],
-    probe_many,
+    probe_many: Callable[[np.ndarray, np.ndarray], np.ndarray],
     coord_to_object: np.ndarray | None,
 ) -> dict[int, SelectOutcome]:
     """Advance per-player coroutines, batching each step's pending probes.
@@ -111,7 +115,7 @@ def _drive_batched(
 
 
 def select_batched(
-    oracle,
+    oracle: ProbeOracle,
     players: np.ndarray,
     candidates: np.ndarray | Mapping[int, np.ndarray],
     bound: int,
@@ -167,12 +171,12 @@ def select_batched(
 
 
 def rselect_batched(
-    oracle,
+    oracle: ProbeOracle,
     players: np.ndarray,
     candidates: np.ndarray | Mapping[int, np.ndarray],
     n_population: int,
     *,
-    params=None,
+    params: Params | None = None,
     rngs: Sequence[np.random.Generator] | Mapping[int, np.random.Generator] | None = None,
     coord_to_object: np.ndarray | None = None,
 ) -> dict[int, SelectOutcome]:
@@ -210,7 +214,7 @@ def rselect_batched(
     if coord_to_object is not None:
         coord_to_object = np.asarray(coord_to_object, dtype=np.intp)
 
-    def rng_for(position: int, player: int):
+    def rng_for(position: int, player: int) -> np.random.Generator | None:
         if rngs is None:
             return None
         if isinstance(rngs, Mapping):

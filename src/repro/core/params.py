@@ -160,7 +160,7 @@ class Params:
         """
         return cls(zr_leaf_c=5.0)
 
-    def with_overrides(self, **kwargs) -> "Params":
+    def with_overrides(self, **kwargs: float) -> "Params":
         """Copy with individual constants replaced."""
         return replace(self, **kwargs)
 

@@ -180,7 +180,7 @@ def select_candidate_index(
     return select(candidates, probe, bound).index
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # select_batched moved to repro.core.batching (the population-batched
     # execution layer) in the repro.api facade redesign.
     if name == "select_batched":

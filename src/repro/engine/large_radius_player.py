@@ -151,7 +151,7 @@ def large_radius_player(
 
     # Step 4: Zero Radius over super-objects; probing super-object l is a
     # Select coroutine over B_l (the abstract Probe of §3.1).
-    def probe_super(l: int):
+    def probe_super(l: int) -> Generator[Any, Any, int]:
         group = coins.groups[l]
         cands = candidate_sets[l]
         sel = select_coroutine(cands, coins.select_bound)

@@ -58,7 +58,7 @@ class EngineResult:
 class RoundScheduler:
     """Advance player programs in lockstep rounds."""
 
-    def __init__(self, oracle: ProbeOracle, programs: Mapping[int, PlayerProgram]):
+    def __init__(self, oracle: ProbeOracle, programs: Mapping[int, PlayerProgram]) -> None:
         if not programs:
             raise ValueError("need at least one player program")
         for player in programs:

@@ -76,7 +76,7 @@ def zero_radius_player(
     if omap.shape != (n_objects,):
         raise ValueError(f"object_map must have shape ({n_objects},), got {omap.shape}")
 
-    def probe_object(obj: int):
+    def probe_object(obj: int) -> Generator[Any, Any, int]:
         if probe_subprogram is not None:
             value = yield from probe_subprogram(obj)
             return value

@@ -56,7 +56,7 @@ def _clustered_multiset(
 
 
 @register("E5")
-def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_: object) -> ExperimentResult:
     """Run experiment E5 (see module docstring)."""
     gen = as_generator(rng)
     M, L = (60, 256) if quick else (150, 1024)

@@ -50,7 +50,7 @@ def _low_diameter_set(M: int, L: int, d: int, gen: np.random.Generator) -> np.nd
 
 
 @register("E3")
-def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_: object) -> ExperimentResult:
     """Run experiment E3 (see module docstring)."""
     gen = as_generator(rng)
     M, L = (40, 512) if quick else (100, 2048)

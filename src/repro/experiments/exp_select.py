@@ -35,7 +35,7 @@ def _make_case(k: int, L: int, D: int, gen: np.random.Generator) -> tuple[np.nda
 
 
 @register("E2")
-def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_: object) -> ExperimentResult:
     """Run experiment E2 (see module docstring)."""
     gen = as_generator(rng)
     ks = [2, 4, 8] if quick else [2, 4, 8, 16]

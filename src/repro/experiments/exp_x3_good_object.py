@@ -30,7 +30,7 @@ __all__ = ["run"]
 
 
 @register("X3")
-def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_) -> ExperimentResult:
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0, **_: object) -> ExperimentResult:
     """Run extension experiment X3 (see module docstring)."""
     gen = as_generator(rng)
     n, m = (192, 768) if quick else (384, 1536)

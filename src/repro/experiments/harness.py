@@ -2,9 +2,10 @@
 
 Every experiment module exposes ``run(quick=True, rng=0) ->
 ExperimentResult`` (``rng`` following the uniform ``int | Generator |
-None`` contract, enforced by lint rule RPL008): a parameter sweep producing a table (the paper has no
-numeric tables of its own — this *is* the evaluation surface, one
-experiment per theorem/lemma, see DESIGN.md §2) plus an automated
+None`` contract, enforced by lint rule RPL008): a parameter sweep
+producing a table (the paper has no numeric tables of its own — this
+*is* the evaluation surface, one experiment per theorem/lemma, see
+DESIGN.md §2) plus an automated
 *shape check*: the pass/fail predicate asserting the theorem's claim on
 the measured rows.
 
@@ -69,10 +70,12 @@ class ExperimentResult:
 REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
 
 
-def register(experiment_id: str):
+def register(
+    experiment_id: str,
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
     """Decorator registering an experiment ``run`` function under an id."""
 
-    def deco(fn: Callable[..., ExperimentResult]):
+    def deco(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
         if experiment_id in REGISTRY:
             raise ValueError(f"experiment {experiment_id} already registered")
         REGISTRY[experiment_id] = fn
@@ -81,7 +84,7 @@ def register(experiment_id: str):
     return deco
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
     """Run a registered experiment by id (importing brings registration)."""
     if experiment_id not in REGISTRY:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}")

@@ -30,7 +30,7 @@ class BitMatrix:
         Dense ``(n, m)`` 0/1 matrix to pack.
     """
 
-    def __init__(self, matrix: np.ndarray):
+    def __init__(self, matrix: np.ndarray) -> None:
         dense = check_binary_matrix(matrix, "matrix")
         self._n, self._m = dense.shape
         self._packed = np.packbits(dense.astype(np.uint8), axis=1)

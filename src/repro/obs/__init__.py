@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.obs.recorder import (
     NULL_SPAN,
+    _NullSpan,
     Counters,
     Event,
     Recorder,
@@ -69,7 +70,7 @@ def enabled() -> bool:
     return get_recorder() is not None
 
 
-def span(name: str, *, oracle: Any = None, **attrs: Any):
+def span(name: str, *, oracle: Any = None, **attrs: Any) -> "Span | _NullSpan":
     """Open a telemetry span (the shared no-op singleton when disabled)."""
     recorder = get_recorder()
     if recorder is None:

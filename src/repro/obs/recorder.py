@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from pathlib import Path
+from types import TracebackType
 from typing import Any, Iterator
 
 __all__ = [
@@ -85,7 +87,7 @@ class Span:
         parent: "Span | None",
         oracle: Any = None,
         attrs: dict[str, Any] | None = None,
-    ):
+    ) -> None:
         self.span_id = span_id
         self.name = name
         self.parent = parent
@@ -148,7 +150,12 @@ class Span:
             self.rounds_enter = stats.rounds
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         if self._oracle is not None:
             stats = self._oracle.stats()
             self.probes_exit = stats.total
@@ -180,7 +187,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
     def set(self, **attrs: Any) -> "_NullSpan":
@@ -231,7 +243,9 @@ class Event:
 
     __slots__ = ("seq", "t", "name", "span_id", "attrs")
 
-    def __init__(self, seq: int, t: float, name: str, span_id: int | None, attrs: dict[str, Any]):
+    def __init__(
+        self, seq: int, t: float, name: str, span_id: int | None, attrs: dict[str, Any]
+    ) -> None:
         self.seq = seq
         self.t = t
         self.name = name
@@ -253,7 +267,7 @@ class Recorder:
         rec.dump_jsonl("out.jsonl")
     """
 
-    def __init__(self, meta: dict[str, Any] | None = None):
+    def __init__(self, meta: dict[str, Any] | None = None) -> None:
         self.meta: dict[str, Any] = dict(meta or {})
         self.spans: list[Span] = []  # every recorded span, in start order
         self.roots: list[Span] = []
@@ -310,7 +324,7 @@ class Recorder:
         return ev
 
     # -- sinks --------------------------------------------------------------
-    def dump_jsonl(self, path) -> None:
+    def dump_jsonl(self, path: str | Path) -> None:
         """Write the run to *path* as JSONL (see :mod:`repro.obs.schema`)."""
         from repro.obs.schema import dump_jsonl
 

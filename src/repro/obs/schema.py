@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro.obs.recorder import Recorder
+from repro.obs.recorder import Recorder, Span
 
 __all__ = ["SCHEMA_VERSION", "SpanNode", "TelemetryRun", "dump_jsonl", "load_jsonl", "run_from_recorder"]
 
@@ -115,7 +115,7 @@ class TelemetryRun:
         return sum(s.probes_self or 0 for s in self.spans)
 
 
-def _span_line(span) -> dict[str, Any]:
+def _span_line(span: Span) -> dict[str, Any]:
     return {
         "type": "span",
         "id": span.span_id,

@@ -177,7 +177,7 @@ class SharedInstanceStore:
     def __enter__(self) -> "SharedInstanceStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - convenience
