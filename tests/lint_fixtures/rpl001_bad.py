@@ -1,0 +1,14 @@
+"""RPL001 violation: raw RNG construction outside repro/utils/rng.py."""
+
+import numpy as np
+from numpy.random import default_rng
+
+__all__ = ["draw"]
+
+
+def draw() -> float:
+    gen = np.random.default_rng(42)  # RPL001: raw default_rng in library code
+    legacy = np.random.RandomState(7)  # RPL001: legacy RandomState
+    np.random.seed(0)  # RPL001: global seeding
+    other = default_rng()  # imported name is flagged at the import site
+    return float(gen.random() + legacy.rand() + other.random())

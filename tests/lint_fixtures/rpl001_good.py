@@ -1,0 +1,13 @@
+"""RPL001 clean: randomness flows through repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["draw"]
+
+
+def draw(rng: int | np.random.Generator | None = 0) -> float:
+    gen = as_generator(rng)
+    child = spawn(gen)
+    return float(child.random())

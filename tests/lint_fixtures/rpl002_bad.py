@@ -1,0 +1,9 @@
+"""RPL002 violation: reading hidden preferences outside billboard/model."""
+
+__all__ = ["peek"]
+
+
+def peek(instance: object, oracle: object) -> int:
+    direct = instance.prefs[0, 1]  # RPL002: bypasses the probe oracle
+    private = oracle._prefs  # RPL002: private matrix attribute
+    return int(direct) + len(private)

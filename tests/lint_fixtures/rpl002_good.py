@@ -1,0 +1,9 @@
+"""RPL002 clean: preferences observed only through the probe oracle."""
+
+__all__ = ["peek"]
+
+
+def peek(oracle: object) -> int:
+    value = oracle.probe(0, 1)  # metered access — the only legal read
+    shape = oracle.prefs_shape  # shape metadata is not a preference read
+    return int(value) + shape[0]

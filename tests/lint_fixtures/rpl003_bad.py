@@ -1,0 +1,16 @@
+"""RPL003 violation: RunResult.meta keys outside the closed vocabulary."""
+
+from repro.core.result import RunResult
+
+__all__ = ["build"]
+
+
+def build(outputs: object, stats: object) -> RunResult:
+    result = RunResult(
+        outputs=outputs,
+        stats=stats,
+        algorithm="zero_radius",
+        meta={"typo_branch": "zero"},  # RPL003: not in META_KEYS
+    )
+    result.meta["ad_hoc_note"] = "x"  # RPL003: assignment of unknown key
+    return result

@@ -1,0 +1,16 @@
+"""RPL003 clean: only vocabulary keys touch RunResult.meta."""
+
+from repro.core.result import RunResult
+
+__all__ = ["build"]
+
+
+def build(outputs: object, stats: object) -> RunResult:
+    result = RunResult(
+        outputs=outputs,
+        stats=stats,
+        algorithm="zero_radius",
+        meta={"branch": "zero", "alpha": 0.25},
+    )
+    result.meta["D"] = 4
+    return result

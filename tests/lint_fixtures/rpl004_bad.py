@@ -1,0 +1,10 @@
+"""RPL004 violation: np.unique(axis=...) on the hot dedup path."""
+
+import numpy as np
+
+__all__ = ["dedup"]
+
+
+def dedup(rows: np.ndarray) -> np.ndarray:
+    uniq, counts = np.unique(rows, axis=0, return_counts=True)  # RPL004
+    return uniq[counts > 1]

@@ -1,0 +1,13 @@
+"""RPL004 clean: row dedup via repro.utils.rowset (1-D unique stays fine)."""
+
+import numpy as np
+
+from repro.utils.rowset import unique_rows
+
+__all__ = ["dedup"]
+
+
+def dedup(rows: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    uniq, counts = unique_rows(rows, return_counts=True)
+    flat = np.unique(labels)  # axis-less unique is not the hot spot
+    return uniq[counts > 1][: flat.size]

@@ -1,0 +1,13 @@
+"""RPL005 violation: leaky manual phase calls and a discarded span."""
+
+from repro import obs
+
+__all__ = ["leaky"]
+
+
+def leaky(oracle: object) -> None:
+    oracle.start_phase("setup")  # RPL005: manual begin, leaks on raise
+    do_work = 1 + 1
+    oracle.finish_phase()  # RPL005: manual end
+    obs.span("compute")  # RPL005: span created and discarded — never closes
+    del do_work

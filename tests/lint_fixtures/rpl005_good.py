@@ -1,0 +1,12 @@
+"""RPL005 clean: phases and spans are context-managed."""
+
+from repro import obs
+
+__all__ = ["tidy"]
+
+
+def tidy(oracle: object) -> None:
+    with oracle.phase("setup"):
+        pass
+    with obs.span("compute") as sp:
+        sp.set(items=0)

@@ -1,0 +1,9 @@
+"""RPL006 violation: no __all__ — and the dishonest variant lives below.
+
+The module-level docstring aside, this file is a normal library module
+that simply forgot to declare its public surface.
+"""
+
+
+def helper() -> int:
+    return 1

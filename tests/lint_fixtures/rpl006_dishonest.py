@@ -1,0 +1,7 @@
+"""RPL006 violation: __all__ names something the module never binds."""
+
+__all__ = ["helper", "ghost"]  # RPL006: "ghost" is not defined here
+
+
+def helper() -> int:
+    return 1

@@ -1,0 +1,9 @@
+"""RPL006 clean: literal, honest __all__."""
+
+__all__ = ["helper", "CONST"]
+
+CONST = 7
+
+
+def helper() -> int:
+    return CONST

@@ -1,0 +1,13 @@
+"""RPL007 violation: mutable default arguments."""
+
+__all__ = ["accumulate", "tag"]
+
+
+def accumulate(item: int, bucket: list = []) -> list:  # RPL007
+    bucket.append(item)
+    return bucket
+
+
+def tag(name: str, labels: dict = {}) -> dict:  # RPL007
+    labels[name] = True
+    return labels

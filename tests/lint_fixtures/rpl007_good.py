@@ -1,0 +1,10 @@
+"""RPL007 clean: None sentinel instead of a shared mutable default."""
+
+__all__ = ["accumulate"]
+
+
+def accumulate(item: int, bucket: list[int] | None = None) -> list[int]:
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,7 @@
+"""RPL008 violation: experiment entry point still takes `seed`."""
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> None:  # RPL008
+    del quick, seed

@@ -1,0 +1,9 @@
+"""RPL008 clean: experiment entry point follows the uniform rng contract."""
+
+import numpy as np
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, rng: int | np.random.Generator | None = 0) -> None:
+    del quick, rng

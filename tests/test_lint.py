@@ -1,0 +1,241 @@
+"""Tests for the repro lint engine, the eight RPL rules, and the CLI.
+
+Every rule is pinned by a fixture pair under ``tests/lint_fixtures/``:
+the *bad* file must trip exactly that rule (and stops tripping anything
+when the rule is ignored — proving the rule, not a neighbour, catches
+it), the *good* file must be entirely clean under the full rule set at
+the same simulated library path.  The final test is the repo-wide
+self-check: ``python -m repro lint src tests benchmarks examples``
+exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, collect_files, lint_paths, lint_source, rules_by_id
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import module_path_of
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+#: Simulated repo paths: rules scope by path, so fixture text is linted
+#: *as if* it lived inside the library (or the experiments package).
+LIB_PATH = "src/repro/core/fixture.py"
+EXP_PATH = "src/repro/experiments/exp_fixture.py"
+
+#: rule id -> (bad fixture, simulated path, expected findings, message fragment)
+BAD_CASES = {
+    "RPL001": ("rpl001_bad.py", LIB_PATH, 5, "raw generator construction"),
+    "RPL002": ("rpl002_bad.py", LIB_PATH, 2, "bypasses the oracle"),
+    "RPL003": ("rpl003_bad.py", LIB_PATH, 2, "unknown RunResult.meta key"),
+    "RPL004": ("rpl004_bad.py", LIB_PATH, 1, "hot spot"),
+    "RPL005": ("rpl005_bad.py", LIB_PATH, 3, "leaks the phase"),
+    "RPL006": ("rpl006_bad.py", LIB_PATH, 1, "does not define __all__"),
+    "RPL007": ("rpl007_bad.py", LIB_PATH, 2, "mutable default argument"),
+    "RPL008": ("rpl008_bad.py", EXP_PATH, 1, "rename `seed` to `rng`"),
+}
+
+GOOD_CASES = {
+    "RPL001": ("rpl001_good.py", LIB_PATH),
+    "RPL002": ("rpl002_good.py", LIB_PATH),
+    "RPL003": ("rpl003_good.py", LIB_PATH),
+    "RPL004": ("rpl004_good.py", LIB_PATH),
+    "RPL005": ("rpl005_good.py", LIB_PATH),
+    "RPL006": ("rpl006_good.py", LIB_PATH),
+    "RPL007": ("rpl007_good.py", LIB_PATH),
+    "RPL008": ("rpl008_good.py", EXP_PATH),
+}
+
+
+def lint_fixture(name: str, as_path: str, rules=None):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, list(ALL_RULES) if rules is None else rules, path=as_path)
+
+
+# ---------------------------------------------------------------- rules
+
+
+@pytest.mark.parametrize("rule_id", sorted(BAD_CASES))
+def test_bad_fixture_trips_its_rule(rule_id):
+    name, as_path, expected, fragment = BAD_CASES[rule_id]
+    diagnostics = lint_fixture(name, as_path)
+    hits = [d for d in diagnostics if d.rule == rule_id]
+    assert len(hits) == expected, [d.format() for d in diagnostics]
+    assert all(d.rule == rule_id for d in diagnostics), "bad fixture trips a foreign rule"
+    assert any(fragment in d.message for d in hits)
+    assert all(d.severity == "error" and d.line >= 1 for d in hits)
+
+
+@pytest.mark.parametrize("rule_id", sorted(BAD_CASES))
+def test_bad_fixture_passes_without_its_rule(rule_id):
+    """Removing the one rule makes the bad file clean — the finding is
+    attributable to that rule, not to an overlapping neighbour."""
+    name, as_path, _, _ = BAD_CASES[rule_id]
+    others = [r for r in ALL_RULES if r.id != rule_id]
+    assert lint_fixture(name, as_path, rules=others) == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(GOOD_CASES))
+def test_good_fixture_is_clean(rule_id):
+    name, as_path = GOOD_CASES[rule_id]
+    diagnostics = lint_fixture(name, as_path)
+    assert diagnostics == [], [d.format() for d in diagnostics]
+
+
+def test_dishonest_dunder_all_is_flagged():
+    diagnostics = lint_fixture("rpl006_dishonest.py", LIB_PATH)
+    assert [d.rule for d in diagnostics] == ["RPL006"]
+    assert "'ghost'" in diagnostics[0].message
+
+
+# ------------------------------------------------------------- scoping
+
+
+def test_library_rules_skip_non_library_files():
+    """RPL001 is scoped to src/repro: the same violating source is fine
+    in a test file (tests seed raw generators on purpose)."""
+    source = (FIXTURES / "rpl001_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, ALL_RULES, path="tests/test_fixture.py") == []
+
+
+def test_rng_module_itself_is_exempt():
+    source = (FIXTURES / "rpl001_bad.py").read_text(encoding="utf-8")
+    diagnostics = lint_source(source, ALL_RULES, path="src/repro/utils/rng.py")
+    assert [d for d in diagnostics if d.rule == "RPL001"] == []
+
+
+def test_meta_rule_applies_everywhere():
+    """RPL003 guards the vocabulary even in tests/benchmarks."""
+    source = (FIXTURES / "rpl003_bad.py").read_text(encoding="utf-8")
+    diagnostics = lint_source(source, ALL_RULES, path="tests/test_fixture.py")
+    assert [d.rule for d in diagnostics] == ["RPL003", "RPL003"]
+
+
+def test_module_path_of():
+    assert module_path_of("src/repro/core/main.py") == "repro/core/main.py"
+    assert module_path_of("/abs/checkout/src/repro/obs/__init__.py") == "repro/obs/__init__.py"
+    assert module_path_of("tests/test_lint.py") is None
+    assert module_path_of("src/other/pkg.py") is None
+
+
+# -------------------------------------------------------- suppressions
+
+
+_UNIQUE_RULE = [rules_by_id()["RPL004"]]
+
+
+def test_noqa_targeted_suppression():
+    source = "import numpy as np\n\nx = np.unique(a, axis=0)  # repro: noqa[RPL004]\n"
+    assert lint_source(source, _UNIQUE_RULE, path=LIB_PATH) == []
+
+
+def test_noqa_blanket_suppression():
+    source = "import numpy as np\n\nx = np.unique(a, axis=0)  # repro: noqa\n"
+    assert lint_source(source, _UNIQUE_RULE, path=LIB_PATH) == []
+
+
+def test_noqa_wrong_rule_does_not_suppress():
+    source = "import numpy as np\n\nx = np.unique(a, axis=0)  # repro: noqa[RPL001]\n"
+    diagnostics = lint_source(source, _UNIQUE_RULE, path=LIB_PATH)
+    assert [d.rule for d in diagnostics] == ["RPL004"]
+
+
+def test_syntax_error_yields_rpl000():
+    diagnostics = lint_source("def broken(:\n", ALL_RULES, path=LIB_PATH)
+    assert [d.rule for d in diagnostics] == ["RPL000"]
+    assert diagnostics[0].severity == "error"
+
+
+# ---------------------------------------------------------- the runner
+
+
+def test_lint_paths_select_and_ignore(tmp_path):
+    bad = tmp_path / "src" / "repro" / "core" / "combo.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import numpy as np\n\n\ndef f(x=[]):\n    return np.unique(x, axis=0)\n",
+        encoding="utf-8",
+    )
+    everything = lint_paths([bad])
+    assert sorted({d.rule for d in everything}) == ["RPL004", "RPL006", "RPL007"]
+    only_007 = lint_paths([bad], select=["RPL007"])
+    assert [d.rule for d in only_007] == ["RPL007"]
+    without_007 = lint_paths([bad], ignore=["RPL007"])
+    assert "RPL007" not in {d.rule for d in without_007}
+
+
+def test_collect_files_skips_caches_and_fixtures(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.cpython-311.pyc").write_text("", encoding="utf-8")
+    (tmp_path / "pkg" / "lint_fixtures").mkdir()
+    (tmp_path / "pkg" / "lint_fixtures" / "bad.py").write_text("x = 1\n", encoding="utf-8")
+    files = collect_files([tmp_path])
+    assert [f.name for f in files] == ["mod.py"]
+
+
+def test_rules_by_id_is_complete():
+    catalog = rules_by_id()
+    assert sorted(catalog) == [f"RPL00{i}" for i in range(1, 9)]
+    for rule_id, rule in catalog.items():
+        assert rule.id == rule_id
+        assert rule.severity in ("error", "warning")
+        assert rule.summary and rule.hint
+
+
+# --------------------------------------------------------------- CLI
+
+
+def test_cli_clean_run_exits_zero(tmp_path, capsys):
+    good = tmp_path / "ok.py"
+    good.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(good)]) == 0
+    assert "1 files checked: clean" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one_and_json(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import numpy as np\n\nu = np.unique(v, axis=0)\n", encoding="utf-8")
+    assert lint_main(["--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert sorted(d["rule"] for d in payload) == ["RPL004", "RPL006"]
+    assert {"rule", "severity", "path", "line", "col", "message", "hint"} <= set(payload[0])
+
+
+def test_cli_unknown_rule_id_exits_two(capsys):
+    assert lint_main(["--select", "RPL999", "src"]) == 2
+    assert "unknown rule ids" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rules_by_id():
+        assert rule_id in out
+
+
+# ---------------------------------------------------------- self-check
+
+
+def test_repo_is_lint_clean():
+    """The acceptance gate: the repo's own code passes its own linter."""
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src", "tests", "benchmarks", "examples"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
