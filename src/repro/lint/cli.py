@@ -9,6 +9,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.lint.engine import collect_files, lint_file
@@ -85,8 +86,14 @@ def run_lint(args: argparse.Namespace) -> int:
 
     files = collect_files(args.paths)
     if not files:
-        print(f"no python files found under: {' '.join(map(str, args.paths))}")
-        return 2
+        missing = [str(p) for p in args.paths if not Path(p).exists()]
+        if missing:
+            print(f"no such file or directory: {' '.join(missing)}")
+            return 2
+        # Real paths, nothing lintable (e.g. pre-commit handing us only
+        # lint_fixtures files): that's a clean run, not a usage error.
+        print("0 files checked: clean")
+        return 0
 
     diagnostics = []
     for file in files:

@@ -271,9 +271,10 @@ def lint_file(path: str | Path, rules: Sequence[Rule]) -> list[Diagnostic]:
 def collect_files(paths: Iterable[str | Path]) -> list[Path]:
     """Expand *paths* (files or directories) to the ``.py`` files to lint.
 
-    Directories are walked recursively; ``__pycache__`` and
-    ``lint_fixtures`` directories are skipped (caches and deliberately
-    rule-violating test data).  Order is deterministic.
+    Anything under a ``__pycache__`` or ``lint_fixtures`` directory is
+    skipped — walked *or* named directly (pre-commit passes changed
+    files one by one) — caches and deliberately rule-violating test
+    data are never linted.  Order is deterministic.
     """
     out: list[Path] = []
     for entry in paths:
@@ -282,7 +283,7 @@ def collect_files(paths: Iterable[str | Path]) -> list[Path]:
             for sub in sorted(p.rglob("*.py")):
                 if _SKIP_DIRS.isdisjoint(sub.parts):
                     out.append(sub)
-        elif p.suffix == ".py":
+        elif p.suffix == ".py" and _SKIP_DIRS.isdisjoint(p.resolve().parts):
             out.append(p)
     return out
 

@@ -181,6 +181,8 @@ def test_collect_files_skips_caches_and_fixtures(tmp_path):
     (tmp_path / "pkg" / "lint_fixtures" / "bad.py").write_text("x = 1\n", encoding="utf-8")
     files = collect_files([tmp_path])
     assert [f.name for f in files] == ["mod.py"]
+    # Fixture files named directly (the pre-commit case) are skipped too.
+    assert collect_files([tmp_path / "pkg" / "lint_fixtures" / "bad.py"]) == []
 
 
 def test_rules_by_id_is_complete():
