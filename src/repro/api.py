@@ -28,6 +28,14 @@ The surface groups into four layers:
   the shared-memory instance transport
   (:class:`SharedInstanceStore` / :class:`SharedInstanceHandle`,
   composed by :func:`sweep_trials`).
+* **serving** — the online session runtime: :class:`ServeService` /
+  :class:`ServeConfig` (the anytime engine as a long-lived service),
+  :class:`MicroBatchRouter` / :class:`RouterConfig` (micro-batched
+  probe routing with graceful budget degradation),
+  :func:`save_service` / :func:`load_service` (kill/restore snapshots),
+  and :func:`run_loadgen` with :class:`LoadgenConfig` /
+  :class:`LoadgenReport`; plus the standalone accounting archives
+  :func:`save_probe_stats` / :func:`load_probe_stats`.
 
 Every ``rng`` / ``seed`` parameter across this surface uniformly accepts
 ``int | numpy.random.Generator | None`` (see
@@ -47,6 +55,7 @@ from repro.core.main import (
 from repro.core.params import Params
 from repro.core.result import META_KEYS, RunResult, validate_meta
 from repro.experiments.harness import sweep_trials
+from repro.io import load_probe_stats, save_probe_stats
 from repro.metrics.evaluation import evaluate
 from repro.model.community import Community
 from repro.model.instance import Instance
@@ -55,6 +64,17 @@ from repro.parallel import (
     SharedInstanceStore,
     derive_seeds,
     run_trials,
+)
+from repro.serve import (
+    LoadgenConfig,
+    LoadgenReport,
+    MicroBatchRouter,
+    RouterConfig,
+    ServeConfig,
+    ServeService,
+    load_service,
+    run_loadgen,
+    save_service,
 )
 from repro.utils.rng import as_generator
 from repro.workloads.registry import WORKLOADS, make_instance
@@ -89,6 +109,18 @@ __all__ = [
     "sweep_trials",
     "SharedInstanceStore",
     "SharedInstanceHandle",
+    # serving
+    "ServeService",
+    "ServeConfig",
+    "MicroBatchRouter",
+    "RouterConfig",
+    "save_service",
+    "load_service",
+    "run_loadgen",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "save_probe_stats",
+    "load_probe_stats",
     # rng contract
     "as_generator",
 ]

@@ -16,6 +16,8 @@ grades.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+
 import numpy as np
 
 from repro import obs
@@ -93,9 +95,71 @@ class Billboard:
         """Whether *channel* has been posted."""
         return channel in self._channels
 
+    def has_channels(self, channels: Iterable[str]) -> bool:
+        """Whether every named channel has been posted."""
+        store = self._channels
+        return all(channel in store for channel in channels)
+
+    def read_first_rows(self, channels: Sequence[str]) -> np.ndarray:
+        """Stack the first row of each named channel into one fresh matrix.
+
+        The batched form of the ``read_vectors(ch)[0]`` gather loop the
+        player programs vote over: one counter bump and one allocation
+        for the whole wavefront instead of a full-matrix copy per
+        channel.  Values are bitwise identical to the scalar loop, and
+        ``np.stack`` allocates the result, so callers still cannot
+        mutate board state.
+        """
+        store = self._channels
+        try:
+            rows = [store[channel][0] for channel in channels]
+        except KeyError:
+            missing = next(ch for ch in channels if ch not in store)
+            raise KeyError(f"no vectors posted under channel {missing!r}") from None
+        if not rows:
+            raise ValueError("read_first_rows needs at least one channel")
+        obs.incr("billboard.vector_reads", len(rows))
+        return np.stack(rows)
+
     def channels(self) -> list[str]:
         """All posted channel names."""
         return sorted(self._channels)
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (service snapshots)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """Copies of the full board state: ``(revealed, values, channels)``.
+
+        The sanctioned export for :mod:`repro.serve.snapshot` — copies,
+        so a snapshot taken now is unaffected by later posts.
+        """
+        return (
+            self._revealed.copy(),
+            self._values.copy(),
+            {name: arr.copy() for name, arr in self._channels.items()},
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        revealed: np.ndarray,
+        values: np.ndarray,
+        channels: dict[str, np.ndarray],
+    ) -> "Billboard":
+        """Rebuild a board from :meth:`checkpoint` output (arrays are copied)."""
+        revealed_arr = np.asarray(revealed, dtype=bool)
+        values_arr = np.asarray(values, dtype=np.int8)
+        if revealed_arr.ndim != 2 or revealed_arr.shape != values_arr.shape:
+            raise ValueError(
+                f"revealed/values must be equal-shape 2-D, got {revealed_arr.shape} and {values_arr.shape}"
+            )
+        board = cls(revealed_arr.shape[0], revealed_arr.shape[1])
+        board._revealed[:] = revealed_arr
+        board._values[:] = values_arr
+        for name, arr in channels.items():
+            board._channels[name] = np.array(arr, dtype=np.int16, copy=True)
+        return board
 
     def __repr__(self) -> str:  # pragma: no cover - convenience
         return (

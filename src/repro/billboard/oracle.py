@@ -204,6 +204,42 @@ class ProbeOracle:
             return float("inf")
         return int(self.budget - self._counts[player])
 
+    # ------------------------------------------------------------------
+    # checkpoint / restore (service snapshots)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict[str, np.ndarray]:
+        """Copies of the oracle's persistent state for service snapshots.
+
+        Returns ``{"prefs": hidden matrix, "counts": per-player charged
+        counts}`` — the sanctioned export for
+        :mod:`repro.serve.snapshot`, so serving code never reaches into
+        the hidden matrix itself.  The billboard is checkpointed
+        separately via :meth:`Billboard.checkpoint`.
+        """
+        return {"prefs": self._prefs.copy(), "counts": self._counts.copy()}
+
+    @classmethod
+    def restore(
+        cls,
+        prefs: np.ndarray,
+        counts: np.ndarray,
+        *,
+        billboard: Billboard | None = None,
+        budget: int | None = None,
+        charge_repeats: bool = True,
+    ) -> "ProbeOracle":
+        """Rebuild an oracle from :meth:`checkpoint` arrays, counts included."""
+        oracle = cls(prefs, billboard=billboard, budget=budget, charge_repeats=charge_repeats)
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        if counts_arr.shape != (oracle.n_players,):
+            raise ValueError(
+                f"counts must have shape ({oracle.n_players},), got {counts_arr.shape}"
+            )
+        if counts_arr.size and (int(counts_arr.min()) < 0 or (budget is not None and int(counts_arr.max()) > budget)):
+            raise ValueError("restored counts are negative or exceed the budget")
+        oracle._counts = counts_arr.copy()
+        return oracle
+
     def attach_trace(self, trace: ProbeTrace) -> None:
         """Attach a :class:`~repro.billboard.trace.ProbeTrace` (observational)."""
         self._trace = trace

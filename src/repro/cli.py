@@ -12,6 +12,11 @@ Subcommands::
     python -m repro report --out REPORT.md --telemetry
                                               # Markdown report + JSONL
     python -m repro lint src tests            # repro contract checks (RPL rules)
+    python -m repro serve --n 256 --snapshot svc.npz
+                                              # online session runtime to completion
+    python -m repro serve --restore svc.npz   # resume a killed service
+    python -m repro loadgen --sessions 64 --quick
+                                              # load-generate against a service
 
 ``run`` accepts ``--full`` for the full (slow) sweeps and ``--out DIR``
 to archive rendered reports (what the benchmark suite does via
@@ -80,6 +85,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         action="store_true",
         help="archive run telemetry as <out>.telemetry.jsonl next to the report",
+    )
+
+    serve = sub.add_parser("serve", help="run the online session runtime to completion")
+    serve.add_argument("--workload", default="planted", help="workload family")
+    serve.add_argument("--n", type=int, default=256, help="players (= sessions)")
+    serve.add_argument("--m", type=int, default=None, help="objects (defaults to --n)")
+    serve.add_argument("--alpha", type=float, default=0.5, help="community frequency")
+    serve.add_argument("--d", type=int, default=0, help="community diameter (planted)")
+    serve.add_argument("--seed", type=int, default=7, help="RNG seed (instance + service)")
+    serve.add_argument("--max-phases", type=int, default=None, help="cap on anytime phases")
+    serve.add_argument("--d-max", type=int, default=None, help="cap on the doubling schedule")
+    serve.add_argument("--budget", type=int, default=None, help="per-player probe budget")
+    serve.add_argument("--probes", type=int, default=32, help="probe grant per request")
+    serve.add_argument("--window", type=int, default=32, help="micro-batching window")
+    serve.add_argument(
+        "--sequential", action="store_true", help="scalar probes instead of micro-batching"
+    )
+    serve.add_argument(
+        "--snapshot", type=Path, default=None, metavar="OUT.npz",
+        help="archive the final service checkpoint",
+    )
+    serve.add_argument(
+        "--restore", type=Path, default=None, metavar="IN.npz",
+        help="resume from a snapshot instead of building a fresh service",
+    )
+
+    loadgen = sub.add_parser("loadgen", help="drive a service with synthetic load")
+    loadgen.add_argument("--workload", default="planted", help="workload family")
+    loadgen.add_argument("--sessions", type=int, default=256, help="players (= sessions)")
+    loadgen.add_argument("--objects", type=int, default=None, help="objects (defaults to --sessions)")
+    loadgen.add_argument("--alpha", type=float, default=0.5, help="community frequency")
+    loadgen.add_argument("--d", type=int, default=0, help="community diameter (planted)")
+    loadgen.add_argument("--seed", type=int, default=7, help="RNG seed")
+    loadgen.add_argument("--mode", choices=("closed", "open"), default="closed", help="arrival loop")
+    loadgen.add_argument("--rate", type=float, default=64.0, help="open-loop arrivals per window")
+    loadgen.add_argument("--probes", type=int, default=32, help="probe grant per request")
+    loadgen.add_argument("--window", type=int, default=32, help="micro-batching window")
+    loadgen.add_argument("--max-phases", type=int, default=1, help="cap on anytime phases")
+    loadgen.add_argument("--d-max", type=int, default=2, help="cap on the doubling schedule")
+    loadgen.add_argument("--budget", type=int, default=None, help="per-player probe budget")
+    loadgen.add_argument(
+        "--sequential", action="store_true", help="scalar probes instead of micro-batching"
+    )
+    loadgen.add_argument(
+        "--quick", action="store_true", help="small CI-smoke preset (caps sessions and phases)"
+    )
+    loadgen.add_argument(
+        "--json", type=Path, default=None, metavar="OUT.json", help="also write the report as JSON"
     )
 
     obs_cmd = sub.add_parser("obs", help="telemetry utilities")
@@ -171,6 +224,109 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        MicroBatchRouter,
+        RouterConfig,
+        ServeConfig,
+        ServeService,
+        load_service,
+        save_service,
+    )
+    from repro.workloads.registry import WORKLOADS, make_instance
+
+    inst = None
+    if args.restore is not None:
+        try:
+            service = load_service(args.restore)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"cannot restore {args.restore}: {exc}")
+            return 2
+        print(f"restored   : {args.restore} (phase {service.phase_j}, "
+              f"{service.phases_completed} completed)")
+    else:
+        if args.workload not in WORKLOADS:
+            print(f"unknown workload {args.workload!r}; known: {', '.join(sorted(WORKLOADS))}")
+            return 2
+        m = args.m if args.m is not None else args.n
+        inst = make_instance(args.workload, args.n, m, args.alpha, args.d, rng=args.seed)
+        service = ServeService(
+            inst,
+            config=ServeConfig(
+                seed=args.seed + 1,
+                max_phases=args.max_phases,
+                d_max=args.d_max,
+                budget=args.budget,
+            ),
+        )
+    router = MicroBatchRouter(
+        service,
+        config=RouterConfig(
+            window=args.window, probes_per_request=args.probes,
+            micro_batch=not args.sequential,
+        ),
+    )
+    outputs = router.run_to_completion()
+    stats = service.oracle.stats()
+    print(f"service    : n={service.n_players}, m={service.n_objects}, "
+          f"stage {service.stage}")
+    print(f"phases     : {service.phases_completed} completed "
+          f"(alphas {', '.join(f'{a:g}' for a in service.completed) or 'none'})")
+    print(f"probes     : {int(stats.per_player.sum())} total, "
+          f"{service.oracle.batch_count} oracle batches")
+    if inst is not None:
+        community = inst.main_community()
+        report = evaluate(outputs, inst.prefs, community.members, diam=community.diameter)
+        print(f"discrepancy: {report.discrepancy}")
+    if args.snapshot is not None:
+        written = save_service(args.snapshot, service)
+        print(f"snapshot   : {written}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import LoadgenConfig, run_loadgen
+    from repro.serve.loadgen import dump_report_json
+    from repro.workloads.registry import WORKLOADS
+
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; known: {', '.join(sorted(WORKLOADS))}")
+        return 2
+    sessions = args.sessions
+    max_phases = args.max_phases
+    d_max = args.d_max
+    probes = args.probes
+    window = args.window
+    if args.quick:
+        sessions = min(sessions, 64)
+        max_phases = 1
+        d_max = 1
+        probes = min(probes, 16)
+        window = min(window, 16)
+    config = LoadgenConfig(
+        workload=args.workload,
+        sessions=sessions,
+        objects=args.objects,
+        alpha=args.alpha,
+        D=args.d,
+        seed=args.seed,
+        mode=args.mode,
+        rate=args.rate,
+        probes_per_request=probes,
+        window=window,
+        max_phases=max_phases,
+        d_max=d_max,
+        budget=args.budget,
+        micro_batch=not args.sequential,
+    )
+    report = run_loadgen(config)
+    print(report.render())
+    if args.json is not None:
+        dump_report_json(str(args.json), report)
+        print(f"json     : {args.json}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "summarize":
         try:
@@ -195,6 +351,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "lint":

@@ -26,10 +26,10 @@ from repro.engine.scheduler import RoundScheduler
 from repro.utils.rng import as_generator, spawn, spawn_many
 from repro.utils.validation import WILDCARD
 
-__all__ = ["run_anytime_engine"]
+__all__ = ["merge_program", "run_anytime_engine"]
 
 
-def _merge_player(
+def merge_program(
     player: int,
     best: np.ndarray,
     new: np.ndarray,
@@ -37,7 +37,12 @@ def _merge_player(
     rng: np.random.Generator,
     params: Params,
 ) -> Generator[Any, Any, np.ndarray]:
-    """One player's phase-merge program: RSelect between old and new."""
+    """One player's phase-merge program: RSelect between old and new.
+
+    Exported so :mod:`repro.serve` can run the same merge stage the
+    engine runs — the serving runtime stays bitwise-equal to the offline
+    anytime loop by construction, not by reimplementation.
+    """
     cands = np.ascontiguousarray(np.stack([best, new]))
     sel = rselect_coroutine(cands, n, params=params, rng=rng)
     try:
@@ -94,7 +99,7 @@ def run_anytime_engine(
             else:
                 merge_rngs = spawn_many(spawn(gen), n)
                 merge_programs = {
-                    pl: _merge_player(pl, best[pl], new[pl], n, merge_rngs[pl], p)
+                    pl: merge_program(pl, best[pl], new[pl], n, merge_rngs[pl], p)
                     for pl in range(n)
                 }
                 merge_result = RoundScheduler(oracle, merge_programs).run(max_rounds=max_rounds)

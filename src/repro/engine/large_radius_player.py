@@ -140,9 +140,9 @@ def large_radius_player(
     candidate_sets: list[np.ndarray] = []
     for l, members in enumerate(coins.player_groups):
         needed = [f"{channel_prefix}lr/{l}/out/{int(q)}" for q in members]
-        while not all(billboard.has_channel(ch) for ch in needed):
+        while not billboard.has_channels(needed):
             yield Wait()
-        posted = np.stack([billboard.read_vectors(ch)[0] for ch in needed]).astype(np.int8)
+        posted = billboard.read_first_rows(needed).astype(np.int8)
         result = coalesce(posted, coins.coalesce_D, coins.sr_alpha)
         cands = result.vectors
         if cands.shape[0] == 0:

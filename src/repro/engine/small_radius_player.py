@@ -135,9 +135,9 @@ def small_radius_player(
 
             # Step 1b (votes): wait for every participant's part output.
             needed = [f"{channel_prefix}sr/{t}/{i}/out/{int(q)}" for q in players]
-            while not all(billboard.has_channel(ch) for ch in needed):
+            while not billboard.has_channels(needed):
                 yield Wait()
-            votes = np.stack([billboard.read_vectors(ch)[0] for ch in needed])
+            votes = billboard.read_first_rows(needed)
             candidates = _popular_rows(votes, pop_threshold)
 
             # Step 1c: adopt the closest popular vector at bound D.

@@ -99,9 +99,9 @@ def zero_radius_player(
         sibling = coins.sibling(my_child.node_id)
 
         needed = [_channel(channel_prefix, sibling.node_id, int(q)) for q in sibling.players]
-        while not all(billboard.has_channel(ch) for ch in needed):
+        while not billboard.has_channels(needed):
             yield Wait()
-        votes = np.stack([billboard.read_vectors(ch)[0] for ch in needed])
+        votes = billboard.read_first_rows(needed)
 
         min_votes = p.zr_vote_threshold(alpha, sibling.players.size)
         candidates = _vote_candidates(votes, min_votes)

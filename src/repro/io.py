@@ -8,16 +8,27 @@ stable on-disk format:
   every planted community (members, diameter, center, label);
 * :func:`save_run` / :func:`load_run` — a
   :class:`~repro.core.result.RunResult` (outputs, per-player probes,
-  algorithm tag; ``meta`` is stored for scalar/str/int-list values).
+  algorithm tag; ``meta`` is stored for scalar/str/int-list values);
+* :func:`save_probe_stats` / :func:`load_probe_stats` — bare
+  :class:`~repro.billboard.accounting.ProbeStats` (the serving layer
+  snapshots accounting independently of any run result).
 
 Everything round-trips exactly; loading never requires the workload
 generator or its seed.
+
+Format versioning: every archive embeds ``{"version": FORMAT_VERSION}``
+in its JSON metadata.  Version 2 added the ``probe_stats`` and
+``service`` kinds; the loaders accept every version in
+``SUPPORTED_VERSIONS`` (version-1 archives predate the version gate and
+still load) and reject archives from a *newer* format than this build
+understands.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -26,9 +37,39 @@ from repro.core.result import RunResult
 from repro.model.community import Community
 from repro.model.instance import Instance
 
-__all__ = ["save_instance", "load_instance", "save_run", "load_run"]
+__all__ = [
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "check_format_version",
+    "load_instance",
+    "load_probe_stats",
+    "load_run",
+    "save_instance",
+    "save_probe_stats",
+    "save_run",
+]
 
-_FORMAT_VERSION = 1
+#: Version written into new archives.
+FORMAT_VERSION = 2
+
+#: Versions the loaders of this build accept.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+
+
+def check_format_version(meta: dict[str, Any], path: str | Path) -> None:
+    """Reject archives whose embedded format version this build cannot read.
+
+    Archives written before the version gate default to version 1 (they
+    always embedded it anyway); anything outside
+    :data:`SUPPORTED_VERSIONS` — i.e. written by a newer build — raises
+    ``ValueError`` instead of being misparsed.
+    """
+    version = meta.get("version", 1)
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_VERSIONS))
+        raise ValueError(
+            f"{path} has format version {version!r}; this build reads versions {{{supported}}}"
+        )
 
 
 def save_instance(path: str | Path, instance: Instance) -> Path:
@@ -36,7 +77,7 @@ def save_instance(path: str | Path, instance: Instance) -> Path:
     path = Path(path)
     arrays: dict[str, np.ndarray] = {"prefs": instance.prefs}
     meta = {
-        "version": _FORMAT_VERSION,
+        "version": FORMAT_VERSION,
         "kind": "instance",
         "name": instance.name,
         "communities": [],
@@ -57,6 +98,7 @@ def load_instance(path: str | Path) -> Instance:
     """Load an instance written by :func:`save_instance`."""
     with np.load(Path(path)) as data:
         meta = json.loads(bytes(data["meta_json"]).decode())
+        check_format_version(meta, path)
         if meta.get("kind") != "instance":
             raise ValueError(f"{path} does not contain an instance (kind={meta.get('kind')!r})")
         communities = []
@@ -89,7 +131,7 @@ def save_run(path: str | Path, run: RunResult) -> Path:
     """Write a run result to ``path``."""
     path = Path(path)
     meta = {
-        "version": _FORMAT_VERSION,
+        "version": FORMAT_VERSION,
         "kind": "run",
         "algorithm": run.algorithm,
         "meta": _jsonable_meta(run.meta),
@@ -107,6 +149,7 @@ def load_run(path: str | Path) -> RunResult:
     """Load a run result written by :func:`save_run`."""
     with np.load(Path(path)) as data:
         meta = json.loads(bytes(data["meta_json"]).decode())
+        check_format_version(meta, path)
         if meta.get("kind") != "run":
             raise ValueError(f"{path} does not contain a run result (kind={meta.get('kind')!r})")
         return RunResult(
@@ -115,3 +158,25 @@ def load_run(path: str | Path) -> RunResult:
             algorithm=meta["algorithm"],
             meta=meta["meta"],
         )
+
+
+def save_probe_stats(path: str | Path, stats: ProbeStats) -> Path:
+    """Write per-player probe accounting to ``path``."""
+    path = Path(path)
+    meta = {"version": FORMAT_VERSION, "kind": "probe_stats"}
+    np.savez_compressed(
+        path,
+        per_player=stats.per_player,
+        meta_json=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_probe_stats(path: str | Path) -> ProbeStats:
+    """Load probe accounting written by :func:`save_probe_stats`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        check_format_version(meta, path)
+        if meta.get("kind") != "probe_stats":
+            raise ValueError(f"{path} does not contain probe stats (kind={meta.get('kind')!r})")
+        return ProbeStats(data["per_player"])

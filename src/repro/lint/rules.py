@@ -1,4 +1,4 @@
-"""The repro rule set: eight machine-checked model/API contracts.
+"""The repro rule set: nine machine-checked model/API contracts.
 
 Each rule encodes one convention the paper's guarantees (or the repo's
 refactoring safety) depend on; the catalog with full rationale is
@@ -434,6 +434,43 @@ class ExperimentRngParamRule(Rule):
             yield self.diagnostic(ctx, run_def, message)
 
 
+class ServePrefsIsolationRule(Rule):
+    """RPL009 — the serving runtime never touches the preference matrix.
+
+    The serve layer's headline guarantee is observation equivalence:
+    serving a population to completion is bitwise-equal to the offline
+    engine because sessions learn grades *only* through metered oracle
+    probes.  Any ``.prefs`` / ``._prefs`` access inside ``repro/serve``
+    — even a read-only peek for a shortcut or a "cheap" estimate —
+    would let served answers depend on hidden state the offline run
+    never saw, silently voiding both the equivalence pin and the probe
+    accounting.  RPL002 already bans uncharged *reads* library-wide;
+    this rule is stricter where it matters most: in serve code the
+    attribute must not appear at all (checkpoint plumbing carries the
+    matrix under a different field name for exactly this reason).
+    """
+
+    id = "RPL009"
+    severity = "error"
+    summary = "serve/ code never touches the preference matrix"
+    hint = "sessions learn grades only via ProbeOracle.probe/probe_many"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_library("repro/serve")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _ServePrefsVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _ServePrefsVisitor(RuleVisitor):
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in ("prefs", "_prefs"):
+            self.report(node, f"serving code touches the preference matrix (.{node.attr})")
+        self.generic_visit(node)
+
+
 #: The full rule set, id order.
 ALL_RULES: list[Rule] = [
     RngConstructionRule(),
@@ -444,6 +481,7 @@ ALL_RULES: list[Rule] = [
     DunderAllRule(),
     MutableDefaultRule(),
     ExperimentRngParamRule(),
+    ServePrefsIsolationRule(),
 ]
 
 

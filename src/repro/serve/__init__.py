@@ -1,0 +1,48 @@
+"""The online serving runtime: sessions, micro-batched routing, snapshots.
+
+The paper's model is inherently online — players probe incrementally
+and must answer "who am I" at any time — and this package turns the §6
+anytime engine into a long-lived service:
+
+* :mod:`repro.serve.sessions` — per-player state as suspended player
+  programs, advanceable a few probes at a time;
+* :mod:`repro.serve.service` — the phase state machine owning oracle,
+  rng, and sessions, with phase-barrier checkpoints;
+* :mod:`repro.serve.router` — micro-batching request router: one
+  ``probe_many`` wavefront per flush, graceful budget degradation;
+* :mod:`repro.serve.snapshot` — format-versioned ``.npz`` kill/restore;
+* :mod:`repro.serve.loadgen` — open/closed-loop load generator with
+  latency percentiles.
+
+Contract: a session driven to completion is bitwise-equal — outputs and
+per-player probe counts — to the offline
+:func:`repro.core.main.anytime_find_preferences` for the same seed
+(``tests/test_serve_equivalence.py``), and code in this package never
+touches preference matrices directly (lint rule RPL009): every grade
+flows through the charged oracle.
+"""
+
+from __future__ import annotations
+
+from repro.serve.loadgen import LoadgenConfig, LoadgenReport, run_loadgen
+from repro.serve.router import MicroBatchRouter, Request, Response, RouterConfig
+from repro.serve.service import ServeConfig, ServeService, ServiceCheckpoint
+from repro.serve.sessions import Session, SessionStore
+from repro.serve.snapshot import load_service, save_service
+
+__all__ = [
+    "LoadgenConfig",
+    "LoadgenReport",
+    "MicroBatchRouter",
+    "Request",
+    "Response",
+    "RouterConfig",
+    "ServeConfig",
+    "ServeService",
+    "ServiceCheckpoint",
+    "Session",
+    "SessionStore",
+    "load_service",
+    "run_loadgen",
+    "save_service",
+]

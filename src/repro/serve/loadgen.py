@@ -1,0 +1,218 @@
+"""Open/closed-loop load generator for the serving runtime.
+
+Builds an instance from the :data:`~repro.workloads.registry.WORKLOADS`
+registry, stands up a :class:`~repro.serve.service.ServeService` behind
+a :class:`~repro.serve.router.MicroBatchRouter`, and drives it with a
+synthetic arrival schedule:
+
+* **closed loop** (``mode="closed"``) — every unfinished session has
+  exactly one request in flight per round: the classic
+  think-time-zero saturation workload;
+* **open loop** (``mode="open"``) — each batching window receives a
+  ``Poisson(rate)`` number of requests aimed at uniformly sampled
+  unfinished sessions, the arrival process of independent users.
+
+Per-request latency is the wall-clock time of the flush that served the
+request (requests in one micro-batch share their window's latency —
+that *is* the cost model of micro-batching); the report carries
+throughput, p50/p95/p99 latency, probes-per-request, and batch
+occupancy.  Wall-clock numbers vary run to run, but the served outputs
+and probe counts are fully determined by the config's seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.serve.router import MicroBatchRouter, RouterConfig
+from repro.serve.service import ServeConfig, ServeService
+from repro.utils.rng import as_generator
+from repro.workloads.registry import make_instance
+
+__all__ = ["LoadgenConfig", "LoadgenReport", "dump_report_json", "run_loadgen"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation scenario (see module docstring)."""
+
+    workload: str = "planted"
+    sessions: int = 256
+    objects: int | None = None
+    alpha: float = 0.5
+    D: int = 0
+    seed: int = 7
+    mode: str = "closed"
+    rate: float = 64.0
+    probes_per_request: int = 32
+    window: int = 32
+    max_phases: int | None = 1
+    d_max: int | None = 2
+    budget: int | None = None
+    micro_batch: bool = True
+    max_requests: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.sessions <= 0:
+            raise ValueError(f"sessions must be positive, got {self.sessions}")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError(f"open-loop rate must be positive, got {self.rate}")
+
+
+@dataclass
+class LoadgenReport:
+    """Result of one :func:`run_loadgen` run."""
+
+    config: LoadgenConfig
+    requests: int
+    probes_total: int
+    flushes: int
+    wall_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    probes_per_request: float
+    mean_occupancy: float
+    phases_completed: int
+    sessions_complete: int
+    sessions_drained: int
+    outputs_sha: str
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        cfg = self.config
+        shape = f"{cfg.sessions}x{cfg.objects if cfg.objects is not None else cfg.sessions}"
+        lines = [
+            f"loadgen  : {cfg.workload} {shape} alpha={cfg.alpha} D={cfg.D} seed={cfg.seed}",
+            f"mode     : {cfg.mode}"
+            + (f" (rate={cfg.rate:g}/window)" if cfg.mode == "open" else "")
+            + f", window={cfg.window}, grant={cfg.probes_per_request} probes, "
+            + ("micro-batched" if cfg.micro_batch else "sequential probes"),
+            f"requests : {self.requests} in {self.wall_s:.3f}s -> {self.throughput_rps:,.0f} req/s",
+            f"latency  : p50={self.p50_ms:.3f}ms  p95={self.p95_ms:.3f}ms  p99={self.p99_ms:.3f}ms",
+            f"probes   : {self.probes_total} total, {self.probes_per_request:.1f}/request",
+            f"batches  : {self.flushes} flushes, mean occupancy {self.mean_occupancy:.1f}",
+            f"service  : {self.phases_completed} phases completed, "
+            f"{self.sessions_complete} complete / {self.sessions_drained} drained sessions",
+            f"outputs  : sha256 {self.outputs_sha[:16]}",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serialisable dict (drops the raw latency samples)."""
+        payload = asdict(self)
+        payload["config"] = asdict(self.config)
+        del payload["latencies_ms"]
+        return payload
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _arrivals(
+    config: LoadgenConfig, service: ServeService, gen: np.random.Generator
+) -> list[int]:
+    """Players targeted by the next batching window."""
+    open_sessions = [
+        s.player for s in service.sessions if s.status not in ("complete", "drained")
+    ]
+    if not open_sessions:
+        return []
+    if config.mode == "closed":
+        return open_sessions
+    k = max(1, int(gen.poisson(config.rate)))
+    picks = gen.integers(0, len(open_sessions), size=k)
+    return [open_sessions[int(i)] for i in picks]
+
+
+def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
+    """Run one load-generation scenario and return its report.
+
+    The service seed is derived from ``config.seed`` (instance and
+    service use adjacent seeds), so two runs of the same config serve
+    bit-identical outputs — only the wall-clock figures differ.
+    """
+    cfg = config if config is not None else LoadgenConfig()
+    m = cfg.objects if cfg.objects is not None else cfg.sessions
+    instance = make_instance(cfg.workload, cfg.sessions, m, cfg.alpha, cfg.D, rng=cfg.seed)
+    service = ServeService(
+        instance,
+        config=ServeConfig(
+            seed=cfg.seed + 1,
+            max_phases=cfg.max_phases,
+            d_max=cfg.d_max,
+            budget=cfg.budget,
+        ),
+    )
+    router = MicroBatchRouter(
+        service,
+        config=RouterConfig(
+            window=cfg.window,
+            probes_per_request=cfg.probes_per_request,
+            micro_batch=cfg.micro_batch,
+        ),
+    )
+    arrival_gen = as_generator(cfg.seed + 2)
+
+    latencies_ms: list[float] = []
+    requests = 0
+    flushes = 0
+    occupancy_total = 0
+    t0 = time.perf_counter()
+    while not service.finished and requests < cfg.max_requests:
+        players = _arrivals(cfg, service, arrival_gen)
+        if not players:
+            break
+        for start in range(0, len(players), cfg.window):
+            chunk = players[start : start + cfg.window]
+            t1 = time.perf_counter()
+            for player in chunk:
+                router.submit(player)
+            router.flush()
+            dt_ms = (time.perf_counter() - t1) * 1000.0
+            latencies_ms.extend([dt_ms] * len(chunk))
+            requests += len(chunk)
+            flushes += 1
+            occupancy_total += len(chunk)
+    wall_s = time.perf_counter() - t0
+
+    outputs = service.outputs()
+    probes_total = int(service.oracle.stats().per_player.sum())
+    return LoadgenReport(
+        config=cfg,
+        requests=requests,
+        probes_total=probes_total,
+        flushes=flushes,
+        wall_s=wall_s,
+        throughput_rps=requests / wall_s if wall_s > 0 else 0.0,
+        p50_ms=_percentile(latencies_ms, 50),
+        p95_ms=_percentile(latencies_ms, 95),
+        p99_ms=_percentile(latencies_ms, 99),
+        probes_per_request=probes_total / requests if requests else 0.0,
+        mean_occupancy=occupancy_total / flushes if flushes else 0.0,
+        phases_completed=service.phases_completed,
+        sessions_complete=service.sessions.count("complete"),
+        sessions_drained=service.sessions.count("drained"),
+        outputs_sha=hashlib.sha256(np.ascontiguousarray(outputs).tobytes()).hexdigest(),
+        latencies_ms=latencies_ms,
+    )
+
+
+def dump_report_json(path: str, report: LoadgenReport) -> None:
+    """Write *report* as JSON (CLI ``--json`` helper)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_json(), fh, indent=2)
+        fh.write("\n")

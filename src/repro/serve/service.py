@@ -1,0 +1,344 @@
+"""The §6 anytime loop as a long-lived service.
+
+:class:`ServeService` owns everything one deployment of the anytime
+algorithm needs — the charged :class:`~repro.billboard.oracle.ProbeOracle`,
+the master rng, the per-player :class:`~repro.serve.sessions.SessionStore`,
+and the phase state machine — but never *drives* it: the router
+(:mod:`repro.serve.router`) advances sessions and the service only
+reacts to stage completions.
+
+Equivalence contract
+--------------------
+The service replays :func:`repro.engine.anytime_player.run_anytime_engine`'s
+randomness consumption exactly — per phase one
+``UnknownDCoins.draw(..., rng=spawn(gen))``, then for the merge stage
+``spawn_many(spawn(gen), n)`` — and runs the *same* player programs.
+Together with the schedule-insensitivity of those programs (see
+:mod:`repro.serve.sessions`), a service driven to completion is bitwise
+equal — outputs *and* per-player probe counts — to the offline
+:func:`repro.core.main.anytime_find_preferences` for the same seed.
+
+Checkpoints
+-----------
+Phase barriers are the consistent cuts of the anytime loop: between
+phases no program is suspended, so the whole service is a handful of
+arrays plus the master rng state.  The service captures such a
+:class:`ServiceCheckpoint` after every completed phase (and on
+finish/drain); :mod:`repro.serve.snapshot` archives it.  Restoring
+re-draws the interrupted phase coin-for-coin, so a killed-and-resumed
+service ends bitwise-identical to one that was never interrupted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.billboard.board import Billboard
+from repro.billboard.oracle import ProbeOracle
+from repro.core.params import Params
+from repro.engine.anytime_player import merge_program
+from repro.engine.main_player import UnknownDCoins, find_preferences_unknown_d_player
+from repro.model.instance import Instance
+from repro.serve.sessions import PlayerProgram, SessionStore
+from repro.utils.rng import as_generator, from_state, spawn, spawn_many, state_of
+
+__all__ = ["ServeConfig", "ServeService", "ServiceCheckpoint", "anytime_phase_cap"]
+
+
+def anytime_phase_cap(n: int, max_phases: int | None) -> int:
+    """Largest phase index ``j`` the §6 anytime loop runs.
+
+    Same formula as :func:`repro.core.main.anytime_find_preferences`
+    (phases ``α = 2⁻ʲ`` for ``j = 0 … cap``); ``max_phases`` caps the
+    count from above.
+    """
+    cap = int(math.floor(math.log2(max(2.0, n / max(1.0, math.log(max(n, 2)))))))
+    if max_phases is not None:
+        cap = min(cap, max_phases - 1)
+    return cap
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Immutable configuration of one serving deployment.
+
+    ``seed`` feeds the master generator (the service twin of the ``rng``
+    argument of ``anytime_find_preferences``); the rest mirror the
+    offline entry point's keyword arguments.  ``params=None`` means
+    :meth:`Params.practical`.
+    """
+
+    seed: int = 0
+    max_phases: int | None = None
+    d_max: int | None = None
+    budget: int | None = None
+    charge_repeats: bool = True
+    params: Params | None = None
+
+    def resolved_params(self) -> Params:
+        """The effective algorithm constants."""
+        return self.params if self.params is not None else Params.practical()
+
+
+@dataclass
+class ServiceCheckpoint:
+    """A phase-barrier cut of a whole service (see module docstring).
+
+    ``hidden`` is the oracle's preference matrix — the checkpoint must
+    carry it so a restored service can answer probes, but serving code
+    treats it as an opaque array (lint rule RPL009 enforces that nothing
+    under ``repro/serve`` reaches for ``.prefs``).
+    """
+
+    config: ServeConfig
+    params: Params
+    phase: int
+    completed: list[float]
+    exhausted: bool
+    rng_state: dict[str, Any]
+    hidden: np.ndarray
+    counts: np.ndarray
+    revealed: np.ndarray
+    values: np.ndarray
+    channels: dict[str, np.ndarray]
+    best: np.ndarray | None
+
+
+class ServeService:
+    """Phase state machine of one online anytime deployment.
+
+    The service is always in one of four stages:
+
+    * ``"main"`` — sessions run the phase-``j`` unknown-``D`` programs;
+    * ``"merge"`` — sessions RSelect the new phase output into the
+      running best;
+    * ``"done"`` — every phase completed; sessions are ``"complete"``;
+    * ``"drained"`` — the budget ran out; sessions are ``"drained"`` and
+      answer from the last completed phase.
+    """
+
+    def __init__(self, instance: Instance | np.ndarray, *, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.params = self.config.resolved_params()
+        self.oracle = ProbeOracle(
+            instance,
+            budget=self.config.budget,
+            charge_repeats=self.config.charge_repeats,
+        )
+        self._gen = as_generator(self.config.seed)
+        self.sessions = SessionStore(self.oracle.n_players)
+        self.phase_j = 0
+        self.stage = "main"
+        self.best: np.ndarray | None = None
+        self.completed: list[float] = []
+        self.exhausted = False
+        self._stage_outputs: dict[int, np.ndarray] = {}
+        self._max_j = anytime_phase_cap(self.oracle.n_players, self.config.max_phases)
+        self._checkpoint = self._capture_checkpoint()
+        if self.phase_j > self._max_j:
+            self._finish_service()
+        else:
+            self._begin_phase()
+
+    # ------------------------------------------------------------------
+    # shape / progress
+    # ------------------------------------------------------------------
+    @property
+    def n_players(self) -> int:
+        """Population size ``n``."""
+        return self.oracle.n_players
+
+    @property
+    def n_objects(self) -> int:
+        """Object count ``m``."""
+        return self.oracle.n_objects
+
+    @property
+    def finished(self) -> bool:
+        """Whether the service stopped advancing (``done`` or ``drained``)."""
+        return self.stage in ("done", "drained")
+
+    @property
+    def phases_completed(self) -> int:
+        """Number of fully merged anytime phases."""
+        return len(self.completed)
+
+    def estimate(self, player: int) -> np.ndarray:
+        """Best-so-far preference vector of *player* (anytime answer).
+
+        Before any phase completes this is the billboard fallback the
+        offline anytime loop would return (revealed grades, zeros
+        elsewhere); afterwards it is the running merged best.  Always a
+        copy.
+        """
+        if self.best is not None:
+            return self.best[player].copy()
+        mask = self.oracle.billboard.revealed_mask()[player]
+        values = self.oracle.billboard.revealed_values()[player]
+        return np.where(mask, values, 0).astype(np.int8)
+
+    def outputs(self) -> np.ndarray:
+        """Best-so-far ``(n, m)`` output matrix (anytime answer; a copy)."""
+        if self.best is not None:
+            return self.best.copy()
+        mask = self.oracle.billboard.revealed_mask()
+        values = self.oracle.billboard.revealed_values()
+        return np.where(mask, values, 0).astype(np.int8)
+
+    # ------------------------------------------------------------------
+    # stage machine (driven by the router)
+    # ------------------------------------------------------------------
+    def note_stage_done(self, player: int, output: np.ndarray) -> None:
+        """Record *player*'s stage output; fires the barrier when all are in."""
+        if self.finished:
+            raise RuntimeError("service is finished; no stage is running")
+        self._stage_outputs[player] = np.asarray(output, dtype=np.int8)
+        if len(self._stage_outputs) == self.n_players:
+            self._on_stage_complete()
+
+    def mark_exhausted(self) -> None:
+        """Budget ran out mid-phase: freeze at the last completed phase.
+
+        Mirrors the offline loop's ``except BudgetExceededError`` arm —
+        the interrupted phase is discarded, the best *completed* output
+        stands (or the billboard fallback if no phase ever completed),
+        and the service stops advancing.  Never an error to clients.
+        """
+        if self.finished:
+            return
+        self.exhausted = True
+        self._stage_outputs = {}
+        obs.event("serve.budget_exhausted", phase=self.phase_j, stage=self.stage)
+        self.stage = "drained"
+        self.sessions.freeze("drained")
+        self._checkpoint = self._capture_checkpoint()
+
+    def checkpoint(self) -> ServiceCheckpoint:
+        """The latest phase-barrier checkpoint (see module docstring)."""
+        return self._checkpoint
+
+    @classmethod
+    def from_checkpoint(cls, ckpt: ServiceCheckpoint) -> "ServeService":
+        """Rebuild a service from a :class:`ServiceCheckpoint`.
+
+        The restored service re-draws the interrupted phase's coins from
+        the checkpointed rng state, so everything after the cut replays
+        bitwise-identically.
+        """
+        service = cls.__new__(cls)
+        service.config = ckpt.config
+        service.params = ckpt.params
+        billboard = Billboard.restore(ckpt.revealed, ckpt.values, ckpt.channels)
+        service.oracle = ProbeOracle.restore(
+            ckpt.hidden,
+            ckpt.counts,
+            billboard=billboard,
+            budget=ckpt.config.budget,
+            charge_repeats=ckpt.config.charge_repeats,
+        )
+        service._gen = from_state(ckpt.rng_state)
+        service.sessions = SessionStore(service.oracle.n_players)
+        service.phase_j = ckpt.phase
+        service.stage = "main"
+        service.best = None if ckpt.best is None else np.asarray(ckpt.best, dtype=np.int8).copy()
+        service.completed = list(ckpt.completed)
+        service.exhausted = bool(ckpt.exhausted)
+        service._stage_outputs = {}
+        service._max_j = anytime_phase_cap(service.oracle.n_players, ckpt.config.max_phases)
+        service._checkpoint = service._capture_checkpoint()
+        if service.exhausted:
+            service.stage = "drained"
+            service.sessions.freeze("drained")
+        elif service.phase_j > service._max_j:
+            service._finish_service()
+        else:
+            service._begin_phase()
+        return service
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _begin_phase(self) -> None:
+        """Draw phase-``j`` coins and install the unknown-``D`` programs."""
+        n, m = self.n_players, self.n_objects
+        alpha_j = 2.0 ** (-self.phase_j)
+        coins = UnknownDCoins.draw(
+            n, m, alpha_j, params=self.params, rng=spawn(self._gen), d_max=self.config.d_max
+        )
+        programs: dict[int, PlayerProgram] = {
+            pl: find_preferences_unknown_d_player(
+                pl, coins, self.oracle.billboard, n, m, params=self.params,
+                channel_prefix=f"phase{self.phase_j}/",
+            )
+            for pl in range(n)
+        }
+        self.stage = "main"
+        self.sessions.load_stage(programs)
+
+    def _on_stage_complete(self) -> None:
+        n = self.n_players
+        outputs = np.stack([self._stage_outputs[pl] for pl in range(n)]).astype(np.int8)
+        self._stage_outputs = {}
+        if self.stage == "main":
+            if self.best is None:
+                self.best = outputs
+                self._finish_phase()
+                return
+            merge_rngs = spawn_many(spawn(self._gen), n)
+            programs: dict[int, PlayerProgram] = {
+                pl: merge_program(pl, self.best[pl], outputs[pl], n, merge_rngs[pl], self.params)
+                for pl in range(n)
+            }
+            self.stage = "merge"
+            self.sessions.load_stage(programs)
+            return
+        if self.stage == "merge":
+            self.best = outputs
+            self._finish_phase()
+            return
+        raise AssertionError(f"stage {self.stage!r} cannot complete")  # pragma: no cover
+
+    def _finish_phase(self) -> None:
+        """Phase barrier: record completion, checkpoint, start the next."""
+        self.completed.append(2.0 ** (-self.phase_j))
+        obs.incr("serve.phases_completed")
+        self.phase_j += 1
+        self._checkpoint = self._capture_checkpoint()
+        if self.phase_j > self._max_j:
+            self._finish_service()
+        else:
+            self._begin_phase()
+
+    def _finish_service(self) -> None:
+        self.stage = "done"
+        self.sessions.freeze("complete")
+        self._checkpoint = self._capture_checkpoint()
+
+    def _capture_checkpoint(self) -> ServiceCheckpoint:
+        oracle_state = self.oracle.checkpoint()
+        revealed, values, channels = self.oracle.billboard.checkpoint()
+        return ServiceCheckpoint(
+            config=self.config,
+            params=self.params,
+            phase=self.phase_j,
+            completed=list(self.completed),
+            exhausted=self.exhausted,
+            rng_state=state_of(self._gen),
+            hidden=oracle_state["prefs"],
+            counts=oracle_state["counts"],
+            revealed=revealed,
+            values=values,
+            channels=channels,
+            best=None if self.best is None else self.best.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"ServeService(n={self.n_players}, m={self.n_objects}, stage={self.stage!r}, "
+            f"phase={self.phase_j}, completed={self.phases_completed})"
+        )

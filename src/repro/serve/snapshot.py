@@ -1,0 +1,113 @@
+"""Format-versioned checkpoint/restore of a whole serving runtime.
+
+Extends the ``.npz`` + embedded-JSON conventions of :mod:`repro.io`
+(format version tag, ``kind`` discriminator, ``meta_json`` byte array)
+with a ``kind="service"`` archive holding everything
+:class:`~repro.serve.service.ServiceCheckpoint` captures: the hidden
+matrix, billboard contents (revealed mask/grades plus every posted
+vector channel), per-player probe accounting, the completed-phase
+outputs, and the master rng state.
+
+Snapshots are cut at phase barriers — the anytime loop's consistent
+cuts, where no player program is suspended — so suspended coroutines
+never need pickling.  Killing a service mid-phase and restoring its last
+snapshot rolls back to that barrier; the restored service re-draws the
+interrupted phase coin-for-coin and ends bitwise-identical (outputs
+*and* probe counts) to a never-interrupted run, which
+``tests/test_serve_snapshot.py`` pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.params import Params
+from repro.io import FORMAT_VERSION, check_format_version
+from repro.serve.service import ServeConfig, ServeService, ServiceCheckpoint
+
+__all__ = ["load_service", "save_service"]
+
+
+def save_service(path: str | Path, service: ServeService) -> Path:
+    """Write *service*'s latest barrier checkpoint to ``path`` (``.npz``)."""
+    ckpt = service.checkpoint()
+    path = Path(path)
+    channel_names = sorted(ckpt.channels)
+    config = ckpt.config
+    meta: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "kind": "service",
+        "config": {
+            "seed": config.seed,
+            "max_phases": config.max_phases,
+            "d_max": config.d_max,
+            "budget": config.budget,
+            "charge_repeats": config.charge_repeats,
+        },
+        "params": dataclasses.asdict(ckpt.params),
+        "phase": ckpt.phase,
+        "completed": ckpt.completed,
+        "exhausted": ckpt.exhausted,
+        "rng_state": ckpt.rng_state,
+        "has_best": ckpt.best is not None,
+        "channels": channel_names,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "hidden": ckpt.hidden,
+        "counts": ckpt.counts,
+        "revealed": ckpt.revealed,
+        "values": ckpt.values,
+    }
+    if ckpt.best is not None:
+        arrays["best"] = ckpt.best
+    for i, name in enumerate(channel_names):
+        arrays[f"channel_{i}"] = ckpt.channels[name]
+    arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_service(path: str | Path) -> ServeService:
+    """Restore a service written by :func:`save_service`.
+
+    The restored service resumes at the archived phase barrier with
+    identical subsequent behaviour (same coins, same probe charges, same
+    outputs) as the service that was saved.
+    """
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        check_format_version(meta, path)
+        if meta.get("kind") != "service":
+            raise ValueError(f"{path} does not contain a service (kind={meta.get('kind')!r})")
+        config_meta = meta["config"]
+        config = ServeConfig(
+            seed=int(config_meta["seed"]),
+            max_phases=config_meta["max_phases"],
+            d_max=config_meta["d_max"],
+            budget=config_meta["budget"],
+            charge_repeats=bool(config_meta["charge_repeats"]),
+            params=Params(**meta["params"]),
+        )
+        channels = {
+            name: data[f"channel_{i}"] for i, name in enumerate(meta["channels"])
+        }
+        ckpt = ServiceCheckpoint(
+            config=config,
+            params=config.resolved_params(),
+            phase=int(meta["phase"]),
+            completed=[float(a) for a in meta["completed"]],
+            exhausted=bool(meta["exhausted"]),
+            rng_state=meta["rng_state"],
+            hidden=data["hidden"],
+            counts=data["counts"],
+            revealed=data["revealed"],
+            values=data["values"],
+            channels=channels,
+            best=data["best"] if meta["has_best"] else None,
+        )
+    return ServeService.from_checkpoint(ckpt)

@@ -1,0 +1,9 @@
+"""RPL009 violation: serving code peeking at the preference matrix."""
+
+__all__ = ["shortcut"]
+
+
+def shortcut(service: object) -> int:
+    matrix = service.instance.prefs  # RPL009: serve code sees hidden state
+    again = service.oracle.billboard.prefs  # RPL009: even via the substrate
+    return len(matrix) + len(again)

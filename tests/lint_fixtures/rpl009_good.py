@@ -1,0 +1,12 @@
+"""RPL009 clean: serving code learns grades only through the oracle."""
+
+import numpy as np
+
+__all__ = ["wavefront"]
+
+
+def wavefront(oracle: object, players: list, objects: list) -> np.ndarray:
+    values = oracle.probe_many(  # metered — the only grade source for serve/
+        np.asarray(players, dtype=np.intp), np.asarray(objects, dtype=np.intp)
+    )
+    return np.asarray(values, dtype=np.int8)

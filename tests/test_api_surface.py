@@ -57,6 +57,18 @@ GOLDEN_ALL = [
     "sweep_trials",
     "SharedInstanceStore",
     "SharedInstanceHandle",
+    # serving
+    "ServeService",
+    "ServeConfig",
+    "MicroBatchRouter",
+    "RouterConfig",
+    "save_service",
+    "load_service",
+    "run_loadgen",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "save_probe_stats",
+    "load_probe_stats",
     # rng contract
     "as_generator",
 ]
@@ -108,6 +120,18 @@ GOLDEN_SIGNATURES = {
         "(rng: 'int | np.random.Generator | np.random.SeedSequence | None')"
         " -> 'np.random.Generator'"
     ),
+    "ServeService": (
+        "(instance: 'Instance | np.ndarray', *, config: 'ServeConfig | None' = None)"
+        " -> 'None'"
+    ),
+    "MicroBatchRouter": (
+        "(service: 'ServeService', *, config: 'RouterConfig | None' = None) -> 'None'"
+    ),
+    "save_service": "(path: 'str | Path', service: 'ServeService') -> 'Path'",
+    "load_service": "(path: 'str | Path') -> 'ServeService'",
+    "run_loadgen": "(config: 'LoadgenConfig | None' = None) -> 'LoadgenReport'",
+    "save_probe_stats": "(path: 'str | Path', stats: 'ProbeStats') -> 'Path'",
+    "load_probe_stats": "(path: 'str | Path') -> 'ProbeStats'",
 }
 
 

@@ -27,6 +27,17 @@ class TestParser:
         args = build_parser().parse_args(["demo"])
         assert args.n == 256 and args.alpha == 0.5 and args.d == 0
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.n == 256 and args.window == 32 and args.probes == 32
+        assert args.snapshot is None and args.restore is None
+        assert not args.sequential
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.sessions == 256 and args.mode == "closed"
+        assert not args.quick and args.json is None
+
 
 class TestCommands:
     def test_list_prints_all(self, capsys):
@@ -62,6 +73,64 @@ class TestCommands:
         assert main(["demo", "--n", "64", "--d", "2", "--unknown-d", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "unknown_d" in out
+
+
+class TestServeCommand:
+    ARGS = ["serve", "--n", "48", "--max-phases", "1", "--d-max", "2", "--seed", "3"]
+
+    def test_serve_runs_to_done(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "stage done" in out
+        assert "discrepancy: 0" in out
+
+    def test_serve_sequential_same_answer(self, capsys):
+        assert main(self.ARGS + ["--sequential"]) == 0
+        assert "discrepancy: 0" in capsys.readouterr().out
+
+    def test_serve_unknown_workload(self, capsys):
+        assert main(["serve", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().out
+
+    def test_serve_snapshot_then_restore(self, tmp_path, capsys):
+        snap = tmp_path / "svc.npz"
+        assert main(self.ARGS + ["--snapshot", str(snap)]) == 0
+        first = capsys.readouterr().out
+        assert snap.exists()
+        assert main(["serve", "--restore", str(snap)]) == 0
+        second = capsys.readouterr().out
+        assert f"restored   : {snap}" in second
+        # The snapshot was cut at the finish barrier: same probe totals.
+        probes_line = [l for l in first.splitlines() if l.startswith("probes")][0]
+        assert probes_line.split(",")[0] in second
+
+    def test_serve_restore_missing_file(self, tmp_path, capsys):
+        assert main(["serve", "--restore", str(tmp_path / "nope.npz")]) == 2
+        assert "cannot restore" in capsys.readouterr().out
+
+
+class TestLoadgenCommand:
+    def test_loadgen_quick_smoke(self, tmp_path, capsys):
+        """The CI smoke invocation: loadgen --sessions 64 --quick."""
+        out_json = tmp_path / "report.json"
+        code = main(["loadgen", "--sessions", "64", "--quick", "--seed", "3",
+                     "--json", str(out_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "p50" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["config"]["sessions"] == 64
+        assert payload["requests"] > 0
+
+    def test_loadgen_open_mode(self, capsys):
+        code = main(["loadgen", "--sessions", "32", "--quick", "--mode", "open",
+                     "--rate", "16", "--seed", "3"])
+        assert code == 0
+        assert "mode     : open" in capsys.readouterr().out
+
+    def test_loadgen_unknown_workload(self, capsys):
+        assert main(["loadgen", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().out
 
 
 class TestTelemetryFlags:

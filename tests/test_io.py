@@ -1,12 +1,39 @@
-"""Tests for npz archiving of instances and run results."""
+"""Tests for npz archiving of instances, run results, and probe stats."""
+
+import json
 
 import numpy as np
 import pytest
 
+from repro.billboard.accounting import ProbeStats
 from repro.billboard.oracle import ProbeOracle
 from repro.core.main import find_preferences
-from repro.io import load_instance, load_run, save_instance, save_run
+from repro.io import (
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    load_instance,
+    load_probe_stats,
+    load_run,
+    save_instance,
+    save_probe_stats,
+    save_run,
+)
 from repro.workloads.planted import planted_instance
+
+
+def rewrite_meta(path, **updates):
+    """Patch (or with ``key=None`` drop) entries of an archive's metadata."""
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files}
+    meta = json.loads(bytes(arrays["meta_json"]).decode())
+    for key, value in updates.items():
+        if value is None:
+            meta.pop(key, None)
+        else:
+            meta[key] = value
+    arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
 
 
 class TestInstanceRoundTrip:
@@ -93,3 +120,67 @@ class TestRunRoundTrip:
         loaded = load_run(save_run(tmp_path / "lr.npz", run))
         assert np.array_equal(loaded.outputs, out)
         assert loaded.outputs.dtype == out.dtype
+
+
+class TestProbeStatsRoundTrip:
+    def _stats(self):
+        inst = planted_instance(16, 16, 0.5, 0, rng=10)
+        oracle = ProbeOracle(inst)
+        find_preferences(oracle, 0.5, 0, rng=11)
+        return oracle.stats()
+
+    def test_per_player_exact(self, tmp_path):
+        stats = self._stats()
+        loaded = load_probe_stats(save_probe_stats(tmp_path / "stats.npz", stats))
+        assert isinstance(loaded, ProbeStats)
+        assert np.array_equal(loaded.per_player, stats.per_player)
+
+    def test_suffix_added(self, tmp_path):
+        p = save_probe_stats(tmp_path / "noext", self._stats())
+        assert p.suffix == ".npz"
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        inst = planted_instance(8, 8, 0.5, 0, rng=12)
+        p = save_instance(tmp_path / "i.npz", inst)
+        with pytest.raises(ValueError, match="probe stats"):
+            load_probe_stats(p)
+
+
+class TestFormatVersioning:
+    def test_current_version_embedded(self, tmp_path):
+        inst = planted_instance(8, 8, 0.5, 0, rng=13)
+        p = save_instance(tmp_path / "i.npz", inst)
+        with np.load(p) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode())
+        assert meta["version"] == FORMAT_VERSION
+        assert FORMAT_VERSION in SUPPORTED_VERSIONS
+
+    def test_version_1_archive_still_loads(self, tmp_path):
+        inst = planted_instance(8, 8, 0.5, 0, rng=14)
+        p = rewrite_meta(save_instance(tmp_path / "i.npz", inst), version=1)
+        assert np.array_equal(load_instance(p).prefs, inst.prefs)
+
+    def test_unversioned_archive_defaults_to_version_1(self, tmp_path):
+        """Archives written before the version gate carry no tag."""
+        inst = planted_instance(8, 8, 0.5, 0, rng=15)
+        p = rewrite_meta(save_instance(tmp_path / "i.npz", inst), version=None)
+        assert np.array_equal(load_instance(p).prefs, inst.prefs)
+
+    @pytest.mark.parametrize("loader,saver,payload", [
+        (load_instance, save_instance, "instance"),
+        (load_run, save_run, "run"),
+        (load_probe_stats, save_probe_stats, "stats"),
+    ])
+    def test_future_version_rejected(self, tmp_path, loader, saver, payload):
+        inst = planted_instance(8, 8, 0.5, 0, rng=16)
+        if payload == "instance":
+            obj = inst
+        elif payload == "run":
+            obj = find_preferences(ProbeOracle(inst), 0.5, 0, rng=17)
+        else:
+            oracle = ProbeOracle(inst)
+            find_preferences(oracle, 0.5, 0, rng=17)
+            obj = oracle.stats()
+        p = rewrite_meta(saver(tmp_path / "a.npz", obj), version=FORMAT_VERSION + 1)
+        with pytest.raises(ValueError, match="format version"):
+            loader(p)

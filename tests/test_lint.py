@@ -1,4 +1,4 @@
-"""Tests for the repro lint engine, the eight RPL rules, and the CLI.
+"""Tests for the repro lint engine, the nine RPL rules, and the CLI.
 
 Every rule is pinned by a fixture pair under ``tests/lint_fixtures/``:
 the *bad* file must trip exactly that rule (and stops tripping anything
@@ -30,6 +30,7 @@ FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 #: *as if* it lived inside the library (or the experiments package).
 LIB_PATH = "src/repro/core/fixture.py"
 EXP_PATH = "src/repro/experiments/exp_fixture.py"
+SERVE_PATH = "src/repro/serve/fixture.py"
 
 #: rule id -> (bad fixture, simulated path, expected findings, message fragment)
 BAD_CASES = {
@@ -41,6 +42,7 @@ BAD_CASES = {
     "RPL006": ("rpl006_bad.py", LIB_PATH, 1, "does not define __all__"),
     "RPL007": ("rpl007_bad.py", LIB_PATH, 2, "mutable default argument"),
     "RPL008": ("rpl008_bad.py", EXP_PATH, 1, "rename `seed` to `rng`"),
+    "RPL009": ("rpl009_bad.py", SERVE_PATH, 2, "touches the preference matrix"),
 }
 
 GOOD_CASES = {
@@ -52,6 +54,7 @@ GOOD_CASES = {
     "RPL006": ("rpl006_good.py", LIB_PATH),
     "RPL007": ("rpl007_good.py", LIB_PATH),
     "RPL008": ("rpl008_good.py", EXP_PATH),
+    "RPL009": ("rpl009_good.py", SERVE_PATH),
 }
 
 
@@ -187,7 +190,7 @@ def test_collect_files_skips_caches_and_fixtures(tmp_path):
 
 def test_rules_by_id_is_complete():
     catalog = rules_by_id()
-    assert sorted(catalog) == [f"RPL00{i}" for i in range(1, 9)]
+    assert sorted(catalog) == [f"RPL00{i}" for i in range(1, 10)]
     for rule_id, rule in catalog.items():
         assert rule.id == rule_id
         assert rule.severity in ("error", "warning")

@@ -1,0 +1,166 @@
+"""The serving runtime's pinned contract: observation equivalence.
+
+A :class:`ServeService` driven to completion by the micro-batching
+router must be **bitwise equal** — final outputs *and* per-player probe
+counts — to the offline :func:`repro.core.main.anytime_find_preferences`
+for the same seed, regardless of batching window, probe grant, arrival
+order, or whether probes go through ``probe_many`` wavefronts or scalar
+calls.  These tests are the golden pin of that claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.billboard.oracle import ProbeOracle
+from repro.core.main import anytime_find_preferences
+from repro.serve import MicroBatchRouter, RouterConfig, ServeConfig, ServeService
+from repro.workloads.registry import make_instance
+
+N = 48
+SEED = 11
+MAX_PHASES = 2
+D_MAX = 4
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance("planted", N, N, 0.5, 2, rng=5)
+
+
+@pytest.fixture(scope="module")
+def offline(instance):
+    """The offline anytime reference run (same seed the service uses)."""
+    oracle = ProbeOracle(instance)
+    run = anytime_find_preferences(oracle, rng=SEED, max_phases=MAX_PHASES, d_max=D_MAX)
+    return run.outputs, oracle.stats().per_player.copy()
+
+
+def _serve(instance, *, router_config, budget=None):
+    service = ServeService(
+        instance,
+        config=ServeConfig(seed=SEED, max_phases=MAX_PHASES, d_max=D_MAX, budget=budget),
+    )
+    router = MicroBatchRouter(service, config=router_config)
+    outputs = router.run_to_completion()
+    return service, outputs
+
+
+class TestBitwiseEquivalence:
+    def test_micro_batched_matches_offline(self, instance, offline):
+        ref_outputs, ref_counts = offline
+        service, outputs = _serve(
+            instance, router_config=RouterConfig(window=16, probes_per_request=8)
+        )
+        assert service.stage == "done"
+        assert np.array_equal(outputs, ref_outputs)
+        assert np.array_equal(service.oracle.stats().per_player, ref_counts)
+
+    def test_scalar_probe_path_matches_offline(self, instance, offline):
+        """micro_batch=False issues per-probe oracle calls — same bits."""
+        ref_outputs, ref_counts = offline
+        service, outputs = _serve(
+            instance,
+            router_config=RouterConfig(window=7, probes_per_request=3, micro_batch=False),
+        )
+        assert np.array_equal(outputs, ref_outputs)
+        assert np.array_equal(service.oracle.stats().per_player, ref_counts)
+
+    @pytest.mark.parametrize("window,grant", [(1, 1), (5, 2), (64, 128)])
+    def test_schedule_insensitivity(self, instance, offline, window, grant):
+        """Any window/grant combination serves the same bits."""
+        ref_outputs, ref_counts = offline
+        service, outputs = _serve(
+            instance, router_config=RouterConfig(window=window, probes_per_request=grant)
+        )
+        assert np.array_equal(outputs, ref_outputs)
+        assert np.array_equal(service.oracle.stats().per_player, ref_counts)
+
+    def test_phase_alphas_match_offline(self, instance):
+        service, _ = _serve(instance, router_config=RouterConfig())
+        assert service.completed == [2.0**-j for j in range(MAX_PHASES)]
+        assert service.phases_completed == MAX_PHASES
+
+
+class TestGracefulDegradation:
+    def test_budgeted_service_matches_budgeted_offline(self, instance):
+        """Exhaustion cuts at the same phase barrier as the offline loop."""
+        budget = 80
+        oracle = ProbeOracle(instance, budget=budget)
+        run = anytime_find_preferences(oracle, rng=SEED, max_phases=MAX_PHASES, d_max=D_MAX)
+        service, outputs = _serve(
+            instance, router_config=RouterConfig(window=16, probes_per_request=8), budget=budget
+        )
+        assert service.stage == "drained"
+        assert service.exhausted
+        assert np.array_equal(outputs, run.outputs)
+
+    def test_drained_sessions_answer_without_error(self, instance):
+        service, _ = _serve(instance, router_config=RouterConfig(), budget=80)
+        router = MicroBatchRouter(service)
+        router.submit(0)
+        responses = router.flush()
+        assert len(responses) == 1
+        assert responses[0].status == "drained"
+        assert responses[0].estimate.shape == (N,)
+
+    def test_unbudgeted_service_never_drains(self, instance):
+        service, _ = _serve(instance, router_config=RouterConfig())
+        assert not service.exhausted
+        assert service.sessions.count("complete") == N
+
+
+class TestRouterSurface:
+    def test_query_does_not_advance(self, instance):
+        service = ServeService(
+            instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2)
+        )
+        router = MicroBatchRouter(service)
+        before = int(service.oracle.stats().per_player.sum())
+        response = router.query(3)
+        assert response.player == 3
+        assert response.probes_used == 0
+        assert int(service.oracle.stats().per_player.sum()) == before
+
+    def test_submit_validates_player_and_grant(self, instance):
+        router = MicroBatchRouter(
+            ServeService(instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2))
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            router.submit(N)
+        with pytest.raises(ValueError, match="must be positive"):
+            router.submit(0, probes=0)
+
+    def test_window_auto_flush(self, instance):
+        service = ServeService(
+            instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2)
+        )
+        router = MicroBatchRouter(service, config=RouterConfig(window=4))
+        for player in range(3):
+            router.submit(player)
+        assert router.pending == 3
+        router.submit(3)  # fills the window
+        assert router.pending == 0
+        responses = router.flush()
+        assert {r.player for r in responses} == {0, 1, 2, 3}
+
+    def test_responses_carry_probe_usage(self, instance):
+        service = ServeService(
+            instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2)
+        )
+        router = MicroBatchRouter(service, config=RouterConfig(window=N))
+        for player in range(N):
+            router.submit(player, probes=4)
+        responses = router.flush()
+        assert len(responses) == N
+        assert all(0 <= r.probes_used <= 4 for r in responses)
+        assert sum(r.probes_used for r in responses) == int(
+            service.oracle.stats().per_player.sum()
+        )
+
+    def test_router_config_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            RouterConfig(window=0)
+        with pytest.raises(ValueError, match="probes_per_request"):
+            RouterConfig(probes_per_request=-1)

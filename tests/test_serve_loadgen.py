@@ -1,0 +1,108 @@
+"""Tests for the load generator: determinism, report shape, arrival modes.
+
+Wall-clock figures (throughput, latency percentiles) vary run to run, so
+the tests pin what is deterministic — served bits, probe totals, request
+accounting — and only sanity-check the timing fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import LoadgenConfig, run_loadgen
+from repro.serve.loadgen import dump_report_json
+
+QUICK = dict(sessions=48, D=2, seed=9, max_phases=1, d_max=1, window=16, probes_per_request=8)
+
+
+class TestDeterminism:
+    def test_same_config_serves_same_bits(self):
+        a = run_loadgen(LoadgenConfig(**QUICK))
+        b = run_loadgen(LoadgenConfig(**QUICK))
+        assert a.outputs_sha == b.outputs_sha
+        assert a.probes_total == b.probes_total
+        assert a.requests == b.requests
+
+    def test_open_loop_serves_same_bits_as_closed(self):
+        """Arrival schedule changes latency, never the served answer."""
+        closed = run_loadgen(LoadgenConfig(**QUICK))
+        open_loop = run_loadgen(LoadgenConfig(mode="open", rate=24.0, **QUICK))
+        assert open_loop.outputs_sha == closed.outputs_sha
+        assert open_loop.probes_total == closed.probes_total
+
+    def test_sequential_probes_serve_same_bits(self):
+        micro = run_loadgen(LoadgenConfig(**QUICK))
+        sequential = run_loadgen(LoadgenConfig(micro_batch=False, **QUICK))
+        assert sequential.outputs_sha == micro.outputs_sha
+        assert sequential.probes_total == micro.probes_total
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_loadgen(LoadgenConfig(**QUICK))
+
+    def test_accounting(self, report):
+        assert report.requests > 0
+        assert report.probes_total > 0
+        assert report.flushes > 0
+        assert report.probes_per_request == pytest.approx(
+            report.probes_total / report.requests
+        )
+        assert 0 < report.mean_occupancy <= QUICK["window"]
+        assert report.sessions_complete == QUICK["sessions"]
+        assert report.sessions_drained == 0
+        assert report.phases_completed == 1
+
+    def test_latency_percentiles_ordered(self, report):
+        assert len(report.latencies_ms) == report.requests
+        assert 0 <= report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.throughput_rps > 0
+
+    def test_render_mentions_the_headline_figures(self, report):
+        text = report.render()
+        assert "req/s" in text
+        assert "p50" in text and "p99" in text
+        assert report.outputs_sha[:16] in text
+
+    def test_to_json_is_serialisable_and_drops_samples(self, report):
+        payload = report.to_json()
+        assert "latencies_ms" not in payload
+        assert payload["config"]["sessions"] == QUICK["sessions"]
+        json.dumps(payload)  # must not raise
+
+    def test_dump_report_json(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        dump_report_json(str(path), report)
+        loaded = json.loads(path.read_text())
+        assert loaded["outputs_sha"] == report.outputs_sha
+        assert loaded["requests"] == report.requests
+
+
+class TestConfigValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            LoadgenConfig(mode="sideways")
+
+    def test_bad_sessions_rejected(self):
+        with pytest.raises(ValueError, match="sessions"):
+            LoadgenConfig(sessions=0)
+
+    def test_bad_open_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            LoadgenConfig(mode="open", rate=0.0)
+
+    def test_max_requests_caps_the_run(self):
+        report = run_loadgen(LoadgenConfig(max_requests=32, **QUICK))
+        assert report.requests <= 32 + QUICK["window"]
+        assert report.sessions_complete < QUICK["sessions"]
+
+
+class TestBudgetedLoad:
+    def test_budgeted_run_drains_gracefully(self):
+        report = run_loadgen(LoadgenConfig(budget=40, **QUICK))
+        assert report.sessions_drained == QUICK["sessions"]
+        assert report.sessions_complete == 0
+        assert report.phases_completed == 0

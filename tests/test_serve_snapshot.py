@@ -1,0 +1,167 @@
+"""Kill-and-resume pinning for the service snapshot layer.
+
+A service killed at any point and restored from its latest snapshot must
+finish **bitwise-identical** — outputs and per-player probe counts — to
+a service that was never interrupted.  Snapshots are cut at phase
+barriers, so a mid-phase kill rolls back to the last barrier and the
+restored service re-draws the interrupted phase coin-for-coin.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import FORMAT_VERSION
+from repro.serve import (
+    MicroBatchRouter,
+    RouterConfig,
+    ServeConfig,
+    ServeService,
+    load_service,
+    save_service,
+)
+from repro.workloads.registry import make_instance
+
+N = 48
+SEED = 11
+CONFIG = dict(seed=SEED, max_phases=2, d_max=4)
+ROUTER = dict(window=16, probes_per_request=8)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance("planted", N, N, 0.5, 2, rng=5)
+
+
+@pytest.fixture(scope="module")
+def reference(instance):
+    """A never-interrupted service run to completion."""
+    service = ServeService(instance, config=ServeConfig(**CONFIG))
+    outputs = MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+    return outputs, service.oracle.stats().per_player.copy(), list(service.completed)
+
+
+def _rewrite_meta(path, **updates):
+    """Patch the embedded JSON metadata of an .npz archive in place."""
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files}
+    meta = json.loads(bytes(arrays["meta_json"]).decode())
+    meta.update(updates)
+    arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("rounds", [0, 1, 3, 9])
+    def test_resume_is_bitwise_identical(self, instance, reference, tmp_path, rounds):
+        """Kill after *rounds* request rounds; resume finishes the same bits."""
+        ref_outputs, ref_counts, ref_completed = reference
+        service = ServeService(instance, config=ServeConfig(**CONFIG))
+        router = MicroBatchRouter(service, config=RouterConfig(**ROUTER))
+        for _ in range(rounds):
+            for session in service.sessions:
+                if session.status not in ("complete", "drained"):
+                    router.submit(session.player)
+            router.flush()
+        path = save_service(tmp_path / "svc.npz", service)
+        # "Kill": drop the live service entirely; restore from disk.
+        restored = load_service(path)
+        outputs = MicroBatchRouter(
+            restored, config=RouterConfig(**ROUTER)
+        ).run_to_completion()
+        assert np.array_equal(outputs, ref_outputs)
+        assert np.array_equal(restored.oracle.stats().per_player, ref_counts)
+        assert restored.completed == ref_completed
+
+    def test_resume_with_different_router_still_identical(
+        self, instance, reference, tmp_path
+    ):
+        """The restore contract is per-service, not per-router."""
+        ref_outputs, ref_counts, _ = reference
+        service = ServeService(instance, config=ServeConfig(**CONFIG))
+        router = MicroBatchRouter(service, config=RouterConfig(**ROUTER))
+        for _ in range(5):
+            for session in service.sessions:
+                if session.status not in ("complete", "drained"):
+                    router.submit(session.player)
+            router.flush()
+        restored = load_service(save_service(tmp_path / "svc.npz", service))
+        outputs = MicroBatchRouter(
+            restored, config=RouterConfig(window=3, probes_per_request=2, micro_batch=False)
+        ).run_to_completion()
+        assert np.array_equal(outputs, ref_outputs)
+        assert np.array_equal(restored.oracle.stats().per_player, ref_counts)
+
+    def test_finished_service_roundtrip(self, instance, reference, tmp_path):
+        ref_outputs, ref_counts, ref_completed = reference
+        service = ServeService(instance, config=ServeConfig(**CONFIG))
+        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+        restored = load_service(save_service(tmp_path / "done.npz", service))
+        assert restored.finished
+        assert restored.stage == "done"
+        assert restored.sessions.count("complete") == N
+        assert np.array_equal(restored.outputs(), ref_outputs)
+        assert np.array_equal(restored.oracle.stats().per_player, ref_counts)
+        assert restored.completed == ref_completed
+
+    def test_drained_service_roundtrip(self, instance, tmp_path):
+        service = ServeService(instance, config=ServeConfig(budget=80, **CONFIG))
+        outputs = MicroBatchRouter(
+            service, config=RouterConfig(**ROUTER)
+        ).run_to_completion()
+        assert service.stage == "drained"
+        restored = load_service(save_service(tmp_path / "drained.npz", service))
+        assert restored.stage == "drained"
+        assert restored.exhausted
+        assert restored.sessions.count("drained") == N
+        assert np.array_equal(restored.outputs(), outputs)
+        assert np.array_equal(
+            restored.oracle.stats().per_player, service.oracle.stats().per_player
+        )
+
+
+class TestArchiveFormat:
+    def _snapshot(self, instance, tmp_path):
+        service = ServeService(instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2))
+        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+        return save_service(tmp_path / "svc.npz", service)
+
+    def test_suffix_added(self, instance, tmp_path):
+        service = ServeService(instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2))
+        path = save_service(tmp_path / "noext", service)
+        assert path.suffix == ".npz"
+        assert load_service(path).n_players == N
+
+    def test_archive_carries_current_format_version(self, instance, tmp_path):
+        path = self._snapshot(instance, tmp_path)
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode())
+        assert meta["version"] == FORMAT_VERSION
+        assert meta["kind"] == "service"
+
+    def test_kind_mismatch_rejected(self, instance, tmp_path):
+        from repro.io import save_instance
+
+        path = save_instance(tmp_path / "inst.npz", instance)
+        with pytest.raises(ValueError, match="does not contain a service"):
+            load_service(path)
+
+    def test_future_version_rejected(self, instance, tmp_path):
+        path = self._snapshot(instance, tmp_path)
+        _rewrite_meta(path, version=FORMAT_VERSION + 1)
+        with pytest.raises(ValueError, match="format version"):
+            load_service(path)
+
+    def test_config_survives_roundtrip(self, instance, tmp_path):
+        config = ServeConfig(seed=SEED, max_phases=1, d_max=2, budget=None)
+        service = ServeService(instance, config=config)
+        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+        restored = load_service(save_service(tmp_path / "svc.npz", service))
+        assert restored.config.seed == config.seed
+        assert restored.config.max_phases == config.max_phases
+        assert restored.config.d_max == config.d_max
+        assert restored.config.budget == config.budget
+        assert restored.params == service.params
