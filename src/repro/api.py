@@ -14,8 +14,13 @@ remain free to reorganise internally.  Import from here::
 The surface groups into four layers:
 
 * **substrate** — :class:`ProbeOracle` (per-player charging; the batched
-  ``probe_many`` fast path charges identically to scalar ``probe``) and
-  :class:`ProbeStats`.
+  ``probe_many`` fast path charges identically to scalar ``probe``),
+  :class:`ProbeStats`, and the packed-word storage layer:
+  :class:`BitMatrix` plus the :func:`dense_substrate` /
+  :func:`packed_substrate` / :func:`packed_substrate_enabled` switch
+  that trades the bit-packed oracle/billboard storage for the dense
+  ``int8`` reference representation (observably identical; mirrors the
+  :func:`sequential_probes` switch below).
 * **algorithms** — :func:`find_preferences` and the unknown-parameter
   wrappers, :class:`Params`, :class:`RunResult` (whose ``meta`` keys are
   the closed vocabulary :data:`META_KEYS`, checked by
@@ -56,6 +61,12 @@ from repro.core.params import Params
 from repro.core.result import META_KEYS, RunResult, validate_meta
 from repro.experiments.harness import sweep_trials
 from repro.io import load_probe_stats, save_probe_stats
+from repro.metrics.bitpack import (
+    BitMatrix,
+    dense_substrate,
+    packed_substrate,
+    packed_substrate_enabled,
+)
 from repro.metrics.evaluation import evaluate
 from repro.model.community import Community
 from repro.model.instance import Instance
@@ -84,6 +95,10 @@ __all__ = [
     "ProbeOracle",
     "ProbeStats",
     "BudgetExceededError",
+    "BitMatrix",
+    "dense_substrate",
+    "packed_substrate",
+    "packed_substrate_enabled",
     # model
     "Instance",
     "Community",

@@ -12,6 +12,16 @@ vectors (``w(p)`` "is accessible to all players").  The billboard stores
 
 Wildcards ("?" = -1) are allowed in posted vectors but not in revealed
 grades.
+
+Storage: under the default packed substrate, 0/1 posts (the vote
+channels — by far the most numerous) are stored bit-packed and unpacked
+only at the read boundary; posts carrying wildcards, ``NO_OUTPUT``
+fills, or super-object values stay dense ``int16``.  Readers see
+identical matrices either way (:func:`repro.metrics.bitpack.dense_substrate`
+forces the dense reference storage for A/B runs), and the packed vote
+pipeline — :meth:`Billboard.read_first_rows_packed` feeding
+:func:`repro.utils.rowset.popular_rows_packed` — never materialises the
+``int16`` vote stack at all.
 """
 
 from __future__ import annotations
@@ -21,9 +31,51 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro import obs
+from repro.metrics.bitpack import pack_rows, packed_substrate_enabled, unpack_rows
 from repro.utils.validation import WILDCARD
 
 __all__ = ["Billboard"]
+
+
+class _Channel:
+    """One posted-vector channel: bit-packed 0/1 rows or dense ``int16``.
+
+    The packed form is chosen at post time (integer dtype, every entry
+    0/1, packed substrate enabled); everything observable — read copies,
+    first-row gathers, checkpoints — unpacks back to the exact ``int16``
+    matrix the dense form stores.
+    """
+
+    __slots__ = ("dense", "packed", "m")
+
+    def __init__(self, arr: np.ndarray) -> None:
+        self.m = int(arr.shape[1])
+        if (
+            packed_substrate_enabled()
+            and arr.size > 0
+            and arr.dtype.kind in "iub"
+            and int(arr.min()) >= 0
+            and int(arr.max()) <= 1
+        ):
+            self.packed: np.ndarray | None = pack_rows(arr)
+            self.dense: np.ndarray | None = None
+        else:
+            self.packed = None
+            self.dense = np.array(arr, dtype=np.int16, copy=True)
+
+    def matrix(self) -> np.ndarray:
+        """Fresh dense ``int16`` copy of the posted matrix."""
+        if self.dense is not None:
+            return self.dense.copy()
+        assert self.packed is not None
+        return unpack_rows(self.packed, self.m, dtype=np.int16)
+
+    def first_row(self) -> np.ndarray:
+        """Dense ``int16`` first row (raises ``IndexError`` when empty)."""
+        if self.dense is not None:
+            return self.dense[0]
+        assert self.packed is not None
+        return unpack_rows(self.packed[:1], self.m, dtype=np.int16)[0]
 
 
 class Billboard:
@@ -36,7 +88,7 @@ class Billboard:
         self.n_objects = int(n_objects)
         self._revealed = np.zeros((n_players, n_objects), dtype=bool)
         self._values = np.full((n_players, n_objects), WILDCARD, dtype=np.int8)
-        self._channels: dict[str, np.ndarray] = {}
+        self._channels: dict[str, _Channel] = {}
 
     # ------------------------------------------------------------------
     # revealed grades
@@ -82,14 +134,14 @@ class Billboard:
         if arr.ndim != 2:
             raise ValueError(f"posted vectors must be 2-D, got shape {arr.shape}")
         obs.incr("billboard.vector_posts")
-        self._channels[channel] = np.array(arr, dtype=np.int16, copy=True)
+        self._channels[channel] = _Channel(arr)
 
     def read_vectors(self, channel: str) -> np.ndarray:
         """Read the matrix posted under *channel* (copy, so readers can't mutate)."""
         if channel not in self._channels:
             raise KeyError(f"no vectors posted under channel {channel!r}")
         obs.incr("billboard.vector_reads")
-        return self._channels[channel].copy()
+        return self._channels[channel].matrix()
 
     def has_channel(self, channel: str) -> bool:
         """Whether *channel* has been posted."""
@@ -110,16 +162,56 @@ class Billboard:
         ``np.stack`` allocates the result, so callers still cannot
         mutate board state.
         """
+        chans = self._gather_channels(channels)
+        first = chans[0]
+        if first.packed is not None and all(
+            ch.packed is not None and ch.m == first.m for ch in chans
+        ):
+            packed = np.empty((len(chans), first.packed.shape[1]), dtype=np.uint8)
+            for i, ch in enumerate(chans):
+                assert ch.packed is not None
+                packed[i] = ch.packed[0]
+            out = unpack_rows(packed, first.m, dtype=np.int16)
+        else:
+            out = np.stack([ch.first_row() for ch in chans])
+        obs.incr("billboard.vector_reads", len(chans))
+        return out
+
+    def read_first_rows_packed(self, channels: Sequence[str]) -> tuple[np.ndarray, int] | None:
+        """Packed twin of :meth:`read_first_rows`: ``(packed rows, m)``.
+
+        Returns the gathered first rows still bit-packed — the input
+        :func:`repro.utils.rowset.popular_rows_packed` dedups without
+        ever materialising the ``int16`` vote stack — or ``None`` when
+        any requested channel is stored dense or widths differ, in which
+        case the caller falls back to :meth:`read_first_rows` (no
+        counter was bumped yet).  On the packed path the
+        ``billboard.vector_reads`` counter advances exactly as the dense
+        gather would.
+        """
+        chans = self._gather_channels(channels)
+        first = chans[0]
+        if first.packed is None or any(
+            ch.packed is None or ch.m != first.m for ch in chans
+        ):
+            return None
+        packed = np.empty((len(chans), first.packed.shape[1]), dtype=np.uint8)
+        for i, ch in enumerate(chans):
+            assert ch.packed is not None
+            packed[i] = ch.packed[0]
+        obs.incr("billboard.vector_reads", len(chans))
+        return packed, first.m
+
+    def _gather_channels(self, channels: Sequence[str]) -> list[_Channel]:
         store = self._channels
         try:
-            rows = [store[channel][0] for channel in channels]
+            chans = [store[channel] for channel in channels]
         except KeyError:
             missing = next(ch for ch in channels if ch not in store)
             raise KeyError(f"no vectors posted under channel {missing!r}") from None
-        if not rows:
+        if not chans:
             raise ValueError("read_first_rows needs at least one channel")
-        obs.incr("billboard.vector_reads", len(rows))
-        return np.stack(rows)
+        return chans
 
     def channels(self) -> list[str]:
         """All posted channel names."""
@@ -137,7 +229,7 @@ class Billboard:
         return (
             self._revealed.copy(),
             self._values.copy(),
-            {name: arr.copy() for name, arr in self._channels.items()},
+            {name: ch.matrix() for name, ch in self._channels.items()},
         )
 
     @classmethod
@@ -158,7 +250,7 @@ class Billboard:
         board._revealed[:] = revealed_arr
         board._values[:] = values_arr
         for name, arr in channels.items():
-            board._channels[name] = np.array(arr, dtype=np.int16, copy=True)
+            board._channels[name] = _Channel(np.asarray(arr))
         return board
 
     def __repr__(self) -> str:  # pragma: no cover - convenience

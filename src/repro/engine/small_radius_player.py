@@ -34,6 +34,7 @@ from repro.engine.coins import PublicCoins
 from repro.engine.scheduler import EngineResult, RoundScheduler
 from repro.engine.zero_radius_player import zero_radius_player
 from repro.utils.rng import as_generator, spawn
+from repro.utils.rowset import popular_rows_packed
 
 __all__ = ["SmallRadiusCoins", "small_radius_player", "run_small_radius_engine"]
 
@@ -137,8 +138,11 @@ def small_radius_player(
             needed = [f"{channel_prefix}sr/{t}/{i}/out/{int(q)}" for q in players]
             while not billboard.has_channels(needed):
                 yield Wait()
-            votes = billboard.read_first_rows(needed)
-            candidates = _popular_rows(votes, pop_threshold)
+            gathered = billboard.read_first_rows_packed(needed)
+            if gathered is not None:
+                candidates = popular_rows_packed(gathered[0], gathered[1], pop_threshold)
+            else:
+                candidates = _popular_rows(billboard.read_first_rows(needed), pop_threshold)
 
             # Step 1c: adopt the closest popular vector at bound D.
             if candidates.shape[0] == 1:

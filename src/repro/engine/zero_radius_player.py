@@ -31,6 +31,7 @@ from repro.engine.actions import Post, Probe, Wait
 from repro.engine.coins import PublicCoins
 from repro.engine.scheduler import EngineResult, RoundScheduler
 from repro.utils.rng import as_generator
+from repro.utils.rowset import popular_rows_packed
 
 __all__ = ["zero_radius_player", "run_zero_radius_engine"]
 
@@ -101,10 +102,13 @@ def zero_radius_player(
         needed = [_channel(channel_prefix, sibling.node_id, int(q)) for q in sibling.players]
         while not billboard.has_channels(needed):
             yield Wait()
-        votes = billboard.read_first_rows(needed)
 
         min_votes = p.zr_vote_threshold(alpha, sibling.players.size)
-        candidates = _vote_candidates(votes, min_votes)
+        gathered = billboard.read_first_rows_packed(needed)
+        if gathered is not None:
+            candidates = popular_rows_packed(gathered[0], gathered[1], min_votes)
+        else:
+            candidates = _vote_candidates(billboard.read_first_rows(needed), min_votes)
         if candidates.shape[0] == 1:
             chosen = candidates[0]
         else:

@@ -1,4 +1,4 @@
-"""The repro rule set: nine machine-checked model/API contracts.
+"""The repro rule set: ten machine-checked model/API contracts.
 
 Each rule encodes one convention the paper's guarantees (or the repo's
 refactoring safety) depend on; the catalog with full rationale is
@@ -471,6 +471,50 @@ class _ServePrefsVisitor(RuleVisitor):
         self.generic_visit(node)
 
 
+class UnpackbitsContainmentRule(Rule):
+    """RPL010 — ``np.unpackbits`` lives only inside the bitpack boundary.
+
+    The packed substrate's 8× memory/bandwidth win holds only while the
+    packed form stays the *native* representation: a stray
+    ``np.unpackbits`` re-materialises the dense matrix mid-pipeline and
+    silently reopens the traffic the substrate removed.  All unpacking
+    goes through :func:`repro.metrics.bitpack.unpack_rows` /
+    :func:`~repro.metrics.bitpack.unpack_vector` — the audited
+    API-boundary shims, which ``repro/metrics/bitpack.py`` alone may
+    implement.
+    """
+
+    id = "RPL010"
+    severity = "error"
+    summary = "no np.unpackbits outside repro.metrics.bitpack"
+    hint = "unpack via repro.metrics.bitpack.unpack_rows / unpack_vector"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_library(exclude=("repro/metrics/bitpack.py",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _UnpackbitsVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _UnpackbitsVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain and chain[-1] == "unpackbits":
+            self.report(
+                node, "dense materialisation via unpackbits bypasses the bitpack boundary"
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] == "numpy":
+            for alias in node.names:
+                if alias.name == "unpackbits":
+                    self.report(node, f"importing unpackbits from {node.module}")
+        self.generic_visit(node)
+
+
 #: The full rule set, id order.
 ALL_RULES: list[Rule] = [
     RngConstructionRule(),
@@ -482,6 +526,7 @@ ALL_RULES: list[Rule] = [
     MutableDefaultRule(),
     ExperimentRngParamRule(),
     ServePrefsIsolationRule(),
+    UnpackbitsContainmentRule(),
 ]
 
 

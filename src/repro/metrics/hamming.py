@@ -11,14 +11,22 @@ memory layout):
 * :func:`pairwise_hamming` uses the matrix-product identity
   ``dist(x, y) = x·(1−y) + (1−x)·y`` so the whole distance matrix is two
   BLAS calls instead of an ``O(n² m)`` Python loop;
-* bit-packing (``np.packbits`` + ``bitwise_count``) is used for
-  :func:`diameter` on large inputs, cutting memory traffic 8×.
+* the one-vs-many and all-pairs kernels accept an already-packed
+  :class:`~repro.metrics.bitpack.BitMatrix` and then run on XOR +
+  popcount words directly — 8× less memory traffic, no unpack;
+* for *dense* input the BLAS identity stays the all-pairs default: on
+  the reference box the blocked popcount kernel only reaches parity at
+  n ≈ 1024 (53.4 ms vs 54.8 ms) and wins ~5 % at n = 2048 (338.6 ms vs
+  356.9 ms) *before* paying the pack, so :func:`diameter` — which needs
+  no ``n × n`` output and can stream tiles — switches to the packed
+  path above the measured crossover :data:`PACKED_CROSSOVER`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.metrics.bitpack import BitMatrix, hamming_to_packed, pack_vector, popcount_sum
 from repro.utils.validation import check_binary_matrix
 
 __all__ = [
@@ -27,7 +35,16 @@ __all__ = [
     "hamming_to_each",
     "pairwise_hamming",
     "diameter",
+    "PACKED_CROSSOVER",
 ]
+
+#: Row count above which :func:`diameter` leaves BLAS for the blocked
+#: XOR/popcount kernel.  Measured, not guessed: dense BLAS vs
+#: ``BitMatrix.pairwise_hamming`` on the reference box crosses between
+#: n = 512 (BLAS ~2× ahead) and n = 1024 (parity); see
+#: docs/performance.md for the numbers and benchmarks/bench_micro_substrate.py
+#: for the harness that re-derives them.
+PACKED_CROSSOVER = 1024
 
 
 def hamming(x: np.ndarray, y: np.ndarray) -> int:
@@ -43,8 +60,21 @@ def hamming(x: np.ndarray, y: np.ndarray) -> int:
     return int(np.count_nonzero(x != y))
 
 
-def hamming_many(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-    """Row-wise Hamming distance between two equally-shaped 0/1 matrices."""
+def hamming_many(xs: np.ndarray | BitMatrix, ys: np.ndarray | BitMatrix) -> np.ndarray:
+    """Row-wise Hamming distance between two equally-shaped 0/1 matrices.
+
+    Either side may be an already-packed
+    :class:`~repro.metrics.bitpack.BitMatrix`; when both are, the kernel
+    is a packed XOR + popcount with no dense materialisation.
+    """
+    if isinstance(xs, BitMatrix) or isinstance(ys, BitMatrix):
+        xb = xs if isinstance(xs, BitMatrix) else BitMatrix(xs)
+        yb = ys if isinstance(ys, BitMatrix) else BitMatrix(ys)
+        if xb.shape != yb.shape:
+            raise ValueError(
+                f"expected two equal-shape matrices, got {xb.shape} and {yb.shape}"
+            )
+        return popcount_sum(np.bitwise_xor(xb.packed, yb.packed))
     xs = np.asarray(xs)
     ys = np.asarray(ys)
     if xs.shape != ys.shape or xs.ndim != 2:
@@ -52,21 +82,36 @@ def hamming_many(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
     return np.count_nonzero(xs != ys, axis=1)
 
 
-def hamming_to_each(v: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-    """Hamming distance from vector *v* to each row of *matrix*."""
+def hamming_to_each(v: np.ndarray, matrix: np.ndarray | BitMatrix) -> np.ndarray:
+    """Hamming distance from vector *v* to each row of *matrix*.
+
+    A :class:`~repro.metrics.bitpack.BitMatrix` *matrix* runs packed:
+    the vector is packed once and each row costs an ``m/8``-byte XOR +
+    popcount — the substrate's flagship one-vs-all kernel.
+    """
     v = np.asarray(v)
+    if isinstance(matrix, BitMatrix):
+        if v.ndim != 1 or matrix.shape[1] != v.shape[0]:
+            raise ValueError(f"shape mismatch: v {v.shape} vs matrix {matrix.shape}")
+        return hamming_to_packed(matrix.packed, pack_vector(v))
     matrix = np.asarray(matrix)
     if matrix.ndim != 2 or v.ndim != 1 or matrix.shape[1] != v.shape[0]:
         raise ValueError(f"shape mismatch: v {v.shape} vs matrix {matrix.shape}")
     return np.count_nonzero(matrix != v[None, :], axis=1)
 
 
-def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
+def pairwise_hamming(matrix: np.ndarray | BitMatrix) -> np.ndarray:
     """All-pairs Hamming distance matrix of the rows of a 0/1 *matrix*.
 
-    Uses ``dist(x, y) = x·(1−y) + (1−x)·y`` evaluated as two matrix
-    products in ``float64`` (exact for m < 2**53), so runtime is BLAS-bound.
+    Dense input uses ``dist(x, y) = x·(1−y) + (1−x)·y`` evaluated as two
+    matrix products in ``float64`` (exact for m < 2**53, BLAS-bound —
+    still the measured winner below :data:`PACKED_CROSSOVER` rows and
+    within ~5 % above it, so packing dense input never pays here); an
+    already-packed :class:`~repro.metrics.bitpack.BitMatrix` skips BLAS
+    for the blocked XOR/popcount kernel.
     """
+    if isinstance(matrix, BitMatrix):
+        return matrix.pairwise_hamming()
     arr = check_binary_matrix(matrix).astype(np.float64)
     ones = 1.0 - arr
     d = arr @ ones.T
@@ -76,37 +121,24 @@ def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
     return out
 
 
-def _packed_diameter(arr: np.ndarray) -> int:
-    """Exact diameter via bit-packed XOR popcount (memory-light path)."""
-    packed = np.packbits(arr.astype(np.uint8), axis=1)
-    n = packed.shape[0]
-    best = 0
-    # Row-blocked loop keeps the XOR buffer small and cache-resident.
-    block = max(1, 4_000_000 // max(1, packed.shape[1]))
-    for start in range(0, n, block):
-        chunk = packed[start : start + block]
-        for i in range(chunk.shape[0]):
-            x = np.bitwise_xor(packed, chunk[i])
-            dist = np.bitwise_count(x).sum(axis=1)
-            best = max(best, int(dist.max()))
-    return best
-
-
-def diameter(matrix: np.ndarray) -> int:
+def diameter(matrix: np.ndarray | BitMatrix) -> int:
     """Diameter ``D(P*)`` — maximum pairwise Hamming distance among rows.
 
     Matches the paper's ``D(P*) = max dist(v(p), v(q))``.  Returns 0 for
-    zero or one row.
+    zero or one row.  Above :data:`PACKED_CROSSOVER` rows (the measured
+    BLAS/popcount crossover) dense input is packed and streamed through
+    the tiled popcount kernel, which needs no ``n × n`` intermediate;
+    a :class:`~repro.metrics.bitpack.BitMatrix` always runs packed.
 
     >>> diameter(np.asarray([[0, 0, 0], [1, 1, 0], [0, 1, 0]]))
     2
     """
+    if isinstance(matrix, BitMatrix):
+        return matrix.diameter()
     arr = check_binary_matrix(matrix)
     n = arr.shape[0]
     if n <= 1:
         return 0
-    # Above ~1k rows the n×n float Gram matrices start to dominate memory;
-    # switch to the packed popcount path.
-    if n > 1024:
-        return _packed_diameter(arr)
+    if n > PACKED_CROSSOVER:
+        return BitMatrix(arr).diameter()
     return int(pairwise_hamming(arr).max())

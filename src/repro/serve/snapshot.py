@@ -8,6 +8,11 @@ matrix, billboard contents (revealed mask/grades plus every posted
 vector channel), per-player probe accounting, the completed-phase
 outputs, and the master rng state.
 
+Since format version 3 the hidden matrix is archived *bit-packed*
+(``hidden_packed`` + the logical ``hidden_shape`` in the metadata, 8×
+smaller before compression even sees it); version-2 archives with a
+dense ``hidden`` array still load bit-identically.
+
 Snapshots are cut at phase barriers — the anytime loop's consistent
 cuts, where no player program is suspended — so suspended coroutines
 never need pickling.  Killing a service mid-phase and restoring its last
@@ -28,6 +33,7 @@ import numpy as np
 
 from repro.core.params import Params
 from repro.io import FORMAT_VERSION, check_format_version
+from repro.metrics.bitpack import pack_rows, unpack_rows
 from repro.serve.service import ServeConfig, ServeService, ServiceCheckpoint
 
 __all__ = ["load_service", "save_service"]
@@ -56,9 +62,10 @@ def save_service(path: str | Path, service: ServeService) -> Path:
         "rng_state": ckpt.rng_state,
         "has_best": ckpt.best is not None,
         "channels": channel_names,
+        "hidden_shape": [int(s) for s in ckpt.hidden.shape],
     }
     arrays: dict[str, np.ndarray] = {
-        "hidden": ckpt.hidden,
+        "hidden_packed": pack_rows(ckpt.hidden),
         "counts": ckpt.counts,
         "revealed": ckpt.revealed,
         "values": ckpt.values,
@@ -96,6 +103,12 @@ def load_service(path: str | Path) -> ServeService:
         channels = {
             name: data[f"channel_{i}"] for i, name in enumerate(meta["channels"])
         }
+        if "hidden_packed" in data:
+            # Format 3+: bit-packed hidden matrix.
+            hidden = unpack_rows(data["hidden_packed"], int(meta["hidden_shape"][1]))
+        else:
+            # Format <= 2: dense int8 hidden matrix.
+            hidden = data["hidden"]
         ckpt = ServiceCheckpoint(
             config=config,
             params=config.resolved_params(),
@@ -103,7 +116,7 @@ def load_service(path: str | Path) -> ServeService:
             completed=[float(a) for a in meta["completed"]],
             exhausted=bool(meta["exhausted"]),
             rng_state=meta["rng_state"],
-            hidden=data["hidden"],
+            hidden=hidden,
             counts=data["counts"],
             revealed=data["revealed"],
             values=data["values"],

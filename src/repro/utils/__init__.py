@@ -1,7 +1,10 @@
 """Shared low-level utilities: RNG management, validation, table formatting.
 
 These helpers are deliberately dependency-light; every other subpackage of
-:mod:`repro` may import them, but they import nothing from :mod:`repro`.
+:mod:`repro` may import them, and they import nothing from :mod:`repro`
+except the bit-packed substrate primitives (:mod:`repro.metrics.bitpack`,
+itself dependent only on :mod:`repro.utils.validation`), which
+:mod:`repro.utils.rowset`'s packed vote-dedup path builds on.
 """
 
 from repro.utils.rng import as_generator, spawn, spawn_many

@@ -28,7 +28,15 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["unique_rows", "popular_rows", "plurality_row", "legacy_unique"]
+from repro.metrics.bitpack import unpack_rows
+
+__all__ = [
+    "unique_rows",
+    "popular_rows",
+    "popular_rows_packed",
+    "plurality_row",
+    "legacy_unique",
+]
 
 #: When False every call routes through ``np.unique(axis=0)`` (reference
 #: path; toggled by benchmarks to measure the speedup).
@@ -112,6 +120,34 @@ def popular_rows(rows: np.ndarray, min_votes: int) -> np.ndarray:
         order = np.argsort(-counts, kind="stable")
         popular = uniq[order[:cap]]
     return popular
+
+
+def popular_rows_packed(packed: np.ndarray, m: int, min_votes: int) -> np.ndarray:
+    """:func:`popular_rows` over rows that are already bit-packed.
+
+    The packed bytes *are* the order-preserving keys the fast path of
+    :func:`unique_rows` would compute for 0/1 rows, so the vote pipeline
+    fed by :meth:`Billboard.read_first_rows_packed` dedups directly on
+    them — no ``int16`` vote stack, no re-``packbits``.  Output
+    (values, order, the off-nominal plurality fallback) is bit-identical
+    to ``popular_rows(dense rows, min_votes)``; candidates come back
+    dense ``int16``, exactly what the dense gather hands Select.
+    """
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise ValueError(f"packed rows must be 2-D, got shape {packed.shape}")
+    if not FAST or packed.shape[0] <= 1 or packed.shape[1] == 0:
+        # Reference path (and the degenerate shapes it already handles).
+        return popular_rows(unpack_rows(packed, m, dtype=np.int16), min_votes)
+    void = packed.view(np.dtype((np.void, packed.shape[1]))).ravel()
+    _, first, counts = np.unique(void, return_index=True, return_counts=True)
+    uniq = packed[first]
+    popular = uniq[counts >= min_votes]
+    if popular.shape[0] == 0:
+        cap = max(1, packed.shape[0] // max(min_votes, 1))
+        order = np.argsort(-counts, kind="stable")
+        popular = uniq[order[:cap]]
+    return unpack_rows(popular, m, dtype=np.int16)
 
 
 def plurality_row(rows: np.ndarray) -> np.ndarray:

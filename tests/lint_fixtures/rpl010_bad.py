@@ -1,0 +1,11 @@
+"""RPL010 violation: dense materialisation outside the bitpack boundary."""
+
+import numpy as np
+from numpy import unpackbits  # RPL010: smuggling the name in
+
+__all__ = ["densify", "unpackbits"]
+
+
+def densify(packed: np.ndarray, m: int) -> np.ndarray:
+    dense = np.unpackbits(packed, axis=1, count=m)  # RPL010: mid-pipeline unpack
+    return dense.astype(np.int8)

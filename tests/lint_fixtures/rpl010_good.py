@@ -1,0 +1,11 @@
+"""RPL010 clean: unpacking only via the sanctioned bitpack shims."""
+
+import numpy as np
+
+from repro.metrics.bitpack import unpack_rows
+
+__all__ = ["densify"]
+
+
+def densify(packed: np.ndarray, m: int) -> np.ndarray:
+    return unpack_rows(packed, m, dtype=np.int16)

@@ -32,6 +32,10 @@ GOLDEN_ALL = [
     "ProbeOracle",
     "ProbeStats",
     "BudgetExceededError",
+    "BitMatrix",
+    "dense_substrate",
+    "packed_substrate",
+    "packed_substrate_enabled",
     # model
     "Instance",
     "Community",
@@ -75,6 +79,9 @@ GOLDEN_ALL = [
 
 #: Golden ``inspect.signature`` strings for the callable surface.
 GOLDEN_SIGNATURES = {
+    "dense_substrate": "() -> 'Iterator[None]'",
+    "packed_substrate": "() -> 'Iterator[None]'",
+    "packed_substrate_enabled": "() -> 'bool'",
     "find_preferences": (
         "(oracle: 'ProbeOracle', alpha: 'float', D: 'int', *, "
         "params: 'Params | None' = None, "

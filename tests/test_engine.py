@@ -43,7 +43,7 @@ class TestScheduler:
 
         result = RoundScheduler(oracle, {0: program()}).run()
         assert result.rounds == 2
-        assert result.outputs[0].tolist() == oracle._prefs[0, :2].tolist()
+        assert result.outputs[0].tolist() == oracle.checkpoint()["prefs"][0, :2].tolist()
 
     def test_lockstep_rounds_count_max(self):
         oracle = self._oracle()

@@ -1,4 +1,4 @@
-"""Tests for the repro lint engine, the nine RPL rules, and the CLI.
+"""Tests for the repro lint engine, the ten RPL rules, and the CLI.
 
 Every rule is pinned by a fixture pair under ``tests/lint_fixtures/``:
 the *bad* file must trip exactly that rule (and stops tripping anything
@@ -43,6 +43,7 @@ BAD_CASES = {
     "RPL007": ("rpl007_bad.py", LIB_PATH, 2, "mutable default argument"),
     "RPL008": ("rpl008_bad.py", EXP_PATH, 1, "rename `seed` to `rng`"),
     "RPL009": ("rpl009_bad.py", SERVE_PATH, 2, "touches the preference matrix"),
+    "RPL010": ("rpl010_bad.py", LIB_PATH, 2, "bitpack boundary"),
 }
 
 GOOD_CASES = {
@@ -55,6 +56,7 @@ GOOD_CASES = {
     "RPL007": ("rpl007_good.py", LIB_PATH),
     "RPL008": ("rpl008_good.py", EXP_PATH),
     "RPL009": ("rpl009_good.py", SERVE_PATH),
+    "RPL010": ("rpl010_good.py", LIB_PATH),
 }
 
 
@@ -190,7 +192,7 @@ def test_collect_files_skips_caches_and_fixtures(tmp_path):
 
 def test_rules_by_id_is_complete():
     catalog = rules_by_id()
-    assert sorted(catalog) == [f"RPL00{i}" for i in range(1, 10)]
+    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 11)]
     for rule_id, rule in catalog.items():
         assert rule.id == rule_id
         assert rule.severity in ("error", "warning")

@@ -1,4 +1,4 @@
-"""Tests for bit-packed matrices."""
+"""Tests for the bit-packed substrate (matrices, kernels, helpers)."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,19 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.metrics.bitpack import BitMatrix
+from repro.metrics.bitpack import (
+    BitMatrix,
+    differing_columns,
+    extract_bits,
+    hamming_to_packed,
+    lut_popcount,
+    pack_rows,
+    pack_vector,
+    packed_width,
+    popcount_sum,
+    unpack_rows,
+    unpack_vector,
+)
 from repro.metrics.hamming import diameter, hamming_to_each, pairwise_hamming
 
 binary_matrix = arrays(
@@ -88,3 +100,134 @@ class TestHammingOps:
         rng = np.random.default_rng(0)
         m = rng.integers(0, 2, (6, 13), dtype=np.int8)
         assert np.array_equal(BitMatrix(m).pairwise_hamming(), pairwise_hamming(m))
+
+
+class TestEdgeShapes:
+    """Degenerate shapes every packed kernel must survive."""
+
+    def test_empty_matrix(self):
+        bm = BitMatrix(np.empty((0, 5), dtype=np.int8))
+        assert bm.shape == (0, 5)
+        assert bm.unpack().shape == (0, 5)
+        assert bm.diameter() == 0
+        assert bm.pairwise_hamming().shape == (0, 0)
+
+    def test_single_row(self):
+        m = np.asarray([[1, 0, 1, 1, 0, 0, 1, 0, 1]], dtype=np.int8)
+        bm = BitMatrix(m)
+        assert bm.diameter() == 0
+        assert np.array_equal(bm.unpack(), m)
+        assert bm.hamming_to_row(0).tolist() == [0]
+
+    @pytest.mark.parametrize("fill", [0, 1])
+    def test_all_constant(self, fill):
+        m = np.full((7, 19), fill, dtype=np.int8)
+        bm = BitMatrix(m)
+        assert bm.diameter() == 0
+        assert np.array_equal(bm.unpack(), m)
+        assert (bm.pairwise_hamming() == 0).all()
+
+    @pytest.mark.parametrize("width", [1, 7, 8, 9, 15, 16, 17])
+    def test_tail_widths_round_trip(self, width):
+        rng = np.random.default_rng(width)
+        m = rng.integers(0, 2, (5, width), dtype=np.int8)
+        assert np.array_equal(unpack_rows(pack_rows(m), width), m)
+
+    def test_pack_unpack_pack_is_identity(self):
+        rng = np.random.default_rng(2)
+        m = rng.integers(0, 2, (9, 21), dtype=np.int8)
+        packed = pack_rows(m)
+        assert np.array_equal(pack_rows(unpack_rows(packed, 21)), packed)
+
+    def test_from_packed_rezeros_padding_garbage(self):
+        m = np.asarray([[1, 0, 1], [0, 1, 1]], dtype=np.int8)
+        dirty = pack_rows(m) | np.uint8(0x1F)  # trash the 5 padding bits
+        bm = BitMatrix.from_packed(dirty, 3)
+        assert bm == BitMatrix(m)
+        assert np.array_equal(bm.unpack(), m)
+        assert bm.diameter() == BitMatrix(m).diameter()
+
+
+class TestHelpers:
+    def test_packed_width(self):
+        assert [packed_width(m) for m in (0, 1, 7, 8, 9, 16)] == [0, 1, 1, 1, 2, 2]
+
+    def test_pack_rows_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pack_rows(np.zeros(4, dtype=np.int8))
+
+    def test_pack_vector_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pack_vector(np.zeros((2, 2), dtype=np.int8))
+
+    def test_unpack_width_mismatch(self):
+        with pytest.raises(ValueError, match="packed width"):
+            unpack_rows(np.zeros((2, 3), dtype=np.uint8), 40)
+        with pytest.raises(ValueError, match="packed width"):
+            unpack_vector(np.zeros(3, dtype=np.uint8), 40)
+
+    def test_vector_round_trip(self):
+        v = np.asarray([1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 1], dtype=np.int8)
+        assert np.array_equal(unpack_vector(pack_vector(v), v.size), v)
+
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_extract_bits_matches_fancy_index(self, m):
+        packed = pack_rows(m)
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, m.shape[0], size=17)
+        cols = rng.integers(0, m.shape[1], size=17)
+        got = extract_bits(packed, rows, cols)
+        assert got.dtype == np.int8
+        assert np.array_equal(got, m[rows, cols])
+
+    def test_extract_bits_scalar(self):
+        m = np.asarray([[0, 1, 0], [1, 0, 1]], dtype=np.int8)
+        assert int(extract_bits(pack_rows(m), np.asarray(1), np.asarray(2))) == 1
+
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_differing_columns_matches_bruteforce(self, m):
+        expected = np.flatnonzero((m != m[0]).any(axis=0))
+        got = differing_columns(pack_rows(m), m.shape[1])
+        assert np.array_equal(got, expected)
+
+    def test_differing_columns_single_row(self):
+        m = np.asarray([[1, 0, 1]], dtype=np.int8)
+        assert differing_columns(pack_rows(m), 3).size == 0
+
+    @given(binary_matrix)
+    @settings(max_examples=40)
+    def test_hamming_to_packed_matches_dense(self, m):
+        got = hamming_to_packed(pack_rows(m), pack_vector(m[-1]))
+        assert np.array_equal(got, hamming_to_each(m[-1], m))
+
+
+class TestPopcountSum:
+    """The two popcount engines agree bit-for-bit."""
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint64])
+    @pytest.mark.parametrize("width", [1, 2, 3, 8, 9])
+    def test_lut_matches_native(self, dtype, width):
+        rng = np.random.default_rng(int(np.dtype(dtype).itemsize) * 100 + width)
+        words = rng.integers(
+            0, np.iinfo(dtype).max, size=(6, width), dtype=dtype, endpoint=True
+        )
+        native = popcount_sum(words)
+        with lut_popcount():
+            assert np.array_equal(popcount_sum(words), native)
+
+    def test_matches_bruteforce(self):
+        words = np.asarray([[0xFF, 0x00], [0x0F, 0x81]], dtype=np.uint8)
+        assert popcount_sum(words).tolist() == [8, 6]
+        with lut_popcount():
+            assert popcount_sum(words).tolist() == [8, 6]
+
+    @given(binary_matrix)
+    @settings(max_examples=30)
+    def test_packed_hamming_agrees_under_lut(self, m):
+        expected = hamming_to_each(m[0], m)
+        with lut_popcount():
+            bm = BitMatrix(m)
+            assert np.array_equal(bm.hamming_to_row(0), expected)
+            assert bm.diameter() == diameter(m)

@@ -6,8 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.metrics.bitpack import BitMatrix
 from repro.metrics.hamming import (
-    _packed_diameter,
     diameter,
     hamming,
     hamming_many,
@@ -135,7 +135,7 @@ class TestDiameter:
     def test_packed_path_agrees(self):
         rng = np.random.default_rng(0)
         m = rng.integers(0, 2, size=(50, 70), dtype=np.int8)
-        assert _packed_diameter(m) == int(pairwise_hamming(m).max())
+        assert BitMatrix(m).diameter() == int(pairwise_hamming(m).max())
 
     def test_large_input_uses_packed_path(self):
         rng = np.random.default_rng(1)

@@ -149,6 +149,38 @@ class TestArchiveFormat:
         with pytest.raises(ValueError, match="does not contain a service"):
             load_service(path)
 
+    def test_version2_dense_hidden_still_loads(self, instance, tmp_path):
+        """Format-2 archives (dense ``hidden``) restore bit-identically."""
+        from repro.metrics.bitpack import unpack_rows
+
+        path = self._snapshot(instance, tmp_path)
+        reference = load_service(path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        hidden_shape = meta.pop("hidden_shape")
+        meta["version"] = 2
+        arrays["hidden"] = unpack_rows(
+            arrays.pop("hidden_packed"), int(hidden_shape[1])
+        )
+        arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        restored = load_service(path)
+        assert np.array_equal(restored.outputs(), reference.outputs())
+        assert np.array_equal(
+            restored.oracle.stats().per_player, reference.oracle.stats().per_player
+        )
+        assert restored.oracle.checkpoint()["prefs"].tolist() == (
+            reference.oracle.checkpoint()["prefs"].tolist()
+        )
+
+    def test_archive_hidden_is_bitpacked(self, instance, tmp_path):
+        path = self._snapshot(instance, tmp_path)
+        with np.load(path) as data:
+            assert "hidden" not in data.files
+            assert data["hidden_packed"].dtype == np.uint8
+            assert data["hidden_packed"].shape == (N, (N + 7) // 8)
+
     def test_future_version_rejected(self, instance, tmp_path):
         path = self._snapshot(instance, tmp_path)
         _rewrite_meta(path, version=FORMAT_VERSION + 1)
