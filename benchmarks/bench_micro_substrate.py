@@ -312,8 +312,20 @@ def test_substrate_packed_vs_dense_ab(benchmark, text_archiver):
     assert table["hamming_to_each"]["speedup_vs_seed"] >= 2.0, report
 
 
-def main() -> None:
-    """Re-time the A/B table and write ``BENCH_substrate.json``."""
+def main(argv: "list[str] | None" = None) -> None:
+    """Re-time the A/B table and write ``BENCH_substrate.json``.
+
+    ``--out`` lets CI write the fresh record to a scratch path for
+    ``benchmarks/check_regression.py`` instead of overwriting the
+    committed baseline.
+    """
+    import argparse
+
+    default_out = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--out", type=Path, default=default_out, metavar="PATH")
+    args = parser.parse_args(argv)
+
     table = _time_table(substrate_kernels())
     print(_render_table(table))
     out = {
@@ -326,9 +338,8 @@ def main() -> None:
             for name, row in table.items()
         },
     }
-    path = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
-    path.write_text(json.dumps(out, indent=2) + "\n")
-    print(f"\n[written: {path}]")
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"\n[written: {args.out}]")
 
 
 if __name__ == "__main__":

@@ -21,13 +21,21 @@ identical total probe workload is the like-for-like throughput, and the
 speedup is measured on it.  The acceptance floor is micro-batched
 **beating** sequential; the measured report is archived under
 ``benchmarks/reports/`` via :func:`conftest.archive_text`.
+
+``python benchmarks/bench_serve.py [--out PATH]`` re-times the A/B and
+writes the machine-readable record to ``BENCH_serve.json`` at the repo
+root (mirroring ``bench_micro_substrate.py`` → ``BENCH_substrate.json``);
+``benchmarks/check_regression.py`` gates CI on the committed baselines.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+from pathlib import Path
 
-from repro.serve import LoadgenConfig, run_loadgen
+from repro.serve import LoadgenConfig, LoadgenReport, run_loadgen
 
 #: Full size when REPRO_FULL=1, CI-friendly size otherwise.
 QUICK = os.environ.get("REPRO_FULL", "0") != "1"
@@ -52,6 +60,59 @@ BASE = dict(
     probes_per_request=32,
 )
 WINDOW = 256
+
+
+def _best(config: LoadgenConfig) -> LoadgenReport:
+    """Best-of-``ROUNDS`` run of one mode (min wall time wins)."""
+    return min((run_loadgen(config) for _ in range(ROUNDS)), key=lambda r: r.wall_s)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Time the A/B and write the machine-readable ``BENCH_serve.json``.
+
+    ``--out`` exists so CI can write the fresh record to a scratch path
+    and diff it against the committed baseline with
+    ``benchmarks/check_regression.py`` instead of overwriting it.
+    """
+    default_out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--out", type=Path, default=default_out, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    sequential = _best(LoadgenConfig(window=1, micro_batch=False, **BASE))
+    micro = _best(LoadgenConfig(window=WINDOW, micro_batch=True, **BASE))
+    assert micro.outputs_sha == sequential.outputs_sha
+    assert micro.probes_total == sequential.probes_total
+
+    probes_s_seq = sequential.probes_total / sequential.wall_s
+    probes_s_micro = micro.probes_total / micro.wall_s
+    size = f"planted n=m={N}, {micro.probes_total} probes"
+    out = {
+        "bench": "serving runtime: micro-batched probe routing A/B",
+        "harness": (
+            f"benchmarks/bench_serve.py, closed-loop loadgen, best of {ROUNDS}, "
+            f"seed {SEED}, 1 anytime phase, grant={BASE['probes_per_request']}"
+        ),
+        "seed_semantics": "sequential serving: window=1, scalar oracle probes",
+        "kernels": {
+            "serve_sequential": {
+                "size": size,
+                "wall_s": round(sequential.wall_s, 3),
+                "probes_per_s": round(probes_s_seq, 1),
+            },
+            "serve_micro_batch": {
+                "size": size,
+                "wall_s": round(micro.wall_s, 3),
+                "probes_per_s": round(probes_s_micro, 1),
+                "speedup_vs_seed": round(probes_s_micro / probes_s_seq, 2),
+            },
+        },
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"{probes_s_seq:,.0f} -> {probes_s_micro:,.0f} probes/s "
+        f"({probes_s_micro / probes_s_seq:.2f}x), wrote {args.out}"
+    )
 
 
 def test_serve_micro_vs_sequential(benchmark, text_archiver):
@@ -101,3 +162,7 @@ def test_serve_micro_vs_sequential(benchmark, text_archiver):
     benchmark.extra_info["speedup"] = round(speedup, 2)
     benchmark.extra_info["probes_per_s"] = round(probes_s_micro, 1)
     assert speedup >= MIN_SPEEDUP, report
+
+
+if __name__ == "__main__":
+    main()

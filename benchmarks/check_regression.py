@@ -1,0 +1,144 @@
+"""Bench-regression gate: fresh ``BENCH_*.json`` vs committed baselines.
+
+CI re-runs the benchmark harnesses (``bench_micro_substrate.py --out``,
+``bench_serve.py --out``) into a scratch directory and this script
+compares every throughput-bearing metric against the baselines committed
+at the repo root.  A metric regresses when its throughput drops below
+``threshold`` times the baseline (default 0.75, the ``>25% regression``
+gate):
+
+* keys named ``ns`` are latencies — lower is better, so the fresh value
+  fails when ``baseline_ns / fresh_ns < threshold``;
+* keys ending in ``_per_s`` are throughputs — higher is better, so the
+  fresh value fails when ``fresh / baseline < threshold``.
+
+Everything else in the records (sizes, bytes moved, speedup ratios,
+prose) is descriptive and not gated — speedups compare two timings from
+the *same* run and say nothing about machine-to-machine drift, while the
+gated metrics compare the same timing across runs.  A baseline metric
+missing from the fresh record is a hard failure: silently dropping a
+kernel from a bench must not read as "no regression".
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh-dir /tmp/bench \
+        [--baseline-dir .] [--threshold 0.75]
+
+Exit status: 0 all gated metrics pass, 1 on regression or a missing
+metric, 2 on usage errors (no baselines found, unreadable JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def gated_metrics(record: object, prefix: str = "") -> dict[str, tuple[str, float]]:
+    """Flatten a bench record to ``dotted.path -> (kind, value)``.
+
+    Only the gated keys survive: ``kind`` is ``"ns"`` (lower is better)
+    or ``"per_s"`` (higher is better).
+    """
+    found: dict[str, tuple[str, float]] = {}
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if key == "ns":
+                    found[path] = ("ns", float(value))
+                elif key.endswith("_per_s"):
+                    found[path] = ("per_s", float(value))
+            else:
+                found.update(gated_metrics(value, path))
+    return found
+
+
+def compare(
+    name: str, baseline: dict, fresh: dict, threshold: float
+) -> tuple[list[str], bool]:
+    """Compare one bench pair; returns (report lines, ok)."""
+    lines: list[str] = []
+    ok = True
+    base_metrics = gated_metrics(baseline)
+    fresh_metrics = gated_metrics(fresh)
+    if not base_metrics:
+        return [f"{name}: baseline has no gated metrics (ns / *_per_s)"], False
+    for path, (kind, base_value) in sorted(base_metrics.items()):
+        if path not in fresh_metrics:
+            lines.append(f"FAIL {name}:{path} missing from fresh record")
+            ok = False
+            continue
+        fresh_value = fresh_metrics[path][1]
+        # Normalise to a throughput ratio: >= 1.0 means at least as fast.
+        if kind == "ns":
+            ratio = base_value / fresh_value if fresh_value else float("inf")
+        else:
+            ratio = fresh_value / base_value if base_value else float("inf")
+        verdict = "ok  " if ratio >= threshold else "FAIL"
+        ok = ok and ratio >= threshold
+        lines.append(
+            f"{verdict} {name}:{path} ({kind}) "
+            f"baseline={base_value:,.1f} fresh={fresh_value:,.1f} "
+            f"throughput x{ratio:.2f} (floor x{threshold:.2f})"
+        )
+    return lines, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate fresh BENCH_*.json records against committed baselines."
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="directory holding freshly produced BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=REPO_ROOT,
+        metavar="DIR",
+        help="directory holding the committed baselines (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.75,
+        help="throughput floor as a fraction of baseline (default 0.75)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    all_ok = True
+    for baseline_path in baselines:
+        fresh_path = args.fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL {baseline_path.name}: no fresh record at {fresh_path}")
+            all_ok = False
+            continue
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+            fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"unreadable bench record: {exc}", file=sys.stderr)
+            return 2
+        lines, ok = compare(baseline_path.name, baseline, fresh, args.threshold)
+        print("\n".join(lines))
+        all_ok = all_ok and ok
+    print("bench-regression gate:", "pass" if all_ok else "FAIL")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,11 @@ The surface groups into four layers:
   and :func:`run_loadgen` with :class:`LoadgenConfig` /
   :class:`LoadgenReport`; plus the standalone accounting archives
   :func:`save_probe_stats` / :func:`load_probe_stats`.
+* **live metrics** — :class:`MetricRegistry` (process-wide counters,
+  gauges, and fixed-bucket histograms with exact cross-process merges),
+  :class:`MetricsSnapshotSink` (periodic JSONL snapshots), and the
+  :func:`metrics_collecting` activation switch; zero overhead when no
+  registry is active.
 
 Every ``rng`` / ``seed`` parameter across this surface uniformly accepts
 ``int | numpy.random.Generator | None`` (see
@@ -70,6 +75,8 @@ from repro.metrics.bitpack import (
 from repro.metrics.evaluation import evaluate
 from repro.model.community import Community
 from repro.model.instance import Instance
+from repro.obs.metrics import MetricRegistry, MetricsSnapshotSink
+from repro.obs.metrics import collecting as metrics_collecting
 from repro.parallel import (
     SharedInstanceHandle,
     SharedInstanceStore,
@@ -136,6 +143,10 @@ __all__ = [
     "LoadgenReport",
     "save_probe_stats",
     "load_probe_stats",
+    # live metrics
+    "MetricRegistry",
+    "MetricsSnapshotSink",
+    "metrics_collecting",
     # rng contract
     "as_generator",
 ]

@@ -31,6 +31,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import metrics
 from repro.metrics.bitpack import pack_rows, packed_substrate_enabled, unpack_rows
 from repro.utils.validation import WILDCARD
 
@@ -134,6 +135,7 @@ class Billboard:
         if arr.ndim != 2:
             raise ValueError(f"posted vectors must be 2-D, got shape {arr.shape}")
         obs.incr("billboard.vector_posts")
+        metrics.incr("board.vector_posts_total")
         self._channels[channel] = _Channel(arr)
 
     def read_vectors(self, channel: str) -> np.ndarray:
@@ -141,6 +143,7 @@ class Billboard:
         if channel not in self._channels:
             raise KeyError(f"no vectors posted under channel {channel!r}")
         obs.incr("billboard.vector_reads")
+        metrics.incr("board.vector_reads_total")
         return self._channels[channel].matrix()
 
     def has_channel(self, channel: str) -> bool:
@@ -175,6 +178,7 @@ class Billboard:
         else:
             out = np.stack([ch.first_row() for ch in chans])
         obs.incr("billboard.vector_reads", len(chans))
+        metrics.incr("board.vector_reads_total", len(chans))
         return out
 
     def read_first_rows_packed(self, channels: Sequence[str]) -> tuple[np.ndarray, int] | None:
@@ -200,6 +204,7 @@ class Billboard:
             assert ch.packed is not None
             packed[i] = ch.packed[0]
         obs.incr("billboard.vector_reads", len(chans))
+        metrics.incr("board.vector_reads_total", len(chans))
         return packed, first.m
 
     def _gather_channels(self, channels: Sequence[str]) -> list[_Channel]:

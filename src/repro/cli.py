@@ -9,13 +9,16 @@ Subcommands::
     python -m repro demo --n 256 --telemetry out.jsonl
                                               # + record spans/counters
     python -m repro obs summarize out.jsonl   # render a telemetry file
+    python -m repro obs export metrics.jsonl  # Prometheus text exposition
+    python -m repro obs top metrics.jsonl --follow
+                                              # live rates + latency percentiles
     python -m repro report --out REPORT.md --telemetry
                                               # Markdown report + JSONL
     python -m repro lint src tests            # repro contract checks (RPL rules)
     python -m repro serve --n 256 --snapshot svc.npz
                                               # online session runtime to completion
     python -m repro serve --restore svc.npz   # resume a killed service
-    python -m repro loadgen --sessions 64 --quick
+    python -m repro loadgen --sessions 64 --quick --metrics metrics.jsonl
                                               # load-generate against a service
 
 ``run`` accepts ``--full`` for the full (slow) sweeps and ``--out DIR``
@@ -134,11 +137,41 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--json", type=Path, default=None, metavar="OUT.json", help="also write the report as JSON"
     )
+    loadgen.add_argument(
+        "--warmup", type=int, default=0,
+        help="requests excluded from the steady-state percentiles",
+    )
+    loadgen.add_argument(
+        "--metrics", type=Path, default=None, metavar="OUT.jsonl",
+        help="write live metric snapshots (watch with 'repro obs top')",
+    )
+    loadgen.add_argument(
+        "--metrics-interval", type=float, default=1.0,
+        help="seconds between metric snapshots (with --metrics)",
+    )
 
     obs_cmd = sub.add_parser("obs", help="telemetry utilities")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser("summarize", help="render a telemetry JSONL file")
     summarize.add_argument("file", type=Path, help="telemetry file written with --telemetry")
+    export = obs_sub.add_parser(
+        "export", help="Prometheus text exposition of a metrics snapshot"
+    )
+    export.add_argument("file", type=Path, help="telemetry file with metric snapshots")
+    export.add_argument(
+        "--snapshot", type=int, default=-1,
+        help="snapshot index to export (default: the last)",
+    )
+    top = obs_sub.add_parser(
+        "top", help="render per-counter rates and latency percentiles from snapshots"
+    )
+    top.add_argument("file", type=Path, help="telemetry file a loadgen run is writing")
+    top.add_argument(
+        "--follow", action="store_true", help="keep refreshing until interrupted"
+    )
+    top.add_argument(
+        "--refresh", type=float, default=1.0, help="seconds between refreshes (with --follow)"
+    )
 
     from repro.lint.cli import add_lint_subparser
 
@@ -318,27 +351,77 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         d_max=d_max,
         budget=args.budget,
         micro_batch=not args.sequential,
+        warmup=args.warmup,
+        metrics_path=None if args.metrics is None else str(args.metrics),
+        metrics_interval_s=args.metrics_interval,
     )
     report = run_loadgen(config)
     print(report.render())
+    if args.metrics is not None:
+        print(f"metrics  : {args.metrics} (render with 'repro obs top {args.metrics}')")
     if args.json is not None:
         dump_report_json(str(args.json), report)
         print(f"json     : {args.json}")
     return 0
 
 
+def _load_telemetry(path: Path) -> "obs.TelemetryRun | None":
+    try:
+        return obs.load_jsonl(path)
+    except FileNotFoundError:
+        print(f"no such telemetry file: {path}")
+        return None
+    except ValueError as exc:
+        print(f"cannot read {path}: {exc}")
+        return None
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "summarize":
-        try:
-            run = obs.load_jsonl(args.file)
-        except FileNotFoundError:
-            print(f"no such telemetry file: {args.file}")
-            return 2
-        except ValueError as exc:
-            print(f"cannot read {args.file}: {exc}")
+        run = _load_telemetry(args.file)
+        if run is None:
             return 2
         print(obs.render_summary(run))
         return 0
+    if args.obs_command == "export":
+        run = _load_telemetry(args.file)
+        if run is None:
+            return 2
+        if not run.metrics:
+            print(f"{args.file} has no metric snapshots (run loadgen with --metrics)")
+            return 2
+        try:
+            snapshot = run.metrics[args.snapshot]
+        except IndexError:
+            print(f"snapshot index {args.snapshot} out of range (file has {len(run.metrics)})")
+            return 2
+        print(obs.MetricRegistry.from_snapshot(snapshot).expose_text(), end="")
+        return 0
+    if args.obs_command == "top":
+        import time as _time
+
+        while True:
+            run = _load_telemetry(args.file)
+            if run is None:
+                return 2
+            if not run.metrics:
+                print(f"{args.file} has no metric snapshots yet")
+                if not args.follow:
+                    return 2
+            else:
+                previous = run.metrics[-2] if len(run.metrics) > 1 else None
+                frame = obs.metrics.render_frame(run.metrics[-1], previous)
+                if args.follow:
+                    # ANSI clear-screen + home keeps the frame in place.
+                    print("\x1b[2J\x1b[H" + frame, flush=True)
+                else:
+                    print(frame)
+            if not args.follow:
+                return 0
+            try:
+                _time.sleep(args.refresh)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                return 0
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")  # pragma: no cover
 
 

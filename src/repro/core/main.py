@@ -68,7 +68,7 @@ def find_preferences(
     else:
         branch = "large_radius"
 
-    with obs.span(f"find_preferences/{branch}", oracle=oracle, alpha=alpha, D=D):
+    with obs.span(f"find_preferences/{branch}", oracle=oracle, alpha=alpha, D=D):  # repro: noqa[RPL011] — once per run, not a hot path
         if branch == "zero_radius":
             space = PrimitiveSpace(oracle, np.arange(m, dtype=np.intp))
             outputs = zero_radius(space, players, alpha, n_global=n, params=p, rng=gen).astype(np.int8)

@@ -88,7 +88,7 @@ def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
     """Run a registered experiment by id (importing brings registration)."""
     if experiment_id not in REGISTRY:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}")
-    with obs.span(f"experiment/{experiment_id}") as sp:
+    with obs.span(f"experiment/{experiment_id}") as sp:  # repro: noqa[RPL011] — once per experiment, not a hot path
         result = REGISTRY[experiment_id](**kwargs)
         sp.set(passed=result.passed)
         obs.event("experiment.result", experiment=experiment_id, passed=result.passed)

@@ -1,4 +1,4 @@
-"""The repro rule set: ten machine-checked model/API contracts.
+"""The repro rule set: eleven machine-checked model/API contracts.
 
 Each rule encodes one convention the paper's guarantees (or the repo's
 refactoring safety) depend on; the catalog with full rationale is
@@ -515,6 +515,82 @@ class _UnpackbitsVisitor(RuleVisitor):
         self.generic_visit(node)
 
 
+#: Telemetry helpers whose arguments are evaluated on the hot path.
+_OBS_HOT_HELPERS = frozenset({"span", "incr", "gauge", "set_gauge", "observe", "event"})
+
+#: Roots that mark a call as a telemetry helper (module-style imports).
+_OBS_ROOTS = frozenset({"obs", "metrics"})
+
+
+class ObsEagerLabelRule(Rule):
+    """RPL011 — obs hot-path call sites take pre-built literal labels.
+
+    The whole zero-overhead-when-off contract is that a disabled
+    ``obs.incr(...)`` / ``metrics.observe(...)`` costs one ``None``
+    check — but Python evaluates arguments *before* the call, so an
+    f-string label or a dict literal built at the call site is paid on
+    every request even with telemetry off.  Metric and span names must
+    be plain literals (or prebuilt constants); anything dynamic belongs
+    behind an explicit ``get_registry() is not None`` guard.
+    """
+
+    id = "RPL011"
+    severity = "error"
+    summary = "no eagerly built labels at obs/metrics hot-path call sites"
+    hint = "pass literal names; guard dynamic work with `get_registry() is not None`"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        # The obs layer itself builds frames/snapshots legitimately.
+        return ctx.in_library(exclude=("repro/obs",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _ObsEagerLabelVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _ObsEagerLabelVisitor(RuleVisitor):
+    def _eager_construction(self, node: ast.AST) -> str | None:
+        """What *node* eagerly builds, or ``None`` when it is cheap."""
+        if isinstance(node, ast.JoinedStr):
+            return "f-string"
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return "dict literal"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "dict":
+                return "dict() call"
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "format":
+                return ".format() call"
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+        ):
+            return "%-format"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if (
+            len(chain) >= 2
+            and chain[-1] in _OBS_HOT_HELPERS
+            and chain[0] in _OBS_ROOTS
+        ):
+            arguments: list[ast.AST] = list(node.args)
+            arguments += [keyword.value for keyword in node.keywords]
+            for argument in arguments:
+                for sub in ast.walk(argument):  # type: ignore[assignment]
+                    what = self._eager_construction(sub)
+                    if what is not None:
+                        self.report(
+                            sub,
+                            f"{what} built eagerly at {'.'.join(chain)}(...) — "
+                            f"evaluated even when telemetry is off",
+                        )
+        self.generic_visit(node)
+
+
 #: The full rule set, id order.
 ALL_RULES: list[Rule] = [
     RngConstructionRule(),
@@ -527,6 +603,7 @@ ALL_RULES: list[Rule] = [
     ExperimentRngParamRule(),
     ServePrefsIsolationRule(),
     UnpackbitsContainmentRule(),
+    ObsEagerLabelRule(),
 ]
 
 

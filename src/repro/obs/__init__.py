@@ -18,7 +18,19 @@ All helpers are no-ops (a single ``None`` check) unless a
     rec.dump_jsonl("out.jsonl")
     print(rec.render())
 
-See :mod:`repro.obs.recorder` for the data model,
+Alongside the post-hoc recorder sits the **live** side,
+:mod:`repro.obs.metrics` — a process-wide :class:`MetricRegistry` of
+counters, gauges, and log-bucketed histograms with the same
+zero-overhead-when-off contract::
+
+    from repro.obs import metrics
+
+    with metrics.collecting(metrics.MetricRegistry()) as registry:
+        run_serving()
+    print(registry.expose_text())  # Prometheus text exposition
+
+See :mod:`repro.obs.recorder` for the span data model,
+:mod:`repro.obs.metrics` for the live registry,
 :mod:`repro.obs.schema` for the JSONL format, and
 ``docs/observability.md`` for the full guide.
 """
@@ -27,6 +39,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, MetricRegistry, MetricsSnapshotSink, collecting
 from repro.obs.recorder import (
     NULL_SPAN,
     _NullSpan,
@@ -44,11 +58,15 @@ from repro.obs.summary import phase_table, render_summary
 __all__ = [
     "Counters",
     "Event",
+    "Histogram",
+    "MetricRegistry",
+    "MetricsSnapshotSink",
     "NULL_SPAN",
     "Recorder",
     "Span",
     "SpanNode",
     "TelemetryRun",
+    "collecting",
     "dump_jsonl",
     "enabled",
     "event",
@@ -56,6 +74,7 @@ __all__ = [
     "get_recorder",
     "incr",
     "load_jsonl",
+    "metrics",
     "phase_table",
     "recording",
     "render_summary",

@@ -1,0 +1,553 @@
+"""Live serving metrics: counters, gauges, and log-bucketed histograms.
+
+Where :mod:`repro.obs.recorder` is a *post-hoc* sink — one run, one span
+tree, dumped after the fact — this module is the **live** side of the
+observability layer: a process-wide :class:`MetricRegistry` the serving
+runtime updates request by request, readable at any instant while a
+``repro loadgen`` run (or a future sharded deployment) is in flight.
+
+Three metric kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonic totals (requests admitted, probes
+  issued, degraded admissions);
+* :class:`Gauge` — last-write-wins levels (active sessions, current
+  anytime phase);
+* :class:`Histogram` — log-bucketed distributions (request latency,
+  wavefront size).  Bucket boundaries are **fixed module-level
+  constants** — exact powers of two, identical in every process — so
+  two histograms of the same metric merge *exactly* by adding bucket
+  counts (:meth:`Histogram.merge`), the property a sharded service
+  needs to aggregate per-worker histograms without approximation.
+
+The registry surfaces three ways:
+
+* :meth:`MetricRegistry.expose_text` — Prometheus text exposition
+  (also ``repro obs export``);
+* :class:`MetricsSnapshotSink` — periodic snapshots appended to a
+  :mod:`repro.obs.schema` JSONL file (``"metrics"`` lines, schema v2);
+* ``repro obs top`` — a refreshing terminal view of per-counter rates
+  and histogram p50/p95/p99, rendered by :func:`render_frame`.
+
+Like spans, metrics are **zero-overhead when off**: every module-level
+helper (:func:`incr`, :func:`observe`, :func:`set_gauge`) is a single
+``None`` check on the active registry, call sites pass literal metric
+names (lint rule RPL011 rejects eagerly built labels), and enabling
+metrics never touches RNG or probing — serve runs are bitwise identical
+with metrics on or off (``tests/test_obs_metrics.py`` pins both).
+
+Deliberately stdlib-only and, like the recorder, not thread-safe: one
+registry belongs to one process, and cross-process aggregation goes
+through snapshot files plus :meth:`MetricRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricRegistry",
+    "MetricsSnapshotSink",
+    "SIZE_BUCKETS",
+    "collecting",
+    "enabled",
+    "get_registry",
+    "incr",
+    "observe",
+    "render_frame",
+    "set_gauge",
+    "set_registry",
+]
+
+#: Latency bucket upper bounds in **seconds**: exact powers of two from
+#: ~1 µs to 32 s.  Powers of two are exact binary floats, so boundaries
+#: survive JSON round-trips bit for bit and merges stay exact.
+LATENCY_BUCKETS_S: tuple[float, ...] = tuple(2.0**e for e in range(-20, 6))
+
+#: Size/occupancy bucket upper bounds: powers of two from 1 to 2²⁰.
+SIZE_BUCKETS: tuple[float, ...] = tuple(float(2**e) for e in range(21))
+
+#: Prometheus metric names allow ``[a-zA-Z0-9_:]``; everything else
+#: (the registry's dotted names) maps to ``_``.
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Registry name -> Prometheus exposition name (``repro_`` prefix)."""
+    return "repro_" + _PROM_SANITIZE.sub("_", name)
+
+
+class Counter:
+    """One monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float = 0
+
+    def incr(self, amount: int | float = 1) -> None:
+        """Add *amount* (default 1); counters only ever grow."""
+        self.value += amount
+
+
+class Gauge:
+    """One last-write-wins level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        """Overwrite the gauge with *value*."""
+        self.value = value
+
+
+class Histogram:
+    """One log-bucketed distribution with fixed boundaries.
+
+    ``bounds`` are cumulative-style upper bounds (a value lands in the
+    first bucket whose bound is ``>= value``); one extra overflow bucket
+    catches everything above ``bounds[-1]``.  Because boundaries are
+    fixed per metric, histograms of the same metric from different
+    processes merge exactly: bucket counts, observation count, and sum
+    all add.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = LATENCY_BUCKETS_S) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be non-empty and ascending, got {bounds!r}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)  # +1 = overflow bucket
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def merge(self, other: "Histogram") -> None:
+        """Add *other*'s buckets into this histogram (exact).
+
+        Both sides must use identical boundaries — the whole point of
+        fixing them module-wide.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name!r}: {len(self.bounds)} vs {other.name!r}: {len(other.bounds)})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) from the buckets.
+
+        Classic histogram estimation: find the bucket where the
+        cumulative count crosses ``q * count`` and interpolate linearly
+        inside it (the first bucket's lower edge is 0; the overflow
+        bucket reports the highest finite boundary).  Deterministic
+        given the bucket counts, so any two views of the same buckets —
+        live registry, JSONL snapshot, merged shards — report the same
+        percentiles.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cumulative + c >= target:
+                if i >= len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i]
+                fraction = (target - cumulative) / c
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            cumulative += c
+        return self.bounds[-1]  # pragma: no cover - q=1 exits in the loop
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """JSON-able form (bounds included so files are self-describing)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_snapshot(cls, name: str, snap: dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_snapshot` output."""
+        hist = cls(name, tuple(float(b) for b in snap["bounds"]))
+        counts = [int(c) for c in snap["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"histogram {name!r} snapshot has {len(counts)} buckets, "
+                f"expected {len(hist.counts)}"
+            )
+        hist.counts = counts
+        hist.count = int(snap["count"])
+        hist.sum = float(snap["sum"])
+        return hist
+
+
+class MetricRegistry:
+    """One process's live metrics: named counters, gauges, histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- registration / access ---------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter *name*, created at 0 on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge *name*, created at 0 on first use."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram *name*; ``bounds`` bind on first use only.
+
+        Re-registering with different boundaries is an error — fixed
+        boundaries are the exact-merge contract.
+        """
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, LATENCY_BUCKETS_S if bounds is None else bounds
+            )
+        elif bounds is not None and tuple(bounds) != h.bounds:
+            raise ValueError(f"histogram {name!r} already registered with different bounds")
+        return h
+
+    # -- recording shortcuts -----------------------------------------------
+    def incr(self, name: str, amount: int | float = 1) -> None:
+        """Bump counter *name* by *amount*."""
+        self.counter(name).incr(amount)
+
+    def set_gauge(self, name: str, value: int | float) -> None:
+        """Set gauge *name* to *value*."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, bounds: tuple[float, ...] | None = None) -> None:
+        """Record *value* into histogram *name*."""
+        self.histogram(name, bounds).observe(value)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters or name in self._gauges or name in self._histograms
+
+    # -- aggregation ---------------------------------------------------------
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold *other* into this registry (sharded-worker aggregation).
+
+        Counters and histogram buckets add exactly; gauges take
+        *other*'s value (last write wins, matching single-process
+        semantics when merging in worker order).
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).incr(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            self.histogram(name, hist.bounds).merge(hist)
+
+    # -- sinks ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able point-in-time state (sorted names, self-describing)."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": {
+                n: self._histograms[n].to_snapshot() for n in sorted(self._histograms)
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, Any]) -> "MetricRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict (JSONL line)."""
+        registry = cls()
+        for name, value in snap.get("counters", {}).items():
+            registry.counter(name).incr(value)
+        for name, value in snap.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, hist_snap in snap.get("histograms", {}).items():
+            registry._histograms[name] = Histogram.from_snapshot(name, hist_snap)
+        return registry
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition of the whole registry.
+
+        Counters keep their registry spelling (name your totals
+        ``*_total``); histogram buckets are cumulative with the
+        conventional ``le`` label and ``+Inf`` terminator.
+        """
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {self._gauges[name].value}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                lines.append(f'{prom}_bucket{{le="{bound!r}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{prom}_sum {hist.sum!r}")
+            lines.append(f"{prom}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"MetricRegistry(counters={len(self._counters)}, gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+class MetricsSnapshotSink:
+    """Periodic registry snapshots appended to a telemetry JSONL file.
+
+    The sink owns the file: opening writes the schema-v2 ``meta`` line,
+    every :meth:`write` appends one ``"metrics"`` line (monotone ``seq``,
+    ``perf_counter`` timestamp), and :meth:`maybe_write` rate-limits to
+    ``interval_s``.  The result is a valid :func:`repro.obs.schema.load_jsonl`
+    file whose snapshots ``repro obs top`` can tail and ``repro obs
+    export`` can render as a Prometheus exposition.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        registry: MetricRegistry,
+        *,
+        interval_s: float = 1.0,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        from repro.obs.schema import SCHEMA_VERSION, dumps_line
+
+        if interval_s < 0:
+            raise ValueError(f"interval_s must be non-negative, got {interval_s}")
+        self.path = Path(path)
+        self.registry = registry
+        self.interval_s = interval_s
+        self.seq = 0
+        self._last_write: float | None = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._fh.write(
+            dumps_line(
+                {
+                    "type": "meta",
+                    "version": SCHEMA_VERSION,
+                    "tool": "repro.obs",
+                    "meta": dict(meta or {}),
+                }
+            )
+        )
+        self._fh.flush()
+
+    def maybe_write(self) -> bool:
+        """Append a snapshot if ``interval_s`` elapsed; returns whether it did."""
+        now = time.perf_counter()
+        if self._last_write is not None and now - self._last_write < self.interval_s:
+            return False
+        self.write()
+        return True
+
+    def write(self) -> None:
+        """Append one snapshot line unconditionally."""
+        from repro.obs.schema import dumps_line
+
+        if self._fh is None:
+            raise RuntimeError(f"metrics sink {self.path} is closed")
+        line = {
+            "type": "metrics",
+            "seq": self.seq,
+            "t": time.perf_counter(),
+            **self.registry.snapshot(),
+        }
+        self._fh.write(dumps_line(line))
+        self._fh.flush()
+        self.seq += 1
+        self._last_write = time.perf_counter()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "MetricsSnapshotSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Active-registry runtime: the zero-overhead-when-disabled switch.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: MetricRegistry | None = None
+
+
+def get_registry() -> MetricRegistry | None:
+    """The currently active registry, or ``None`` when metrics are off."""
+    return _ACTIVE
+
+
+def set_registry(registry: MetricRegistry | None) -> MetricRegistry | None:
+    """Install *registry* as the live sink; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+def enabled() -> bool:
+    """Whether a metric registry is currently active."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def collecting(registry: MetricRegistry) -> Iterator[MetricRegistry]:
+    """Activate *registry* for the duration of the ``with`` block."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def incr(name: str, amount: int | float = 1) -> None:
+    """Bump counter *name* on the active registry (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.incr(name, amount)
+
+
+def set_gauge(name: str, value: int | float) -> None:
+    """Set gauge *name* on the active registry (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float, bounds: tuple[float, ...] | None = None) -> None:
+    """Record *value* into histogram *name* (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.observe(name, value, bounds)
+
+
+# ---------------------------------------------------------------------------
+# `repro obs top` frame rendering (pure string formatting, tested offline).
+# ---------------------------------------------------------------------------
+
+
+def _fmt_seconds(value: float) -> str:
+    """Human scale for latency cells (µs/ms/s)."""
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def render_frame(
+    current: dict[str, Any], previous: dict[str, Any] | None = None
+) -> str:
+    """Render one ``obs top`` frame from snapshot line(s).
+
+    *current* (and optionally *previous*, for rates) are ``"metrics"``
+    JSONL lines as parsed by :func:`repro.obs.schema.load_jsonl`.
+    Counter rates are deltas over the snapshot interval; histogram rows
+    report count, p50/p95/p99 from the buckets, and the mean.
+    """
+    lines: list[str] = []
+    t_now = float(current.get("t", 0.0))
+    header = f"metrics snapshot #{current.get('seq', '?')} @ t={t_now:.2f}s"
+    dt: float | None = None
+    if previous is not None:
+        dt = t_now - float(previous.get("t", 0.0))
+        header += f"  (rates over {dt:.2f}s)"
+    lines.append(header)
+
+    counters: dict[str, int | float] = current.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<40} {'total':>14} {'rate/s':>12}")
+        prev_counters: dict[str, int | float] = (previous or {}).get("counters", {})
+        for name in sorted(counters):
+            total = counters[name]
+            if dt is not None and dt > 0:
+                rate = f"{(total - prev_counters.get(name, 0)) / dt:,.1f}"
+            else:
+                rate = "-"
+            lines.append(f"{name:<40} {total:>14,} {rate:>12}")
+
+    gauges: dict[str, int | float] = current.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<40} {'value':>14}")
+        for name in sorted(gauges):
+            lines.append(f"{name:<40} {gauges[name]:>14,}")
+
+    histograms: dict[str, dict[str, Any]] = current.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<40} {'count':>10} {'p50':>10} {'p95':>10} {'p99':>10} {'mean':>10}"
+        )
+        for name in sorted(histograms):
+            hist = Histogram.from_snapshot(name, histograms[name])
+            if hist.count:
+                mean = hist.sum / hist.count
+                cells = [hist.quantile(0.50), hist.quantile(0.95), hist.quantile(0.99), mean]
+                if name.endswith("_seconds"):
+                    rendered = [f"{_fmt_seconds(c):>10}" for c in cells]
+                else:
+                    rendered = [f"{c:>10,.1f}" for c in cells]
+            else:
+                rendered = [f"{'-':>10}"] * 4
+            lines.append(f"{name:<40} {hist.count:>10,} " + " ".join(rendered))
+    return "\n".join(lines)

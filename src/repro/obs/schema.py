@@ -29,11 +29,27 @@ order:
        {"type": "counter", "name": "oracle.probes_charged", "value": 4096}
        {"type": "gauge", "name": "engine.live_players", "value": 64}
 
+5. *(schema v2)* zero or more ``metrics`` lines — periodic
+   point-in-time snapshots of a live :class:`~repro.obs.metrics.MetricRegistry`
+   written by :class:`~repro.obs.metrics.MetricsSnapshotSink`, in
+   ``seq`` order::
+
+       {"type": "metrics", "seq": 0, "t": 1.25,
+        "counters": {"serve.requests_total": 4096},
+        "gauges": {"serve.active_sessions": 64},
+        "histograms": {"serve.request_latency_seconds":
+            {"bounds": [...], "counts": [...], "count": 4096, "sum": 1.9}}}
+
+   Histogram bounds are embedded so files are self-describing; bucket
+   counts from snapshots of the same metric merge exactly
+   (:meth:`~repro.obs.metrics.Histogram.merge`).
+
 The schema version is bumped on any incompatible change;
 :func:`load_jsonl` rejects files from a newer major version rather than
-misreading them.  Round-tripping is exact: Python's JSON float encoding
-is ``repr``-based, so ``dump_jsonl`` → ``load_jsonl`` reproduces the
-span tree bit for bit (``tests/test_obs.py`` pins this).
+misreading them — v1 files (no ``metrics`` lines) still load under the
+v2 reader.  Round-tripping is exact: Python's JSON float encoding is
+``repr``-based, so ``dump_jsonl`` → ``load_jsonl`` reproduces the span
+tree bit for bit (``tests/test_obs.py`` pins this).
 """
 
 from __future__ import annotations
@@ -45,10 +61,19 @@ from typing import Any, Iterator
 
 from repro.obs.recorder import Recorder, Span
 
-__all__ = ["SCHEMA_VERSION", "SpanNode", "TelemetryRun", "dump_jsonl", "load_jsonl", "run_from_recorder"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SpanNode",
+    "TelemetryRun",
+    "dump_jsonl",
+    "dumps_line",
+    "load_jsonl",
+    "run_from_recorder",
+]
 
-#: Current JSONL schema version (see module docstring).
-SCHEMA_VERSION = 1
+#: Current JSONL schema version (see module docstring).  v2 added the
+#: ``metrics`` line kind (live-registry snapshots); v1 files still load.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -90,6 +115,7 @@ class TelemetryRun:
     counters: dict[str, int | float] = field(default_factory=dict)
     gauges: dict[str, int | float] = field(default_factory=dict)
     events: list[dict[str, Any]] = field(default_factory=list)
+    metrics: list[dict[str, Any]] = field(default_factory=list)  # seq order
 
     @property
     def probes_total(self) -> int:
@@ -151,8 +177,13 @@ def dump_jsonl(recorder: Recorder, path: str | Path) -> Path:
         lines.append({"type": "gauge", "name": name, "value": value})
     with path.open("w", encoding="utf-8") as fh:
         for line in lines:
-            fh.write(json.dumps(line, sort_keys=True, default=_jsonable) + "\n")
+            fh.write(dumps_line(line))
     return path
+
+
+def dumps_line(obj: dict[str, Any]) -> str:
+    """One telemetry JSONL line (sorted keys, trailing newline)."""
+    return json.dumps(obj, sort_keys=True, default=_jsonable) + "\n"
 
 
 def _jsonable(value: Any) -> Any:
@@ -251,6 +282,16 @@ def load_jsonl(path: str | Path) -> TelemetryRun:
                 run.counters[obj["name"]] = obj["value"]
             elif kind == "gauge":
                 run.gauges[obj["name"]] = obj["value"]
+            elif kind == "metrics":
+                run.metrics.append(
+                    {
+                        "seq": obj["seq"],
+                        "t": obj.get("t"),
+                        "counters": obj.get("counters", {}),
+                        "gauges": obj.get("gauges", {}),
+                        "histograms": obj.get("histograms", {}),
+                    }
+                )
             else:
                 raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
     if not saw_meta:

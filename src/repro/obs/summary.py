@@ -10,12 +10,14 @@ counter registry, and a sparkline of wall time over span starts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.obs.metrics import Histogram
 from repro.obs.schema import TelemetryRun
 from repro.utils.ascii_plot import sparkline
 from repro.utils.tables import Table
 
-__all__ = ["PhaseRow", "aggregate_phases", "phase_table", "render_summary"]
+__all__ = ["PhaseRow", "aggregate_phases", "metrics_table", "phase_table", "render_summary"]
 
 
 @dataclass(frozen=True)
@@ -93,6 +95,27 @@ def _counters_table(run: TelemetryRun) -> Table:
     return table
 
 
+def metrics_table(snapshot: dict[str, Any]) -> Table:
+    """One table summarising a ``metrics`` snapshot line (the last one).
+
+    Counters and gauges get their final values; histograms get count and
+    p50/p95/p99 derived from the snapshot's own buckets, so the summary
+    agrees exactly with any other reader of the same file.
+    """
+    table = Table(title="Live metrics (final snapshot)", columns=["name", "value"])
+    for name, value in snapshot.get("counters", {}).items():
+        table.add(name=name, value=value)
+    for name, value in snapshot.get("gauges", {}).items():
+        table.add(name=f"{name} (gauge)", value=value)
+    for name, hist_snap in snapshot.get("histograms", {}).items():
+        hist = Histogram.from_snapshot(name, hist_snap)
+        quantiles = ", ".join(
+            f"p{int(q * 100)}={hist.quantile(q):.6g}" for q in (0.50, 0.95, 0.99)
+        )
+        table.add(name=f"{name} (hist)", value=f"n={hist.count}, {quantiles}")
+    return table
+
+
 def render_summary(run: TelemetryRun) -> str:
     """Render the full ASCII summary of one telemetry run."""
     lines: list[str] = []
@@ -115,6 +138,10 @@ def render_summary(run: TelemetryRun) -> str:
     if run.events:
         lines.append("")
         lines.append(f"events: {len(run.events)}")
+    if run.metrics:
+        lines.append("")
+        lines.append(metrics_table(run.metrics[-1]).render())
+        lines.append(f"metric snapshots: {len(run.metrics)}")
     durations = [s.duration for s in run.spans if s.duration is not None]
     if len(durations) >= 2:
         lines.append("")

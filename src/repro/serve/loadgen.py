@@ -18,6 +18,16 @@ that *is* the cost model of micro-batching); the report carries
 throughput, p50/p95/p99 latency, probes-per-request, and batch
 occupancy.  Wall-clock numbers vary run to run, but the served outputs
 and probe counts are fully determined by the config's seed.
+
+Latency percentiles are derived from the **same fixed-bucket histograms**
+the live metrics layer uses (:class:`repro.obs.metrics.Histogram` over
+:data:`~repro.obs.metrics.LATENCY_BUCKETS_S`): every per-request latency
+is observed both into the report's local histogram and — when a registry
+is active — into the registry's ``serve.request_latency_seconds``
+histogram, so ``repro obs top``, the JSONL metric snapshots, and the
+report all print identical p50/p95/p99 for one run.  ``warmup`` excludes
+the first N requests from a second, steady-state histogram whose
+percentiles the report carries separately.
 """
 
 from __future__ import annotations
@@ -25,11 +35,19 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+from contextlib import ExitStack
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import (
+    Histogram,
+    MetricRegistry,
+    MetricsSnapshotSink,
+    collecting,
+    get_registry,
+)
 from repro.serve.router import MicroBatchRouter, RouterConfig
 from repro.serve.service import ServeConfig, ServeService
 from repro.utils.rng import as_generator
@@ -57,6 +75,9 @@ class LoadgenConfig:
     budget: int | None = None
     micro_batch: bool = True
     max_requests: int = 1_000_000
+    warmup: int = 0
+    metrics_path: str | None = None
+    metrics_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
@@ -65,6 +86,12 @@ class LoadgenConfig:
             raise ValueError(f"sessions must be positive, got {self.sessions}")
         if self.mode == "open" and self.rate <= 0:
             raise ValueError(f"open-loop rate must be positive, got {self.rate}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup}")
+        if self.metrics_interval_s < 0:
+            raise ValueError(
+                f"metrics_interval_s must be non-negative, got {self.metrics_interval_s}"
+            )
 
 
 @dataclass
@@ -80,6 +107,10 @@ class LoadgenReport:
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    steady_requests: int
+    steady_p50_ms: float
+    steady_p95_ms: float
+    steady_p99_ms: float
     probes_per_request: float
     mean_occupancy: float
     phases_completed: int
@@ -100,6 +131,14 @@ class LoadgenReport:
             + ("micro-batched" if cfg.micro_batch else "sequential probes"),
             f"requests : {self.requests} in {self.wall_s:.3f}s -> {self.throughput_rps:,.0f} req/s",
             f"latency  : p50={self.p50_ms:.3f}ms  p95={self.p95_ms:.3f}ms  p99={self.p99_ms:.3f}ms",
+        ]
+        if self.config.warmup > 0:
+            lines.append(
+                f"steady   : {self.steady_requests} requests after warmup={self.config.warmup}: "
+                f"p50={self.steady_p50_ms:.3f}ms  p95={self.steady_p95_ms:.3f}ms  "
+                f"p99={self.steady_p99_ms:.3f}ms"
+            )
+        lines += [
             f"probes   : {self.probes_total} total, {self.probes_per_request:.1f}/request",
             f"batches  : {self.flushes} flushes, mean occupancy {self.mean_occupancy:.1f}",
             f"service  : {self.phases_completed} phases completed, "
@@ -116,10 +155,9 @@ class LoadgenReport:
         return payload
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    return float(np.percentile(np.asarray(samples), q))
+def _quantile_ms(hist: Histogram, q: float) -> float:
+    """Histogram-derived quantile in milliseconds (observations are seconds)."""
+    return hist.quantile(q) * 1000.0
 
 
 def _arrivals(
@@ -167,27 +205,52 @@ def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
     )
     arrival_gen = as_generator(cfg.seed + 2)
 
+    hist_all = Histogram("serve.request_latency_seconds")
+    hist_steady = Histogram("serve.request_latency_seconds.steady")
     latencies_ms: list[float] = []
     requests = 0
     flushes = 0
     occupancy_total = 0
-    t0 = time.perf_counter()
-    while not service.finished and requests < cfg.max_requests:
-        players = _arrivals(cfg, service, arrival_gen)
-        if not players:
-            break
-        for start in range(0, len(players), cfg.window):
-            chunk = players[start : start + cfg.window]
-            t1 = time.perf_counter()
-            for player in chunk:
-                router.submit(player)
-            router.flush()
-            dt_ms = (time.perf_counter() - t1) * 1000.0
-            latencies_ms.extend([dt_ms] * len(chunk))
-            requests += len(chunk)
-            flushes += 1
-            occupancy_total += len(chunk)
-    wall_s = time.perf_counter() - t0
+    with ExitStack() as stack:
+        sink: MetricsSnapshotSink | None = None
+        if cfg.metrics_path is not None:
+            registry = stack.enter_context(collecting(MetricRegistry()))
+            sink = stack.enter_context(
+                MetricsSnapshotSink(
+                    cfg.metrics_path,
+                    registry,
+                    interval_s=cfg.metrics_interval_s,
+                    meta={"tool": "repro.loadgen", "seed": cfg.seed, "mode": cfg.mode},
+                )
+            )
+        t0 = time.perf_counter()
+        while not service.finished and requests < cfg.max_requests:
+            players = _arrivals(cfg, service, arrival_gen)
+            if not players:
+                break
+            for start in range(0, len(players), cfg.window):
+                chunk = players[start : start + cfg.window]
+                t1 = time.perf_counter()
+                for player in chunk:
+                    router.submit(player)
+                router.flush()
+                dt_s = time.perf_counter() - t1
+                latencies_ms.extend([dt_s * 1000.0] * len(chunk))
+                active = get_registry()
+                for i in range(len(chunk)):
+                    hist_all.observe(dt_s)
+                    if requests + i >= cfg.warmup:
+                        hist_steady.observe(dt_s)
+                    if active is not None:
+                        active.observe("serve.request_latency_seconds", dt_s)
+                requests += len(chunk)
+                flushes += 1
+                occupancy_total += len(chunk)
+                if sink is not None:
+                    sink.maybe_write()
+        wall_s = time.perf_counter() - t0
+        if sink is not None:
+            sink.write()  # final snapshot: the run's complete histograms
 
     outputs = service.outputs()
     probes_total = int(service.oracle.stats().per_player.sum())
@@ -198,9 +261,13 @@ def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
         flushes=flushes,
         wall_s=wall_s,
         throughput_rps=requests / wall_s if wall_s > 0 else 0.0,
-        p50_ms=_percentile(latencies_ms, 50),
-        p95_ms=_percentile(latencies_ms, 95),
-        p99_ms=_percentile(latencies_ms, 99),
+        p50_ms=_quantile_ms(hist_all, 0.50),
+        p95_ms=_quantile_ms(hist_all, 0.95),
+        p99_ms=_quantile_ms(hist_all, 0.99),
+        steady_requests=hist_steady.count,
+        steady_p50_ms=_quantile_ms(hist_steady, 0.50),
+        steady_p95_ms=_quantile_ms(hist_steady, 0.95),
+        steady_p99_ms=_quantile_ms(hist_steady, 0.99),
         probes_per_request=probes_total / requests if requests else 0.0,
         mean_occupancy=occupancy_total / flushes if flushes else 0.0,
         phases_completed=service.phases_completed,

@@ -19,11 +19,14 @@ estimate.  Clients never see an error.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
+from repro.obs import metrics
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.billboard.exceptions import BudgetExceededError
 from repro.core.batching import batching_enabled
 from repro.serve.service import ServeService
@@ -105,6 +108,7 @@ class MicroBatchRouter:
             raise ValueError(f"probe grant must be positive, got {grant}")
         self._buffer.append(Request(player=player, probes=grant))
         obs.incr("serve.requests")
+        metrics.incr("serve.requests_total")
         if len(self._buffer) >= self.config.window:
             self._ready.extend(self._flush_buffer())
 
@@ -166,15 +170,22 @@ class MicroBatchRouter:
         service = self.service
         obs.incr("serve.flushes")
         obs.incr("serve.batch_occupancy", len(requests))
+        registry = metrics.get_registry()
+        if registry is not None:
+            registry.incr("serve.flushes_total")
+            registry.observe("serve.flush_occupancy", float(len(requests)), SIZE_BUCKETS)
         grants: dict[int, int] = {}
         used: dict[int, int] = {}
         for request in requests:
             grants[request.player] = grants.get(request.player, 0) + request.probes
             used.setdefault(request.player, 0)
             service.sessions[request.player].requests_served += 1
+        t0 = time.perf_counter() if registry is not None else 0.0
         with obs.span("serve/flush", oracle=service.oracle, requests=len(requests)):
             self._drive(grants, used)
-        return [
+        if registry is not None:
+            registry.observe("serve.flush_latency_seconds", time.perf_counter() - t0)
+        responses = [
             Response(
                 player=request.player,
                 status=service.sessions[request.player].status,
@@ -184,6 +195,11 @@ class MicroBatchRouter:
             )
             for request in requests
         ]
+        if registry is not None:
+            degraded = sum(1 for response in responses if response.status == "drained")
+            if degraded:
+                registry.incr("serve.degraded_admissions_total", degraded)
+        return responses
 
     def _drive(self, grants: dict[int, int], used: dict[int, int]) -> None:
         """Advance granted sessions until probes run out or nothing moves."""
@@ -218,6 +234,7 @@ class MicroBatchRouter:
                     stage_done = True
                 else:
                     blocked.add(player)
+                    metrics.incr("serve.wait_parks_total")
             if stage_done or posted:
                 blocked.clear()
             if batch_players:
@@ -235,6 +252,8 @@ class MicroBatchRouter:
     ) -> bool:
         """Answer one probe wavefront; ``False`` when the budget ran out."""
         service = self.service
+        registry = metrics.get_registry()
+        t0 = time.perf_counter() if registry is not None else 0.0
         try:
             if self.config.micro_batch and batching_enabled():
                 values = service.oracle.probe_many(
@@ -248,6 +267,11 @@ class MicroBatchRouter:
         except BudgetExceededError:
             service.mark_exhausted()
             return False
+        if registry is not None:
+            registry.incr("serve.wavefronts_total")
+            registry.incr("serve.probes_total", len(players))
+            registry.observe("serve.wavefront_size", float(len(players)), SIZE_BUCKETS)
+            registry.observe("serve.wavefront_latency_seconds", time.perf_counter() - t0)
         for player, value in zip(players, values):
             service.sessions[player].deliver(int(value))
             grants[player] -= 1

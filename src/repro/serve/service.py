@@ -38,6 +38,7 @@ from typing import Any
 import numpy as np
 
 from repro import obs
+from repro.obs import metrics
 from repro.billboard.board import Billboard
 from repro.billboard.oracle import ProbeOracle
 from repro.core.params import Params
@@ -214,6 +215,7 @@ class ServeService:
         self.exhausted = True
         self._stage_outputs = {}
         obs.event("serve.budget_exhausted", phase=self.phase_j, stage=self.stage)
+        metrics.incr("serve.budget_exhausted_total")
         self.stage = "drained"
         self.sessions.freeze("drained")
         self._checkpoint = self._capture_checkpoint()
@@ -307,7 +309,9 @@ class ServeService:
         """Phase barrier: record completion, checkpoint, start the next."""
         self.completed.append(2.0 ** (-self.phase_j))
         obs.incr("serve.phases_completed")
+        metrics.incr("serve.phases_completed_total")
         self.phase_j += 1
+        metrics.set_gauge("serve.phase", self.phase_j)
         self._checkpoint = self._capture_checkpoint()
         if self.phase_j > self._max_j:
             self._finish_service()

@@ -23,6 +23,7 @@ from typing import Any, Generator, Iterator, Mapping
 import numpy as np
 
 from repro import obs
+from repro.obs import metrics
 from repro.billboard.board import Billboard
 from repro.engine.actions import Post, Probe, Wait
 
@@ -110,6 +111,7 @@ def advance(session: Session, billboard: Billboard) -> str:
         if isinstance(action, Post):
             billboard.post_vectors(action.channel, np.atleast_2d(action.vector))
             session.posts_served += 1
+            metrics.incr("serve.billboard_posts_total")
             continue
         if isinstance(action, Probe):
             session.pending_probe = int(action.obj)
@@ -176,7 +178,9 @@ class SessionStore:
         return sorted(p for p, s in self._sessions.items() if s.status == "active")
 
     def _gauge(self) -> None:
-        obs.gauge("serve.active_sessions", self.count("active"))
+        active = self.count("active")
+        obs.gauge("serve.active_sessions", active)
+        metrics.set_gauge("serve.active_sessions", active)
 
     def __repr__(self) -> str:  # pragma: no cover - convenience
         return f"SessionStore(n={len(self._sessions)}, active={self.count('active')})"

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.params import Params
 from repro.io import FORMAT_VERSION, check_format_version
+from repro.obs import metrics
 from repro.metrics.bitpack import pack_rows, unpack_rows
 from repro.serve.service import ServeConfig, ServeService, ServiceCheckpoint
 
@@ -76,6 +77,7 @@ def save_service(path: str | Path, service: ServeService) -> Path:
         arrays[f"channel_{i}"] = ckpt.channels[name]
     arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
+    metrics.incr("serve.checkpoint_saves_total")
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
@@ -123,4 +125,5 @@ def load_service(path: str | Path) -> ServeService:
             channels=channels,
             best=data["best"] if meta["has_best"] else None,
         )
+    metrics.incr("serve.checkpoint_restores_total")
     return ServeService.from_checkpoint(ckpt)

@@ -1,0 +1,15 @@
+"""RPL011 violations: labels built eagerly at telemetry call sites."""
+
+from repro import obs
+from repro.obs import metrics
+
+__all__ = ["serve_one"]
+
+
+def serve_one(phase: int, kind: str, latency_s: float) -> None:
+    with obs.span(f"serve/flush/{phase}"):  # RPL011: f-string label
+        pass
+    obs.incr("serve.requests.%s" % kind)  # RPL011: %-format label
+    metrics.incr("serve.{}.requests".format(kind))  # RPL011: .format() label
+    obs.event("serve.flush", attrs={"phase": phase})  # RPL011: dict literal
+    metrics.observe("serve.request_latency_seconds", latency_s)  # clean

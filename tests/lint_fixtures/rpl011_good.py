@@ -1,0 +1,17 @@
+"""RPL011 clean: literal names on the hot path, dynamic work guarded."""
+
+from repro import obs
+from repro.obs import metrics
+
+__all__ = ["serve_one"]
+
+
+def serve_one(phase: int, latency_s: float) -> None:
+    obs.incr("serve.requests")
+    metrics.incr("serve.requests_total")
+    metrics.observe("serve.request_latency_seconds", latency_s)
+    registry = metrics.get_registry()
+    if registry is not None:
+        # Behind the explicit guard the cost is only paid when metrics
+        # are on; registry methods are not module-level hot helpers.
+        registry.incr("serve.phase_%d.flushes" % phase)

@@ -73,6 +73,10 @@ GOLDEN_ALL = [
     "LoadgenReport",
     "save_probe_stats",
     "load_probe_stats",
+    # live metrics
+    "MetricRegistry",
+    "MetricsSnapshotSink",
+    "metrics_collecting",
     # rng contract
     "as_generator",
 ]
@@ -139,6 +143,12 @@ GOLDEN_SIGNATURES = {
     "run_loadgen": "(config: 'LoadgenConfig | None' = None) -> 'LoadgenReport'",
     "save_probe_stats": "(path: 'str | Path', stats: 'ProbeStats') -> 'Path'",
     "load_probe_stats": "(path: 'str | Path') -> 'ProbeStats'",
+    "MetricRegistry": "() -> 'None'",
+    "MetricsSnapshotSink": (
+        "(path: 'str | Path', registry: 'MetricRegistry', *, "
+        "interval_s: 'float' = 1.0, meta: 'dict[str, Any] | None' = None) -> 'None'"
+    ),
+    "metrics_collecting": "(registry: 'MetricRegistry') -> 'Iterator[MetricRegistry]'",
 }
 
 

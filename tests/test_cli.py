@@ -132,6 +132,63 @@ class TestLoadgenCommand:
         assert main(["loadgen", "--workload", "nope"]) == 2
         assert "unknown workload" in capsys.readouterr().out
 
+    def test_loadgen_warmup_reports_steady_state(self, capsys):
+        code = main(["loadgen", "--sessions", "32", "--quick", "--seed", "3",
+                     "--warmup", "8"])
+        assert code == 0
+        assert "steady" in capsys.readouterr().out
+
+
+class TestMetricsFlags:
+    def _run_with_metrics(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        code = main(["loadgen", "--sessions", "32", "--quick", "--seed", "3",
+                     "--metrics", str(path), "--metrics-interval", "0"])
+        return code, path
+
+    def test_loadgen_metrics_writes_snapshots(self, tmp_path, capsys):
+        code, path = self._run_with_metrics(tmp_path)
+        assert code == 0
+        assert f"metrics  : {path}" in capsys.readouterr().out
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta" and lines[0]["version"] == 2
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["counters"]["serve.requests_total"] > 0
+
+    def test_obs_top_renders_final_snapshot(self, tmp_path, capsys):
+        _, path = self._run_with_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "top", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot #" in out
+        assert "serve.requests_total" in out
+        assert "p50" in out and "p99" in out
+
+    def test_obs_export_prometheus_text(self, tmp_path, capsys):
+        _, path = self._run_with_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "export", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_serve_requests_total counter" in out
+        assert 'repro_serve_request_latency_seconds_bucket{le="+Inf"}' in out
+
+    def test_obs_export_snapshot_index_out_of_range(self, tmp_path, capsys):
+        _, path = self._run_with_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "export", str(path), "--snapshot", "99"]) == 2
+        assert "snapshot" in capsys.readouterr().out
+
+    def test_obs_top_no_metrics_lines(self, tmp_path, capsys):
+        path = tmp_path / "plain.jsonl"
+        main(["demo", "--n", "64", "--seed", "3", "--telemetry", str(path)])
+        capsys.readouterr()
+        assert main(["obs", "top", str(path)]) == 2
+        assert "no metric snapshots" in capsys.readouterr().out
+
+    def test_obs_export_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "export", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such telemetry file" in capsys.readouterr().out
+
 
 class TestTelemetryFlags:
     def test_demo_telemetry_writes_valid_jsonl(self, tmp_path, capsys):

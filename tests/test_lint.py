@@ -1,4 +1,4 @@
-"""Tests for the repro lint engine, the ten RPL rules, and the CLI.
+"""Tests for the repro lint engine, the eleven RPL rules, and the CLI.
 
 Every rule is pinned by a fixture pair under ``tests/lint_fixtures/``:
 the *bad* file must trip exactly that rule (and stops tripping anything
@@ -44,6 +44,7 @@ BAD_CASES = {
     "RPL008": ("rpl008_bad.py", EXP_PATH, 1, "rename `seed` to `rng`"),
     "RPL009": ("rpl009_bad.py", SERVE_PATH, 2, "touches the preference matrix"),
     "RPL010": ("rpl010_bad.py", LIB_PATH, 2, "bitpack boundary"),
+    "RPL011": ("rpl011_bad.py", LIB_PATH, 4, "evaluated even when telemetry is off"),
 }
 
 GOOD_CASES = {
@@ -57,6 +58,7 @@ GOOD_CASES = {
     "RPL008": ("rpl008_good.py", EXP_PATH),
     "RPL009": ("rpl009_good.py", SERVE_PATH),
     "RPL010": ("rpl010_good.py", LIB_PATH),
+    "RPL011": ("rpl011_good.py", LIB_PATH),
 }
 
 
@@ -122,6 +124,13 @@ def test_meta_rule_applies_everywhere():
     source = (FIXTURES / "rpl003_bad.py").read_text(encoding="utf-8")
     diagnostics = lint_source(source, ALL_RULES, path="tests/test_fixture.py")
     assert [d.rule for d in diagnostics] == ["RPL003", "RPL003"]
+
+
+def test_obs_layer_itself_exempt_from_rpl011():
+    """RPL011 guards call sites, not the obs layer's own machinery."""
+    source = (FIXTURES / "rpl011_bad.py").read_text(encoding="utf-8")
+    diagnostics = lint_source(source, ALL_RULES, path="src/repro/obs/fixture.py")
+    assert [d for d in diagnostics if d.rule == "RPL011"] == []
 
 
 def test_module_path_of():
@@ -192,7 +201,7 @@ def test_collect_files_skips_caches_and_fixtures(tmp_path):
 
 def test_rules_by_id_is_complete():
     catalog = rules_by_id()
-    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 11)]
+    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 12)]
     for rule_id, rule in catalog.items():
         assert rule.id == rule_id
         assert rule.severity in ("error", "warning")

@@ -1,0 +1,373 @@
+"""Tests for the live metrics layer (`repro.obs.metrics`).
+
+Pins the three ISSUE contracts: fixed bucket boundaries merge *exactly*
+across histograms (hypothesis property tests over split observation
+streams and a JSON round-trip), the disabled path of the module-level
+helpers costs a single attribute check (micro-benchmark against an empty
+function), and the registry's three surfaces — Prometheus exposition,
+JSONL snapshots, `obs top` frames — all derive from the same buckets.
+"""
+
+from __future__ import annotations
+
+import json
+import timeit
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    Histogram,
+    MetricRegistry,
+    MetricsSnapshotSink,
+    collecting,
+)
+from repro.obs.schema import SCHEMA_VERSION, load_jsonl
+
+
+@pytest.fixture(autouse=True)
+def _no_active_registry():
+    """Every test starts and ends with metrics off (no global leaks)."""
+    assert metrics.get_registry() is None
+    yield
+    metrics.set_registry(None)
+
+
+# ------------------------------------------------------------ histogram
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_upper_bound_inclusive(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value, bucket in [(0.5, 0), (1.0, 0), (1.5, 1), (2.0, 1), (4.0, 2), (5.0, 3)]:
+            h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+            h.observe(value)
+            assert h.counts[bucket] == 1, (value, h.counts)
+        assert len(hist.counts) == 4  # three bounds + overflow
+
+    def test_bounds_must_be_ascending_and_non_empty(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            Histogram("h", bounds=())
+
+    def test_fixed_boundaries_are_exact_binary_floats(self):
+        """Powers of two survive a JSON round-trip bit for bit — the
+        property that makes snapshot-file merges exact."""
+        for bounds in (LATENCY_BUCKETS_S, SIZE_BUCKETS):
+            assert tuple(json.loads(json.dumps(list(bounds)))) == bounds
+
+    def test_quantile_empty_and_bounds_checks(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)
+
+    def test_quantile_interpolates_and_is_monotone(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in [0.5] * 50 + [3.0] * 50:
+            hist.observe(value)
+        # Half the mass in (0, 1], half in (2, 4]: p25 inside the first
+        # bucket, p75 inside the third.
+        assert 0.0 < hist.quantile(0.25) <= 1.0
+        assert 2.0 < hist.quantile(0.75) <= 4.0
+        qs = [hist.quantile(q / 20) for q in range(21)]
+        assert qs == sorted(qs)
+
+    def test_quantile_overflow_reports_highest_finite_bound(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(1000.0)
+        assert hist.quantile(0.5) == 2.0
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram("a", bounds=(1.0, 2.0))
+        b = Histogram("b", bounds=(1.0, 4.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+    def test_snapshot_round_trip(self):
+        hist = Histogram("h", bounds=SIZE_BUCKETS)
+        for value in (1.0, 7.0, 300.0):
+            hist.observe(value)
+        back = Histogram.from_snapshot("h", json.loads(json.dumps(hist.to_snapshot())))
+        assert back.bounds == hist.bounds
+        assert back.counts == hist.counts
+        assert back.count == hist.count
+        assert back.sum == hist.sum
+
+    def test_from_snapshot_rejects_bucket_mismatch(self):
+        snap = Histogram("h", bounds=(1.0, 2.0)).to_snapshot()
+        snap["counts"] = [0, 0]  # should be 3 (two bounds + overflow)
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram.from_snapshot("h", snap)
+
+
+#: Latencies in [0, 64] seconds cover most of LATENCY_BUCKETS_S plus the
+#: overflow bucket (bounds stop at 32 s).
+_observations = st.lists(
+    st.floats(min_value=0.0, max_value=64.0, allow_nan=False), max_size=200
+)
+#: Integer-valued observations make `sum` exact, so merge equality can
+#: be asserted with `==` instead of approx.
+_int_observations = st.lists(st.integers(min_value=0, max_value=64), max_size=200)
+
+
+class TestExactMerge:
+    @settings(max_examples=50, deadline=None)
+    @given(a=_observations, b=_observations)
+    def test_merge_of_split_streams_matches_single_histogram(self, a, b):
+        """Observing a+b into one histogram equals observing the halves
+        into two and merging — bucket for bucket, exactly."""
+        whole = Histogram("whole")
+        for value in a + b:
+            whole.observe(value)
+        left, right = Histogram("left"), Histogram("right")
+        for value in a:
+            left.observe(value)
+        for value in b:
+            right.observe(value)
+        left.merge(right)
+        assert left.counts == whole.counts
+        assert left.count == whole.count
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=_int_observations, b=_int_observations)
+    def test_merge_through_json_snapshot_is_exact(self, a, b):
+        """The sharded-aggregation path: each worker snapshots to JSON,
+        the aggregator rebuilds and merges — still exact, sum included."""
+        whole = Histogram("whole")
+        for value in a + b:
+            whole.observe(float(value))
+        shards = []
+        for chunk in (a, b):
+            shard = Histogram("shard")
+            for value in chunk:
+                shard.observe(float(value))
+            shards.append(json.loads(json.dumps(shard.to_snapshot())))
+        merged = Histogram.from_snapshot("merged", shards[0])
+        merged.merge(Histogram.from_snapshot("other", shards[1]))
+        assert merged.counts == whole.counts
+        assert merged.count == whole.count
+        assert merged.sum == whole.sum
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == whole.quantile(q)
+
+
+# ------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_first_use_creates_and_len_contains(self):
+        registry = MetricRegistry()
+        assert len(registry) == 0 and "x" not in registry
+        registry.incr("serve.requests_total", 3)
+        registry.set_gauge("serve.phase", 2)
+        registry.observe("serve.request_latency_seconds", 0.01)
+        assert len(registry) == 3
+        assert "serve.requests_total" in registry
+        assert registry.counter("serve.requests_total").value == 3
+        assert registry.gauge("serve.phase").value == 2
+        assert registry.histogram("serve.request_latency_seconds").count == 1
+
+    def test_histogram_rebind_with_different_bounds_is_an_error(self):
+        registry = MetricRegistry()
+        registry.observe("serve.wavefront_size", 4.0, bounds=SIZE_BUCKETS)
+        registry.histogram("serve.wavefront_size")  # bounds bind on first use only
+        with pytest.raises(ValueError, match="different bounds"):
+            registry.histogram("serve.wavefront_size", bounds=(1.0, 2.0))
+
+    def test_merge_counters_add_gauges_overwrite(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.incr("requests_total", 2)
+        a.set_gauge("phase", 1)
+        b.incr("requests_total", 5)
+        b.set_gauge("phase", 3)
+        b.observe("latency_seconds", 0.5)
+        a.merge(b)
+        assert a.counter("requests_total").value == 7
+        assert a.gauge("phase").value == 3
+        assert a.histogram("latency_seconds").count == 1
+
+    def test_snapshot_round_trip(self):
+        registry = MetricRegistry()
+        registry.incr("requests_total", 4)
+        registry.set_gauge("active", 9)
+        registry.observe("latency_seconds", 0.25)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        back = MetricRegistry.from_snapshot(snap)
+        assert back.snapshot() == registry.snapshot()
+
+    def test_expose_text_format(self):
+        registry = MetricRegistry()
+        registry.incr("serve.requests_total", 3)
+        registry.set_gauge("serve.active_sessions", 5)
+        registry.observe("latency_seconds", 1.5, bounds=(1.0, 2.0))
+        registry.observe("latency_seconds", 0.5, bounds=(1.0, 2.0))
+        text = registry.expose_text()
+        assert "# TYPE repro_serve_requests_total counter\nrepro_serve_requests_total 3\n" in text
+        assert "# TYPE repro_serve_active_sessions gauge\nrepro_serve_active_sessions 5\n" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        # Buckets are cumulative with the conventional +Inf terminator.
+        assert 'repro_latency_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="2.0"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_seconds_sum 2.0" in text
+        assert "repro_latency_seconds_count 2" in text
+
+    def test_expose_text_empty_registry(self):
+        assert MetricRegistry().expose_text() == ""
+
+
+# ----------------------------------------------------------------- sink
+
+
+class TestSnapshotSink:
+    def test_writes_schema_v2_meta_then_metrics_lines(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = MetricRegistry()
+        with MetricsSnapshotSink(path, registry, interval_s=0.0, meta={"tool": "t"}) as sink:
+            registry.incr("requests_total")
+            sink.write()
+            registry.incr("requests_total")
+            sink.write()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["version"] == SCHEMA_VERSION == 2
+        assert [line["seq"] for line in lines[1:]] == [0, 1]
+        assert [line["counters"]["requests_total"] for line in lines[1:]] == [1, 2]
+
+    def test_maybe_write_rate_limits(self, tmp_path):
+        registry = MetricRegistry()
+        with MetricsSnapshotSink(tmp_path / "m.jsonl", registry, interval_s=3600.0) as sink:
+            assert sink.maybe_write()  # first call always writes
+            assert not sink.maybe_write()  # inside the interval
+            assert sink.seq == 1
+
+    def test_write_after_close_raises_and_close_is_idempotent(self, tmp_path):
+        sink = MetricsSnapshotSink(tmp_path / "m.jsonl", MetricRegistry())
+        sink.close()
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.write()
+
+    def test_load_jsonl_round_trips_snapshots(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = MetricRegistry()
+        registry.observe("latency_seconds", 0.125)
+        with MetricsSnapshotSink(path, registry, interval_s=0.0) as sink:
+            sink.write()
+        run = load_jsonl(path)
+        assert len(run.metrics) == 1
+        back = MetricRegistry.from_snapshot(run.metrics[0])
+        assert back.histogram("latency_seconds").count == 1
+        assert back.expose_text() == registry.expose_text()
+
+    def test_v1_files_still_load(self, tmp_path):
+        """Schema bump is backwards compatible: version-1 files (no
+        metrics lines) parse, with an empty `metrics` list."""
+        path = tmp_path / "v1.jsonl"
+        path.write_text('{"type": "meta", "version": 1, "meta": {"command": "demo"}}\n')
+        run = load_jsonl(path)
+        assert run.meta["command"] == "demo"
+        assert run.metrics == []
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="interval_s"):
+            MetricsSnapshotSink(tmp_path / "m.jsonl", MetricRegistry(), interval_s=-1.0)
+
+
+# -------------------------------------------------- active-registry runtime
+
+
+class TestRuntime:
+    def test_helpers_are_noops_when_disabled(self):
+        assert not metrics.enabled()
+        metrics.incr("requests_total")
+        metrics.set_gauge("phase", 1)
+        metrics.observe("latency_seconds", 0.5)
+        assert metrics.get_registry() is None
+
+    def test_collecting_routes_helpers_and_restores(self):
+        registry = MetricRegistry()
+        with collecting(registry) as active:
+            assert active is registry and metrics.enabled()
+            metrics.incr("requests_total", 2)
+            metrics.set_gauge("phase", 3)
+            metrics.observe("wavefront_size", 8.0, bounds=SIZE_BUCKETS)
+        assert not metrics.enabled()
+        assert registry.counter("requests_total").value == 2
+        assert registry.gauge("phase").value == 3
+        assert registry.histogram("wavefront_size").count == 1
+
+    def test_collecting_restores_previous_registry_on_error(self):
+        outer = MetricRegistry()
+        with collecting(outer):
+            with pytest.raises(RuntimeError), collecting(MetricRegistry()):
+                raise RuntimeError("boom")
+            assert metrics.get_registry() is outer
+
+    def test_disabled_path_costs_a_single_attribute_check(self):
+        """The zero-overhead contract: with no active registry, `incr`
+        and `observe` are one global read and a `None` check — within a
+        small constant factor of calling an empty function.  Best-of
+        timing with a generous 5x bound keeps this meaningful without
+        being flaky on loaded CI machines."""
+
+        def empty(name: str, value: float = 1) -> None:
+            pass
+
+        assert metrics.get_registry() is None
+        number, repeat = 20_000, 7
+
+        def best(stmt: str, func) -> float:
+            return min(
+                timeit.repeat(stmt, globals={"f": func}, number=number, repeat=repeat)
+            )
+
+        t_empty = best("f('serve.requests_total')", empty)
+        t_incr = best("f('serve.requests_total')", metrics.incr)
+        t_observe = best("f('serve.request_latency_seconds', 0.5)", metrics.observe)
+        assert t_incr < 5 * t_empty, (t_incr, t_empty)
+        assert t_observe < 5 * t_empty, (t_observe, t_empty)
+
+
+# ------------------------------------------------------ obs top rendering
+
+
+class TestRenderFrame:
+    def _snapshot(self, seq: int, t: float, requests: int) -> dict:
+        registry = MetricRegistry()
+        registry.incr("serve.requests_total", requests)
+        registry.set_gauge("serve.active_sessions", 7)
+        for _ in range(requests):
+            registry.observe("serve.request_latency_seconds", 0.004)
+            registry.observe("serve.wavefront_size", 16.0, bounds=SIZE_BUCKETS)
+        return {"type": "metrics", "seq": seq, "t": t, **registry.snapshot()}
+
+    def test_single_frame_lists_all_three_kinds(self):
+        frame = metrics.render_frame(self._snapshot(0, 1.0, 10))
+        assert "snapshot #0" in frame
+        assert "serve.requests_total" in frame
+        assert "serve.active_sessions" in frame
+        assert "serve.request_latency_seconds" in frame
+        assert "p50" in frame and "p99" in frame
+
+    def test_rates_from_previous_snapshot(self):
+        frame = metrics.render_frame(
+            self._snapshot(1, 3.0, 30), previous=self._snapshot(0, 1.0, 10)
+        )
+        assert "(rates over 2.00s)" in frame
+        assert "10.0" in frame  # (30 - 10) requests / 2 s
+
+    def test_latency_cells_scaled_size_cells_plain(self):
+        frame = metrics.render_frame(self._snapshot(0, 1.0, 5))
+        latency_row = next(
+            line for line in frame.splitlines() if "request_latency_seconds" in line
+        )
+        size_row = next(line for line in frame.splitlines() if "wavefront_size" in line)
+        assert "ms" in latency_row  # seconds histograms render human-scaled
+        assert "16.0" in size_row  # size histograms stay unscaled

@@ -11,6 +11,8 @@ import json
 
 import pytest
 
+from repro.obs.metrics import Histogram, MetricRegistry
+from repro.obs.schema import load_jsonl
 from repro.serve import LoadgenConfig, run_loadgen
 from repro.serve.loadgen import dump_report_json
 
@@ -106,3 +108,82 @@ class TestBudgetedLoad:
         assert report.sessions_drained == QUICK["sessions"]
         assert report.sessions_complete == 0
         assert report.phases_completed == 0
+
+
+class TestWarmup:
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            LoadgenConfig(warmup=-1)
+        with pytest.raises(ValueError, match="metrics_interval_s"):
+            LoadgenConfig(metrics_interval_s=-0.5)
+
+    def test_warmup_excludes_early_requests_from_steady_figures(self):
+        report = run_loadgen(LoadgenConfig(warmup=16, **QUICK))
+        assert report.steady_requests == report.requests - 16
+        assert 0 <= report.steady_p50_ms <= report.steady_p95_ms <= report.steady_p99_ms
+        assert "steady" in report.render()
+
+    def test_zero_warmup_steady_equals_overall(self):
+        report = run_loadgen(LoadgenConfig(**QUICK))
+        assert report.steady_requests == report.requests
+        assert (report.steady_p50_ms, report.steady_p95_ms, report.steady_p99_ms) == (
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+        )
+        assert "steady" not in report.render()
+
+
+class TestMetricsIntegration:
+    """The ISSUE acceptance: loadgen with metrics on emits snapshots whose
+    histogram-derived percentiles match the report's, and serves the same
+    bits as a metrics-off run."""
+
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("metrics") / "metrics.jsonl"
+        report = run_loadgen(
+            LoadgenConfig(metrics_path=str(path), metrics_interval_s=0.0, **QUICK)
+        )
+        return report, load_jsonl(path)
+
+    def test_metrics_on_serves_identical_bits(self, run):
+        report, _ = run
+        baseline = run_loadgen(LoadgenConfig(**QUICK))
+        assert report.outputs_sha == baseline.outputs_sha
+        assert report.probes_total == baseline.probes_total
+        assert report.requests == baseline.requests
+
+    def test_snapshot_percentiles_match_report_exactly(self, run):
+        """Same fixed buckets on both sides, so the snapshot-derived
+        p50/p95/p99 equal the report's to the bit, not approximately."""
+        report, telemetry = run
+        final = telemetry.metrics[-1]
+        hist = Histogram.from_snapshot(
+            "serve.request_latency_seconds",
+            final["histograms"]["serve.request_latency_seconds"],
+        )
+        assert hist.count == report.requests
+        assert hist.quantile(0.50) * 1000.0 == report.p50_ms
+        assert hist.quantile(0.95) * 1000.0 == report.p95_ms
+        assert hist.quantile(0.99) * 1000.0 == report.p99_ms
+
+    def test_snapshots_carry_the_serving_lifecycle(self, run):
+        report, telemetry = run
+        assert telemetry.metrics, "no metrics lines written"
+        assert [m["seq"] for m in telemetry.metrics] == list(range(len(telemetry.metrics)))
+        counters = telemetry.metrics[-1]["counters"]
+        assert counters["serve.requests_total"] == report.requests
+        assert counters["serve.probes_total"] == report.probes_total
+        assert counters["serve.flushes_total"] == report.flushes
+        assert counters["serve.phases_completed_total"] == report.phases_completed
+        assert counters["board.vector_posts_total"] > 0
+        histograms = telemetry.metrics[-1]["histograms"]
+        assert histograms["serve.flush_occupancy"]["count"] == report.flushes
+        assert histograms["serve.wavefront_size"]["count"] > 0
+
+    def test_final_registry_exports_prometheus_text(self, run):
+        _, telemetry = run
+        text = MetricRegistry.from_snapshot(telemetry.metrics[-1]).expose_text()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'repro_serve_request_latency_seconds_bucket{le="+Inf"}' in text
