@@ -22,6 +22,19 @@ speedup is measured on it.  The acceptance floor is micro-batched
 **beating** sequential; the measured report is archived under
 ``benchmarks/reports/`` via :func:`conftest.archive_text`.
 
+On top of the A/B, the harness sweeps the **sharded topology** over
+``workers ∈ {1, 2, 4, 8}`` with the micro-batched config held fixed:
+``workers=1`` is the in-process runtime (the micro run itself), higher
+counts partition the sessions across that many worker processes over
+the shared packed oracle (:mod:`repro.serve.sharded`).  Every sweep
+entry must serve the *same bits* (outputs digest and total probes are
+asserted equal) — the sweep measures topology cost/benefit, never
+correctness drift.  Each record carries ``workers`` and ``host_cpus``
+so readers (and the regression gate) can judge whether a speedup was
+physically possible: on a 1-CPU host the sharded entries measure pure
+coordination overhead, and ``check_regression.py`` skips gating any
+record whose worker count exceeds the checking host's cores.
+
 ``python benchmarks/bench_serve.py [--out PATH]`` re-times the A/B and
 writes the machine-readable record to ``BENCH_serve.json`` at the repo
 root (mirroring ``bench_micro_substrate.py`` → ``BENCH_substrate.json``);
@@ -60,11 +73,46 @@ BASE = dict(
     probes_per_request=32,
 )
 WINDOW = 256
+#: Sharded-topology sweep: worker counts the loadgen is re-run with.
+WORKER_SWEEP = (1, 2, 4, 8)
 
 
 def _best(config: LoadgenConfig) -> LoadgenReport:
     """Best-of-``ROUNDS`` run of one mode (min wall time wins)."""
     return min((run_loadgen(config) for _ in range(ROUNDS)), key=lambda r: r.wall_s)
+
+
+def _sweep_sharded(micro: LoadgenReport, size: str) -> dict[str, dict]:
+    """Worker-count sweep records, equivalence-checked against *micro*.
+
+    ``workers=1`` reuses the micro run — it *is* that topology — so the
+    sweep's ``speedup_vs_w1`` column is anchored to the same record the
+    A/B reports.
+    """
+    host_cpus = os.cpu_count() or 1
+    base_probes_s = micro.probes_total / micro.wall_s
+    entries: dict[str, dict] = {}
+    for workers in WORKER_SWEEP:
+        if workers == 1:
+            report = micro
+        else:
+            report = _best(
+                LoadgenConfig(window=WINDOW, micro_batch=True, workers=workers, **BASE)
+            )
+            assert report.outputs_sha == micro.outputs_sha, (
+                f"workers={workers} changed the served bits"
+            )
+            assert report.probes_total == micro.probes_total
+        probes_s = report.probes_total / report.wall_s
+        entries[f"serve_sharded_w{workers}"] = {
+            "size": size,
+            "workers": workers,
+            "host_cpus": host_cpus,
+            "wall_s": round(report.wall_s, 3),
+            "probes_per_s": round(probes_s, 1),
+            "speedup_vs_w1": round(probes_s / base_probes_s, 2),
+        }
+    return entries
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -87,11 +135,13 @@ def main(argv: list[str] | None = None) -> None:
     probes_s_seq = sequential.probes_total / sequential.wall_s
     probes_s_micro = micro.probes_total / micro.wall_s
     size = f"planted n=m={N}, {micro.probes_total} probes"
+    sharded = _sweep_sharded(micro, size)
     out = {
-        "bench": "serving runtime: micro-batched probe routing A/B",
+        "bench": "serving runtime: micro-batched probe routing A/B + worker sweep",
         "harness": (
             f"benchmarks/bench_serve.py, closed-loop loadgen, best of {ROUNDS}, "
-            f"seed {SEED}, 1 anytime phase, grant={BASE['probes_per_request']}"
+            f"seed {SEED}, 1 anytime phase, grant={BASE['probes_per_request']}, "
+            f"workers swept over {list(WORKER_SWEEP)}"
         ),
         "seed_semantics": "sequential serving: window=1, scalar oracle probes",
         "kernels": {
@@ -106,13 +156,26 @@ def main(argv: list[str] | None = None) -> None:
                 "probes_per_s": round(probes_s_micro, 1),
                 "speedup_vs_seed": round(probes_s_micro / probes_s_seq, 2),
             },
+            **sharded,
         },
     }
     args.out.write_text(json.dumps(out, indent=2) + "\n", encoding="utf-8")
     print(
         f"{probes_s_seq:,.0f} -> {probes_s_micro:,.0f} probes/s "
-        f"({probes_s_micro / probes_s_seq:.2f}x), wrote {args.out}"
+        f"({probes_s_micro / probes_s_seq:.2f}x micro-batch)"
     )
+    host_cpus = os.cpu_count() or 1
+    for name, record in sharded.items():
+        note = (
+            ""
+            if record["workers"] <= host_cpus
+            else f"  [workers > {host_cpus} host cpu(s): coordination overhead only]"
+        )
+        print(
+            f"{name}: {record['probes_per_s']:,.0f} probes/s "
+            f"({record['speedup_vs_w1']:.2f}x vs w1){note}"
+        )
+    print(f"wrote {args.out}")
 
 
 def test_serve_micro_vs_sequential(benchmark, text_archiver):

@@ -19,6 +19,16 @@ gated metrics compare the same timing across runs.  A baseline metric
 missing from the fresh record is a hard failure: silently dropping a
 kernel from a bench must not read as "no regression".
 
+Two comparisons are *skipped* (loudly, never silently) because they
+cannot produce an honest regression signal:
+
+* a record whose ``workers`` exceeds the checking host's CPU count —
+  the host physically cannot express that parallelism, so its number
+  measures oversubscription, not the kernel;
+* a metric whose ``size`` field differs between baseline and fresh —
+  different workload scales are different benchmarks (e.g. a committed
+  full-size baseline checked against a CI quick run).
+
 Usage::
 
     python benchmarks/check_regression.py --fresh-dir /tmp/bench \
@@ -32,27 +42,37 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: ``dotted.path -> (kind, value, context)`` where context carries the
+#: enclosing record's descriptive ``workers`` / ``size`` fields.
+Metrics = dict[str, tuple[str, float, dict]]
 
-def gated_metrics(record: object, prefix: str = "") -> dict[str, tuple[str, float]]:
-    """Flatten a bench record to ``dotted.path -> (kind, value)``.
+
+def gated_metrics(record: object, prefix: str = "") -> Metrics:
+    """Flatten a bench record to ``dotted.path -> (kind, value, context)``.
 
     Only the gated keys survive: ``kind`` is ``"ns"`` (lower is better)
-    or ``"per_s"`` (higher is better).
+    or ``"per_s"`` (higher is better).  ``context`` holds the sibling
+    ``workers`` and ``size`` fields (when present) that the skip rules
+    consult.
     """
-    found: dict[str, tuple[str, float]] = {}
+    found: Metrics = {}
     if isinstance(record, dict):
+        context = {
+            key: record[key] for key in ("workers", "size") if key in record
+        }
         for key, value in record.items():
             path = f"{prefix}.{key}" if prefix else key
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 if key == "ns":
-                    found[path] = ("ns", float(value))
+                    found[path] = ("ns", float(value), context)
                 elif key.endswith("_per_s"):
-                    found[path] = ("per_s", float(value))
+                    found[path] = ("per_s", float(value), context)
             else:
                 found.update(gated_metrics(value, path))
     return found
@@ -64,16 +84,31 @@ def compare(
     """Compare one bench pair; returns (report lines, ok)."""
     lines: list[str] = []
     ok = True
+    host_cpus = os.cpu_count() or 1
     base_metrics = gated_metrics(baseline)
     fresh_metrics = gated_metrics(fresh)
     if not base_metrics:
         return [f"{name}: baseline has no gated metrics (ns / *_per_s)"], False
-    for path, (kind, base_value) in sorted(base_metrics.items()):
+    for path, (kind, base_value, base_ctx) in sorted(base_metrics.items()):
+        workers = int(base_ctx.get("workers", 1))
+        if workers > host_cpus:
+            lines.append(
+                f"skip {name}:{path} (workers={workers} > {host_cpus} host cpu(s): "
+                "parallel speedup not expressible here)"
+            )
+            continue
         if path not in fresh_metrics:
             lines.append(f"FAIL {name}:{path} missing from fresh record")
             ok = False
             continue
-        fresh_value = fresh_metrics[path][1]
+        _, fresh_value, fresh_ctx = fresh_metrics[path]
+        base_size, fresh_size = base_ctx.get("size"), fresh_ctx.get("size")
+        if base_size is not None and fresh_size is not None and base_size != fresh_size:
+            lines.append(
+                f"skip {name}:{path} (size mismatch: baseline {base_size!r} "
+                f"vs fresh {fresh_size!r}: different workloads are not comparable)"
+            )
+            continue
         # Normalise to a throughput ratio: >= 1.0 means at least as fast.
         if kind == "ns":
             ratio = base_value / fresh_value if fresh_value else float("inf")

@@ -33,14 +33,19 @@ The surface groups into four layers:
   the shared-memory instance transport
   (:class:`SharedInstanceStore` / :class:`SharedInstanceHandle`,
   composed by :func:`sweep_trials`).
-* **serving** — the online session runtime: :class:`ServeService` /
-  :class:`ServeConfig` (the anytime engine as a long-lived service),
-  :class:`MicroBatchRouter` / :class:`RouterConfig` (micro-batched
-  probe routing with graceful budget degradation),
-  :func:`save_service` / :func:`load_service` (kill/restore snapshots),
-  and :func:`run_loadgen` with :class:`LoadgenConfig` /
-  :class:`LoadgenReport`; plus the standalone accounting archives
-  :func:`save_probe_stats` / :func:`load_probe_stats`.
+* **serving** — the topology-agnostic entrypoint :func:`serve`, which
+  takes :class:`ServeConfig` (including ``workers``) and returns a
+  :class:`ServeRuntime` — the in-process engine for ``workers=1``, the
+  sharded multi-process runtime above the shared packed oracle for
+  ``workers>1`` — plus the building blocks it wires
+  (:class:`ServeService`, :class:`MicroBatchRouter` /
+  :class:`RouterConfig`), whole-deployment snapshots
+  :func:`save_runtime` / :func:`load_runtime` (restore to *any* worker
+  count) beside the single-service archives :func:`save_service` /
+  :func:`load_service`, and :func:`run_loadgen` with
+  :class:`LoadgenConfig` / :class:`LoadgenReport`; plus the standalone
+  accounting archives :func:`save_probe_stats` /
+  :func:`load_probe_stats`.
 * **live metrics** — :class:`MetricRegistry` (process-wide counters,
   gauges, and fixed-bucket histograms with exact cross-process merges),
   :class:`MetricsSnapshotSink` (periodic JSONL snapshots), and the
@@ -89,10 +94,14 @@ from repro.serve import (
     MicroBatchRouter,
     RouterConfig,
     ServeConfig,
+    ServeRuntime,
     ServeService,
+    load_runtime,
     load_service,
     run_loadgen,
+    save_runtime,
     save_service,
+    serve,
 )
 from repro.utils.rng import as_generator
 from repro.workloads.registry import WORKLOADS, make_instance
@@ -132,10 +141,14 @@ __all__ = [
     "SharedInstanceStore",
     "SharedInstanceHandle",
     # serving
+    "serve",
+    "ServeRuntime",
     "ServeService",
     "ServeConfig",
     "MicroBatchRouter",
     "RouterConfig",
+    "save_runtime",
+    "load_runtime",
     "save_service",
     "load_service",
     "run_loadgen",

@@ -17,10 +17,13 @@ from repro.billboard.board import Billboard
 from repro.billboard.oracle import ProbeOracle
 from repro.billboard.accounting import PhaseLedger, ProbeStats
 from repro.billboard.exceptions import BudgetExceededError, ProbeError
+from repro.billboard.postlog import PostLog, PostRecord, SharedBillboard
 from repro.billboard.trace import ProbeEvent, ProbeTrace
 
 __all__ = [
     "Billboard",
+    "PostLog",
+    "PostRecord",
     "ProbeOracle",
     "ProbeStats",
     "PhaseLedger",
@@ -28,4 +31,5 @@ __all__ = [
     "ProbeError",
     "ProbeTrace",
     "ProbeEvent",
+    "SharedBillboard",
 ]

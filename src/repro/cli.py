@@ -33,15 +33,71 @@ import argparse
 import contextlib
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro import obs
+
+if TYPE_CHECKING:
+    from repro.serve import ServeConfig
 from repro.billboard.oracle import ProbeOracle
 from repro.core.main import find_preferences, find_preferences_unknown_d
 from repro.core.params import Params
 from repro.metrics.evaluation import evaluate
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_serve_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    max_phases: int | None = None,
+    d_max: int | None = None,
+) -> None:
+    """The one flag set mirroring :class:`repro.serve.ServeConfig`.
+
+    Both ``serve`` and ``loadgen`` deployments are configured through
+    this helper, so a topology/engine flag exists once and means the
+    same thing everywhere; only the ``max_phases``/``d_max`` defaults
+    differ per command.
+    """
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed (instance + service)")
+    parser.add_argument(
+        "--max-phases", type=int, default=max_phases, help="cap on anytime phases"
+    )
+    parser.add_argument(
+        "--d-max", type=int, default=d_max, help="cap on the doubling schedule"
+    )
+    parser.add_argument("--budget", type=int, default=None, help="per-player probe budget")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="K",
+        help="worker processes (default 1; >1 shards sessions by player id)",
+    )
+    parser.add_argument("--probes", type=int, default=32, help="probe grant per request")
+    parser.add_argument("--window", type=int, default=32, help="micro-batching window")
+    parser.add_argument(
+        "--sequential", action="store_true", help="scalar probes instead of micro-batching"
+    )
+    parser.add_argument(
+        "--log-capacity", type=int, default=None, metavar="BYTES",
+        help="shared post-log size for workers > 1 (default: sized from the instance)",
+    )
+
+
+def _serve_config_from_args(args: argparse.Namespace, *, seed: int) -> ServeConfig:
+    """Build the :class:`ServeConfig` every serve-flagged command runs on."""
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        seed=seed,
+        max_phases=args.max_phases,
+        d_max=args.d_max,
+        budget=args.budget,
+        workers=args.workers or 1,
+        window=args.window,
+        probes_per_request=args.probes,
+        micro_batch=not args.sequential,
+        log_capacity=args.log_capacity,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,22 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--m", type=int, default=None, help="objects (defaults to --n)")
     serve.add_argument("--alpha", type=float, default=0.5, help="community frequency")
     serve.add_argument("--d", type=int, default=0, help="community diameter (planted)")
-    serve.add_argument("--seed", type=int, default=7, help="RNG seed (instance + service)")
-    serve.add_argument("--max-phases", type=int, default=None, help="cap on anytime phases")
-    serve.add_argument("--d-max", type=int, default=None, help="cap on the doubling schedule")
-    serve.add_argument("--budget", type=int, default=None, help="per-player probe budget")
-    serve.add_argument("--probes", type=int, default=32, help="probe grant per request")
-    serve.add_argument("--window", type=int, default=32, help="micro-batching window")
+    _add_serve_flags(serve)
     serve.add_argument(
-        "--sequential", action="store_true", help="scalar probes instead of micro-batching"
+        "--snapshot", type=Path, default=None, metavar="OUT",
+        help="archive the final deployment (.npz single service, directory otherwise)",
     )
     serve.add_argument(
-        "--snapshot", type=Path, default=None, metavar="OUT.npz",
-        help="archive the final service checkpoint",
-    )
-    serve.add_argument(
-        "--restore", type=Path, default=None, metavar="IN.npz",
-        help="resume from a snapshot instead of building a fresh service",
+        "--restore", type=Path, default=None, metavar="IN",
+        help="resume from a snapshot (.npz or runtime directory) instead of a fresh service",
     )
 
     loadgen = sub.add_parser("loadgen", help="drive a service with synthetic load")
@@ -120,17 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--objects", type=int, default=None, help="objects (defaults to --sessions)")
     loadgen.add_argument("--alpha", type=float, default=0.5, help="community frequency")
     loadgen.add_argument("--d", type=int, default=0, help="community diameter (planted)")
-    loadgen.add_argument("--seed", type=int, default=7, help="RNG seed")
+    _add_serve_flags(loadgen, max_phases=1, d_max=2)
     loadgen.add_argument("--mode", choices=("closed", "open"), default="closed", help="arrival loop")
     loadgen.add_argument("--rate", type=float, default=64.0, help="open-loop arrivals per window")
-    loadgen.add_argument("--probes", type=int, default=32, help="probe grant per request")
-    loadgen.add_argument("--window", type=int, default=32, help="micro-batching window")
-    loadgen.add_argument("--max-phases", type=int, default=1, help="cap on anytime phases")
-    loadgen.add_argument("--d-max", type=int, default=2, help="cap on the doubling schedule")
-    loadgen.add_argument("--budget", type=int, default=None, help="per-player probe budget")
-    loadgen.add_argument(
-        "--sequential", action="store_true", help="scalar probes instead of micro-batching"
-    )
     loadgen.add_argument(
         "--quick", action="store_true", help="small CI-smoke preset (caps sessions and phases)"
     )
@@ -258,62 +298,53 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import (
-        MicroBatchRouter,
-        RouterConfig,
-        ServeConfig,
-        ServeService,
-        load_service,
-        save_service,
-    )
+    from repro.serve import LocalRuntime, load_runtime, load_service, save_service, serve
     from repro.workloads.registry import WORKLOADS, make_instance
 
     inst = None
     if args.restore is not None:
         try:
-            service = load_service(args.restore)
+            if args.restore.is_dir():
+                runtime = load_runtime(args.restore, workers=args.workers)
+                print(f"restored   : {args.restore} ({runtime.workers} workers, "
+                      f"{runtime.phases_completed} completed)")
+            else:
+                restored = load_service(args.restore)
+                runtime = LocalRuntime(
+                    restored, config=_serve_config_from_args(args, seed=args.seed + 1)
+                )
+                print(f"restored   : {args.restore} (phase {restored.phase_j}, "
+                      f"{restored.phases_completed} completed)")
         except (FileNotFoundError, ValueError) as exc:
             print(f"cannot restore {args.restore}: {exc}")
             return 2
-        print(f"restored   : {args.restore} (phase {service.phase_j}, "
-              f"{service.phases_completed} completed)")
     else:
         if args.workload not in WORKLOADS:
             print(f"unknown workload {args.workload!r}; known: {', '.join(sorted(WORKLOADS))}")
             return 2
         m = args.m if args.m is not None else args.n
         inst = make_instance(args.workload, args.n, m, args.alpha, args.d, rng=args.seed)
-        service = ServeService(
-            inst,
-            config=ServeConfig(
-                seed=args.seed + 1,
-                max_phases=args.max_phases,
-                d_max=args.d_max,
-                budget=args.budget,
-            ),
-        )
-    router = MicroBatchRouter(
-        service,
-        config=RouterConfig(
-            window=args.window, probes_per_request=args.probes,
-            micro_batch=not args.sequential,
-        ),
-    )
-    outputs = router.run_to_completion()
-    stats = service.oracle.stats()
-    print(f"service    : n={service.n_players}, m={service.n_objects}, "
-          f"stage {service.stage}")
-    print(f"phases     : {service.phases_completed} completed "
-          f"(alphas {', '.join(f'{a:g}' for a in service.completed) or 'none'})")
-    print(f"probes     : {int(stats.per_player.sum())} total, "
-          f"{service.oracle.batch_count} oracle batches")
-    if inst is not None:
-        community = inst.main_community()
-        report = evaluate(outputs, inst.prefs, community.members, diam=community.diameter)
-        print(f"discrepancy: {report.discrepancy}")
-    if args.snapshot is not None:
-        written = save_service(args.snapshot, service)
-        print(f"snapshot   : {written}")
+        runtime = serve(inst, _serve_config_from_args(args, seed=args.seed + 1))
+    with runtime:
+        outputs = runtime.run_to_completion()
+        stage = "drained" if runtime.exhausted else "done"
+        topology = f", {runtime.workers} workers" if runtime.workers > 1 else ""
+        print(f"service    : n={runtime.n_players}, m={runtime.n_objects}, "
+              f"stage {stage}{topology}")
+        print(f"phases     : {runtime.phases_completed} completed "
+              f"(alphas {', '.join(f'{a:g}' for a in runtime.completed) or 'none'})")
+        print(f"probes     : {int(runtime.probe_counts().sum())} total, "
+              f"{runtime.oracle_batches} oracle batches")
+        if inst is not None:
+            community = inst.main_community()
+            report = evaluate(outputs, inst.prefs, community.members, diam=community.diameter)
+            print(f"discrepancy: {report.discrepancy}")
+        if args.snapshot is not None:
+            if isinstance(runtime, LocalRuntime) and args.snapshot.suffix == ".npz":
+                written = save_service(args.snapshot, runtime.service)
+            else:
+                written = runtime.save(args.snapshot)
+            print(f"snapshot   : {written}")
     return 0
 
 
@@ -351,6 +382,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         d_max=d_max,
         budget=args.budget,
         micro_batch=not args.sequential,
+        workers=args.workers or 1,
+        log_capacity=args.log_capacity,
         warmup=args.warmup,
         metrics_path=None if args.metrics is None else str(args.metrics),
         metrics_interval_s=args.metrics_interval,

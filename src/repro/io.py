@@ -20,9 +20,13 @@ Format versioning: every archive embeds ``{"version": FORMAT_VERSION}``
 in its JSON metadata.  Version 2 added the ``probe_stats`` and
 ``service`` kinds; version 3 stores the ``service`` hidden matrix
 bit-packed (``hidden_packed`` + logical shape in the metadata) instead
-of dense.  The loaders accept every version in ``SUPPORTED_VERSIONS``
-(version-1 archives predate the version gate and still load) and reject
-archives from a *newer* format than this build understands.
+of dense; version 4 added whole-runtime snapshots — a directory with a
+``manifest.json``, one ``kind="service-global"`` archive for shared
+state, and per-shard ``kind="service-shard"`` archives (see
+:mod:`repro.serve.snapshot`).  The loaders accept every version in
+``SUPPORTED_VERSIONS`` (version-1 archives predate the version gate and
+still load) and reject archives from a *newer* format than this build
+understands.
 """
 
 from __future__ import annotations
@@ -51,10 +55,10 @@ __all__ = [
 ]
 
 #: Version written into new archives.
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 #: Versions the loaders of this build accept.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4})
 
 
 def check_format_version(meta: dict[str, Any], path: str | Path) -> None:

@@ -1,4 +1,4 @@
-"""The repro rule set: eleven machine-checked model/API contracts.
+"""The repro rule set: twelve machine-checked model/API contracts.
 
 Each rule encodes one convention the paper's guarantees (or the repo's
 refactoring safety) depend on; the catalog with full rationale is
@@ -591,6 +591,50 @@ class _ObsEagerLabelVisitor(RuleVisitor):
         self.generic_visit(node)
 
 
+class ServeTopologyConstructionRule(Rule):
+    """RPL012 — serving deployments are built via :func:`repro.api.serve`.
+
+    The topology-agnostic entrypoint is the whole point of the serve
+    API: one call site scales from the in-process engine to the sharded
+    multi-process runtime by flipping ``ServeConfig.workers``, and the
+    snapshot/restore, metrics-merge, and equivalence guarantees all
+    attach to the :class:`~repro.serve.runtime.ServeRuntime` surface.
+    A hand-wired ``ServeService(...)`` + ``MicroBatchRouter(...)`` pair
+    outside ``repro/serve`` pins its caller to one topology and
+    sidesteps those guarantees; classmethod constructors
+    (``ServeService.from_checkpoint``) stay allowed because the
+    runtime/restore layers own them.
+    """
+
+    id = "RPL012"
+    severity = "error"
+    summary = "no direct ServeService/MicroBatchRouter construction outside repro/serve"
+    hint = "build deployments via ServeConfig + repro.api.serve()"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        # Tests and benchmarks construct deployments too — they must
+        # exercise the same entrypoint (or carry a justified waiver).
+        if ctx.module_path is None:
+            return True
+        return ctx.in_library(exclude=("repro/serve",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _ServeTopologyVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _ServeTopologyVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain and chain[-1] in ("ServeService", "MicroBatchRouter"):
+            self.report(
+                node,
+                f"direct {chain[-1]}(...) construction pins the caller to one topology",
+            )
+        self.generic_visit(node)
+
+
 #: The full rule set, id order.
 ALL_RULES: list[Rule] = [
     RngConstructionRule(),
@@ -604,6 +648,7 @@ ALL_RULES: list[Rule] = [
     ServePrefsIsolationRule(),
     UnpackbitsContainmentRule(),
     ObsEagerLabelRule(),
+    ServeTopologyConstructionRule(),
 ]
 
 

@@ -1,9 +1,10 @@
 """Open/closed-loop load generator for the serving runtime.
 
 Builds an instance from the :data:`~repro.workloads.registry.WORKLOADS`
-registry, stands up a :class:`~repro.serve.service.ServeService` behind
-a :class:`~repro.serve.router.MicroBatchRouter`, and drives it with a
-synthetic arrival schedule:
+registry, stands up a serving runtime through the topology-agnostic
+:func:`~repro.serve.runtime.serve` entrypoint (``workers=1`` in-process,
+``workers>1`` sharded across processes), and drives it with a synthetic
+arrival schedule:
 
 * **closed loop** (``mode="closed"``) — every unfinished session has
   exactly one request in flight per round: the classic
@@ -48,8 +49,8 @@ from repro.obs.metrics import (
     collecting,
     get_registry,
 )
-from repro.serve.router import MicroBatchRouter, RouterConfig
-from repro.serve.service import ServeConfig, ServeService
+from repro.serve.config import ServeConfig
+from repro.serve.runtime import ServeRuntime, serve
 from repro.utils.rng import as_generator
 from repro.workloads.registry import make_instance
 
@@ -74,6 +75,8 @@ class LoadgenConfig:
     d_max: int | None = 2
     budget: int | None = None
     micro_batch: bool = True
+    workers: int = 1
+    log_capacity: int | None = None
     max_requests: int = 1_000_000
     warmup: int = 0
     metrics_path: str | None = None
@@ -86,6 +89,8 @@ class LoadgenConfig:
             raise ValueError(f"sessions must be positive, got {self.sessions}")
         if self.mode == "open" and self.rate <= 0:
             raise ValueError(f"open-loop rate must be positive, got {self.rate}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.warmup < 0:
             raise ValueError(f"warmup must be non-negative, got {self.warmup}")
         if self.metrics_interval_s < 0:
@@ -128,7 +133,8 @@ class LoadgenReport:
             f"mode     : {cfg.mode}"
             + (f" (rate={cfg.rate:g}/window)" if cfg.mode == "open" else "")
             + f", window={cfg.window}, grant={cfg.probes_per_request} probes, "
-            + ("micro-batched" if cfg.micro_batch else "sequential probes"),
+            + ("micro-batched" if cfg.micro_batch else "sequential probes")
+            + (f", {cfg.workers} workers" if cfg.workers > 1 else ""),
             f"requests : {self.requests} in {self.wall_s:.3f}s -> {self.throughput_rps:,.0f} req/s",
             f"latency  : p50={self.p50_ms:.3f}ms  p95={self.p95_ms:.3f}ms  p99={self.p99_ms:.3f}ms",
         ]
@@ -161,12 +167,10 @@ def _quantile_ms(hist: Histogram, q: float) -> float:
 
 
 def _arrivals(
-    config: LoadgenConfig, service: ServeService, gen: np.random.Generator
+    config: LoadgenConfig, runtime: ServeRuntime, gen: np.random.Generator
 ) -> list[int]:
     """Players targeted by the next batching window."""
-    open_sessions = [
-        s.player for s in service.sessions if s.status not in ("complete", "drained")
-    ]
+    open_sessions = runtime.open_players()
     if not open_sessions:
         return []
     if config.mode == "closed":
@@ -186,22 +190,16 @@ def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
     cfg = config if config is not None else LoadgenConfig()
     m = cfg.objects if cfg.objects is not None else cfg.sessions
     instance = make_instance(cfg.workload, cfg.sessions, m, cfg.alpha, cfg.D, rng=cfg.seed)
-    service = ServeService(
-        instance,
-        config=ServeConfig(
-            seed=cfg.seed + 1,
-            max_phases=cfg.max_phases,
-            d_max=cfg.d_max,
-            budget=cfg.budget,
-        ),
-    )
-    router = MicroBatchRouter(
-        service,
-        config=RouterConfig(
-            window=cfg.window,
-            probes_per_request=cfg.probes_per_request,
-            micro_batch=cfg.micro_batch,
-        ),
+    serve_config = ServeConfig(
+        seed=cfg.seed + 1,
+        max_phases=cfg.max_phases,
+        d_max=cfg.d_max,
+        budget=cfg.budget,
+        workers=cfg.workers,
+        window=cfg.window,
+        probes_per_request=cfg.probes_per_request,
+        micro_batch=cfg.micro_batch,
+        log_capacity=cfg.log_capacity,
     )
     arrival_gen = as_generator(cfg.seed + 2)
 
@@ -212,6 +210,7 @@ def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
     flushes = 0
     occupancy_total = 0
     with ExitStack() as stack:
+        runtime = stack.enter_context(serve(instance, serve_config))
         sink: MetricsSnapshotSink | None = None
         if cfg.metrics_path is not None:
             registry = stack.enter_context(collecting(MetricRegistry()))
@@ -224,16 +223,16 @@ def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
                 )
             )
         t0 = time.perf_counter()
-        while not service.finished and requests < cfg.max_requests:
-            players = _arrivals(cfg, service, arrival_gen)
+        while not runtime.finished and requests < cfg.max_requests:
+            players = _arrivals(cfg, runtime, arrival_gen)
             if not players:
                 break
             for start in range(0, len(players), cfg.window):
                 chunk = players[start : start + cfg.window]
                 t1 = time.perf_counter()
                 for player in chunk:
-                    router.submit(player)
-                router.flush()
+                    runtime.submit(player)
+                runtime.flush()
                 dt_s = time.perf_counter() - t1
                 latencies_ms.extend([dt_s * 1000.0] * len(chunk))
                 active = get_registry()
@@ -249,33 +248,42 @@ def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
                 if sink is not None:
                     sink.maybe_write()
         wall_s = time.perf_counter() - t0
+        active = get_registry()
+        if active is not None and runtime.workers > 1:
+            # Fold the shard workers' registries in (exact bucket adds)
+            # so the final snapshot covers the whole deployment; the
+            # in-process runtime already writes to the active registry.
+            active.merge(runtime.merged_metrics())
         if sink is not None:
             sink.write()  # final snapshot: the run's complete histograms
 
-    outputs = service.outputs()
-    probes_total = int(service.oracle.stats().per_player.sum())
-    return LoadgenReport(
-        config=cfg,
-        requests=requests,
-        probes_total=probes_total,
-        flushes=flushes,
-        wall_s=wall_s,
-        throughput_rps=requests / wall_s if wall_s > 0 else 0.0,
-        p50_ms=_quantile_ms(hist_all, 0.50),
-        p95_ms=_quantile_ms(hist_all, 0.95),
-        p99_ms=_quantile_ms(hist_all, 0.99),
-        steady_requests=hist_steady.count,
-        steady_p50_ms=_quantile_ms(hist_steady, 0.50),
-        steady_p95_ms=_quantile_ms(hist_steady, 0.95),
-        steady_p99_ms=_quantile_ms(hist_steady, 0.99),
-        probes_per_request=probes_total / requests if requests else 0.0,
-        mean_occupancy=occupancy_total / flushes if flushes else 0.0,
-        phases_completed=service.phases_completed,
-        sessions_complete=service.sessions.count("complete"),
-        sessions_drained=service.sessions.count("drained"),
-        outputs_sha=hashlib.sha256(np.ascontiguousarray(outputs).tobytes()).hexdigest(),
-        latencies_ms=latencies_ms,
-    )
+        outputs = runtime.outputs()
+        probes_total = int(runtime.probe_counts().sum())
+        report = LoadgenReport(
+            config=cfg,
+            requests=requests,
+            probes_total=probes_total,
+            flushes=flushes,
+            wall_s=wall_s,
+            throughput_rps=requests / wall_s if wall_s > 0 else 0.0,
+            p50_ms=_quantile_ms(hist_all, 0.50),
+            p95_ms=_quantile_ms(hist_all, 0.95),
+            p99_ms=_quantile_ms(hist_all, 0.99),
+            steady_requests=hist_steady.count,
+            steady_p50_ms=_quantile_ms(hist_steady, 0.50),
+            steady_p95_ms=_quantile_ms(hist_steady, 0.95),
+            steady_p99_ms=_quantile_ms(hist_steady, 0.99),
+            probes_per_request=probes_total / requests if requests else 0.0,
+            mean_occupancy=occupancy_total / flushes if flushes else 0.0,
+            phases_completed=runtime.phases_completed,
+            sessions_complete=runtime.session_count("complete"),
+            sessions_drained=runtime.session_count("drained"),
+            outputs_sha=hashlib.sha256(
+                np.ascontiguousarray(outputs).tobytes()
+            ).hexdigest(),
+            latencies_ms=latencies_ms,
+        )
+    return report
 
 
 def dump_report_json(path: str, report: LoadgenReport) -> None:

@@ -72,13 +72,16 @@ class Response:
     ``status`` is the session's state after the flush; a ``"drained"``
     status means the budget ran out and ``estimate`` is the last
     completed phase's answer (graceful degradation, never an error).
+    The in-process router always fills ``estimate``; the sharded
+    front-end returns ``None`` from bulk flushes (vectors stay in the
+    workers) and fills it on explicit :meth:`ServeRuntime.query` calls.
     """
 
     player: int
     status: str
     probes_used: int
     phases_completed: int
-    estimate: np.ndarray
+    estimate: np.ndarray | None
 
 
 class MicroBatchRouter:

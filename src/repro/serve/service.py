@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -45,10 +45,14 @@ from repro.core.params import Params
 from repro.engine.anytime_player import merge_program
 from repro.engine.main_player import UnknownDCoins, find_preferences_unknown_d_player
 from repro.model.instance import Instance
+from repro.serve.config import ServeConfig as _ServeConfig
 from repro.serve.sessions import PlayerProgram, SessionStore
 from repro.utils.rng import as_generator, from_state, spawn, spawn_many, state_of
 
-__all__ = ["ServeConfig", "ServeService", "ServiceCheckpoint", "anytime_phase_cap"]
+if TYPE_CHECKING:
+    from repro.serve.config import ServeConfig
+
+__all__ = ["ServeService", "ServiceCheckpoint", "anytime_phase_cap"]
 
 
 def anytime_phase_cap(n: int, max_phases: int | None) -> int:
@@ -62,28 +66,6 @@ def anytime_phase_cap(n: int, max_phases: int | None) -> int:
     if max_phases is not None:
         cap = min(cap, max_phases - 1)
     return cap
-
-
-@dataclass(frozen=True)
-class ServeConfig:
-    """Immutable configuration of one serving deployment.
-
-    ``seed`` feeds the master generator (the service twin of the ``rng``
-    argument of ``anytime_find_preferences``); the rest mirror the
-    offline entry point's keyword arguments.  ``params=None`` means
-    :meth:`Params.practical`.
-    """
-
-    seed: int = 0
-    max_phases: int | None = None
-    d_max: int | None = None
-    budget: int | None = None
-    charge_repeats: bool = True
-    params: Params | None = None
-
-    def resolved_params(self) -> Params:
-        """The effective algorithm constants."""
-        return self.params if self.params is not None else Params.practical()
 
 
 @dataclass
@@ -124,15 +106,11 @@ class ServeService:
     """
 
     def __init__(self, instance: Instance | np.ndarray, *, config: ServeConfig | None = None) -> None:
-        self.config = config if config is not None else ServeConfig()
+        self.config = config if config is not None else _ServeConfig()
         self.params = self.config.resolved_params()
-        self.oracle = ProbeOracle(
-            instance,
-            budget=self.config.budget,
-            charge_repeats=self.config.charge_repeats,
-        )
+        self.oracle = self._make_oracle(instance)
         self._gen = as_generator(self.config.seed)
-        self.sessions = SessionStore(self.oracle.n_players)
+        self.sessions = self._make_sessions()
         self.phase_j = 0
         self.stage = "main"
         self.best: np.ndarray | None = None
@@ -145,6 +123,25 @@ class ServeService:
             self._finish_service()
         else:
             self._begin_phase()
+
+    # ------------------------------------------------------------------
+    # topology hooks (overridden by the sharded worker service)
+    # ------------------------------------------------------------------
+    def _make_oracle(self, instance: Instance | np.ndarray) -> ProbeOracle:
+        """Build the charged oracle; shard workers attach a shared billboard."""
+        return ProbeOracle(
+            instance,
+            budget=self.config.budget,
+            charge_repeats=self.config.charge_repeats,
+        )
+
+    def _make_sessions(self) -> SessionStore:
+        """Build the session store; shard workers pass their player subset."""
+        return SessionStore(self.oracle.n_players)
+
+    def _local_players(self) -> Sequence[int]:
+        """Players whose sessions this process owns (all of them here)."""
+        return range(self.oracle.n_players)
 
     # ------------------------------------------------------------------
     # shape / progress
@@ -199,7 +196,7 @@ class ServeService:
         if self.finished:
             raise RuntimeError("service is finished; no stage is running")
         self._stage_outputs[player] = np.asarray(output, dtype=np.int8)
-        if len(self._stage_outputs) == self.n_players:
+        if len(self._stage_outputs) == len(self._local_players()):
             self._on_stage_complete()
 
     def mark_exhausted(self) -> None:
@@ -243,24 +240,28 @@ class ServeService:
             budget=ckpt.config.budget,
             charge_repeats=ckpt.config.charge_repeats,
         )
-        service._gen = from_state(ckpt.rng_state)
-        service.sessions = SessionStore(service.oracle.n_players)
-        service.phase_j = ckpt.phase
-        service.stage = "main"
-        service.best = None if ckpt.best is None else np.asarray(ckpt.best, dtype=np.int8).copy()
-        service.completed = list(ckpt.completed)
-        service.exhausted = bool(ckpt.exhausted)
-        service._stage_outputs = {}
-        service._max_j = anytime_phase_cap(service.oracle.n_players, ckpt.config.max_phases)
-        service._checkpoint = service._capture_checkpoint()
-        if service.exhausted:
-            service.stage = "drained"
-            service.sessions.freeze("drained")
-        elif service.phase_j > service._max_j:
-            service._finish_service()
-        else:
-            service._begin_phase()
+        service._resume_from_checkpoint(ckpt)
         return service
+
+    def _resume_from_checkpoint(self, ckpt: ServiceCheckpoint) -> None:
+        """Shared tail of the restore paths: ``self.oracle`` is already set."""
+        self._gen = from_state(ckpt.rng_state)
+        self.sessions = self._make_sessions()
+        self.phase_j = ckpt.phase
+        self.stage = "main"
+        self.best = None if ckpt.best is None else np.asarray(ckpt.best, dtype=np.int8).copy()
+        self.completed = list(ckpt.completed)
+        self.exhausted = bool(ckpt.exhausted)
+        self._stage_outputs = {}
+        self._max_j = anytime_phase_cap(self.oracle.n_players, ckpt.config.max_phases)
+        self._checkpoint = self._capture_checkpoint()
+        if self.exhausted:
+            self.stage = "drained"
+            self.sessions.freeze("drained")
+        elif self.phase_j > self._max_j:
+            self._finish_service()
+        else:
+            self._begin_phase()
 
     # ------------------------------------------------------------------
     # internals
@@ -277,24 +278,29 @@ class ServeService:
                 pl, coins, self.oracle.billboard, n, m, params=self.params,
                 channel_prefix=f"phase{self.phase_j}/",
             )
-            for pl in range(n)
+            for pl in self._local_players()
         }
         self.stage = "main"
         self.sessions.load_stage(programs)
 
     def _on_stage_complete(self) -> None:
         n = self.n_players
-        outputs = np.stack([self._stage_outputs[pl] for pl in range(n)]).astype(np.int8)
+        outputs = np.zeros((n, self.n_objects), dtype=np.int8)
+        for pl, vec in self._stage_outputs.items():
+            outputs[pl] = vec
         self._stage_outputs = {}
         if self.stage == "main":
             if self.best is None:
                 self.best = outputs
                 self._finish_phase()
                 return
+            # Every topology draws the full-population merge rngs so the
+            # master generator stays in lockstep across shards; each
+            # process only *runs* the programs of the players it owns.
             merge_rngs = spawn_many(spawn(self._gen), n)
             programs: dict[int, PlayerProgram] = {
                 pl: merge_program(pl, self.best[pl], outputs[pl], n, merge_rngs[pl], self.params)
-                for pl in range(n)
+                for pl in self._local_players()
             }
             self.stage = "merge"
             self.sessions.load_stage(programs)
@@ -346,3 +352,20 @@ class ServeService:
             f"ServeService(n={self.n_players}, m={self.n_objects}, stage={self.stage!r}, "
             f"phase={self.phase_j}, completed={self.phases_completed})"
         )
+
+
+def __getattr__(name: str) -> object:
+    if name == "ServeConfig":
+        import warnings
+
+        warnings.warn(
+            "repro.serve.service.ServeConfig has moved to "
+            "repro.serve.config.ServeConfig; import it from there "
+            "(or use the repro.api facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.serve.config import ServeConfig
+
+        return ServeConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,7 +18,7 @@ outputs and probe counts of the lockstep scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, Iterator, Mapping
+from typing import Any, Generator, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -126,13 +126,23 @@ class SessionStore:
 
     The store tracks which sessions hold live programs and keeps the
     ``serve.active_sessions`` gauge current whenever telemetry is
-    recording.
+    recording.  A sharded worker passes *players* — the subset of the
+    population it owns — and stores sessions for those ids only.
     """
 
-    def __init__(self, n_players: int) -> None:
+    def __init__(self, n_players: int, players: Sequence[int] | None = None) -> None:
         if n_players <= 0:
             raise ValueError(f"population must be positive, got n={n_players}")
-        self._sessions = {player: Session(player=player) for player in range(n_players)}
+        owned = range(n_players) if players is None else [int(p) for p in players]
+        if players is not None:
+            if not owned:
+                raise ValueError("a session store must own at least one player")
+            bad = [p for p in owned if not 0 <= p < n_players]
+            if bad:
+                raise ValueError(f"player ids out of range for n={n_players}: {bad}")
+            if len(set(owned)) != len(owned):
+                raise ValueError("duplicate player ids in session store")
+        self._sessions = {player: Session(player=player) for player in owned}
         self._gauge()
 
     def __len__(self) -> int:

@@ -1,0 +1,9 @@
+"""RPL012 violation: wiring a deployment by hand instead of serve()."""
+
+__all__ = ["handmade"]
+
+
+def handmade(instance: object) -> object:
+    service = ServeService(instance)  # RPL012: pins the one-process topology
+    router = MicroBatchRouter(service)  # RPL012: same — bypasses serve()
+    return router

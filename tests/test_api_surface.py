@@ -62,10 +62,14 @@ GOLDEN_ALL = [
     "SharedInstanceStore",
     "SharedInstanceHandle",
     # serving
+    "serve",
+    "ServeRuntime",
     "ServeService",
     "ServeConfig",
     "MicroBatchRouter",
     "RouterConfig",
+    "save_runtime",
+    "load_runtime",
     "save_service",
     "load_service",
     "run_loadgen",
@@ -138,6 +142,12 @@ GOLDEN_SIGNATURES = {
     "MicroBatchRouter": (
         "(service: 'ServeService', *, config: 'RouterConfig | None' = None) -> 'None'"
     ),
+    "serve": (
+        "(instance: 'Instance | np.ndarray', config: 'ServeConfig | None' = None)"
+        " -> 'ServeRuntime'"
+    ),
+    "save_runtime": "(path: 'str | Path', runtime: 'ServeRuntime') -> 'Path'",
+    "load_runtime": "(path: 'str | Path', *, workers: 'int | None' = None) -> 'ServeRuntime'",
     "save_service": "(path: 'str | Path', service: 'ServeService') -> 'Path'",
     "load_service": "(path: 'str | Path') -> 'ServeService'",
     "run_loadgen": "(config: 'LoadgenConfig | None' = None) -> 'LoadgenReport'",
@@ -259,12 +269,24 @@ class TestDeprecationShims:
             shimmed = select_mod.select_batched
         assert shimmed is batching.select_batched
 
+    def test_serve_config_moved_to_config(self):
+        import importlib
+
+        config_mod = importlib.import_module("repro.serve.config")
+        service_mod = importlib.import_module("repro.serve.service")
+        with pytest.deprecated_call(match="moved to repro.serve.config"):
+            shimmed = service_mod.ServeConfig
+        assert shimmed is config_mod.ServeConfig
+
     def test_unknown_attribute_still_raises(self):
         import importlib
 
         select_mod = importlib.import_module("repro.core.select")
         with pytest.raises(AttributeError):
             select_mod.does_not_exist
+        service_mod = importlib.import_module("repro.serve.service")
+        with pytest.raises(AttributeError):
+            service_mod.does_not_exist
 
     def test_stable_surface_emits_no_warnings(self):
         with warnings.catch_warnings():

@@ -1,4 +1,4 @@
-"""Tests for the repro lint engine, the eleven RPL rules, and the CLI.
+"""Tests for the repro lint engine, the twelve RPL rules, and the CLI.
 
 Every rule is pinned by a fixture pair under ``tests/lint_fixtures/``:
 the *bad* file must trip exactly that rule (and stops tripping anything
@@ -45,6 +45,7 @@ BAD_CASES = {
     "RPL009": ("rpl009_bad.py", SERVE_PATH, 2, "touches the preference matrix"),
     "RPL010": ("rpl010_bad.py", LIB_PATH, 2, "bitpack boundary"),
     "RPL011": ("rpl011_bad.py", LIB_PATH, 4, "evaluated even when telemetry is off"),
+    "RPL012": ("rpl012_bad.py", LIB_PATH, 2, "pins the caller to one topology"),
 }
 
 GOOD_CASES = {
@@ -59,6 +60,7 @@ GOOD_CASES = {
     "RPL009": ("rpl009_good.py", SERVE_PATH),
     "RPL010": ("rpl010_good.py", LIB_PATH),
     "RPL011": ("rpl011_good.py", LIB_PATH),
+    "RPL012": ("rpl012_good.py", LIB_PATH),
 }
 
 
@@ -201,7 +203,7 @@ def test_collect_files_skips_caches_and_fixtures(tmp_path):
 
 def test_rules_by_id_is_complete():
     catalog = rules_by_id()
-    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 12)]
+    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 13)]
     for rule_id, rule in catalog.items():
         assert rule.id == rule_id
         assert rule.severity in ("error", "warning")

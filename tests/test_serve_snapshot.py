@@ -39,8 +39,8 @@ def instance():
 @pytest.fixture(scope="module")
 def reference(instance):
     """A never-interrupted service run to completion."""
-    service = ServeService(instance, config=ServeConfig(**CONFIG))
-    outputs = MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+    service = ServeService(instance, config=ServeConfig(**CONFIG))  # repro: noqa[RPL012]
+    outputs = MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()  # repro: noqa[RPL012]
     return outputs, service.oracle.stats().per_player.copy(), list(service.completed)
 
 
@@ -59,8 +59,8 @@ class TestKillAndResume:
     def test_resume_is_bitwise_identical(self, instance, reference, tmp_path, rounds):
         """Kill after *rounds* request rounds; resume finishes the same bits."""
         ref_outputs, ref_counts, ref_completed = reference
-        service = ServeService(instance, config=ServeConfig(**CONFIG))
-        router = MicroBatchRouter(service, config=RouterConfig(**ROUTER))
+        service = ServeService(instance, config=ServeConfig(**CONFIG))  # repro: noqa[RPL012]
+        router = MicroBatchRouter(service, config=RouterConfig(**ROUTER))  # repro: noqa[RPL012]
         for _ in range(rounds):
             for session in service.sessions:
                 if session.status not in ("complete", "drained"):
@@ -69,7 +69,7 @@ class TestKillAndResume:
         path = save_service(tmp_path / "svc.npz", service)
         # "Kill": drop the live service entirely; restore from disk.
         restored = load_service(path)
-        outputs = MicroBatchRouter(
+        outputs = MicroBatchRouter(  # repro: noqa[RPL012]
             restored, config=RouterConfig(**ROUTER)
         ).run_to_completion()
         assert np.array_equal(outputs, ref_outputs)
@@ -81,15 +81,15 @@ class TestKillAndResume:
     ):
         """The restore contract is per-service, not per-router."""
         ref_outputs, ref_counts, _ = reference
-        service = ServeService(instance, config=ServeConfig(**CONFIG))
-        router = MicroBatchRouter(service, config=RouterConfig(**ROUTER))
+        service = ServeService(instance, config=ServeConfig(**CONFIG))  # repro: noqa[RPL012]
+        router = MicroBatchRouter(service, config=RouterConfig(**ROUTER))  # repro: noqa[RPL012]
         for _ in range(5):
             for session in service.sessions:
                 if session.status not in ("complete", "drained"):
                     router.submit(session.player)
             router.flush()
         restored = load_service(save_service(tmp_path / "svc.npz", service))
-        outputs = MicroBatchRouter(
+        outputs = MicroBatchRouter(  # repro: noqa[RPL012]
             restored, config=RouterConfig(window=3, probes_per_request=2, micro_batch=False)
         ).run_to_completion()
         assert np.array_equal(outputs, ref_outputs)
@@ -97,8 +97,8 @@ class TestKillAndResume:
 
     def test_finished_service_roundtrip(self, instance, reference, tmp_path):
         ref_outputs, ref_counts, ref_completed = reference
-        service = ServeService(instance, config=ServeConfig(**CONFIG))
-        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+        service = ServeService(instance, config=ServeConfig(**CONFIG))  # repro: noqa[RPL012]
+        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()  # repro: noqa[RPL012]
         restored = load_service(save_service(tmp_path / "done.npz", service))
         assert restored.finished
         assert restored.stage == "done"
@@ -108,8 +108,8 @@ class TestKillAndResume:
         assert restored.completed == ref_completed
 
     def test_drained_service_roundtrip(self, instance, tmp_path):
-        service = ServeService(instance, config=ServeConfig(budget=80, **CONFIG))
-        outputs = MicroBatchRouter(
+        service = ServeService(instance, config=ServeConfig(budget=80, **CONFIG))  # repro: noqa[RPL012]
+        outputs = MicroBatchRouter(  # repro: noqa[RPL012]
             service, config=RouterConfig(**ROUTER)
         ).run_to_completion()
         assert service.stage == "drained"
@@ -125,12 +125,12 @@ class TestKillAndResume:
 
 class TestArchiveFormat:
     def _snapshot(self, instance, tmp_path):
-        service = ServeService(instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2))
-        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+        service = ServeService(instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2))  # repro: noqa[RPL012]
+        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()  # repro: noqa[RPL012]
         return save_service(tmp_path / "svc.npz", service)
 
     def test_suffix_added(self, instance, tmp_path):
-        service = ServeService(instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2))
+        service = ServeService(instance, config=ServeConfig(seed=SEED, max_phases=1, d_max=2))  # repro: noqa[RPL012]
         path = save_service(tmp_path / "noext", service)
         assert path.suffix == ".npz"
         assert load_service(path).n_players == N
@@ -189,8 +189,8 @@ class TestArchiveFormat:
 
     def test_config_survives_roundtrip(self, instance, tmp_path):
         config = ServeConfig(seed=SEED, max_phases=1, d_max=2, budget=None)
-        service = ServeService(instance, config=config)
-        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()
+        service = ServeService(instance, config=config)  # repro: noqa[RPL012]
+        MicroBatchRouter(service, config=RouterConfig(**ROUTER)).run_to_completion()  # repro: noqa[RPL012]
         restored = load_service(save_service(tmp_path / "svc.npz", service))
         assert restored.config.seed == config.seed
         assert restored.config.max_phases == config.max_phases

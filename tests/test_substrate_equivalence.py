@@ -154,8 +154,8 @@ class TestServeKillRestore:
         from repro.workloads.registry import make_instance
 
         inst = make_instance("planted", self.SERVE_N, self.SERVE_N, 0.5, 2, rng=5)
-        service = ServeService(inst, config=ServeConfig(**self.CONFIG))
-        outputs = MicroBatchRouter(
+        service = ServeService(inst, config=ServeConfig(**self.CONFIG))  # repro: noqa[RPL012]
+        outputs = MicroBatchRouter(  # repro: noqa[RPL012]
             service, config=RouterConfig(**self.ROUTER)
         ).run_to_completion()
         return outputs, service
@@ -185,8 +185,8 @@ class TestServeKillRestore:
 
         ref_outputs, ref_service = self._service_run()
         inst = make_instance("planted", self.SERVE_N, self.SERVE_N, 0.5, 2, rng=5)
-        service = ServeService(inst, config=ServeConfig(**self.CONFIG))
-        router = MicroBatchRouter(service, config=RouterConfig(**self.ROUTER))
+        service = ServeService(inst, config=ServeConfig(**self.CONFIG))  # repro: noqa[RPL012]
+        router = MicroBatchRouter(service, config=RouterConfig(**self.ROUTER))  # repro: noqa[RPL012]
         for _ in range(3):
             for session in service.sessions:
                 if session.status not in ("complete", "drained"):
@@ -195,7 +195,7 @@ class TestServeKillRestore:
         path = save_service(tmp_path / "svc.npz", service)
         with dense_substrate():
             restored = load_service(path)
-            outputs = MicroBatchRouter(
+            outputs = MicroBatchRouter(  # repro: noqa[RPL012]
                 restored, config=RouterConfig(**self.ROUTER)
             ).run_to_completion()
         assert np.array_equal(outputs, ref_outputs)
