@@ -37,6 +37,7 @@ property the sharded phase barriers rest on.
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -71,6 +72,26 @@ KIND_EXHAUSTED = 4  # probe budget tripped somewhere in the shard set
 
 def _align8(size: int) -> int:
     return (size + 7) & ~7
+
+
+def _log_class(cls: type["PostLog"]) -> type["PostLog"]:
+    """The class :meth:`PostLog.create`/:meth:`PostLog.attach` build.
+
+    ``REPRO_SANITIZE=1`` swaps in the watermark-protocol-checking
+    subclass (:class:`repro.sanitize.postlog.SanitizedPostLog`) for
+    every log in the process — the sharded runtime then runs all its
+    appends and epoch reads under assertion, with zero import cost (and
+    zero hot-path branching beyond the subclass dispatch) when off.  An
+    explicit subclass call (``SanitizedPostLog.create(...)``) always
+    wins over the environment.
+    """
+    if cls is not PostLog:
+        return cls
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        return cls
+    from repro.sanitize.postlog import SanitizedPostLog
+
+    return SanitizedPostLog
 
 
 # Logs created by THIS process (and, under fork, inherited from the
@@ -143,7 +164,7 @@ class PostLog:
         shm = shared_memory.SharedMemory(create=True, size=_HEADER.size + capacity)
         _HEADER.pack_into(shm.buf, 0, _MAGIC, capacity, 0, 0)
         _LOCAL_LOGS[shm.name] = shm
-        return cls(shm, owner=True, lock=lock)
+        return _log_class(cls)(shm, owner=True, lock=lock)
 
     @classmethod
     def attach(cls, name: str, *, lock: Any = None) -> "PostLog":
@@ -155,7 +176,7 @@ class PostLog:
         """
         local = _LOCAL_LOGS.get(name)
         if local is not None:
-            return cls(local, owner=False, lock=lock, borrowed=True)
+            return _log_class(cls)(local, owner=False, lock=lock, borrowed=True)
         try:
             shm = shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
         except TypeError:  # Python < 3.13: no track kwarg
@@ -166,7 +187,7 @@ class PostLog:
                 resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
             except Exception:  # pragma: no cover - best-effort on exotic platforms
                 pass
-        return cls(shm, owner=False, lock=lock)
+        return _log_class(cls)(shm, owner=False, lock=lock)
 
     @property
     def name(self) -> str:
@@ -212,6 +233,27 @@ class PostLog:
                 f"post log full: {committed + size} bytes needed, capacity {self._capacity} "
                 f"(raise ServeConfig.log_capacity)"
             )
+        self._write_body(committed, size, kind, shard, seq, name_b, payload, rows, m)
+        self._publish(committed, committed + size)
+
+    # The two halves of the commit protocol, split so the sanitizer
+    # (and its interleaving harness) can override / step between them.
+    # Protocol order is load-bearing: _write_body lands every record
+    # byte past the watermark, _publish's aligned 8-byte store is the
+    # one and only commit point.
+
+    def _write_body(
+        self,
+        committed: int,
+        size: int,
+        kind: int,
+        shard: int,
+        seq: int,
+        name_b: bytes,
+        payload: bytes,
+        rows: int,
+        m: int,
+    ) -> None:
         offset = _HEADER.size + committed
         buf = self._shm.buf
         _REC.pack_into(buf, offset, size, kind, shard, rows, m, seq, len(name_b))
@@ -219,8 +261,9 @@ class PostLog:
         buf[start : start + len(name_b)] = name_b
         start += len(name_b)
         buf[start : start + len(payload)] = payload
-        # Publish: the aligned 8-byte watermark store is the commit point.
-        struct.pack_into("<Q", buf, 16, committed + size)
+
+    def _publish(self, old: int, new: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, 16, new)
 
     def read(self, start: int) -> tuple[int, list[PostRecord]]:
         """Parse the committed records in ``[start, epoch)``; lock-free.
@@ -229,12 +272,14 @@ class PostLog:
         next call's *start* to read incrementally.
         """
         epoch = self.committed
+        self._observe_epoch(epoch)
         records: list[PostRecord] = []
         buf = self._shm.buf
         pos = start
         while pos < epoch:
             offset = _HEADER.size + pos
             size, kind, shard, rows, m, seq, name_len = _REC.unpack_from(buf, offset)
+            self._check_record(pos, epoch, size, kind, rows, m, name_len)
             name_start = offset + _REC.size
             channel = bytes(buf[name_start : name_start + name_len]).decode("utf-8")
             payload_start = name_start + name_len
@@ -258,6 +303,17 @@ class PostLog:
             )
             pos += size
         return epoch, records
+
+    # Read-side sanitizer hooks: no-ops here, overridden by
+    # repro.sanitize.postlog.SanitizedPostLog under REPRO_SANITIZE=1.
+
+    def _observe_epoch(self, epoch: int) -> None:
+        """Called with each snapshot of the watermark before parsing."""
+
+    def _check_record(
+        self, pos: int, epoch: int, size: int, kind: int, rows: int, m: int, name_len: int
+    ) -> None:
+        """Called per record header before its bytes are interpreted."""
 
     def close(self) -> None:
         """Detach; the owner also unlinks the segment.

@@ -32,24 +32,35 @@ catalog with per-rule rationale lives in ``docs/static-analysis.md``.
 from __future__ import annotations
 
 from repro.lint.engine import (
+    DEAD_WAIVER_ID,
     Diagnostic,
     LintContext,
+    ProjectRule,
     Rule,
     collect_files,
+    find_dead_waivers,
     lint_file,
     lint_paths,
     lint_source,
 )
+from repro.lint.project import ProjectContext
 from repro.lint.rules import ALL_RULES, rules_by_id
+from repro.lint.sarif import to_sarif, to_sarif_json
 
 __all__ = [
     "ALL_RULES",
+    "DEAD_WAIVER_ID",
     "Diagnostic",
     "LintContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "collect_files",
+    "find_dead_waivers",
     "lint_file",
     "lint_paths",
     "lint_source",
     "rules_by_id",
+    "to_sarif",
+    "to_sarif_json",
 ]

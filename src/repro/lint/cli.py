@@ -1,7 +1,16 @@
 """``python -m repro lint`` — the CLI front end of :mod:`repro.lint`.
 
-Exit codes follow the usual linter convention: ``0`` clean, ``1``
-findings, ``2`` usage error (unknown rule id, no files matched).
+Exit codes follow the usual linter convention, plus a dedicated path
+for the dead-waiver audit: ``0`` clean, ``1`` error findings, ``2``
+usage error (unknown rule id, no files matched), ``3`` warnings only
+(every finding is advisory — in practice, stale ``repro: noqa``
+comments flagged by the RPL900 audit).
+
+The full-rule-set run (no ``--select``/``--ignore``) includes both the
+whole-program project pass (RPL013–016) and the dead-waiver audit by
+default; ``--no-dead-waivers`` opts out (pre-commit's per-file
+invocations use it — a waiver for a cross-file rule looks dead when
+the rest of the program is not on the command line).
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.lint.engine import collect_files, lint_file
+from repro.lint.engine import collect_files, lint_paths
 from repro.lint.rules import ALL_RULES, rules_by_id
 
 __all__ = ["add_lint_subparser", "run_lint"]
@@ -32,9 +41,17 @@ def add_lint_subparser(sub: argparse._SubParsersAction) -> argparse.ArgumentPars
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        "--output",
+        dest="format",
+        choices=("text", "json", "sarif"),
         default="text",
-        help="diagnostic output format",
+        help="diagnostic output format (sarif = SARIF 2.1.0 for code scanning)",
+    )
+    lint.add_argument(
+        "--output-file",
+        default=None,
+        metavar="PATH",
+        help="write the formatted output to a file instead of stdout",
     )
     lint.add_argument(
         "--select",
@@ -49,6 +66,11 @@ def add_lint_subparser(sub: argparse._SubParsersAction) -> argparse.ArgumentPars
         help="comma-separated rule ids to skip",
     )
     lint.add_argument(
+        "--no-dead-waivers",
+        action="store_true",
+        help="skip the dead-waiver audit (RPL900) on full-rule-set runs",
+    )
+    lint.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -60,6 +82,13 @@ def _parse_rule_ids(spec: str | None) -> set[str] | None:
     if spec is None:
         return None
     return {token.strip() for token in spec.split(",") if token.strip()}
+
+
+def _emit(text: str, output_file: str | None) -> None:
+    if output_file is None:
+        print(text)
+    else:
+        Path(output_file).write_text(text + "\n", encoding="utf-8")
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -95,20 +124,30 @@ def run_lint(args: argparse.Namespace) -> int:
         print("0 files checked: clean")
         return 0
 
-    diagnostics = []
-    for file in files:
-        diagnostics.extend(lint_file(file, rules))
+    # The dead-waiver audit is only meaningful when every rule ran —
+    # under --select/--ignore most waivers are trivially unexercised.
+    audit = select is None and ignore is None and not getattr(args, "no_dead_waivers", False)
+    diagnostics = lint_paths(files, rules, dead_waivers=audit)
 
+    output_file = getattr(args, "output_file", None)
     if args.format == "json":
-        print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+        _emit(json.dumps([d.to_json() for d in diagnostics], indent=2), output_file)
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif_json
+
+        _emit(to_sarif_json(diagnostics, rules), output_file)
     else:
         for diagnostic in diagnostics:
             print(diagnostic.format())
         errors = sum(1 for d in diagnostics if d.severity == "error")
         warnings = len(diagnostics) - errors
         summary = f"{len(files)} files checked: {errors} errors, {warnings} warnings"
-        print(summary if diagnostics else f"{len(files)} files checked: clean")
-    return 1 if diagnostics else 0
+        _emit(summary if diagnostics else f"{len(files)} files checked: clean", output_file)
+    if not diagnostics:
+        return 0
+    if any(d.severity == "error" for d in diagnostics):
+        return 1
+    return 3  # warnings only: dead waivers (or future advisory rules)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

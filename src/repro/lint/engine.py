@@ -12,35 +12,55 @@ Layers
   ``summary`` / ``hint``, scopes itself via :meth:`Rule.applies_to`,
   and emits findings from :meth:`Rule.check` (usually by walking the
   pre-parsed AST with a small :class:`ast.NodeVisitor`).
+* :class:`ProjectRule` — a rule that needs the *whole program*: it is
+  handed a :class:`repro.lint.project.ProjectContext` (every parsed
+  file plus the import/function index) and may emit findings in any
+  file.  Per-file runs wrap the single file in a one-file project.
 * :class:`LintContext` — everything a rule may need about one file:
   path, source, parsed tree, the repo-relative module path (``None``
   for non-library files such as tests), and the suppression table.
 * :func:`lint_source` / :func:`lint_file` / :func:`lint_paths` — the
   runners, applying ``# repro: noqa[...]`` suppressions and
-  select/ignore filters.
+  select/ignore filters.  :func:`lint_paths` also runs the project
+  pass and, on request, the dead-waiver audit
+  (:func:`find_dead_waivers`): a suppression comment that waived no
+  diagnostic during the run is itself a finding (``RPL900``, warning).
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path, PurePath
 from typing import Any, Iterable, Iterator, Sequence
 
 __all__ = [
+    "DEAD_WAIVER_ID",
     "Diagnostic",
     "LintContext",
+    "ProjectRule",
     "Rule",
     "RuleVisitor",
+    "build_context",
     "collect_files",
+    "find_dead_waivers",
+    "lint_contexts",
     "lint_file",
     "lint_paths",
     "lint_source",
 ]
 
-#: ``# repro: noqa`` (blanket) or ``# repro: noqa[RPL001, RPL002]``.
+#: Blanket (``repro: noqa``) or targeted (``repro: noqa[RPL001, RPL002]``)
+#: suppression comments; only real ``#`` comments count (tokenize-based),
+#: never pattern look-alikes inside string literals.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+#: Pseudo-rule id of the dead-waiver audit (not in the rule catalog: it
+#: is a property of the *run*, not of any one file's AST).
+DEAD_WAIVER_ID = "RPL900"
 
 #: Directories never linted: bytecode caches and the deliberately
 #: rule-violating lint fixtures (test data, not code).
@@ -109,13 +129,23 @@ class LintContext:
     module_path: str | None
     #: line -> suppressed rule ids; an empty set means blanket noqa.
     suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: lines whose waiver suppressed at least one diagnostic this run
+    #: (fed to :func:`find_dead_waivers`).
+    used_suppressions: set[int] = field(default_factory=set)
 
     def is_suppressed(self, diagnostic: Diagnostic) -> bool:
-        """Whether an in-line ``# repro: noqa`` waives *diagnostic*."""
+        """Whether an in-line ``# repro: noqa`` waives *diagnostic*.
+
+        A hit is recorded in :attr:`used_suppressions` so the
+        dead-waiver audit can tell exercised waivers from stale ones.
+        """
         rules = self.suppressions.get(diagnostic.line)
         if rules is None:
             return False
-        return not rules or diagnostic.rule in rules
+        if not rules or diagnostic.rule in rules:
+            self.used_suppressions.add(diagnostic.line)
+            return True
+        return False
 
     def in_library(self, *prefixes: str, exclude: Sequence[str] = ()) -> bool:
         """Whether this file is library code under any of *prefixes*.
@@ -175,6 +205,29 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that analyses the whole program, not one file at a time.
+
+    Subclasses implement :meth:`check_project`, which receives the
+    :class:`repro.lint.project.ProjectContext` — every parsed file plus
+    the import/function index — and may yield diagnostics anchored in
+    *any* of its files (the runner routes each finding to its own
+    file's suppression table).  :meth:`check` keeps project rules
+    usable on a single in-memory source (``lint_source``) by wrapping
+    the file in a one-file project; cross-file facts (e.g. a shared
+    handle escaping into another module) are simply absent there.
+    """
+
+    def check_project(self, project: Any) -> Iterator[Diagnostic]:
+        """Yield diagnostics over the whole :class:`ProjectContext`."""
+        raise NotImplementedError
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.lint.project import ProjectContext
+
+        yield from self.check_project(ProjectContext.from_contexts([ctx]))
+
+
 class RuleVisitor(ast.NodeVisitor):
     """Shared visitor base: collects findings for one rule over one file."""
 
@@ -188,20 +241,42 @@ class RuleVisitor(ast.NodeVisitor):
         self.found.append(self.rule.diagnostic(self.ctx, node, message))
 
 
+def _noqa_spec(comment: str) -> set[str] | None:
+    """Parse one comment; ``None`` = not a waiver, empty set = blanket."""
+    match = _NOQA_RE.search(comment)
+    if match is None:
+        return None
+    spec = match.group("rules")
+    if spec is None:
+        return set()
+    return {token.strip() for token in spec.split(",") if token.strip()}
+
+
 def _parse_suppressions(source: str) -> dict[int, set[str]]:
-    """Extract the ``# repro: noqa`` table (line -> rule ids)."""
+    """Extract the ``# repro: noqa`` table (line -> rule ids).
+
+    Comments are found with :mod:`tokenize`, so a waiver-shaped string
+    *literal* (a linter test embedding ``"...  # repro: noqa[...]"`` in
+    its source) is never mistaken for a suppression — which matters
+    once stale waivers are themselves findings.  Sources that fail to
+    tokenize (the RPL000 path) fall back to the line scan.
+    """
     table: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "#" not in line:
-            continue
-        match = _NOQA_RE.search(line)
-        if match is None:
-            continue
-        spec = match.group("rules")
-        if spec is None:
-            table[lineno] = set()
-        else:
-            table[lineno] = {token.strip() for token in spec.split(",") if token.strip()}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            rules = _noqa_spec(token.string)
+            if rules is not None:
+                table[token.start[0]] = rules
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        table = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            rules = _noqa_spec(line)
+            if rules is not None:
+                table[lineno] = rules
     return table
 
 
@@ -231,35 +306,95 @@ def build_context(path: str, source: str) -> LintContext:
     )
 
 
+def _syntax_error_diagnostic(path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        rule="RPL000",
+        severity="error",
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def lint_contexts(
+    contexts: Sequence[LintContext], rules: Sequence[Rule]
+) -> list[Diagnostic]:
+    """Run *rules* over pre-built contexts: per-file pass + project pass.
+
+    Plain rules run file by file; :class:`ProjectRule` instances run
+    once over a :class:`~repro.lint.project.ProjectContext` spanning
+    every context, and each of their findings is checked against the
+    suppression table of the file it is anchored in.
+    """
+    per_file = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    found: list[Diagnostic] = []
+    for ctx in contexts:
+        for rule in per_file:
+            if not rule.applies_to(ctx):
+                continue
+            for diagnostic in rule.check(ctx):
+                if not ctx.is_suppressed(diagnostic):
+                    found.append(diagnostic)
+    if project_rules:
+        from repro.lint.project import ProjectContext
+
+        project = ProjectContext.from_contexts(contexts)
+        by_path = {ctx.path: ctx for ctx in contexts}
+        for rule in project_rules:
+            for diagnostic in rule.check_project(project):
+                owner = by_path.get(diagnostic.path)
+                if owner is None or not owner.is_suppressed(diagnostic):
+                    found.append(diagnostic)
+    found.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return found
+
+
+def find_dead_waivers(contexts: Sequence[LintContext]) -> list[Diagnostic]:
+    """Waivers that suppressed nothing during the run (``RPL900``).
+
+    Call *after* :func:`lint_contexts` on the same context objects —
+    usage is recorded as suppressions fire.  Only meaningful for runs
+    of the full rule set: under ``--select``/``--ignore`` most waivers
+    are trivially unexercised, so the CLI skips the audit there.
+    """
+    dead: list[Diagnostic] = []
+    for ctx in contexts:
+        for line, rules in sorted(ctx.suppressions.items()):
+            if line in ctx.used_suppressions:
+                continue
+            spec = f"[{', '.join(sorted(rules))}]" if rules else " (blanket)"
+            dead.append(
+                Diagnostic(
+                    rule=DEAD_WAIVER_ID,
+                    severity="warning",
+                    path=ctx.path,
+                    line=line,
+                    col=0,
+                    message=f"dead waiver: repro: noqa{spec} suppresses no diagnostic",
+                    hint="delete the stale suppression comment",
+                )
+            )
+    dead.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return dead
+
+
 def lint_source(
     source: str,
     rules: Sequence[Rule],
     *,
     path: str = "<string>",
 ) -> list[Diagnostic]:
-    """Lint one in-memory source string; returns unsuppressed findings."""
+    """Lint one in-memory source string; returns unsuppressed findings.
+
+    Project rules see a one-file project (see :class:`ProjectRule`).
+    """
     try:
         ctx = build_context(path, source)
     except SyntaxError as exc:
-        return [
-            Diagnostic(
-                rule="RPL000",
-                severity="error",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    found: list[Diagnostic] = []
-    for rule in rules:
-        if not rule.applies_to(ctx):
-            continue
-        for diagnostic in rule.check(ctx):
-            if not ctx.is_suppressed(diagnostic):
-                found.append(diagnostic)
-    found.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
-    return found
+        return [_syntax_error_diagnostic(path, exc)]
+    return lint_contexts([ctx], rules)
 
 
 def lint_file(path: str | Path, rules: Sequence[Rule]) -> list[Diagnostic]:
@@ -294,6 +429,7 @@ def lint_paths(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    dead_waivers: bool = False,
 ) -> list[Diagnostic]:
     """Lint files/directories with an optional rule id filter.
 
@@ -305,6 +441,14 @@ def lint_paths(
         Rule instances to run; defaults to the full repro rule set.
     select / ignore:
         Rule ids to keep / drop (``select`` wins first, then ``ignore``).
+    dead_waivers:
+        Also audit suppression comments: any waiver that suppressed no
+        diagnostic is reported as an ``RPL900`` warning.  Only sensible
+        with the full rule set over the whole surface.
+
+    The project pass (``ProjectRule`` subclasses — RPL013…) runs over
+    all collected files together, so cross-file escape analysis sees
+    the same program CI sees when given the default paths.
     """
     if rules is None:
         from repro.lint.rules import ALL_RULES
@@ -316,7 +460,16 @@ def lint_paths(
     if ignore is not None:
         dropped = set(ignore)
         rules = [r for r in rules if r.id not in dropped]
+    contexts: list[LintContext] = []
     found: list[Diagnostic] = []
     for file in collect_files(paths):
-        found.extend(lint_file(file, rules))
+        text = Path(file).read_text(encoding="utf-8")
+        try:
+            contexts.append(build_context(str(file), text))
+        except SyntaxError as exc:
+            found.append(_syntax_error_diagnostic(str(file), exc))
+    found.extend(lint_contexts(contexts, rules))
+    if dead_waivers:
+        found.extend(find_dead_waivers(contexts))
+    found.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return found

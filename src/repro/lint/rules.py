@@ -1,4 +1,4 @@
-"""The repro rule set: twelve machine-checked model/API contracts.
+"""The repro rule set: sixteen machine-checked model/API contracts.
 
 Each rule encodes one convention the paper's guarantees (or the repo's
 refactoring safety) depend on; the catalog with full rationale is
@@ -15,6 +15,12 @@ import ast
 from typing import Iterator, Sequence
 
 from repro.lint.engine import Diagnostic, LintContext, Rule, RuleVisitor
+from repro.lint.project import (
+    BarrierOrderRule,
+    MultiprocessingContainmentRule,
+    RngLockstepRule,
+    SharedMemoryWriteRule,
+)
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -649,6 +655,10 @@ ALL_RULES: list[Rule] = [
     UnpackbitsContainmentRule(),
     ObsEagerLabelRule(),
     ServeTopologyConstructionRule(),
+    SharedMemoryWriteRule(),
+    RngLockstepRule(),
+    BarrierOrderRule(),
+    MultiprocessingContainmentRule(),
 ]
 
 

@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 output for ``repro lint``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading a run annotates the PR diff with each
+finding in place.  The emitter maps the repo's :class:`Diagnostic`
+schema onto the standard —
+
+* each :class:`~repro.lint.engine.Rule` becomes a ``reportingDescriptor``
+  in the driver's rule catalog (``shortDescription`` from the rule
+  summary, ``help.text`` from the autofix hint, full rationale linked
+  via ``helpUri`` into ``docs/static-analysis.md``);
+* each diagnostic becomes a ``result`` with a ``physicalLocation``
+  (SARIF columns are 1-based; the engine's are 0-based, hence the
+  ``col + 1``);
+* severities map ``error`` → ``"error"``, anything else → ``"warning"``
+  (the dead-waiver audit RPL900 arrives as a synthesized descriptor so
+  its results are never orphaned).
+
+Stdlib-only, like the rest of the engine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.lint.engine import DEAD_WAIVER_ID, Diagnostic, Rule
+
+__all__ = ["to_sarif", "to_sarif_json"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+#: Where the per-rule rationale lives (a repo-relative URI reference —
+#: code-scanning UIs resolve it against the repository root).
+_DOCS_URI = "docs/static-analysis.md"
+
+
+def _level(severity: str) -> str:
+    return "error" if severity == "error" else "warning"
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary},
+        "help": {"text": rule.hint or rule.summary},
+        "helpUri": f"{_DOCS_URI}#the-rule-catalog",
+        "defaultConfiguration": {"level": _level(rule.severity)},
+    }
+
+
+def _dead_waiver_descriptor() -> dict[str, Any]:
+    return {
+        "id": DEAD_WAIVER_ID,
+        "name": "DeadWaiverAudit",
+        "shortDescription": {"text": "suppression comment waives no diagnostic"},
+        "help": {"text": "delete the stale `repro: noqa` comment"},
+        "helpUri": f"{_DOCS_URI}#suppressions",
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _result(diagnostic: Diagnostic) -> dict[str, Any]:
+    message = diagnostic.message
+    if diagnostic.hint:
+        message += f" [{diagnostic.hint}]"
+    return {
+        "ruleId": diagnostic.rule,
+        "level": _level(diagnostic.severity),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": diagnostic.line,
+                        "startColumn": diagnostic.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic], rules: Sequence[Rule]
+) -> dict[str, Any]:
+    """Build the SARIF 2.1.0 log object for one lint run."""
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    if any(d.rule == DEAD_WAIVER_ID for d in diagnostics):
+        descriptors.append(_dead_waiver_descriptor())
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _DOCS_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(d) for d in diagnostics],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    diagnostics: Sequence[Diagnostic], rules: Sequence[Rule]
+) -> str:
+    """The SARIF log serialized for ``--format sarif`` / file upload."""
+    return json.dumps(to_sarif(diagnostics, rules), indent=2, sort_keys=False)

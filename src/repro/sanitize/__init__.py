@@ -1,0 +1,55 @@
+"""Runtime sanitizer for the sharded runtime's shared-memory protocols.
+
+The static rules (RPL013–016, :mod:`repro.lint.project`) check the
+*code*; this package checks the *execution*.  Setting
+
+.. code-block:: bash
+
+    REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest tests/test_serve_equivalence.py
+
+swaps every post log the process creates or attaches for
+:class:`~repro.sanitize.postlog.SanitizedPostLog`, which asserts the
+watermark protocol on both sides: writers must land record bytes
+before the watermark store (re-parsed at the commit point), readers
+must never interpret bytes past their epoch snapshot, and epochs must
+be monotonic per handle.  Violations raise
+:class:`~repro.sanitize.postlog.SanitizeError`.
+
+:mod:`repro.sanitize.harness` adds the deterministic interleaving
+harness: writer/reader protocol steps as generators, replayed under
+exhaustively enumerated schedules, so the torn-write window between a
+record's body write and its publish is *provably* — not
+probabilistically — exercised.
+
+The mode is opt-in and zero-cost when off: the only integration point
+is one environment check inside ``PostLog.create``/``attach``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sanitize.harness import (
+    InterleavingHarness,
+    ScheduleResult,
+    interleavings,
+    stepped_append,
+    stepped_read,
+)
+from repro.sanitize.postlog import SanitizedPostLog, SanitizeError
+
+__all__ = [
+    "InterleavingHarness",
+    "SanitizeError",
+    "SanitizedPostLog",
+    "ScheduleResult",
+    "interleavings",
+    "is_enabled",
+    "stepped_append",
+    "stepped_read",
+]
+
+
+def is_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` is on for this process."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")

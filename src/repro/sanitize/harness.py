@@ -1,0 +1,175 @@
+"""Deterministic interleaving harness for the post-log protocol.
+
+Real cross-process races are found by luck; this harness finds them by
+enumeration.  The two sides of the protocol — a writer appending a
+record, a reader parsing an epoch — are expressed as **step
+generators**: plain generators that perform one protocol action per
+``next()`` and yield a label at every boundary where the other process
+could observe intermediate state.  The harness then *replays a
+schedule*: an explicit sequence of actor names deciding, at every
+step, which logical process advances.  Both actors run in one OS
+process against the same shared-memory segment (the reader holds a
+second, borrowed :class:`~repro.billboard.postlog.PostLog` handle on
+the writer's segment — exactly the same bytes two real processes would
+share), so every adversarial interleaving of the append/read boundary
+is reproduced bit-for-bit, deterministically, on every run.
+
+``interleavings(counts)`` enumerates *all* schedules for the given
+per-actor step counts (the merge lattice), so a test can sweep every
+possible timing of "reader snapshots the epoch between the writer's
+body write and its watermark store" rather than hoping a stress loop
+hits it.  With the stock :class:`PostLog` every schedule must observe
+either *nothing* or *the complete record* (the crash-safety claim);
+with the seeded watermark-first bug the sanitized reader/writer raises
+on the schedules where the torn state is visible — which is how the
+test suite proves the sanitizer actually fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, Mapping, Sequence
+
+from repro.billboard.postlog import PostLog
+
+__all__ = [
+    "InterleavingHarness",
+    "ScheduleResult",
+    "interleavings",
+    "stepped_append",
+    "stepped_read",
+]
+
+#: One actor: a generator yielding a label at each observable boundary.
+Steps = Generator[str, None, None]
+
+
+def stepped_append(
+    log: PostLog,
+    kind: int,
+    shard: int,
+    channel: str,
+    seq: int,
+    payload: bytes = b"",
+    *,
+    rows: int = 0,
+    m: int = 0,
+) -> Steps:
+    """A writer actor: one append split at its protocol boundaries.
+
+    Steps: ``reserve`` (watermark snapshot taken) → ``body`` (record
+    bytes written, **not yet published**) → ``publish`` (watermark
+    store; the record is committed).  Between ``body`` and ``publish``
+    a reader must still see the old epoch — the exact window the
+    crash-safety argument is about.
+    """
+    name_b = channel.encode("utf-8")
+    from repro.billboard.postlog import _REC, _align8  # protocol internals
+
+    size = _align8(_REC.size + len(name_b) + len(payload))
+    committed = log.committed
+    if committed + size > log.capacity:
+        raise RuntimeError("harness append exceeds log capacity")
+    yield "reserve"
+    log._write_body(committed, size, kind, shard, seq, name_b, payload, rows, m)
+    yield "body"
+    log._publish(committed, committed + size)
+    yield "publish"
+
+
+def stepped_read(
+    log: PostLog, results: list[Any], *, start: int = 0
+) -> Steps:
+    """A reader actor: one epoch read, its result appended to *results*.
+
+    A single step (``read``) — the read path is lock-free and atomic
+    at the watermark snapshot, so its only observable boundary is the
+    call itself.  Schedule several of these around a writer's steps to
+    probe every timing.
+    """
+    yield "ready"
+    results.append(log.read(start))
+    yield "read"
+
+
+@dataclass
+class ScheduleResult:
+    """What one replayed schedule did."""
+
+    #: The schedule as executed (actor name per step).
+    schedule: tuple[str, ...]
+    #: Labels yielded, in order, as ``(actor, label)`` pairs.
+    trace: list[tuple[str, str]] = field(default_factory=list)
+    #: The exception the schedule raised, if any (sanitizer findings).
+    error: BaseException | None = None
+
+
+class InterleavingHarness:
+    """Replays explicit schedules over a set of step-generator actors.
+
+    Deterministic by construction: the schedule *is* the arbiter — no
+    threads, no sleeps, no OS scheduler.  Actor factories (not live
+    generators) are passed in so every schedule starts from fresh
+    actors; the caller's ``reset`` hook rebuilds shared state (e.g. a
+    fresh log segment) between schedules.
+    """
+
+    def __init__(
+        self,
+        actors: Mapping[str, Callable[[], Steps]],
+        *,
+        reset: Callable[[], None] | None = None,
+    ) -> None:
+        self._factories = dict(actors)
+        self._reset = reset
+
+    def run(self, schedule: Sequence[str]) -> ScheduleResult:
+        """Replay one schedule; sanitizer errors are captured, not raised."""
+        if self._reset is not None:
+            self._reset()
+        live = {name: factory() for name, factory in self._factories.items()}
+        result = ScheduleResult(schedule=tuple(schedule))
+        try:
+            for actor in schedule:
+                gen = live[actor]
+                try:
+                    label = next(gen)
+                except StopIteration:
+                    continue  # actor already finished: schedule step is a no-op
+                result.trace.append((actor, label))
+            for name, gen in live.items():  # drain: no actor left mid-protocol
+                for label in gen:
+                    result.trace.append((name, label))
+        except AssertionError as exc:  # SanitizeError included
+            result.error = exc
+        return result
+
+    def run_all(
+        self, counts: Mapping[str, int]
+    ) -> Iterator[ScheduleResult]:
+        """Replay every interleaving of the given per-actor step counts."""
+        for schedule in interleavings(counts):
+            yield self.run(schedule)
+
+
+def interleavings(counts: Mapping[str, int]) -> Iterator[tuple[str, ...]]:
+    """All order-preserving merges of ``counts[actor]`` steps per actor.
+
+    ``interleavings({"w": 2, "r": 1})`` yields the 3 schedules
+    ``(w w r) (w r w) (r w w)`` — each actor's own steps stay in
+    program order, every cross-actor timing is produced exactly once.
+    """
+    names = sorted(counts)
+    remaining = {name: int(counts[name]) for name in names}
+
+    def rec(prefix: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+        if all(v == 0 for v in remaining.values()):
+            yield prefix
+            return
+        for name in names:
+            if remaining[name] > 0:
+                remaining[name] -= 1
+                yield from rec(prefix + (name,))
+                remaining[name] += 1
+
+    yield from rec(())

@@ -1,0 +1,15 @@
+"""RPL013 violation: mutating shared memory outside the commit protocol."""
+
+from repro.parallel.shared import SharedInstanceHandle
+
+__all__ = ["poke", "scribble"]
+
+
+def scribble(view: object) -> None:
+    view[0] = 1  # looks innocent: the shared handle escaped into here
+
+
+def poke(handle: SharedInstanceHandle) -> None:
+    matrix = handle.bitmatrix()
+    matrix[0, 3] = 1  # RPL013: direct write through a shared view
+    scribble(handle.bitmatrix())  # RPL013: write via the helper (escape)

@@ -1,0 +1,19 @@
+"""RPL013 clean: shared views are read-only outside the commit protocol."""
+
+from repro.parallel.shared import SharedInstanceHandle
+
+__all__ = ["publish", "tally"]
+
+
+def tally(handle: SharedInstanceHandle) -> int:
+    matrix = handle.bitmatrix()
+    total = 0
+    for row in matrix:  # reads through shared views are fine
+        total += int(row.sum())
+    return total
+
+
+def publish(log: object, payload: bytes) -> None:
+    # Mutation goes through the commit protocol's own API, never
+    # through the buffer directly.
+    log.append(1, 0, "results", 1, payload)

@@ -1,0 +1,13 @@
+"""RPL014 violation: rng draws hidden inside shard-conditional control flow."""
+
+__all__ = ["route"]
+
+
+def route(service: object, gen: object, shard: int, n: int) -> list:
+    picks = []
+    if shard == 0:
+        coins = gen.integers(0, 2, size=n)  # RPL014: only shard 0 draws
+        picks.append(coins)
+    for player in service._local_players():
+        picks.append(spawn(gen))  # RPL014: draw count depends on ownership
+    return picks

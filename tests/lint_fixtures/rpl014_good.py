@@ -1,0 +1,11 @@
+"""RPL014 clean: full-population draws; owner loops only index results."""
+
+__all__ = ["route"]
+
+
+def route(service: object, gen: object, n: int) -> list:
+    # Every shard performs the identical full-population draw, keeping
+    # the master generators in lockstep ...
+    rngs = spawn_many(spawn(gen), n)
+    # ... and the owner-filtered loop only *indexes* pre-drawn values.
+    return [rngs[player] for player in service._local_players()]

@@ -1,0 +1,14 @@
+"""RPL015 violation: posts appended after the phase's marker append."""
+
+__all__ = ["finish_stage", "flush"]
+
+
+def finish_stage(board: object, vectors: object) -> None:
+    board.post_barrier("stage-3")
+    board.post_vectors("late", vectors)  # RPL015: marker no longer covers it
+
+
+def flush(log: object, payload: bytes, done: bool) -> None:
+    if done:
+        log.append(KIND_BARRIER, 0, "stage", 0)
+    log.append(KIND_PACKED, 0, "results", 1, payload)  # RPL015: post on a marker path

@@ -1,0 +1,14 @@
+"""RPL015 clean: posts land first, the phase marker last."""
+
+__all__ = ["finish_stage", "flush"]
+
+
+def finish_stage(board: object, vectors: object) -> None:
+    board.post_vectors("results", vectors)
+    board.post_barrier("stage-3")  # the marker trails every post it covers
+
+
+def flush(log: object, payload: bytes, done: bool) -> None:
+    log.append(KIND_PACKED, 0, "results", 1, payload)
+    if done:
+        log.append(KIND_BARRIER, 0, "stage", 0)

@@ -1,0 +1,12 @@
+"""RPL016 violation: ad-hoc multiprocessing outside the parallel substrate."""
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+__all__ = ["side_channel"]
+
+
+def side_channel(nbytes: int) -> tuple:
+    lock = multiprocessing.Lock()  # an unaudited cross-process channel
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    return lock, segment

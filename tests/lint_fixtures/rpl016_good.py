@@ -1,0 +1,11 @@
+"""RPL016 clean: cross-process channels come from the parallel substrate."""
+
+from repro.parallel.shared import SharedInstance
+
+__all__ = ["publish"]
+
+
+def publish(instance: object) -> object:
+    # The substrate owns locks, pipes, and segment lifecycle; callers
+    # only ever see its audited handles.
+    return SharedInstance.publish(instance)

@@ -1,4 +1,4 @@
-"""Tests for the repro lint engine, the twelve RPL rules, and the CLI.
+"""Tests for the repro lint engine, the sixteen RPL rules, and the CLI.
 
 Every rule is pinned by a fixture pair under ``tests/lint_fixtures/``:
 the *bad* file must trip exactly that rule (and stops tripping anything
@@ -46,6 +46,10 @@ BAD_CASES = {
     "RPL010": ("rpl010_bad.py", LIB_PATH, 2, "bitpack boundary"),
     "RPL011": ("rpl011_bad.py", LIB_PATH, 4, "evaluated even when telemetry is off"),
     "RPL012": ("rpl012_bad.py", LIB_PATH, 2, "pins the caller to one topology"),
+    "RPL013": ("rpl013_bad.py", SERVE_PATH, 2, "outside the commit protocol"),
+    "RPL014": ("rpl014_bad.py", SERVE_PATH, 2, "breaks full-population lockstep"),
+    "RPL015": ("rpl015_bad.py", LIB_PATH, 2, "marker visibility"),
+    "RPL016": ("rpl016_bad.py", LIB_PATH, 2, "outside the parallel substrate"),
 }
 
 GOOD_CASES = {
@@ -61,6 +65,10 @@ GOOD_CASES = {
     "RPL010": ("rpl010_good.py", LIB_PATH),
     "RPL011": ("rpl011_good.py", LIB_PATH),
     "RPL012": ("rpl012_good.py", LIB_PATH),
+    "RPL013": ("rpl013_good.py", SERVE_PATH),
+    "RPL014": ("rpl014_good.py", SERVE_PATH),
+    "RPL015": ("rpl015_good.py", LIB_PATH),
+    "RPL016": ("rpl016_good.py", LIB_PATH),
 }
 
 
@@ -203,11 +211,23 @@ def test_collect_files_skips_caches_and_fixtures(tmp_path):
 
 def test_rules_by_id_is_complete():
     catalog = rules_by_id()
-    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 13)]
+    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 17)]
     for rule_id, rule in catalog.items():
         assert rule.id == rule_id
         assert rule.severity in ("error", "warning")
         assert rule.summary and rule.hint
+
+
+def test_every_rule_has_a_fixture_pair():
+    """Meta-test: the case tables above must cover the whole catalog,
+    and every fixture file they name must exist — a rule added without
+    its bad/good pair fails here before it fails in review."""
+    catalog = rules_by_id()
+    assert set(BAD_CASES) == set(catalog)
+    assert set(GOOD_CASES) == set(catalog)
+    for rule_id in catalog:
+        assert (FIXTURES / f"{rule_id.lower()}_bad.py").is_file()
+        assert (FIXTURES / f"{rule_id.lower()}_good.py").is_file()
 
 
 # --------------------------------------------------------------- CLI
