@@ -164,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     loadgen = sub.add_parser("loadgen", help="drive a service with synthetic load")
     loadgen.add_argument("--workload", default="planted", help="workload family")
+    loadgen.add_argument(
+        "--dataset", type=Path, default=None, metavar="DIR",
+        help="serve an ingested dataset store instead of a synthetic workload",
+    )
     loadgen.add_argument("--sessions", type=int, default=256, help="players (= sessions)")
     loadgen.add_argument("--objects", type=int, default=None, help="objects (defaults to --sessions)")
     loadgen.add_argument("--alpha", type=float, default=0.5, help="community frequency")
@@ -188,6 +192,47 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--metrics-interval", type=float, default=1.0,
         help="seconds between metric snapshots (with --metrics)",
+    )
+
+    dataset = sub.add_parser("dataset", help="ingest and inspect real preference corpora")
+    dataset_sub = dataset.add_subparsers(dest="dataset_command", required=True)
+    d_ingest = dataset_sub.add_parser(
+        "ingest", help="stream a ratings/edge-list file into a packed dataset store"
+    )
+    d_ingest.add_argument(
+        "source", help="raw file (CSV/TSV ratings or SNAP edges, .gz ok) or a registry name"
+    )
+    d_ingest.add_argument("out", type=Path, help="dataset directory to create")
+    d_ingest.add_argument(
+        "--format", choices=("auto", "ratings", "edges"), default="auto", help="source format"
+    )
+    d_ingest.add_argument(
+        "--threshold", type=float, default=None,
+        help="'like' iff rating > threshold (registry entries carry their own default)",
+    )
+    d_ingest.add_argument(
+        "--missing", choices=("zero", "one", "majority"), default="zero",
+        help="imputation for never-rated entries",
+    )
+    d_ingest.add_argument("--shard-rows", type=int, default=1024, help="rows per packed shard")
+    d_ingest.add_argument("--name", default=None, help="dataset label (default: source filename)")
+    d_info = dataset_sub.add_parser("info", help="print a committed dataset's manifest summary")
+    d_info.add_argument("dir", type=Path, help="dataset directory")
+    d_sample = dataset_sub.add_parser("sample", help="print the first rows of the packed matrix")
+    d_sample.add_argument("dir", type=Path, help="dataset directory")
+    d_sample.add_argument("--rows", type=int, default=8, help="rows to show")
+    d_eval = dataset_sub.add_parser(
+        "evaluate", help="run the paper's algorithms and all baselines, measuring stretch"
+    )
+    d_eval.add_argument("dir", type=Path, help="dataset directory")
+    d_eval.add_argument("--seed", type=int, default=0, help="rng seed for the panel")
+    d_eval.add_argument(
+        "--radius", type=int, default=None,
+        help="community-discovery ball radius (default m//10)",
+    )
+    d_eval.add_argument(
+        "--json", type=Path, default=None, metavar="OUT.json",
+        help="also write the score table as JSON",
     )
 
     obs_cmd = sub.add_parser("obs", help="telemetry utilities")
@@ -369,6 +414,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         window = min(window, 16)
     config = LoadgenConfig(
         workload=args.workload,
+        dataset=None if args.dataset is None else str(args.dataset),
         sessions=sessions,
         objects=args.objects,
         alpha=args.alpha,
@@ -396,6 +442,68 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         dump_report_json(str(args.json), report)
         print(f"json     : {args.json}")
     return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets import DatasetStore, dataset_names, get_dataset, ingest
+
+    if args.dataset_command == "ingest":
+        source = Path(args.source)
+        threshold = args.threshold
+        if not source.exists() and args.source in dataset_names():
+            spec = get_dataset(args.source)
+            source = spec.materialize(args.out.parent / "raw")
+            if threshold is None:
+                threshold = spec.threshold
+        if not source.exists():
+            print(f"no such source file or registry name: {args.source}")
+            print(f"registered datasets: {', '.join(dataset_names())}")
+            return 2
+        result = ingest(
+            source,
+            args.out,
+            threshold=threshold if threshold is not None else 0.0,
+            missing=args.missing,
+            fmt=args.format,
+            shard_rows=args.shard_rows,
+            name=args.name,
+        )
+        print(
+            f"ingested {result.rows_read} {result.format} rows -> {result.path} "
+            f"({result.n} players x {result.m} objects, {result.shards} shards)"
+        )
+        return 0
+    if args.dataset_command == "info":
+        info = DatasetStore.open(args.dir).info()
+        for key in ("name", "n", "m", "shards", "packed_bytes"):
+            print(f"{key:12s}: {info[key]}")
+        for group in ("source", "stats"):
+            for key, value in info[group].items():
+                print(f"{group + '.' + key:12s}: {value}")
+        return 0
+    if args.dataset_command == "sample":
+        store = DatasetStore.open(args.dir)
+        rows = store.sample(args.rows)
+        print(f"{store.name}: first {rows.shape[0]} of {store.n} players, m={store.m}")
+        for row in rows:
+            print("".join("#" if bit else "." for bit in row))
+        return 0
+    if args.dataset_command == "evaluate":
+        import json as _json
+
+        from repro.datasets.evaluate import evaluate_dataset
+
+        evaluation = evaluate_dataset(args.dir, rng=args.seed, radius=args.radius)
+        print(evaluation.render())
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(evaluation.to_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"json     : {args.json}")
+        return 0
+    raise AssertionError(
+        f"unhandled dataset command {args.dataset_command!r}"
+    )  # pragma: no cover
 
 
 def _load_telemetry(path: Path) -> "obs.TelemetryRun | None":
@@ -471,6 +579,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "dataset":
+        return _cmd_dataset(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "lint":

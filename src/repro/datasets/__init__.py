@@ -1,0 +1,61 @@
+"""``repro.datasets`` — streaming real-dataset ETL into packed instances.
+
+The pipeline, end to end::
+
+    raw ratings / edge-list file
+        │  formats.iter_chunks        (bounded RatingsChunk batches)
+        ▼
+    ingest.ingest                     (one scan pass: vocab + column
+        │                              counts + per-shard spill; then
+        │                              ShardPacker scatters per shard)
+        ▼
+    store.DatasetWriter               (.npz shards + packed.npy mirror,
+        │                              manifest.json written LAST)
+        ▼
+    store.DatasetStore                (streamed reads, mmap attach,
+                                       Instance escape hatch)
+
+No stage ever materialises the dense ``n × m`` matrix — binarization
+scatters straight into ``BitMatrix`` packed words
+(:mod:`repro.datasets.binarize`), and serving attaches the packed
+mirror read-only.
+
+The evaluation harness lives in :mod:`repro.datasets.evaluate` and is
+imported explicitly (not re-exported here): it pulls in the full
+algorithm + baselines stack, which the ETL path has no business
+loading.  Named offline corpora live in :mod:`repro.datasets.registry`.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.binarize import (
+    MISSING_POLICIES,
+    ShardPacker,
+    binarize_ratings_matrix,
+    majority_from_counts,
+)
+from repro.datasets.formats import RatingsChunk, iter_chunks, iter_edges, iter_ratings, sniff
+from repro.datasets.ingest import IngestResult, ingest
+from repro.datasets.registry import DatasetSpec
+from repro.datasets.registry import get as get_dataset
+from repro.datasets.registry import names as dataset_names
+from repro.datasets.store import DatasetStore, DatasetWriter
+
+__all__ = [
+    "MISSING_POLICIES",
+    "DatasetSpec",
+    "DatasetStore",
+    "DatasetWriter",
+    "IngestResult",
+    "RatingsChunk",
+    "ShardPacker",
+    "binarize_ratings_matrix",
+    "dataset_names",
+    "get_dataset",
+    "ingest",
+    "iter_chunks",
+    "iter_edges",
+    "iter_ratings",
+    "majority_from_counts",
+    "sniff",
+]

@@ -1,0 +1,211 @@
+"""Chunked binarization straight into packed ``BitMatrix`` words.
+
+The ETL pipeline's core kernel: known ``(row, col, rating > threshold)``
+triples scatter into the packed ``uint8`` substrate one row-shard at a
+time.  Imputation for unknown entries is the *base fill* the shard
+buffer starts from — the same three policies as
+:func:`repro.workloads.ratings.instance_from_ratings`:
+
+* ``"zero"`` — unknown entries stay 0 (all-zero base);
+* ``"one"``  — unknown entries are 1 (all-ones base, padding tail kept
+  zero so packed rows keep comparing/XORing exactly);
+* ``"majority"`` — unknown entries take the per-column majority of the
+  *known* likes, accumulated by the scan pass
+  (:func:`majority_from_counts`).
+
+Nothing here ever allocates a dense ``n × m`` array: a
+:class:`ShardPacker` holds exactly one ``shard_rows × ceil(m/8)``
+packed block, and :func:`binarize_ratings_matrix` walks a dense ratings
+matrix through the same scatter kernel block-by-block (the packed-native
+re-route of ``instance_from_ratings``; the old dense binarizer survives
+only as the bit-equality reference in its tests).
+
+Duplicate handling is deterministic: within one :meth:`ShardPacker.scatter`
+call the clears land after the sets, so a ``(row, col)`` pair graded on
+both sides of the threshold resolves to 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.bitpack import BitMatrix, pack_vector, packed_width
+
+__all__ = [
+    "MISSING_POLICIES",
+    "ShardPacker",
+    "binarize_ratings_matrix",
+    "majority_from_counts",
+]
+
+#: The imputation policies (shared vocabulary with ``instance_from_ratings``).
+MISSING_POLICIES = ("zero", "one", "majority")
+
+
+def majority_from_counts(ones_col: np.ndarray, known_col: np.ndarray) -> np.ndarray:
+    """Per-column majority grade from scan-pass counts.
+
+    A column's majority is 1 iff strictly more than half of its *known*
+    entries are likes (``ones · 2 > max(known, 1)`` — the exact rule the
+    dense reference uses, so all-unknown columns default to 0).
+    """
+    ones_col = np.asarray(ones_col, dtype=np.int64)
+    known_col = np.asarray(known_col, dtype=np.int64)
+    if ones_col.shape != known_col.shape or ones_col.ndim != 1:
+        raise ValueError(
+            f"count vectors must be 1-D and equal length, got {ones_col.shape} vs {known_col.shape}"
+        )
+    return (ones_col * 2 > np.maximum(known_col, 1)).astype(np.uint8)
+
+
+def _base_row(m: int, missing: str, col_majority: np.ndarray | None) -> np.ndarray:
+    """The packed base-fill row unknown entries inherit."""
+    width = packed_width(m)
+    if missing == "zero":
+        return np.zeros(width, dtype=np.uint8)
+    if missing == "one":
+        row = np.full(width, 0xFF, dtype=np.uint8)
+        if m % 8 and width:
+            row[-1] = np.uint8((0xFF << (8 - m % 8)) & 0xFF)
+        return row
+    if missing == "majority":
+        if col_majority is None:
+            raise ValueError("missing='majority' needs the scan pass's col_majority")
+        if col_majority.shape != (m,):
+            raise ValueError(
+                f"col_majority must have shape ({m},), got {col_majority.shape}"
+            )
+        return pack_vector(col_majority)
+    raise ValueError(f"unknown missing policy {missing!r}; use one of {MISSING_POLICIES}")
+
+
+class ShardPacker:
+    """Packs one shard's known entries over an imputation base fill.
+
+    Parameters
+    ----------
+    rows:
+        Number of (local) rows in this shard.
+    m:
+        Logical column count.
+    missing:
+        Imputation policy for entries never scattered (see module doc).
+    col_majority:
+        Scan-pass per-column majority vector (``missing="majority"``).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        m: int,
+        *,
+        missing: str = "zero",
+        col_majority: np.ndarray | None = None,
+    ) -> None:
+        if rows < 0:
+            raise ValueError(f"rows must be non-negative, got {rows}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self._rows = int(rows)
+        self._m = int(m)
+        base = _base_row(m, missing, col_majority)
+        self._packed = np.tile(base, (self._rows, 1))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(rows, m)`` of this shard."""
+        return (self._rows, self._m)
+
+    def scatter(self, rows_local: np.ndarray, cols: np.ndarray, likes: np.ndarray) -> None:
+        """Write known grades into the packed block (word-indexed, in place).
+
+        *rows_local* are shard-local row indices, *cols* logical column
+        indices, *likes* the 0/1 grades.  Sets land before clears, so
+        contradictory duplicates within one call resolve to 0.
+        """
+        rows_local = np.asarray(rows_local, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        likes = np.asarray(likes)
+        if not (rows_local.shape == cols.shape == likes.shape):
+            raise ValueError("rows_local, cols, likes must have equal shape")
+        if rows_local.size == 0:
+            return
+        if rows_local.min() < 0 or rows_local.max() >= self._rows:
+            raise ValueError(f"row index out of shard range [0, {self._rows})")
+        if cols.min() < 0 or cols.max() >= self._m:
+            raise ValueError(f"column index out of range [0, {self._m})")
+        byte_idx = cols >> 3
+        masks = (1 << (7 - (cols & 7))).astype(np.uint8)
+        set_sel = likes != 0
+        if set_sel.any():
+            np.bitwise_or.at(
+                self._packed, (rows_local[set_sel], byte_idx[set_sel]), masks[set_sel]
+            )
+        clear_sel = ~set_sel
+        if clear_sel.any():
+            np.bitwise_and.at(
+                self._packed,
+                (rows_local[clear_sel], byte_idx[clear_sel]),
+                np.bitwise_not(masks[clear_sel]),
+            )
+
+    def finish(self) -> np.ndarray:
+        """The packed ``(rows, ceil(m/8))`` block (further scatters forbidden)."""
+        packed = self._packed
+        self._packed = np.empty((0, 0), dtype=np.uint8)  # poison reuse
+        return packed
+
+
+def _known_mask(block: np.ndarray, missing_marker: float) -> np.ndarray:
+    if np.isnan(missing_marker):
+        return ~np.isnan(block)
+    return np.asarray(block != missing_marker)
+
+
+def binarize_ratings_matrix(
+    ratings: np.ndarray,
+    threshold: float,
+    *,
+    missing: str = "zero",
+    missing_marker: float = np.nan,
+    block_rows: int = 256,
+) -> BitMatrix:
+    """Binarize a dense ratings matrix through the chunked packed kernel.
+
+    The packed-native path behind ``instance_from_ratings``: row blocks
+    of at most *block_rows* feed :class:`ShardPacker` scatters, so the
+    only full-size allocation is the packed result (``n × ceil(m/8)``
+    bytes, 8× smaller than the dense ``int8`` matrix it replaces).
+    """
+    arr = np.asarray(ratings, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError(f"ratings must be a non-empty 2-D matrix, got shape {arr.shape}")
+    if missing not in MISSING_POLICIES:
+        raise ValueError(f"unknown missing policy {missing!r}")
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    n, m = arr.shape
+
+    col_majority: np.ndarray | None = None
+    if missing == "majority":
+        ones_col = np.zeros(m, dtype=np.int64)
+        known_col = np.zeros(m, dtype=np.int64)
+        for start in range(0, n, block_rows):
+            block = arr[start : start + block_rows]
+            known = _known_mask(block, missing_marker)
+            likes = known & (block > threshold)
+            ones_col += likes.sum(axis=0)
+            known_col += known.sum(axis=0)
+        col_majority = majority_from_counts(ones_col, known_col)
+
+    packed = np.empty((n, packed_width(m)), dtype=np.uint8)
+    for start in range(0, n, block_rows):
+        block = arr[start : start + block_rows]
+        known = _known_mask(block, missing_marker)
+        packer = ShardPacker(
+            block.shape[0], m, missing=missing, col_majority=col_majority
+        )
+        rows_local, cols = np.nonzero(known)
+        packer.scatter(rows_local, cols, block[rows_local, cols] > threshold)
+        packed[start : start + block.shape[0]] = packer.finish()
+    return BitMatrix.from_packed(packed, m)

@@ -1,0 +1,234 @@
+"""Streaming parsers for raw ratings / co-purchase corpora.
+
+Real preference data arrives in two shapes this module understands:
+
+* **ratings** — MovieLens-style ``user,item,rating[,timestamp]`` rows
+  (CSV, TSV, ``::``-separated, or whitespace-separated; an optional
+  header line and ``#`` comments are skipped);
+* **edges** — SNAP-style co-purchase / co-visit edge lists, one
+  ``from<TAB>to`` pair per line (``#`` comments skipped): an edge is an
+  implicit unit-strength "like" of object ``to`` by player ``from``.
+
+Both parsers *stream*: they yield bounded :class:`RatingsChunk` batches
+of at most ``chunk_rows`` entries and never hold the whole file — the
+contract the ETL pipeline's bounded-memory guarantee is built on.
+``.gz`` sources are decompressed on the fly.
+
+:func:`sniff` inspects the first data lines to pick the format and
+delimiter, so callers can say ``fmt="auto"`` and feed either shape.
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+__all__ = [
+    "RatingsChunk",
+    "iter_chunks",
+    "iter_edges",
+    "iter_ratings",
+    "sniff",
+]
+
+#: Delimiters tried, in order, when sniffing (``None`` = any whitespace).
+_DELIMITERS: tuple[str | None, ...] = ("\t", "::", ",", ";", None)
+
+
+@dataclass(frozen=True)
+class RatingsChunk:
+    """One bounded batch of parsed entries (raw ids, not yet remapped).
+
+    Attributes
+    ----------
+    users, items:
+        Raw integer ids as they appear in the file (arbitrary, sparse).
+    ratings:
+        Rating values; edge-list sources carry the implicit ``1.0``.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    ratings: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.users) == len(self.items) == len(self.ratings)):
+            raise ValueError("chunk arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def _open_text(path: str | Path) -> IO[str]:
+    """Open *path* for line reading, transparently decompressing ``.gz``."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def _fields(line: str, delimiter: str | None) -> list[str]:
+    """Split one data line (``None`` = any-whitespace splitting)."""
+    return line.split(delimiter) if delimiter is not None else line.split()
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def sniff(path: str | Path) -> tuple[str, str | None, bool]:
+    """Detect ``(format, delimiter, has_header)`` from the first data lines.
+
+    ``format`` is ``"edges"`` (two numeric fields per row) or
+    ``"ratings"`` (three or more).  Raises ``ValueError`` when no
+    delimiter yields at least two fields on the probe lines.
+    """
+    probes: list[str] = []
+    with _open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            probes.append(line)
+            if len(probes) >= 4:
+                break
+    if not probes:
+        raise ValueError(f"{path}: no data lines (only blanks/comments)")
+    for delimiter in _DELIMITERS:
+        widths = {len(_fields(line, delimiter)) for line in probes}
+        if len(widths) == 1 and min(widths) >= 2:
+            # A non-numeric leading row is a header; classify on the rest.
+            has_header = not _is_number(_fields(probes[0], delimiter)[0])
+            data_probe = probes[1] if has_header and len(probes) > 1 else probes[0]
+            width = len(_fields(data_probe, delimiter))
+            return ("edges" if width == 2 else "ratings", delimiter, has_header)
+    raise ValueError(f"{path}: could not sniff a delimiter from {probes[0]!r}")
+
+
+def _iter_lines(path: str | Path, *, skip_header: bool) -> Iterator[tuple[int, str]]:
+    """Stripped data lines with 1-based line numbers (comments skipped)."""
+    with _open_text(path) as fh:
+        pending_header = skip_header
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if pending_header:
+                pending_header = False
+                continue
+            yield lineno, line
+
+
+def iter_ratings(
+    path: str | Path,
+    *,
+    delimiter: str | None = None,
+    chunk_rows: int = 65536,
+    has_header: bool | None = None,
+) -> Iterator[RatingsChunk]:
+    """Stream a ratings file as bounded :class:`RatingsChunk` batches.
+
+    Rows must carry at least ``user, item, rating``; extra fields (e.g.
+    a timestamp) are ignored.  With *delimiter*/*has_header* omitted the
+    file is sniffed first.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if delimiter is None or has_header is None:
+        fmt, sniffed_delim, sniffed_header = sniff(path)
+        if fmt != "ratings":
+            raise ValueError(f"{path}: looks like an edge list, not a ratings file")
+        delimiter = delimiter if delimiter is not None else sniffed_delim
+        has_header = has_header if has_header is not None else sniffed_header
+    users: list[int] = []
+    items: list[int] = []
+    ratings: list[float] = []
+    for lineno, line in _iter_lines(path, skip_header=has_header):
+        fields = _fields(line, delimiter)
+        if len(fields) < 3:
+            raise ValueError(f"{path}:{lineno}: need user,item,rating — got {line!r}")
+        try:
+            users.append(int(fields[0]))
+            items.append(int(fields[1]))
+            ratings.append(float(fields[2]))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: unparseable row {line!r}") from exc
+        if len(users) >= chunk_rows:
+            yield _chunk(users, items, ratings)
+            users, items, ratings = [], [], []
+    if users:
+        yield _chunk(users, items, ratings)
+
+
+def iter_edges(
+    path: str | Path,
+    *,
+    delimiter: str | None = None,
+    chunk_rows: int = 65536,
+    has_header: bool | None = None,
+) -> Iterator[RatingsChunk]:
+    """Stream a SNAP-style edge list as unit-rating chunks.
+
+    Each ``from to`` edge becomes the entry ``(user=from, item=to,
+    rating=1.0)`` — player *from* "likes" object *to* (the co-purchase
+    reading: buyers of ``from`` also bought ``to``).
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if delimiter is None or has_header is None:
+        fmt, sniffed_delim, sniffed_header = sniff(path)
+        if fmt != "edges":
+            raise ValueError(f"{path}: looks like a ratings file, not an edge list")
+        delimiter = delimiter if delimiter is not None else sniffed_delim
+        has_header = has_header if has_header is not None else sniffed_header
+    users: list[int] = []
+    items: list[int] = []
+    for lineno, line in _iter_lines(path, skip_header=has_header):
+        fields = _fields(line, delimiter)
+        if len(fields) < 2:
+            raise ValueError(f"{path}:{lineno}: need from,to — got {line!r}")
+        try:
+            users.append(int(fields[0]))
+            items.append(int(fields[1]))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: unparseable edge {line!r}") from exc
+        if len(users) >= chunk_rows:
+            yield _chunk(users, items, [1.0] * len(users))
+            users, items = [], []
+    if users:
+        yield _chunk(users, items, [1.0] * len(users))
+
+
+def iter_chunks(
+    path: str | Path,
+    *,
+    fmt: str = "auto",
+    chunk_rows: int = 65536,
+) -> tuple[str, Iterator[RatingsChunk]]:
+    """Dispatch to the right parser; returns ``(resolved_format, chunks)``.
+
+    ``fmt="auto"`` sniffs; ``"ratings"`` / ``"edges"`` force a parser.
+    """
+    if fmt == "auto":
+        fmt = sniff(path)[0]
+    if fmt == "ratings":
+        return fmt, iter_ratings(path, chunk_rows=chunk_rows)
+    if fmt == "edges":
+        return fmt, iter_edges(path, chunk_rows=chunk_rows)
+    raise ValueError(f"unknown dataset format {fmt!r}; use 'auto', 'ratings', or 'edges'")
+
+
+def _chunk(users: list[int], items: list[int], ratings: list[float]) -> RatingsChunk:
+    return RatingsChunk(
+        users=np.asarray(users, dtype=np.int64),
+        items=np.asarray(items, dtype=np.int64),
+        ratings=np.asarray(ratings, dtype=np.float64),
+    )

@@ -1,0 +1,233 @@
+"""Streaming ingest: raw ratings/edges → packed on-disk dataset store.
+
+One bounded-memory pass over the source builds the id vocabularies and
+per-column like/known counts while spilling compact ``(row, col, like)``
+triples into per-shard files; a second pass packs each shard through
+:class:`~repro.datasets.binarize.ShardPacker` and hands it to
+:class:`~repro.datasets.store.DatasetWriter`.  Peak memory is
+``O(n + m + chunk_rows + shard_rows · ceil(m/8))`` — the dense ``n × m``
+matrix never exists, which is the whole point (and what the tracemalloc
+test in ``tests/test_datasets.py`` pins).
+
+Binarization happens at stream time (``rating > threshold`` is the only
+per-entry decision), so the spill triples already carry the final grade;
+the imputation policy only shapes each shard's base fill at pack time —
+``"majority"`` uses the scan pass's column counts, exactly mirroring
+``instance_from_ratings``.
+
+Crash safety falls out of the store's commit protocol: the manifest is
+written last, so a crash anywhere in here leaves a directory
+:meth:`DatasetStore.open` rejects, and the spill scratch area
+(``<out>/.spill/``) plus any partial shards are invisible to readers.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.datasets.binarize import MISSING_POLICIES, ShardPacker, majority_from_counts
+from repro.datasets.formats import iter_chunks
+from repro.datasets.store import MANIFEST_NAME, DatasetStore, DatasetWriter
+
+__all__ = ["IngestResult", "ingest"]
+
+#: Spill record: global row, column, binarized grade — 9 bytes/entry.
+_SPILL_DTYPE = np.dtype([("row", "<u4"), ("col", "<u4"), ("like", "u1")])
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What one :func:`ingest` run produced (mirrors the manifest stats)."""
+
+    path: Path
+    n: int
+    m: int
+    rows_read: int
+    shards: int
+    format: str
+
+
+class _Vocab:
+    """First-appearance id → dense index, with the raw-id order kept."""
+
+    def __init__(self) -> None:
+        self._table: dict[int, int] = {}
+        self._order: list[int] = []
+
+    def map(self, ids: np.ndarray) -> np.ndarray:
+        out = np.empty(len(ids), dtype=np.int64)
+        table = self._table
+        order = self._order
+        for i, raw in enumerate(ids.tolist()):
+            idx = table.get(raw)
+            if idx is None:
+                idx = len(table)
+                table[raw] = idx
+                order.append(raw)
+            out[i] = idx
+        return out
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def ids(self) -> np.ndarray:
+        return np.asarray(self._order, dtype=np.int64)
+
+
+class _ColCounts:
+    """Growable per-column like/known accumulators (amortised doubling)."""
+
+    def __init__(self) -> None:
+        self.ones = np.zeros(1024, dtype=np.int64)
+        self.known = np.zeros(1024, dtype=np.int64)
+
+    def add(self, cols: np.ndarray, likes: np.ndarray) -> None:
+        if len(cols) == 0:
+            return
+        need = int(cols.max()) + 1
+        if need > len(self.ones):
+            cap = max(need, 2 * len(self.ones))
+            self.ones = np.concatenate([self.ones, np.zeros(cap - len(self.ones), dtype=np.int64)])
+            self.known = np.concatenate(
+                [self.known, np.zeros(cap - len(self.known), dtype=np.int64)]
+            )
+        np.add.at(self.known, cols, 1)
+        np.add.at(self.ones, cols, likes.astype(np.int64))
+
+
+def _spill(spill_dir: Path, shard_rows: int, rows: np.ndarray, cols: np.ndarray, likes: np.ndarray) -> None:
+    """Append this chunk's triples to their per-shard spill files."""
+    records = np.empty(len(rows), dtype=_SPILL_DTYPE)
+    records["row"] = rows
+    records["col"] = cols
+    records["like"] = likes
+    shard_idx = rows // shard_rows
+    order = np.argsort(shard_idx, kind="stable")
+    records = records[order]
+    shard_idx = shard_idx[order]
+    boundaries = np.flatnonzero(np.diff(shard_idx)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [len(records)]])
+    for start, stop in zip(starts, stops):
+        shard = int(shard_idx[start])
+        with open(spill_dir / f"spill-{shard:04d}.bin", "ab") as fh:
+            records[start:stop].tofile(fh)
+
+
+def ingest(
+    source: str | Path,
+    out_dir: str | Path,
+    *,
+    threshold: float = 0.0,
+    missing: str = "zero",
+    fmt: str = "auto",
+    shard_rows: int = 1024,
+    chunk_rows: int = 65536,
+    name: str | None = None,
+    mmap_mirror: bool = True,
+) -> IngestResult:
+    """Ingest *source* into a committed dataset store at *out_dir*.
+
+    Parameters
+    ----------
+    source:
+        Ratings (``user,item,rating``) or SNAP edge-list file, optionally
+        gzipped; *fmt* forces a parser, ``"auto"`` sniffs.
+    threshold:
+        ``rating > threshold`` is a like.  The default 0.0 suits
+        unit-strength edge lists; MovieLens-style 1–5 stars usually
+        wants 3.0.
+    missing:
+        Imputation policy for never-rated entries (``"zero"``, ``"one"``,
+        ``"majority"`` — the ``instance_from_ratings`` vocabulary).
+    shard_rows:
+        Rows per packed shard (the pack-time memory knob).
+    chunk_rows:
+        Parser batch size (the scan-time memory knob).
+    """
+    source = Path(source)
+    out_dir = Path(out_dir)
+    if missing not in MISSING_POLICIES:
+        raise ValueError(f"unknown missing policy {missing!r}; use one of {MISSING_POLICIES}")
+    if shard_rows < 1:
+        raise ValueError(f"shard_rows must be >= 1, got {shard_rows}")
+    if (out_dir / MANIFEST_NAME).exists():
+        raise ValueError(f"{out_dir} already holds a committed dataset")
+    dataset_name = name if name is not None else source.name.removesuffix(".gz")
+
+    spill_dir = out_dir / ".spill"
+    spill_dir.mkdir(parents=True, exist_ok=True)
+    users = _Vocab()
+    items = _Vocab()
+    counts = _ColCounts()
+    rows_read = 0
+    with obs.span("datasets.ingest", source=str(source), missing=missing):
+        with obs.span("datasets.ingest/scan"):
+            resolved_fmt, chunks = iter_chunks(source, fmt=fmt, chunk_rows=chunk_rows)
+            for chunk in chunks:
+                rows = users.map(chunk.users)
+                cols = items.map(chunk.items)
+                likes = (chunk.ratings > threshold).astype(np.uint8)
+                counts.add(cols, likes)
+                _spill(spill_dir, shard_rows, rows, cols, likes)
+                rows_read += len(chunk)
+                obs.incr("datasets.ingest.rows", len(chunk))
+        n, m = len(users), len(items)
+        if n == 0 or m == 0:
+            shutil.rmtree(out_dir, ignore_errors=True)
+            raise ValueError(f"{source}: no ratings parsed — nothing to ingest")
+
+        col_majority = None
+        if missing == "majority":
+            col_majority = majority_from_counts(counts.ones[:m], counts.known[:m])
+
+        writer = DatasetWriter(
+            out_dir,
+            n=n,
+            m=m,
+            name=dataset_name,
+            source={
+                "file": source.name,
+                "format": resolved_fmt,
+                "threshold": threshold,
+                "missing": missing,
+            },
+            mmap_mirror=mmap_mirror,
+        )
+        with obs.span("datasets.ingest/pack", shards=-(-n // shard_rows)):
+            for start in range(0, n, shard_rows):
+                rows_here = min(shard_rows, n - start)
+                packer = ShardPacker(rows_here, m, missing=missing, col_majority=col_majority)
+                spill_path = spill_dir / f"spill-{start // shard_rows:04d}.bin"
+                if spill_path.exists():
+                    records = np.fromfile(spill_path, dtype=_SPILL_DTYPE)
+                    packer.scatter(
+                        records["row"].astype(np.int64) - start,
+                        records["col"].astype(np.int64),
+                        records["like"],
+                    )
+                writer.write_shard(packer.finish())
+                obs.incr("datasets.ingest.shards")
+        with obs.span("datasets.ingest/commit"):
+            writer.write_vocab(users.ids(), items.ids())
+            writer.commit(
+                stats={
+                    "rows_read": rows_read,
+                    "known_entries": int(counts.known[:m].sum()),
+                    "likes": int(counts.ones[:m].sum()),
+                }
+            )
+        shutil.rmtree(spill_dir, ignore_errors=True)
+    return IngestResult(
+        path=out_dir,
+        n=n,
+        m=m,
+        rows_read=rows_read,
+        shards=len(DatasetStore.open(out_dir).manifest["shards"]),
+        format=resolved_fmt,
+    )

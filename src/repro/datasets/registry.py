@@ -1,0 +1,181 @@
+"""The dataset registry: named corpora CI can ingest without a network.
+
+Two kinds of entry:
+
+* **committed fixtures** — tiny raw files that live in the repo under
+  ``src/repro/datasets/fixtures/`` (``mini-ratings`` /``mini-edges``),
+  small enough to review yet shaped like the real thing (planted
+  community structure, sparse ids, headers/comments);
+* **generated corpora** — deterministic synthetic sources written on
+  demand from a seeded generator (``synth-100k``: 100 000 ratings over
+  2 000 users × 1 500 items with 8 planted taste communities), the
+  ≥100k-rating corpus the bounded-memory acceptance test and
+  ``bench_etl`` ingest.
+
+Both resolve through :meth:`DatasetSpec.materialize`, which returns a
+raw source *file* ready for :func:`repro.datasets.ingest.ingest` — the
+registry never touches the network, matching the paper-repro rule that
+every experiment must run offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["FIXTURE_DIR", "DatasetSpec", "get", "names"]
+
+#: Where the committed raw fixture files live.
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One registry entry; exactly one of *fixture*/*generator* is set.
+
+    Attributes
+    ----------
+    threshold, missing:
+        The recommended ingest settings for this corpus (what the CLI
+        uses when the user doesn't override them).
+    """
+
+    name: str
+    description: str
+    fmt: str
+    threshold: float
+    missing: str = "zero"
+    fixture: str | None = None
+    generator: Callable[[Path], Path] | None = None
+
+    def materialize(self, dest_dir: str | Path) -> Path:
+        """Return the raw source file, generating into *dest_dir* if needed."""
+        if self.fixture is not None:
+            path = FIXTURE_DIR / self.fixture
+            if not path.exists():
+                raise ValueError(f"committed fixture {path} is missing")
+            return path
+        if self.generator is None:
+            raise ValueError(f"dataset {self.name!r} has neither fixture nor generator")
+        dest = Path(dest_dir)
+        dest.mkdir(parents=True, exist_ok=True)
+        return self.generator(dest)
+
+
+def _planted_ratings(
+    dest: Path,
+    *,
+    filename: str,
+    n: int,
+    m: int,
+    n_ratings: int,
+    k: int,
+    noise: float,
+    seed: int,
+) -> Path:
+    """Write a synthetic ``user,item,rating`` CSV with *k* planted tastes.
+
+    Users belong to one of *k* communities, each with a random base
+    preference row; sampled (user, item) cells rate above 3.0 when the
+    (noise-flipped) community taste likes the item.  Ids are offset so
+    they exercise the vocab remapping, and the file carries a header
+    plus a comment line so the sniffer paths get used too.
+    """
+    rng = as_generator(seed)
+    centers = rng.random((k, m)) < 0.5
+    membership = rng.integers(0, k, size=n)
+    cells = rng.choice(n * m, size=n_ratings, replace=False)
+    users = cells // m
+    items = cells % m
+    likes = centers[membership[users], items] ^ (rng.random(n_ratings) < noise)
+    ratings = np.where(
+        likes,
+        3.0 + 2.0 * rng.random(n_ratings),
+        0.5 + 2.5 * rng.random(n_ratings),
+    )
+    path = dest / filename
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# synthetic planted-community ratings corpus\n")
+        fh.write("user,item,rating\n")
+        for u, i, r in zip(users.tolist(), items.tolist(), ratings.tolist()):
+            fh.write(f"{u + 1000},{i + 5000},{r:.2f}\n")
+    return path
+
+
+def _synth_100k(dest: Path) -> Path:
+    return _planted_ratings(
+        dest,
+        filename="synth-100k.csv",
+        n=2000,
+        m=1500,
+        n_ratings=100_000,
+        k=8,
+        noise=0.05,
+        seed=7,
+    )
+
+
+def _synth_10k(dest: Path) -> Path:
+    return _planted_ratings(
+        dest,
+        filename="synth-10k.csv",
+        n=256,
+        m=192,
+        n_ratings=10_000,
+        k=4,
+        noise=0.05,
+        seed=11,
+    )
+
+
+_REGISTRY: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="mini-ratings",
+            description="committed 64×48 MovieLens-style CSV with 4 planted communities",
+            fmt="ratings",
+            threshold=3.0,
+            fixture="mini-ratings.csv",
+        ),
+        DatasetSpec(
+            name="mini-edges",
+            description="committed SNAP-style co-purchase edge list (unit likes)",
+            fmt="edges",
+            threshold=0.0,
+            fixture="mini-edges.tsv",
+        ),
+        DatasetSpec(
+            name="synth-10k",
+            description="generated 10k-rating corpus (256×192, 4 communities, seed 11)",
+            fmt="ratings",
+            threshold=3.0,
+            generator=_synth_10k,
+        ),
+        DatasetSpec(
+            name="synth-100k",
+            description="generated 100k-rating corpus (2000×1500, 8 communities, seed 7)",
+            fmt="ratings",
+            threshold=3.0,
+            generator=_synth_100k,
+        ),
+    )
+}
+
+
+def names() -> list[str]:
+    """Registered dataset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> DatasetSpec:
+    """Look up a registered dataset; unknown names list what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; registered: {', '.join(names())}") from None

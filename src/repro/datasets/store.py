@@ -1,0 +1,349 @@
+"""The packed columnar dataset store: ``.npz`` shards + a manifest commit.
+
+Layout of one ingested dataset directory::
+
+    <dir>/
+      shard-0000.npz   # kind="dataset-shard": packed rows [start, start+rows)
+      shard-0001.npz
+      ...
+      vocab.npz        # kind="dataset-vocab": raw user/item id arrays
+      packed.npy       # optional consolidated packed mirror (mmap-attachable)
+      manifest.json    # written LAST (tmp + atomic rename) — the commit point
+
+The commit protocol follows the io v4 snapshot conventions
+(:mod:`repro.serve.snapshot`): every byte of shard/vocab/mirror data is
+on disk *before* ``manifest.json`` appears, so a crash mid-ingest leaves
+a directory without a manifest — which :meth:`DatasetStore.open`
+rejects — and stray shard files a dead writer left behind are ignored
+because readers only ever touch files the manifest lists.
+
+Reading is as streaming as writing: :meth:`DatasetStore.iter_blocks`
+yields one packed shard at a time, :meth:`DatasetStore.bitmatrix`
+assembles the packed matrix (``n × ceil(m/8)`` bytes — never dense), and
+``mmap=True`` attaches the consolidated ``packed.npy`` mirror read-only
+without loading it at all.  Dense materialisation exists only behind
+:meth:`DatasetStore.instance` / :meth:`DatasetStore.sample`, the
+evaluation-side escape hatches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.io import FORMAT_VERSION, check_format_version
+from repro.metrics.bitpack import BitMatrix, packed_width
+from repro.model.community import Community
+from repro.model.instance import Instance
+
+__all__ = [
+    "DATASET_KIND",
+    "MANIFEST_NAME",
+    "SHARD_KIND",
+    "VOCAB_KIND",
+    "DatasetStore",
+    "DatasetWriter",
+]
+
+#: ``kind`` discriminators, mirroring the io conventions.
+DATASET_KIND = "dataset"
+SHARD_KIND = "dataset-shard"
+VOCAB_KIND = "dataset-vocab"
+
+#: The commit point: a directory without this file is not a dataset.
+MANIFEST_NAME = "manifest.json"
+
+_MIRROR_NAME = "packed.npy"
+_VOCAB_NAME = "vocab.npz"
+
+
+def _meta_bytes(meta: dict[str, Any]) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+
+
+class DatasetWriter:
+    """Writes one dataset directory shard-by-shard, manifest last.
+
+    Shapes are fixed at construction (the ingest scan pass knows ``n``
+    and ``m`` before any shard is packed); shards must arrive in order
+    and cover ``[0, n)`` exactly or :meth:`commit` refuses.
+    """
+
+    def __init__(
+        self,
+        out_dir: str | Path,
+        *,
+        n: int,
+        m: int,
+        name: str = "dataset",
+        source: dict[str, Any] | None = None,
+        mmap_mirror: bool = True,
+    ) -> None:
+        if n < 1 or m < 1:
+            raise ValueError(f"dataset shape must be positive, got ({n}, {m})")
+        self.out_dir = Path(out_dir)
+        if (self.out_dir / MANIFEST_NAME).exists():
+            raise ValueError(f"{self.out_dir} already holds a committed dataset")
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.n = int(n)
+        self.m = int(m)
+        self.name = name
+        self.source = dict(source) if source is not None else {}
+        self._shards: list[dict[str, Any]] = []
+        self._next_row = 0
+        self._vocab_file: str | None = None
+        self._mirror: np.ndarray | None = None
+        self._mirror_file: str | None = None
+        if mmap_mirror:
+            self._mirror_file = _MIRROR_NAME
+            self._mirror = np.lib.format.open_memmap(
+                self.out_dir / _MIRROR_NAME,
+                mode="w+",
+                dtype=np.uint8,
+                shape=(self.n, packed_width(self.m)),
+            )
+
+    def write_shard(self, packed_block: np.ndarray) -> Path:
+        """Append the next shard's packed rows; returns the shard path."""
+        packed_block = np.ascontiguousarray(packed_block, dtype=np.uint8)
+        if packed_block.ndim != 2 or packed_block.shape[1] != packed_width(self.m):
+            raise ValueError(
+                f"shard must be (rows, {packed_width(self.m)}) packed bytes, "
+                f"got shape {packed_block.shape}"
+            )
+        start = self._next_row
+        rows = int(packed_block.shape[0])
+        if start + rows > self.n:
+            raise ValueError(f"shard [{start}, {start + rows}) overruns n={self.n}")
+        index = len(self._shards)
+        filename = f"shard-{index:04d}.npz"
+        meta = {
+            "version": FORMAT_VERSION,
+            "kind": SHARD_KIND,
+            "start": start,
+            "rows": rows,
+            "m": self.m,
+        }
+        np.savez_compressed(
+            self.out_dir / filename, packed=packed_block, meta_json=_meta_bytes(meta)
+        )
+        if self._mirror is not None:
+            self._mirror[start : start + rows] = packed_block
+        self._shards.append({"file": filename, "start": start, "rows": rows})
+        self._next_row = start + rows
+        return self.out_dir / filename
+
+    def write_vocab(self, user_ids: np.ndarray, item_ids: np.ndarray) -> Path:
+        """Archive the raw-id vocabularies (row ``i`` ↔ ``user_ids[i]``)."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if user_ids.shape != (self.n,) or item_ids.shape != (self.m,):
+            raise ValueError(
+                f"vocab must be ({self.n},) users and ({self.m},) items, "
+                f"got {user_ids.shape} and {item_ids.shape}"
+            )
+        meta = {"version": FORMAT_VERSION, "kind": VOCAB_KIND}
+        np.savez_compressed(
+            self.out_dir / _VOCAB_NAME,
+            user_ids=user_ids,
+            item_ids=item_ids,
+            meta_json=_meta_bytes(meta),
+        )
+        self._vocab_file = _VOCAB_NAME
+        return self.out_dir / _VOCAB_NAME
+
+    def commit(self, stats: dict[str, Any] | None = None) -> Path:
+        """Flush everything and write ``manifest.json`` (the commit point)."""
+        if self._next_row != self.n:
+            raise ValueError(
+                f"shards cover [0, {self._next_row}) but n={self.n}; refusing to commit"
+            )
+        if self._mirror is not None:
+            self._mirror.flush()
+            self._mirror = None
+        manifest = {
+            "version": FORMAT_VERSION,
+            "kind": DATASET_KIND,
+            "name": self.name,
+            "n": self.n,
+            "m": self.m,
+            "shards": self._shards,
+            "vocab": self._vocab_file,
+            "packed_mirror": self._mirror_file,
+            "source": self.source,
+            "stats": dict(stats) if stats is not None else {},
+        }
+        tmp = self.out_dir / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        final = self.out_dir / MANIFEST_NAME
+        os.replace(tmp, final)
+        return final
+
+    def abort(self) -> None:
+        """Remove every file this (uncommitted) writer produced."""
+        if (self.out_dir / MANIFEST_NAME).exists():
+            raise ValueError("refusing to abort a committed dataset")
+        self._mirror = None
+        shutil.rmtree(self.out_dir, ignore_errors=True)
+
+
+class DatasetStore:
+    """Read side of a committed dataset directory (see module doc)."""
+
+    def __init__(self, path: str | Path, manifest: dict[str, Any]) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+
+    @classmethod
+    def open(cls, path: str | Path) -> "DatasetStore":
+        """Open a committed dataset; a missing manifest is a hard error."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ValueError(
+                f"{path} is not a dataset: no {MANIFEST_NAME} "
+                "(crashed or still-running ingest leaves none — re-ingest)"
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        check_format_version(manifest, manifest_path)
+        if manifest.get("kind") != DATASET_KIND:
+            raise ValueError(
+                f"{manifest_path} is not a dataset manifest (kind={manifest.get('kind')!r})"
+            )
+        return cls(path, manifest)
+
+    # ------------------------------------------------------------------
+    # shape / metadata
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Players (rows)."""
+        return int(self.manifest["n"])
+
+    @property
+    def m(self) -> int:
+        """Objects (columns)."""
+        return int(self.manifest["m"])
+
+    @property
+    def name(self) -> str:
+        """Dataset label from ingest."""
+        return str(self.manifest["name"])
+
+    def info(self) -> dict[str, Any]:
+        """Manifest summary (what ``repro dataset info`` prints)."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "m": self.m,
+            "shards": len(self.manifest["shards"]),
+            "packed_bytes": self.n * packed_width(self.m),
+            "source": self.manifest.get("source", {}),
+            "stats": self.manifest.get("stats", {}),
+        }
+
+    # ------------------------------------------------------------------
+    # streaming reads
+    # ------------------------------------------------------------------
+    def iter_blocks(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(start_row, packed_block)`` shard by shard, in row order.
+
+        Only manifest-listed shards are read — leftover files from an
+        aborted ingest are invisible.  Each block's embedded metadata is
+        checked against the manifest entry.
+        """
+        expected_width = packed_width(self.m)
+        for entry in self.manifest["shards"]:
+            shard_path = self.path / entry["file"]
+            with np.load(shard_path) as data:
+                meta = json.loads(bytes(data["meta_json"]).decode())
+                check_format_version(meta, shard_path)
+                if meta.get("kind") != SHARD_KIND:
+                    raise ValueError(f"{shard_path} is not a dataset shard")
+                if (meta["start"], meta["rows"]) != (entry["start"], entry["rows"]):
+                    raise ValueError(
+                        f"{shard_path} row range {meta['start']}+{meta['rows']} "
+                        f"disagrees with the manifest entry {entry}"
+                    )
+                packed = data["packed"]
+                if packed.shape != (entry["rows"], expected_width):
+                    raise ValueError(
+                        f"{shard_path} packed shape {packed.shape} does not match "
+                        f"({entry['rows']}, {expected_width})"
+                    )
+                yield int(entry["start"]), packed
+
+    def bitmatrix(self, *, mmap: bool = False) -> BitMatrix:
+        """The packed preference matrix (never densified).
+
+        ``mmap=True`` attaches the consolidated ``packed.npy`` mirror
+        read-only — rows page in lazily, the serving-scale path; without
+        a mirror (or ``mmap=False``) the shards stream into one packed
+        array (``n × ceil(m/8)`` bytes).
+        """
+        if mmap:
+            mirror = self.manifest.get("packed_mirror")
+            if mirror is None:
+                raise ValueError(
+                    f"{self.path} was ingested without a packed mirror; "
+                    "re-ingest with mmap_mirror=True or use mmap=False"
+                )
+            packed = np.load(self.path / mirror, mmap_mode="r")
+            return BitMatrix.from_packed(packed, self.m, copy=False)
+        packed = np.empty((self.n, packed_width(self.m)), dtype=np.uint8)
+        covered = 0
+        for start, block in self.iter_blocks():
+            packed[start : start + block.shape[0]] = block
+            covered += block.shape[0]
+        if covered != self.n:
+            raise ValueError(f"shards cover {covered} rows but manifest says n={self.n}")
+        return BitMatrix.from_packed(packed, self.m, copy=False)
+
+    def vocab(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(user_ids, item_ids)`` raw-id arrays (row/column order)."""
+        vocab_file = self.manifest.get("vocab")
+        if vocab_file is None:
+            raise ValueError(f"{self.path} was ingested without a vocabulary")
+        vocab_path = self.path / vocab_file
+        with np.load(vocab_path) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode())
+            check_format_version(meta, vocab_path)
+            if meta.get("kind") != VOCAB_KIND:
+                raise ValueError(f"{vocab_path} is not a dataset vocabulary")
+            return data["user_ids"], data["item_ids"]
+
+    # ------------------------------------------------------------------
+    # evaluation-side escape hatches (dense on purpose)
+    # ------------------------------------------------------------------
+    def instance(self, *, communities: list[Community] | None = None) -> Instance:
+        """A dense :class:`Instance` of the whole corpus.
+
+        Evaluation-side only: experiments need the dense truth matrix to
+        score discrepancy/stretch against.  The ETL and serving paths
+        never call this — use :meth:`bitmatrix`.
+        """
+        dense = self.bitmatrix().unpack()
+        return Instance(
+            prefs=dense,
+            communities=communities if communities is not None else [],
+            name=self.name,
+        )
+
+    def sample(self, rows: int = 8) -> np.ndarray:
+        """Dense copy of the first *rows* rows (CLI preview helper)."""
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        out: list[np.ndarray] = []
+        need = min(rows, self.n)
+        for _start, block in self.iter_blocks():
+            take = need - sum(b.shape[0] for b in out)
+            if take <= 0:
+                break
+            bm = BitMatrix.from_packed(block[:take], self.m, copy=False)
+            out.append(bm.unpack())
+        return np.concatenate(out, axis=0)

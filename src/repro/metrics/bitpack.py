@@ -294,12 +294,18 @@ class BitMatrix:
         self._words: np.ndarray | None = None
 
     @classmethod
-    def from_packed(cls, packed: np.ndarray, m: int) -> "BitMatrix":
+    def from_packed(cls, packed: np.ndarray, m: int, *, copy: bool = True) -> "BitMatrix":
         """Wrap already-packed rows (copied; the padding tail is re-zeroed).
 
         The attach path of :class:`repro.parallel.SharedInstanceHandle`:
         a worker adopts the published packed matrix without ever
         materialising the dense form.
+
+        ``copy=False`` adopts the buffer as-is — the zero-copy attach
+        path for mmap-backed dataset mirrors and freshly packed blocks
+        the caller owns.  The buffer may be read-only (mmap mode ``r``);
+        since an adopted tail can't be re-zeroed in place, dirty padding
+        bits past column *m* are a hard error instead.
         """
         packed = np.ascontiguousarray(packed, dtype=np.uint8)
         if packed.ndim != 2:
@@ -312,11 +318,20 @@ class BitMatrix:
         self = cls.__new__(cls)
         self._n = int(packed.shape[0])
         self._m = int(m)
-        self._packed = packed.copy()
-        if m % 8 and self._packed.size:
-            # Zero the padding bits so XOR/popcount/equality stay exact
-            # even if the source buffer carried garbage past column m.
-            self._packed[:, -1] &= np.uint8(0xFF << (8 - m % 8) & 0xFF)
+        tail_mask = np.uint8(0xFF << (8 - m % 8) & 0xFF)
+        if copy:
+            self._packed = packed.copy()
+            if m % 8 and self._packed.size:
+                # Zero the padding bits so XOR/popcount/equality stay exact
+                # even if the source buffer carried garbage past column m.
+                self._packed[:, -1] &= tail_mask
+        else:
+            if m % 8 and packed.size and bool((packed[:, -1] & np.uint8(~tail_mask & 0xFF)).any()):
+                raise ValueError(
+                    f"cannot adopt packed buffer: padding bits past column {m} "
+                    "are dirty (re-pack it, or use copy=True)"
+                )
+            self._packed = packed
         self._words = None
         return self
 

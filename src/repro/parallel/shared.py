@@ -154,17 +154,28 @@ class SharedInstanceStore:
     def __init__(self) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
 
-    def publish(self, instance: Instance | np.ndarray) -> SharedInstanceHandle:
-        """Publish an instance's preference matrix; returns the handle."""
+    def publish(self, instance: Instance | np.ndarray | BitMatrix) -> SharedInstanceHandle:
+        """Publish an instance's preference matrix; returns the handle.
+
+        An already-packed :class:`BitMatrix` (e.g. an mmap-attached
+        dataset mirror) publishes its words as-is — no dense detour.
+        """
         if isinstance(instance, Instance):
-            prefs = instance.prefs
+            packed = pack_rows(instance.prefs)
+            shape = instance.prefs.shape
             name = instance.name
             communities = tuple(instance.communities)
-        else:
-            prefs = check_binary_matrix(instance, "instance")
+        elif isinstance(instance, BitMatrix):
+            packed = instance.packed
+            shape = instance.shape
             name = "instance"
             communities = ()
-        packed = pack_rows(prefs)
+        else:
+            prefs = check_binary_matrix(instance, "instance")
+            packed = pack_rows(prefs)
+            shape = prefs.shape
+            name = "instance"
+            communities = ()
         shm = shared_memory.SharedMemory(create=True, size=packed.nbytes)
         view = np.ndarray(packed.shape, dtype=np.uint8, buffer=shm.buf)
         view[:] = packed
@@ -172,7 +183,7 @@ class SharedInstanceStore:
         _LOCAL_SEGMENTS[shm.name] = shm
         return SharedInstanceHandle(
             shm_name=shm.name,
-            shape=(int(prefs.shape[0]), int(prefs.shape[1])),
+            shape=(int(shape[0]), int(shape[1])),
             instance_name=name,
             communities=communities,
         )

@@ -49,6 +49,9 @@ from repro.obs.metrics import (
     collecting,
     get_registry,
 )
+from repro.datasets.store import DatasetStore
+from repro.metrics.bitpack import BitMatrix
+from repro.model.instance import Instance
 from repro.serve.config import ServeConfig
 from repro.serve.runtime import ServeRuntime, serve
 from repro.utils.rng import as_generator
@@ -62,6 +65,7 @@ class LoadgenConfig:
     """One load-generation scenario (see module docstring)."""
 
     workload: str = "planted"
+    dataset: str | None = None
     sessions: int = 256
     objects: int | None = None
     alpha: float = 0.5
@@ -127,9 +131,13 @@ class LoadgenReport:
     def render(self) -> str:
         """Human-readable report block."""
         cfg = self.config
-        shape = f"{cfg.sessions}x{cfg.objects if cfg.objects is not None else cfg.sessions}"
+        if cfg.dataset is not None:
+            head = f"loadgen  : dataset {cfg.dataset} seed={cfg.seed}"
+        else:
+            shape = f"{cfg.sessions}x{cfg.objects if cfg.objects is not None else cfg.sessions}"
+            head = f"loadgen  : {cfg.workload} {shape} alpha={cfg.alpha} D={cfg.D} seed={cfg.seed}"
         lines = [
-            f"loadgen  : {cfg.workload} {shape} alpha={cfg.alpha} D={cfg.D} seed={cfg.seed}",
+            head,
             f"mode     : {cfg.mode}"
             + (f" (rate={cfg.rate:g}/window)" if cfg.mode == "open" else "")
             + f", window={cfg.window}, grant={cfg.probes_per_request} probes, "
@@ -188,8 +196,15 @@ def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenReport:
     bit-identical outputs — only the wall-clock figures differ.
     """
     cfg = config if config is not None else LoadgenConfig()
-    m = cfg.objects if cfg.objects is not None else cfg.sessions
-    instance = make_instance(cfg.workload, cfg.sessions, m, cfg.alpha, cfg.D, rng=cfg.seed)
+    instance: Instance | BitMatrix
+    if cfg.dataset is not None:
+        store = DatasetStore.open(cfg.dataset)
+        # Attach the packed mirror read-only when the ingest wrote one;
+        # either way the matrix stays packed all the way into the oracle.
+        instance = store.bitmatrix(mmap=store.manifest.get("packed_mirror") is not None)
+    else:
+        m = cfg.objects if cfg.objects is not None else cfg.sessions
+        instance = make_instance(cfg.workload, cfg.sessions, m, cfg.alpha, cfg.D, rng=cfg.seed)
     serve_config = ServeConfig(
         seed=cfg.seed + 1,
         max_phases=cfg.max_phases,

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.metrics.bitpack import BitMatrix
 from repro.model.instance import Instance
 from repro.serve.config import ServeConfig
 from repro.serve.router import MicroBatchRouter, Response
@@ -33,7 +34,7 @@ if TYPE_CHECKING:
 __all__ = ["LocalRuntime", "ServeRuntime", "serve"]
 
 
-def serve(instance: Instance | np.ndarray, config: ServeConfig | None = None) -> ServeRuntime:
+def serve(instance: Instance | np.ndarray | BitMatrix, config: ServeConfig | None = None) -> ServeRuntime:
     """Stand up a serving runtime for *instance* with the given topology.
 
     ``config.workers == 1`` (the default) wires the in-process

@@ -44,6 +44,7 @@ from repro.billboard.oracle import ProbeOracle
 from repro.core.params import Params
 from repro.engine.anytime_player import merge_program
 from repro.engine.main_player import UnknownDCoins, find_preferences_unknown_d_player
+from repro.metrics.bitpack import BitMatrix
 from repro.model.instance import Instance
 from repro.serve.config import ServeConfig as _ServeConfig
 from repro.serve.sessions import PlayerProgram, SessionStore
@@ -105,7 +106,7 @@ class ServeService:
       answer from the last completed phase.
     """
 
-    def __init__(self, instance: Instance | np.ndarray, *, config: ServeConfig | None = None) -> None:
+    def __init__(self, instance: Instance | np.ndarray | BitMatrix, *, config: ServeConfig | None = None) -> None:
         self.config = config if config is not None else _ServeConfig()
         self.params = self.config.resolved_params()
         self.oracle = self._make_oracle(instance)
@@ -127,7 +128,7 @@ class ServeService:
     # ------------------------------------------------------------------
     # topology hooks (overridden by the sharded worker service)
     # ------------------------------------------------------------------
-    def _make_oracle(self, instance: Instance | np.ndarray) -> ProbeOracle:
+    def _make_oracle(self, instance: Instance | np.ndarray | BitMatrix) -> ProbeOracle:
         """Build the charged oracle; shard workers attach a shared billboard."""
         return ProbeOracle(
             instance,

@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.billboard.oracle import ProbeOracle
 from repro.billboard.postlog import PostLog, SharedBillboard, default_log_capacity
+from repro.metrics.bitpack import BitMatrix
 from repro.model.instance import Instance
 from repro.obs.metrics import MetricRegistry, set_registry
 from repro.parallel.shared import SharedInstanceHandle, SharedInstanceStore
@@ -104,7 +105,7 @@ class _ShardWorkerService(ServeService):
         super().__init__(cast(np.ndarray, matrix), config=config)
 
     # -- topology hooks -----------------------------------------------------
-    def _make_oracle(self, instance: Instance | np.ndarray) -> ProbeOracle:
+    def _make_oracle(self, instance: Instance | np.ndarray | BitMatrix) -> ProbeOracle:
         return ProbeOracle(
             instance,
             billboard=self._board,
@@ -400,7 +401,7 @@ class ShardedRuntime(ServeRuntime):
 
     def __init__(
         self,
-        instance: Instance | np.ndarray,
+        instance: Instance | np.ndarray | BitMatrix,
         config: ServeConfig,
         *,
         _restore: ServiceCheckpoint | None = None,

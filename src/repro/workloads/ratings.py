@@ -12,6 +12,13 @@ uses).
 Missing ratings must be imputed before entering the model (the paper's
 players have an opinion about everything, known or not); the
 ``missing`` policy fills them with 0, 1, or the column majority.
+
+Binarization runs through the chunked packed kernel
+(:func:`repro.datasets.binarize.binarize_ratings_matrix` — the same
+scatter path the streaming ETL uses), so the only full-size
+intermediate is the packed matrix; the old dense binarizer survives as
+:func:`_binarize_dense_reference`, kept solely as the bit-equality
+reference its tests compare against.
 """
 
 from __future__ import annotations
@@ -20,13 +27,42 @@ import math
 
 import numpy as np
 
-from repro.metrics.hamming import diameter as _diameter
-from repro.metrics.hamming import pairwise_hamming
+from repro.datasets.binarize import binarize_ratings_matrix
+from repro.metrics.bitpack import BitMatrix
 from repro.model.community import Community
 from repro.model.instance import Instance
 from repro.utils.validation import check_fraction, check_nonneg_int
 
 __all__ = ["instance_from_ratings", "discover_communities"]
+
+
+def _binarize_dense_reference(
+    arr: np.ndarray,
+    threshold: float,
+    *,
+    missing: str,
+    missing_marker: float,
+) -> np.ndarray:
+    """The original dense binarizer — the equivalence *reference* only.
+
+    Production callers go through the packed kernel; tests assert
+    bit-equality between the two across every ``missing`` policy.
+    """
+    if np.isnan(missing_marker):
+        known = ~np.isnan(arr)
+    else:
+        known = arr != missing_marker
+    likes = np.zeros(arr.shape, dtype=np.int8)
+    likes[known] = (arr[known] > threshold).astype(np.int8)
+
+    if missing == "one":
+        likes[~known] = 1
+    elif missing == "majority":
+        ones = (likes == 1) & known
+        col_majority = ones.sum(axis=0) * 2 > np.maximum(known.sum(axis=0), 1)
+        fill = np.broadcast_to(col_majority.astype(np.int8), arr.shape)
+        likes = np.where(known, likes, fill).astype(np.int8)
+    return likes
 
 
 def instance_from_ratings(
@@ -62,30 +98,20 @@ def instance_from_ratings(
     if missing not in ("zero", "one", "majority"):
         raise ValueError(f"unknown missing policy {missing!r}")
 
-    if np.isnan(missing_marker):
-        known = ~np.isnan(arr)
-    else:
-        known = arr != missing_marker
-    likes = np.zeros(arr.shape, dtype=np.int8)
-    likes[known] = (arr[known] > threshold).astype(np.int8)
-
-    if missing == "one":
-        likes[~known] = 1
-    elif missing == "majority":
-        ones = (likes == 1) & known
-        col_majority = ones.sum(axis=0) * 2 > np.maximum(known.sum(axis=0), 1)
-        fill = np.broadcast_to(col_majority.astype(np.int8), arr.shape)
-        likes = np.where(known, likes, fill).astype(np.int8)
+    packed = binarize_ratings_matrix(
+        arr, threshold, missing=missing, missing_marker=missing_marker
+    )
+    likes = packed.unpack()
 
     communities: list[Community] = []
     if discover:
         radius = discover_radius if discover_radius is not None else max(1, arr.shape[1] // 10)
-        communities = discover_communities(likes, radius, min_frequency)
+        communities = discover_communities(packed, radius, min_frequency)
     return Instance(prefs=likes, communities=communities, name=name)
 
 
 def discover_communities(
-    prefs: np.ndarray,
+    prefs: np.ndarray | BitMatrix,
     radius: int,
     min_frequency: float = 0.1,
 ) -> list[Community]:
@@ -97,13 +123,18 @@ def discover_communities(
     *evaluation* helper — it reads the full matrix, so algorithms must
     not call it; use it to estimate which ``(α, D)`` parameters a real
     dataset supports.
+
+    Accepts the packed :class:`BitMatrix` directly (what ingested
+    corpora hand over); distances come from the blocked packed
+    ``pairwise_hamming`` kernel either way, so discovery never
+    densifies anything beyond the ``n × n`` distance matrix itself.
     """
     radius = check_nonneg_int(radius, "radius")
     min_frequency = check_fraction(min_frequency, "min_frequency")
-    prefs = np.asarray(prefs)
-    n = prefs.shape[0]
+    bm = prefs if isinstance(prefs, BitMatrix) else BitMatrix(np.asarray(prefs))
+    n = bm.shape[0]
     min_size = math.ceil(min_frequency * n)
-    dist = pairwise_hamming(prefs)
+    dist = bm.pairwise_hamming()
     within = dist <= radius
 
     uncovered = np.ones(n, dtype=bool)
@@ -118,8 +149,8 @@ def discover_communities(
             communities.append(
                 Community(
                     members=members,
-                    diameter=_diameter(prefs[members]),
-                    center=prefs[center].astype(np.int8),
+                    diameter=int(dist[np.ix_(members, members)].max(initial=0)),
+                    center=bm.row(center).astype(np.int8),
                     label=f"discovered-{len(communities)}",
                 )
             )

@@ -136,14 +136,16 @@ GOLDEN_SIGNATURES = {
         " -> 'np.random.Generator'"
     ),
     "ServeService": (
-        "(instance: 'Instance | np.ndarray', *, config: 'ServeConfig | None' = None)"
+        "(instance: 'Instance | np.ndarray | BitMatrix', *,"
+        " config: 'ServeConfig | None' = None)"
         " -> 'None'"
     ),
     "MicroBatchRouter": (
         "(service: 'ServeService', *, config: 'RouterConfig | None' = None) -> 'None'"
     ),
     "serve": (
-        "(instance: 'Instance | np.ndarray', config: 'ServeConfig | None' = None)"
+        "(instance: 'Instance | np.ndarray | BitMatrix',"
+        " config: 'ServeConfig | None' = None)"
         " -> 'ServeRuntime'"
     ),
     "save_runtime": "(path: 'str | Path', runtime: 'ServeRuntime') -> 'Path'",

@@ -1,0 +1,351 @@
+"""The ``repro.datasets`` subsystem: parsers, binarizer, store, ingest.
+
+Covers the ISSUE-9 acceptance points: hypothesis round-trip properties
+(chunked write → streamed read equals one-shot binarization, across tail
+widths and shard boundaries), crash-mid-ingest recovery (no manifest ⇒
+clean rejection; stray partial shards invisible), and the bounded-memory
+guarantee — ingesting a ≥100k-rating corpus must never allocate the
+dense ``n × m`` matrix (asserted via tracemalloc, which sees NumPy's
+allocations).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.binarize import ShardPacker, binarize_ratings_matrix, majority_from_counts
+from repro.datasets.formats import iter_chunks, iter_edges, iter_ratings, sniff
+from repro.datasets.ingest import ingest
+from repro.datasets.store import MANIFEST_NAME, DatasetStore, DatasetWriter
+from repro.metrics.bitpack import BitMatrix
+from repro.utils.rng import as_generator
+
+
+def _write_ratings_csv(path, rows, *, header=True, delim=","):
+    lines = []
+    if header:
+        lines.append(delim.join(("user", "item", "rating")))
+    for u, i, r in rows:
+        lines.append(delim.join((str(u), str(i), f"{r:g}")))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestFormats:
+    def test_sniff_and_stream_csv(self, tmp_path):
+        path = tmp_path / "r.csv"
+        _write_ratings_csv(path, [(1, 10, 4.0), (2, 11, 1.5), (1, 11, 3.0)])
+        fmt, delim, header = sniff(path)
+        assert (fmt, delim, header) == ("ratings", ",", True)
+        chunks = list(iter_ratings(path, chunk_rows=2))
+        assert [len(c) for c in chunks] == [2, 1]
+        assert chunks[0].users.tolist() == [1, 2]
+        assert chunks[1].ratings.tolist() == [3.0]
+
+    def test_movielens_double_colon_and_timestamp(self, tmp_path):
+        path = tmp_path / "r.dat"
+        path.write_text("1::10::4.0::964982703\n2::10::2.0::964982931\n", encoding="utf-8")
+        fmt, chunks = iter_chunks(path)
+        assert fmt == "ratings"
+        (chunk,) = list(chunks)
+        assert chunk.ratings.tolist() == [4.0, 2.0]
+
+    def test_edges_with_comments_and_gzip(self, tmp_path):
+        raw = "# FromNodeId\tToNodeId\n0\t4\n0\t5\n3\t4\n"
+        path = tmp_path / "e.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(raw)
+        assert sniff(path)[0] == "edges"
+        (chunk,) = list(iter_edges(path))
+        assert chunk.users.tolist() == [0, 0, 3]
+        assert chunk.ratings.tolist() == [1.0, 1.0, 1.0]
+
+    def test_bad_row_names_line(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,10,4.0\n1,oops,3\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r":2"):
+            list(iter_ratings(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# nothing here\n\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="no data lines"):
+            sniff(path)
+
+    def test_format_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("1\t2\n3\t4\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="edge list"):
+            list(iter_ratings(path))
+
+
+class TestBinarize:
+    @given(
+        n=st.integers(1, 40),
+        m=st.integers(1, 40),
+        missing=st.sampled_from(["zero", "one", "majority"]),
+        block_rows=st.integers(1, 17),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense_reference(self, n, m, missing, block_rows, seed):
+        from repro.workloads.ratings import _binarize_dense_reference
+
+        rng = as_generator(seed)
+        ratings = rng.uniform(0.0, 5.0, size=(n, m))
+        ratings[rng.random((n, m)) < 0.4] = np.nan
+        got = binarize_ratings_matrix(
+            ratings, 2.5, missing=missing, block_rows=block_rows
+        )
+        want = _binarize_dense_reference(ratings, 2.5, missing=missing, missing_marker=np.nan)
+        np.testing.assert_array_equal(got.unpack(), want)
+
+    def test_contradictory_duplicates_resolve_to_zero(self):
+        packer = ShardPacker(1, 8)
+        packer.scatter(
+            np.array([0, 0]), np.array([3, 3]), np.array([1, 0], dtype=np.uint8)
+        )
+        assert packer.finish()[0, 0] == 0
+
+    def test_majority_counts_rule(self):
+        ones = np.array([2, 1, 0, 3])
+        known = np.array([3, 2, 0, 3])
+        np.testing.assert_array_equal(
+            majority_from_counts(ones, known), np.array([1, 0, 0, 1], dtype=np.uint8)
+        )
+
+
+class TestStoreRoundTrip:
+    @given(
+        n=st.integers(1, 60),
+        m=st.integers(1, 40),
+        shard_rows=st.integers(1, 19),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chunked_write_streamed_read(self, tmp_path_factory, n, m, shard_rows, seed):
+        tmp = tmp_path_factory.mktemp("store")
+        rng = as_generator(seed)
+        dense = (rng.random((n, m)) < 0.5).astype(np.int8)
+        bm = BitMatrix(dense)
+        writer = DatasetWriter(tmp / "ds", n=n, m=m, name="prop")
+        for start in range(0, n, shard_rows):
+            writer.write_shard(bm.packed[start : start + shard_rows])
+        writer.write_vocab(np.arange(n), np.arange(m))
+        writer.commit()
+        store = DatasetStore.open(tmp / "ds")
+        assert store.bitmatrix() == bm
+        assert store.bitmatrix(mmap=True) == bm
+        streamed = np.concatenate([block for _, block in store.iter_blocks()])
+        np.testing.assert_array_equal(streamed, bm.packed)
+
+    def test_tail_width_boundaries(self, tmp_path):
+        # m % 8 in {0, 1, 7} and shard_rows dividing / not dividing n.
+        for m in (8, 9, 15):
+            for shard_rows in (4, 5):
+                dense = (np.arange(12 * m).reshape(12, m) % 3 == 0).astype(np.int8)
+                bm = BitMatrix(dense)
+                out = tmp_path / f"ds-{m}-{shard_rows}"
+                writer = DatasetWriter(out, n=12, m=m, name="tail")
+                for start in range(0, 12, shard_rows):
+                    writer.write_shard(bm.packed[start : start + shard_rows])
+                writer.commit()
+                np.testing.assert_array_equal(
+                    DatasetStore.open(out).bitmatrix().unpack(), dense
+                )
+
+    def test_incomplete_coverage_refuses_commit(self, tmp_path):
+        writer = DatasetWriter(tmp_path / "ds", n=10, m=8, name="short")
+        writer.write_shard(np.zeros((4, 1), dtype=np.uint8))
+        with pytest.raises(ValueError, match="refusing to commit"):
+            writer.commit()
+
+    def test_ingest_equals_oneshot_binarize(self, tmp_path):
+        # Streamed ingest must equal binarizing the densified ratings in
+        # one shot, for every imputation policy.
+        rng = as_generator(5)
+        n, m, k = 37, 23, 300
+        cells = rng.choice(n * m, size=k, replace=False)
+        ratings = rng.uniform(0.0, 5.0, size=k)
+        path = tmp_path / "r.csv"
+        _write_ratings_csv(
+            path, list(zip((cells // m).tolist(), (cells % m).tolist(), ratings.tolist()))
+        )
+        dense = np.full((n, m), np.nan)
+        dense[cells // m, cells % m] = ratings
+        for missing in ("zero", "one", "majority"):
+            res = ingest(
+                path, tmp_path / f"ds-{missing}", threshold=2.5,
+                missing=missing, shard_rows=7, chunk_rows=41,
+            )
+            store = DatasetStore.open(res.path)
+            uids, iids = store.vocab()
+            # Rows/cols are in first-appearance order; undo the permutation.
+            got = store.bitmatrix().unpack()[np.argsort(uids)][:, np.argsort(iids)]
+            want = binarize_ratings_matrix(
+                dense[np.ix_(np.sort(np.unique(cells // m)), np.sort(np.unique(cells % m)))],
+                2.5,
+                missing=missing,
+            ).unpack()
+            np.testing.assert_array_equal(got, want, err_msg=missing)
+
+
+class TestCrashRecovery:
+    def test_missing_manifest_rejected(self, tmp_path):
+        out = tmp_path / "ds"
+        writer = DatasetWriter(out, n=4, m=8, name="crash")
+        writer.write_shard(np.zeros((4, 1), dtype=np.uint8))
+        # No commit — simulates a crash mid-ingest.
+        with pytest.raises(ValueError, match="no manifest.json"):
+            DatasetStore.open(out)
+
+    def test_partial_shards_ignored(self, tmp_path):
+        rng = as_generator(3)
+        dense = (rng.random((8, 16)) < 0.5).astype(np.int8)
+        bm = BitMatrix(dense)
+        out = tmp_path / "ds"
+        writer = DatasetWriter(out, n=8, m=16, name="ok")
+        writer.write_shard(bm.packed)
+        writer.commit()
+        # A dead writer's leftovers: stray shard + spill files.
+        np.savez(out / "shard-9999.npz", packed=np.ones((2, 2), dtype=np.uint8))
+        (out / ".spill").mkdir()
+        (out / ".spill" / "spill-0000.bin").write_bytes(b"garbage")
+        store = DatasetStore.open(out)
+        assert store.bitmatrix() == bm
+        assert len(store.manifest["shards"]) == 1
+
+    def test_corrupt_manifest_kind_rejected(self, tmp_path):
+        out = tmp_path / "ds"
+        writer = DatasetWriter(out, n=1, m=8, name="x")
+        writer.write_shard(np.zeros((1, 1), dtype=np.uint8))
+        writer.commit()
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        manifest["kind"] = "something-else"
+        (out / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="not a dataset manifest"):
+            DatasetStore.open(out)
+
+    def test_double_ingest_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        _write_ratings_csv(path, [(1, 1, 4.0), (2, 1, 1.0)])
+        ingest(path, tmp_path / "ds", threshold=2.5)
+        with pytest.raises(ValueError, match="already holds"):
+            ingest(path, tmp_path / "ds", threshold=2.5)
+
+
+class TestFromPackedAdopt:
+    def test_copy_false_adopts_readonly(self):
+        dense = (np.arange(24).reshape(4, 6) % 2).astype(np.int8)
+        packed = BitMatrix(dense).packed.copy()
+        packed.setflags(write=False)
+        bm = BitMatrix.from_packed(packed, 6, copy=False)
+        assert np.shares_memory(bm.packed, packed)
+        np.testing.assert_array_equal(bm.unpack(), dense)
+
+    def test_copy_false_rejects_dirty_tail(self):
+        packed = np.full((2, 1), 0xFF, dtype=np.uint8)
+        with pytest.raises(ValueError, match="dirty"):
+            BitMatrix.from_packed(packed, 6, copy=False)
+        # copy=True re-zeroes instead.
+        bm = BitMatrix.from_packed(packed, 6)
+        assert bm.unpack().sum() == 12
+
+
+class TestBoundedMemory:
+    def test_100k_ingest_never_densifies(self, tmp_path):
+        # ≥100k ratings over 2000×1500: the dense int8 matrix would be
+        # 3.0 MB (float64: 24 MB). The whole ETL peak must stay well
+        # under the dense size; tracemalloc sees NumPy's allocations.
+        from repro.datasets.registry import get
+
+        source = get("synth-100k").materialize(tmp_path)
+        n, m = 2000, 1500
+        dense_bytes = n * m  # int8 dense matrix
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        result = ingest(
+            source, tmp_path / "ds", threshold=3.0, missing="majority",
+            shard_rows=256, chunk_rows=8192, mmap_mirror=True,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert result.rows_read == 100_000
+        assert (result.n, result.m) == (n, m)
+        assert peak < dense_bytes, (
+            f"ETL peak {peak} bytes >= dense n*m {dense_bytes} — "
+            "something materialised the full matrix"
+        )
+        store = DatasetStore.open(tmp_path / "ds")
+        bm = store.bitmatrix(mmap=True)
+        assert bm.shape == (n, m)
+        assert store.info()["stats"]["rows_read"] == 100_000
+
+
+class TestRegistryAndEvaluate:
+    def test_registry_fixtures_ingest(self, tmp_path):
+        from repro.datasets.registry import get, names
+
+        assert {"mini-ratings", "mini-edges", "synth-10k", "synth-100k"} <= set(names())
+        for name in ("mini-ratings", "mini-edges"):
+            spec = get(name)
+            res = ingest(
+                spec.materialize(tmp_path), tmp_path / name, threshold=spec.threshold
+            )
+            assert res.n > 0 and res.m > 0
+            assert res.format == spec.fmt
+
+    def test_unknown_registry_name(self):
+        from repro.datasets.registry import get
+
+        with pytest.raises(ValueError, match="registered"):
+            get("no-such-corpus")
+
+    def test_evaluate_panel_records_all_algorithms(self, tmp_path):
+        from repro.datasets.evaluate import evaluate_dataset
+        from repro.datasets.registry import get
+
+        spec = get("mini-ratings")
+        ingest(spec.materialize(tmp_path), tmp_path / "ds", threshold=spec.threshold)
+        evaluation = evaluate_dataset(tmp_path / "ds", rng=0)
+        names = [s.algorithm for s in evaluation.scores]
+        assert names == [
+            "select (ours)", "rselect (ours)", "anytime (ours)",
+            "solo", "majority", "knn", "svd",
+        ]
+        assert evaluation.diameter >= 0 and 0 < evaluation.alpha <= 1
+        assert all(s.stretch >= 0 for s in evaluation.scores)
+        payload = evaluation.to_dict()
+        assert len(payload["scores"]) == 7
+        assert "stretch" in evaluation.render()
+
+
+class TestServeIntegration:
+    def test_loadgen_dataset_serves_ingested_instance(self, tmp_path):
+        from repro.datasets.registry import get
+        from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+        spec = get("mini-ratings")
+        ingest(spec.materialize(tmp_path), tmp_path / "ds", threshold=spec.threshold)
+        report = run_loadgen(
+            LoadgenConfig(dataset=str(tmp_path / "ds"), seed=3, max_phases=1, d_max=2)
+        )
+        assert report.requests > 0
+        assert report.sessions_complete + report.sessions_drained == 64
+        assert "dataset" in report.render()
+
+    def test_publish_bitmatrix_shares_packed_words(self):
+        from repro.parallel.shared import SharedInstanceStore
+
+        dense = (np.arange(64).reshape(8, 8) % 3 == 0).astype(np.int8)
+        bm = BitMatrix(dense)
+        with SharedInstanceStore() as shared:
+            handle = shared.publish(bm)
+            attached = handle.bitmatrix()
+            assert attached == bm

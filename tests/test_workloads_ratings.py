@@ -74,3 +74,48 @@ class TestDiscoverCommunities:
             discover_communities(np.zeros((4, 4), dtype=np.int8), -1)
         with pytest.raises(ValueError):
             discover_communities(np.zeros((4, 4), dtype=np.int8), 2, min_frequency=0)
+
+
+class TestPackedReroute:
+    """Satellite pins: the packed binarizer is bit-equal to the old dense
+    path, and discovery runs off the blocked packed Hamming kernel."""
+
+    def test_bit_equality_all_missing_policies(self):
+        from repro.workloads.ratings import _binarize_dense_reference
+
+        gen = np.random.default_rng(17)
+        for n, m in ((13, 9), (32, 64), (57, 41)):
+            ratings = gen.uniform(0.0, 5.0, size=(n, m))
+            ratings[gen.random((n, m)) < 0.3] = np.nan
+            for missing in ("zero", "one", "majority"):
+                inst = instance_from_ratings(ratings, 2.5, missing=missing)
+                ref = _binarize_dense_reference(
+                    ratings, 2.5, missing=missing, missing_marker=np.nan
+                )
+                np.testing.assert_array_equal(
+                    inst.prefs, ref, err_msg=f"missing={missing} n={n} m={m}"
+                )
+
+    def test_sentinel_marker_equality(self):
+        from repro.workloads.ratings import _binarize_dense_reference
+
+        gen = np.random.default_rng(23)
+        ratings = gen.integers(0, 6, size=(20, 15)).astype(np.float64)
+        for missing in ("zero", "one", "majority"):
+            inst = instance_from_ratings(ratings, 2.5, missing=missing, missing_marker=0.0)
+            ref = _binarize_dense_reference(
+                ratings, 2.5, missing=missing, missing_marker=0.0
+            )
+            np.testing.assert_array_equal(inst.prefs, ref, err_msg=f"missing={missing}")
+
+    def test_discover_accepts_bitmatrix(self):
+        from repro.metrics.bitpack import BitMatrix
+
+        base = planted_instance(80, 60, 0.5, 4, rng=1)
+        dense_result = discover_communities(base.prefs, radius=4, min_frequency=0.3)
+        packed_result = discover_communities(BitMatrix(base.prefs), radius=4, min_frequency=0.3)
+        assert len(dense_result) == len(packed_result)
+        for a, b in zip(dense_result, packed_result):
+            np.testing.assert_array_equal(a.members, b.members)
+            assert a.diameter == b.diameter
+            np.testing.assert_array_equal(a.center, b.center)
