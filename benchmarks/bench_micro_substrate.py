@@ -326,6 +326,8 @@ def main(argv: "list[str] | None" = None) -> None:
     parser.add_argument("--out", type=Path, default=default_out, metavar="PATH")
     args = parser.parse_args(argv)
 
+    from repro.metrics.kernels import kernel_backend
+
     table = _time_table(substrate_kernels())
     print(_render_table(table))
     out = {
@@ -333,6 +335,11 @@ def main(argv: "list[str] | None" = None) -> None:
         "harness": "benchmarks/bench_micro_substrate.py (best of "
         f"{_AB_ROUNDS}, prebuilt inputs)",
         "seed_semantics": "dense implementation each kernel replaced",
+        # Honesty metadata: which repro.metrics.kernels backend produced
+        # these timings.  check_regression.py only compares like-for-like
+        # backends (a compiled baseline vs a numpy fresh run measures the
+        # backend switch, not a regression).
+        "kernel_backend": kernel_backend(),
         "kernels": {
             name: {k: row[k] for k in ("size", "ns", "bytes_moved", "speedup_vs_seed")}
             for name, row in table.items()

@@ -48,6 +48,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.metrics.kernels import kernel_backend as _kernel_backend
 from repro.serve import LoadgenConfig, LoadgenReport, run_loadgen
 
 #: Full size when REPRO_FULL=1, CI-friendly size otherwise.
@@ -144,6 +145,10 @@ def main(argv: list[str] | None = None) -> None:
             f"workers swept over {list(WORKER_SWEEP)}"
         ),
         "seed_semantics": "sequential serving: window=1, scalar oracle probes",
+        # Honesty metadata (like `workers`/`host_cpus` on the sharded
+        # records): the repro.metrics.kernels backend behind every probe.
+        # check_regression.py gates only like-for-like backends.
+        "kernel_backend": _kernel_backend(),
         "kernels": {
             "serve_sequential": {
                 "size": size,

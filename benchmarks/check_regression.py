@@ -19,7 +19,7 @@ gated metrics compare the same timing across runs.  A baseline metric
 missing from the fresh record is a hard failure: silently dropping a
 kernel from a bench must not read as "no regression".
 
-Two comparisons are *skipped* (loudly, never silently) because they
+Three comparisons are *skipped* (loudly, never silently) because they
 cannot produce an honest regression signal:
 
 * a record whose ``workers`` exceeds the checking host's CPU count —
@@ -27,7 +27,15 @@ cannot produce an honest regression signal:
   measures oversubscription, not the kernel;
 * a metric whose ``size`` field differs between baseline and fresh —
   different workload scales are different benchmarks (e.g. a committed
-  full-size baseline checked against a CI quick run).
+  full-size baseline checked against a CI quick run);
+* a metric whose ``kernel_backend`` differs between baseline and fresh
+  — a compiled-backend baseline checked on a host without a C
+  compiler (or under ``REPRO_FORCE_PY_KERNELS=1``) measures the
+  backend switch, not a regression; only like-for-like backends gate.
+
+Context fields (``workers``, ``size``, ``kernel_backend``) are
+inherited downward: a record-level ``kernel_backend`` covers every
+nested metric unless a deeper dict overrides it.
 
 Usage::
 
@@ -49,23 +57,30 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: ``dotted.path -> (kind, value, context)`` where context carries the
-#: enclosing record's descriptive ``workers`` / ``size`` fields.
+#: record's descriptive ``workers`` / ``size`` / ``kernel_backend``
+#: fields (nearest enclosing dict wins).
 Metrics = dict[str, tuple[str, float, dict]]
 
+#: Descriptive fields the skip rules consult, inherited down the record
+#: tree so a top-level honesty stamp covers every nested metric.
+_CONTEXT_KEYS = ("workers", "size", "kernel_backend")
 
-def gated_metrics(record: object, prefix: str = "") -> Metrics:
+
+def gated_metrics(record: object, prefix: str = "", inherited: dict | None = None) -> Metrics:
     """Flatten a bench record to ``dotted.path -> (kind, value, context)``.
 
     Only the gated keys survive: ``kind`` is ``"ns"`` (lower is better)
-    or ``"per_s"`` (higher is better).  ``context`` holds the sibling
-    ``workers`` and ``size`` fields (when present) that the skip rules
-    consult.
+    or ``"per_s"`` (higher is better).  ``context`` holds the
+    ``workers`` / ``size`` / ``kernel_backend`` fields the skip rules
+    consult — inherited from enclosing dicts, with the nearest
+    enclosing value winning.
     """
     found: Metrics = {}
     if isinstance(record, dict):
-        context = {
-            key: record[key] for key in ("workers", "size") if key in record
-        }
+        context = dict(inherited or {})
+        context.update(
+            {key: record[key] for key in _CONTEXT_KEYS if key in record}
+        )
         for key, value in record.items():
             path = f"{prefix}.{key}" if prefix else key
             if isinstance(value, (int, float)) and not isinstance(value, bool):
@@ -74,7 +89,7 @@ def gated_metrics(record: object, prefix: str = "") -> Metrics:
                 elif key.endswith("_per_s"):
                     found[path] = ("per_s", float(value), context)
             else:
-                found.update(gated_metrics(value, path))
+                found.update(gated_metrics(value, path, context))
     return found
 
 
@@ -107,6 +122,15 @@ def compare(
             lines.append(
                 f"skip {name}:{path} (size mismatch: baseline {base_size!r} "
                 f"vs fresh {fresh_size!r}: different workloads are not comparable)"
+            )
+            continue
+        base_backend = base_ctx.get("kernel_backend")
+        fresh_backend = fresh_ctx.get("kernel_backend")
+        if base_backend != fresh_backend:
+            lines.append(
+                f"skip {name}:{path} (kernel_backend switch: baseline "
+                f"{base_backend!r} vs fresh {fresh_backend!r}: only "
+                "like-for-like backends are comparable)"
             )
             continue
         # Normalise to a throughput ratio: >= 1.0 means at least as fast.

@@ -20,7 +20,12 @@ The surface groups into four layers:
   :func:`packed_substrate` / :func:`packed_substrate_enabled` switch
   that trades the bit-packed oracle/billboard storage for the dense
   ``int8`` reference representation (observably identical; mirrors the
-  :func:`sequential_probes` switch below).
+  :func:`sequential_probes` switch below).  The substrate's hot kernels
+  dispatch through :mod:`repro.metrics.kernels`; :func:`kernel_backend`
+  / :func:`kernel_info` report which backend (``"numpy"`` reference or
+  the optional ``"compiled"`` cffi extension) this process selected and
+  why, and :func:`numpy_kernels` forces the reference backend on the
+  current thread for in-process A/B.
 * **algorithms** — :func:`find_preferences` and the unknown-parameter
   wrappers, :class:`Params`, :class:`RunResult` (whose ``meta`` keys are
   the closed vocabulary :data:`META_KEYS`, checked by
@@ -78,6 +83,7 @@ from repro.metrics.bitpack import (
     packed_substrate_enabled,
 )
 from repro.metrics.evaluation import evaluate
+from repro.metrics.kernels import kernel_backend, kernel_info, numpy_kernels
 from repro.model.community import Community
 from repro.model.instance import Instance
 from repro.obs.metrics import MetricRegistry, MetricsSnapshotSink
@@ -115,6 +121,9 @@ __all__ = [
     "dense_substrate",
     "packed_substrate",
     "packed_substrate_enabled",
+    "kernel_backend",
+    "kernel_info",
+    "numpy_kernels",
     # model
     "Instance",
     "Community",

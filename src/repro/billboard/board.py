@@ -4,8 +4,15 @@ The model (Section 1.1) lets every player read everything ever posted:
 probe results ("the eBay ranking matrix") and other players' output
 vectors (``w(p)`` "is accessible to all players").  The billboard stores
 
-* **revealed grades**: a dense mask + value matrix (entries only the
-  owning player could have revealed, enforced by the oracle), and
+* **revealed grades**: a dense value matrix (entries only the owning
+  player could have revealed, enforced by the oracle) — under the packed
+  substrate the revealed mask is *derived* (``values != WILDCARD``;
+  grades are 0/1, so the wildcard fill marks exactly the hidden
+  entries), halving both the memory and the per-batch scatter cost —
+  and :meth:`Billboard.grade_sink` lets the oracle extract and post a
+  probe batch in one kernel pass
+  (:func:`repro.metrics.kernels.fused_extract_post`); the dense
+  reference substrate keeps the explicit mask + value pair, and
 * **posted vector channels**: named matrices of intermediate outputs
   (e.g. the per-part Zero Radius results that Small Radius votes over,
   or the Small Radius outputs that Coalesce clusters).
@@ -32,6 +39,7 @@ import numpy as np
 
 from repro import obs
 from repro.obs import metrics
+from repro.metrics import kernels
 from repro.metrics.bitpack import pack_rows, packed_substrate_enabled, unpack_rows
 from repro.utils.validation import WILDCARD
 
@@ -87,7 +95,14 @@ class Billboard:
             raise ValueError(f"population must be positive, got n={n_players}, m={n_objects}")
         self.n_players = int(n_players)
         self.n_objects = int(n_objects)
-        self._revealed = np.zeros((n_players, n_objects), dtype=bool)
+        # Packed substrate: the revealed mask is derived from the value
+        # matrix (grades are 0/1, WILDCARD marks hidden), so one int8
+        # scatter per probe batch instead of two.  Dense substrate keeps
+        # the explicit mask — the A/B reference representation.
+        if packed_substrate_enabled():
+            self._revealed: np.ndarray | None = None
+        else:
+            self._revealed = np.zeros((n_players, n_objects), dtype=bool)
         self._values = np.full((n_players, n_objects), WILDCARD, dtype=np.int8)
         self._channels: dict[str, _Channel] = {}
 
@@ -95,25 +110,81 @@ class Billboard:
     # revealed grades
     # ------------------------------------------------------------------
     def post_grades(self, players: np.ndarray, objects: np.ndarray, values: np.ndarray) -> None:
-        """Record revealed grades (called by the oracle after each probe batch)."""
-        self._revealed[players, objects] = True
-        self._values[players, objects] = values
+        """Record revealed grades (called by the oracle after each probe batch).
+
+        *values* are 0/1 grades — never :data:`WILDCARD`, which is what
+        lets the derived-mask mode equate "revealed" with "non-wildcard".
+        """
+        if self._revealed is not None:
+            self._revealed[players, objects] = True
+            self._values[players, objects] = values
+        else:
+            kernels.scatter_values(
+                self._values, players, objects, np.asarray(values, dtype=np.int8)
+            )
+
+    def grade_sink(self) -> np.ndarray | None:
+        """The writable grade matrix for the oracle's fused probe path.
+
+        In derived-mask mode a probe batch *is* one scatter of 0/1
+        values into this matrix, so the oracle fuses extraction and
+        posting into a single kernel pass
+        (:func:`repro.metrics.kernels.fused_extract_post`) instead of
+        calling :meth:`post_grades`.  Returns ``None`` under the dense
+        reference substrate, where the explicit mask must be updated too
+        and the oracle takes the :meth:`post_grades` path.
+        """
+        if self._revealed is not None:
+            return None
+        return self._values
 
     def is_revealed(self, player: int, obj: int) -> bool:
         """Whether ``(player, obj)`` has ever been probed."""
-        return bool(self._revealed[player, obj])
+        if self._revealed is not None:
+            return bool(self._revealed[player, obj])
+        return bool(self._values[player, obj] != WILDCARD)
+
+    def is_revealed_many(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
+        """Per-pair revealed flags for a probe batch (fresh bool array).
+
+        The batch twin of :meth:`is_revealed` — a k-element gather, so
+        the oracle's ``charge_repeats=False`` path never materialises
+        the full ``(n, m)`` mask.
+        """
+        if self._revealed is not None:
+            return self._revealed[players, objects]
+        return np.not_equal(self._values[players, objects], WILDCARD)
 
     def grade(self, player: int, obj: int) -> int:
         """The revealed grade of ``(player, obj)``; raises ``KeyError`` if hidden."""
-        if not self._revealed[player, obj]:
+        if not self.is_revealed(player, obj):
             raise KeyError(f"grade ({player}, {obj}) has not been revealed")
         return int(self._values[player, obj])
 
     def revealed_mask(self) -> np.ndarray:
-        """Read-only view of the ``(n, m)`` revealed-entry mask."""
-        view = self._revealed.view()
-        view.flags.writeable = False
-        return view
+        """Read-only ``(n, m)`` revealed-entry mask.
+
+        A view in dense mode; a fresh (also read-only) array computed as
+        ``values != WILDCARD`` in derived-mask mode.  Per-player hot
+        paths should prefer :meth:`revealed_row` /
+        :meth:`is_revealed_many`, which never build the full mask.
+        """
+        if self._revealed is not None:
+            view = self._revealed.view()
+            view.flags.writeable = False
+            return view
+        mask = np.not_equal(self._values, WILDCARD)
+        mask.flags.writeable = False
+        return mask
+
+    def revealed_row(self, player: int) -> np.ndarray:
+        """Read-only revealed flags of one player's row."""
+        if self._revealed is not None:
+            row = self._revealed[player].view()
+        else:
+            row = np.not_equal(self._values[player], WILDCARD)
+        row.flags.writeable = False
+        return row
 
     def revealed_values(self) -> np.ndarray:
         """Read-only ``(n, m)`` matrix of revealed grades (hidden entries = -1)."""
@@ -124,7 +195,9 @@ class Billboard:
     @property
     def n_revealed(self) -> int:
         """Total number of revealed entries."""
-        return int(self._revealed.sum())
+        if self._revealed is not None:
+            return int(self._revealed.sum())
+        return int(np.count_nonzero(self._values != WILDCARD))
 
     # ------------------------------------------------------------------
     # posted vector channels
@@ -229,13 +302,37 @@ class Billboard:
         """Copies of the full board state: ``(revealed, values, channels)``.
 
         The sanctioned export for :mod:`repro.serve.snapshot` — copies,
-        so a snapshot taken now is unaffected by later posts.
+        so a snapshot taken now is unaffected by later posts.  The mask
+        is exported explicitly either way, so snapshots written by a
+        derived-mask board restore onto a dense-mode board and back.
         """
+        if self._revealed is not None:
+            revealed = self._revealed.copy()
+        else:
+            revealed = np.not_equal(self._values, WILDCARD)
         return (
-            self._revealed.copy(),
+            revealed,
             self._values.copy(),
             {name: ch.matrix() for name, ch in self._channels.items()},
         )
+
+    def _install_grades(self, revealed: np.ndarray, values: np.ndarray) -> None:
+        """Install checkpointed grade state, preserving the derived mode.
+
+        Any state this class can produce satisfies ``revealed ==
+        (values != WILDCARD)`` (grades are 0/1 and hidden entries are
+        wildcard-filled), so a derived-mask board installs the values
+        alone.  A hand-crafted inconsistent checkpoint falls back to the
+        explicit dual-store representation rather than silently dropping
+        the mask.
+        """
+        if self._revealed is None:
+            if bool(np.array_equal(np.not_equal(values, WILDCARD), revealed)):
+                self._values[:] = values
+                return
+            self._revealed = np.zeros((self.n_players, self.n_objects), dtype=bool)
+        self._revealed[:] = revealed
+        self._values[:] = values
 
     @classmethod
     def restore(
@@ -252,8 +349,7 @@ class Billboard:
                 f"revealed/values must be equal-shape 2-D, got {revealed_arr.shape} and {values_arr.shape}"
             )
         board = cls(revealed_arr.shape[0], revealed_arr.shape[1])
-        board._revealed[:] = revealed_arr
-        board._values[:] = values_arr
+        board._install_grades(revealed_arr, values_arr)
         for name, arr in channels.items():
             board._channels[name] = _Channel(np.asarray(arr))
         return board

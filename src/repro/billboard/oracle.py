@@ -36,7 +36,8 @@ from repro import obs
 from repro.billboard.accounting import PhaseLedger, ProbeStats
 from repro.billboard.board import Billboard
 from repro.billboard.exceptions import BudgetExceededError, ProbeError
-from repro.metrics.bitpack import BitMatrix, extract_bits, packed_substrate_enabled
+from repro.metrics import kernels
+from repro.metrics.bitpack import BitMatrix, packed_substrate_enabled
 from repro.model.instance import Instance
 from repro.utils.validation import check_binary_matrix
 
@@ -133,7 +134,7 @@ class ProbeOracle:
             value = int(self._dense[player, obj])
         else:
             assert self._packed is not None
-            value = int(extract_bits(self._packed, np.asarray(player), np.asarray(obj)))
+            value = int(kernels.extract_bits(self._packed, np.asarray(player), np.asarray(obj)))
         recorder = obs.get_recorder()
         if recorder is not None:
             recorder.counters.incr(
@@ -164,10 +165,21 @@ class ProbeOracle:
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ProbeError("object index out of range in batch probe")
 
+        # The fused path needs the billboard's grade sink up front: when
+        # every probe is charged and no budget can trip mid-batch, the
+        # accounting bincount folds into the same kernel pass.
+        sink = self.billboard.grade_sink() if self._packed is not None else None
+        fold_counts = self.charge_repeats and self.budget is None and sink is not None
+
         if self.charge_repeats:
-            charged = np.ones(players.size, dtype=bool)
+            # Every listed pair is charged: skip materialising the mask
+            # and the `players[charged]` gather entirely (the all-ones
+            # boolean pass was a measurable share of the batch cost).
+            charged: np.ndarray | None = None
+            n_charged = players.size
+            add = None if fold_counts else np.bincount(players, minlength=self.n_players)
         else:
-            charged = ~self.billboard.revealed_mask()[players, objects]
+            charged = ~self.billboard.is_revealed_many(players, objects)
             # Duplicates inside the batch: only the first reveal of an
             # unrevealed entry is free of a prior post, so charge the first
             # occurrence only (subsequent ones hit the just-posted entry).
@@ -177,19 +189,21 @@ class ProbeOracle:
                 first_mask = np.zeros(players.size, dtype=bool)
                 first_mask[first_idx] = True
                 charged &= first_mask
+            n_charged = int(charged.sum())
+            add = np.bincount(players[charged], minlength=self.n_players)
 
-        add = np.bincount(players[charged], minlength=self.n_players)
         if self.budget is not None:
+            assert add is not None  # fold_counts requires budget is None
             new_counts = self._counts + add
             over = np.flatnonzero(new_counts > self.budget)
             if over.size:
                 raise BudgetExceededError(int(over[0]), self.budget)
-        self._counts += add
+        if add is not None:
+            self._counts += add
         self._batches += 1
 
         recorder = obs.get_recorder()
         if recorder is not None:
-            n_charged = int(charged.sum())
             recorder.counters.incr("oracle.probes_charged", n_charged)
             if n_charged < players.size:
                 recorder.counters.incr("oracle.reprobes_uncharged", players.size - n_charged)
@@ -197,13 +211,25 @@ class ProbeOracle:
 
         if self._dense is not None:
             values = self._dense[players, objects]
+            self.billboard.post_grades(players, objects, values)
+        elif sink is not None:
+            # Derived-mask billboard: extraction, posting, and (on the
+            # all-charged unbudgeted path) accounting are one fused
+            # kernel pass over the batch.
+            assert self._packed is not None
+            values = kernels.fused_extract_post(
+                self._packed, sink, players, objects,
+                self._counts if fold_counts else None,
+            )
         else:
             assert self._packed is not None
-            values = extract_bits(self._packed, players, objects)
-        self.billboard.post_grades(players, objects, values)
+            values = kernels.extract_bits(self._packed, players, objects)
+            self.billboard.post_grades(players, objects, values)
         if self._trace is not None:
+            if charged is None:
+                charged = np.ones(players.size, dtype=bool)
             self._trace.record_batch(players, objects, values, charged)
-        return values.astype(np.int8)
+        return values.astype(np.int8, copy=False)
 
     def probe_all(self, player: int, objects: np.ndarray) -> np.ndarray:
         """Player probes every object in *objects* (Zero Radius base case)."""

@@ -476,7 +476,6 @@ class SharedBillboard(Billboard):
             raise ValueError(
                 f"revealed shape {revealed_arr.shape} != ({self.n_players}, {self.n_objects})"
             )
-        self._revealed[:] = revealed_arr
-        self._values[:] = values_arr
+        self._install_grades(revealed_arr, values_arr)
         for name, arr in channels.items():
             self._channels[name] = _Channel(np.asarray(arr))

@@ -15,6 +15,7 @@ Subcommands::
     python -m repro report --out REPORT.md --telemetry
                                               # Markdown report + JSONL
     python -m repro lint src tests            # repro contract checks (RPL rules)
+    python -m repro kernels                   # active kernel backend + dispatch table
     python -m repro serve --n 256 --snapshot svc.npz
                                               # online session runtime to completion
     python -m repro serve --restore svc.npz   # resume a killed service
@@ -256,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     top.add_argument(
         "--refresh", type=float, default=1.0, help="seconds between refreshes (with --follow)"
+    )
+
+    kernels = sub.add_parser(
+        "kernels", help="show the active repro.metrics.kernels backend and why"
+    )
+    kernels.add_argument(
+        "--json", action="store_true", help="machine-readable kernel_info() payload"
     )
 
     from repro.lint.cli import add_lint_subparser
@@ -506,6 +514,32 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    """Introspect the kernel-dispatch layer (``repro kernels``).
+
+    The serving twin of ``repro obs top``: answers "which backend is
+    this process actually running, and why" without touching the
+    substrate — the same payload the benchmark records embed as their
+    ``kernel_backend`` honesty stamp.
+    """
+    import json as _json
+
+    from repro.metrics.kernels import kernel_info
+
+    info = kernel_info()
+    if args.json:
+        print(_json.dumps(info, indent=2))
+        return 0
+    print(f"backend : {info['backend']}")
+    print(f"reason  : {info['reason']}")
+    for name, value in info["env"].items():
+        print(f"env     : {name}={value if value is not None else '(unset)'}")
+    print("kernels :")
+    for name, backend in info["kernels"].items():
+        print(f"  {name:24s} -> {backend}")
+    return 0
+
+
 def _load_telemetry(path: Path) -> "obs.TelemetryRun | None":
     try:
         return obs.load_jsonl(path)
@@ -583,6 +617,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_dataset(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "kernels":
+        return _cmd_kernels(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.params import Params
 from repro.core.result import SelectOutcome
+from repro.metrics import kernels
 from repro.metrics.bitpack import pack_rows, unpack_vector
 from repro.utils.rng import as_generator
 from repro.utils.validation import WILDCARD
@@ -110,26 +111,45 @@ def rselect_coroutine(
     # coordinate is a charged probe.
     value_cache: dict[int, int] = {}
 
+    # int16 staging for the per-match agreement kernel (candidate
+    # alphabets — {0, 1, ?} and super-objects — always fit; a wider
+    # matrix tallies through the kernel's generic path instead).
+    cand16: np.ndarray | None = None
+    if cand.dtype.kind in "iub" and (
+        cand.size == 0 or (int(cand.min()) >= -(2**15) and int(cand.max()) < 2**15)
+    ):
+        cand16 = np.ascontiguousarray(cand, dtype=np.int16)
+
     # Indistinguishable pairs (empty diff) play no match, exactly as the
     # per-pair scan skipped them.
     for a, b, diff in _pair_diffs(cand):
-        va, vb = cand[a], cand[b]
         if diff.size <= budget:
             sample = diff
         else:
             sample = gen.choice(diff, size=budget, replace=False)
-        agree_a = 0
-        agree_b = 0
-        for j in sample:
+        # Collect this match's probed values first (yielding only
+        # uncached coordinates, in sample order — the probe sequence is
+        # identical to the scalar loop's), then tally agreements in one
+        # kernel call (repro.metrics.kernels.pair_agreements keeps the
+        # scalar loop's first-match-wins elif order).
+        values = np.empty(sample.size, dtype=np.int64)
+        for idx, j in enumerate(sample):
             j = int(j)
             if j not in value_cache:
                 value_cache[j] = int((yield j))
                 n_probes += 1
-            value = value_cache[j]
-            if va[j] == value:
-                agree_a += 1
-            elif vb[j] == value:
-                agree_b += 1
+            values[idx] = value_cache[j]
+        if cand16 is not None and (
+            sample.size == 0
+            or (int(values.min()) >= -(2**15) and int(values.max()) < 2**15)
+        ):
+            agree_a, agree_b = kernels.pair_agreements(
+                cand16[a].take(sample), cand16[b].take(sample), values.astype(np.int16)
+            )
+        else:
+            agree_a, agree_b = kernels.pair_agreements(
+                cand[a].take(sample), cand[b].take(sample), values
+            )
         threshold = p.rs_majority * sample.size
         if agree_a >= threshold:
             losses[b] += 1

@@ -36,6 +36,7 @@ from typing import Callable, Generator
 import numpy as np
 
 from repro.core.result import SelectOutcome
+from repro.metrics import kernels
 from repro.metrics.bitpack import differing_columns, pack_rows
 from repro.utils.validation import WILDCARD
 
@@ -130,6 +131,17 @@ def select_coroutine(
     probed = np.zeros(L, dtype=bool)
     n_probes = 0
 
+    # Column-major int16 staging for the fused per-probe scan: the scan
+    # kernel reads one contiguous column per probe, so the candidate
+    # matrix is transposed once up front (when its values fit int16 —
+    # always, for {0, 1, ?} and super-object alphabets; anything wider
+    # scans the original columns through the kernel's generic path).
+    scan_cols: np.ndarray | None = None
+    if cand.dtype.kind in "iub" and (
+        cand.size == 0 or (int(cand.min()) >= -(2**15) and int(cand.max()) < 2**15)
+    ):
+        scan_cols = np.asfortranarray(cand, dtype=np.int16)
+
     # Step 1: probe distinguishing coordinates in ascending order,
     # recomputing X(V) whenever the candidate set shrinks.
     x_coords = _x_coords_cached(cand)
@@ -141,15 +153,15 @@ def select_coroutine(
         if cursor >= x_coords.size:
             break  # all of X(V) probed (or X(V) empty)
         j = int(x_coords[cursor])
-        value = yield j
+        value = int((yield j))
         n_probes += 1
         probed[j] = True
-        col = cand[:, j]
-        hit = (col != WILDCARD) & (col != value)
-        disagreements[hit] += 1
-        over = alive & (disagreements > bound)
-        if over.any():
-            alive &= ~over
+        # Fused scan (repro.metrics.kernels.scan_column): bump every
+        # contradicted candidate's disagreement count and retire those
+        # that crossed the bound, in one pass over the column.
+        col = scan_cols[:, j] if scan_cols is not None else cand[:, j]
+        eliminated = kernels.scan_column(col, value, WILDCARD, bound, disagreements, alive)
+        if eliminated:
             if not alive.any():
                 break
             x_coords = _x_coords_cached(np.ascontiguousarray(cand[alive]))

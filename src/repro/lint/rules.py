@@ -1,4 +1,4 @@
-"""The repro rule set: sixteen machine-checked model/API contracts.
+"""The repro rule set: seventeen machine-checked model/API contracts.
 
 Each rule encodes one convention the paper's guarantees (or the repo's
 refactoring safety) depend on; the catalog with full rationale is
@@ -641,6 +641,68 @@ class _ServeTopologyVisitor(RuleVisitor):
         self.generic_visit(node)
 
 
+#: Import roots that mark compiled-extension machinery (the generated
+#: ``_ckernels`` module is matched as a dotted segment, not a root).
+_COMPILED_EXT_ROOTS = frozenset({"cffi", "cython", "Cython"})
+
+
+class CompiledKernelContainmentRule(Rule):
+    """RPL017 — compiled-extension imports live only inside the kernel package.
+
+    The compiled backend's whole contract is that it is *invisible*:
+    every caller goes through :mod:`repro.metrics.kernels`, which picks
+    the backend once at import time and guarantees a pure-NumPy fallback
+    on hosts without cffi or a C compiler.  A direct ``import cffi`` (or
+    of the generated ``_ckernels`` module) outside
+    ``repro/metrics/kernels/`` re-introduces a hard native dependency at
+    that call site — the no-compiler install stops importing, and the
+    forced-fallback CI leg (``REPRO_FORCE_PY_KERNELS=1``) no longer
+    covers the code actually running.  Benchmarks and tests A/B the
+    backends through :func:`repro.metrics.kernels.numpy_kernels`, never
+    by touching the extension directly.
+    """
+
+    id = "RPL017"
+    severity = "error"
+    summary = "no cffi/cython/_ckernels imports outside repro/metrics/kernels"
+    hint = "dispatch through repro.metrics.kernels (backend-agnostic, always importable)"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        # Tests and benchmarks must stay backend-agnostic too: their
+        # A/B toggle is numpy_kernels(), not a raw extension import.
+        if ctx.module_path is None:
+            return True
+        return ctx.in_library(exclude=("repro/metrics/kernels",))
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _CompiledKernelVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.found
+
+
+class _CompiledKernelVisitor(RuleVisitor):
+    def _flag(self, node: ast.AST, module: str) -> None:
+        parts = module.split(".")
+        if parts[0] in _COMPILED_EXT_ROOTS or "_ckernels" in parts:
+            self.report(
+                node,
+                f"import of {module!r} bypasses the kernel dispatch namespace",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._flag(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            self._flag(node, node.module)
+            for alias in node.names:
+                if alias.name == "_ckernels":
+                    self._flag(node, f"{node.module}.{alias.name}")
+        self.generic_visit(node)
+
+
 #: The full rule set, id order.
 ALL_RULES: list[Rule] = [
     RngConstructionRule(),
@@ -659,6 +721,7 @@ ALL_RULES: list[Rule] = [
     RngLockstepRule(),
     BarrierOrderRule(),
     MultiprocessingContainmentRule(),
+    CompiledKernelContainmentRule(),
 ]
 
 

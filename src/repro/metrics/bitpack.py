@@ -226,12 +226,13 @@ def extract_bits(packed: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.n
 
     Word-indexed bit extraction: one byte gather plus a shift/mask, no
     dense materialisation.  Bit-identical to fancy-indexing the dense
-    matrix.
+    matrix.  Dispatches through :mod:`repro.metrics.kernels` (compiled
+    scatter-gather loop when the extension is available, cache-blocked
+    NumPy otherwise).
     """
-    rows = np.asarray(rows, dtype=np.intp)
-    cols = np.asarray(cols, dtype=np.intp)
-    words = packed[rows, cols >> 3]
-    return ((words >> (7 - (cols & 7)).astype(np.uint8)) & 1).astype(np.int8)
+    from repro.metrics import kernels
+
+    return kernels.extract_bits(packed, rows, cols)
 
 
 # ----------------------------------------------------------------------
@@ -267,12 +268,9 @@ def _as_words(packed: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(packed).view(np.uint64)
 
 
-#: Row-tile height of the blocked pairwise/diameter kernels.  Measured on
-#: the reference box (see docs/performance.md): 32 beats 16/64/128 at
-#: n = 1024 and 2048 and ties them at 512 — large enough to amortise the
-#: per-tile Python and ufunc overhead, small enough that the
-#: ``tile × n × words`` XOR buffer stays cache-resident.
-_PAIRWISE_TILE = 32
+# The row-tiled pairwise/diameter loops formerly inlined here moved to
+# repro.metrics.kernels.reference (upper-triangle tiles) with a compiled
+# twin in repro.metrics.kernels.compiled; BitMatrix dispatches below.
 
 
 class BitMatrix:
@@ -392,45 +390,25 @@ class BitMatrix:
         return hamming_to_packed(self._packed, pv)
 
     def pairwise_hamming(self) -> np.ndarray:
-        """Exact all-pairs Hamming distance matrix (row-tiled popcount).
+        """Exact all-pairs Hamming distance matrix (upper-triangle tiles).
 
-        The XOR / popcount / reduce passes run on whole
-        ``tile × n × words`` blocks through preallocated buffers — the
-        per-row Python loop this replaces was slower than BLAS at
-        512×512; the blocked kernel overtakes BLAS from ``n ≈ 1024``
-        (measured; see docs/performance.md).
+        Dispatches through :mod:`repro.metrics.kernels`: the compiled
+        backend runs an upper-triangle XOR + ``popcountll`` loop; the
+        NumPy reference computes row-tiled ``j >= start`` bands and
+        mirrors them — both bit-identical to the dense distance matrix
+        (measured numbers in docs/performance.md).
         """
-        n = self._n
-        out = np.zeros((n, n), dtype=np.int64)
-        if n <= 1:
-            return out
-        words = self._word_view()
-        w = words.shape[1]
-        tile = min(_PAIRWISE_TILE, n)
-        xbuf = np.empty((tile, n, w), dtype=np.uint64)
-        for start in range(0, n, tile):
-            stop = min(start + tile, n)
-            t = stop - start
-            np.bitwise_xor(words[start:stop, None, :], words[None, :, :], out=xbuf[:t])
-            out[start:stop] = popcount_sum(xbuf[:t])
-        return out
+        from repro.metrics import kernels
+
+        return kernels.pairwise_hamming_words(self._word_view())
 
     def diameter(self) -> int:
-        """Maximum pairwise Hamming distance (row-tiled, no n×n matrix)."""
-        n = self._n
-        if n <= 1:
+        """Maximum pairwise Hamming distance (tiled, no n×n matrix)."""
+        if self._n <= 1:
             return 0
-        words = self._word_view()
-        w = words.shape[1]
-        tile = min(_PAIRWISE_TILE, n)
-        xbuf = np.empty((tile, n, w), dtype=np.uint64)
-        best = 0
-        for start in range(0, n, tile):
-            stop = min(start + tile, n)
-            t = stop - start
-            np.bitwise_xor(words[start:stop, None, :], words[None, :, :], out=xbuf[:t])
-            best = max(best, int(popcount_sum(xbuf[:t]).max()))
-        return best
+        from repro.metrics import kernels
+
+        return kernels.diameter_words(self._word_view())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitMatrix):

@@ -1,0 +1,187 @@
+"""The C source of the compiled kernel backend (cffi API mode).
+
+One translation unit, shared verbatim by :mod:`repro.metrics.kernels.build`
+(which compiles it into ``repro.metrics.kernels._ckernels``) and kept
+next to the dispatch layer so the reference and compiled implementations
+are reviewed side by side.  Every function mirrors one kernel in
+:mod:`repro.metrics.kernels.reference` bit for bit: same big-endian
+``np.packbits`` word layout, same wildcard sentinel, same tie rules.
+
+Index arrays arrive as ``int64_t`` (``np.intp`` on every 64-bit
+platform; :mod:`repro.metrics.kernels.compiled` refuses to load
+elsewhere), packed rows as ``uint8_t`` and their zero-padded word views
+as ``uint64_t`` — padding bits are zero on both rows, so XOR/popcount
+over padded words equals the logical Hamming distance exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CDEF", "SOURCE"]
+
+#: Declarations visible to cffi (and therefore to the Python wrappers).
+CDEF = """
+void repro_extract_bits(const uint8_t *packed, int64_t pw,
+                        const int64_t *rows, const int64_t *cols,
+                        int64_t k, int8_t *out);
+void repro_fused_extract_post(const uint8_t *packed, int64_t pw,
+                              int8_t *sink, int64_t m,
+                              const int64_t *rows, const int64_t *cols,
+                              int64_t k, int8_t *out, int64_t *counts);
+void repro_scatter_values(int8_t *sink, int64_t m,
+                          const int64_t *rows, const int64_t *cols,
+                          const int8_t *vals, int64_t k);
+int64_t repro_diameter_words(const uint64_t *words, int64_t n, int64_t w);
+void repro_pairwise_hamming_words(const uint64_t *words, int64_t n,
+                                  int64_t w, int64_t *out);
+int64_t repro_scan_column(const int16_t *col, int64_t k, int64_t value,
+                          int64_t wildcard, int64_t bound,
+                          int64_t *disagreements, uint8_t *alive);
+void repro_pair_agreements(const int16_t *col_a, const int16_t *col_b,
+                           const int16_t *vals, int64_t k, int64_t *out);
+"""
+
+#: The implementation compiled behind the declarations above.
+SOURCE = r"""
+#include <stdint.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define REPRO_POPCOUNT64(x) __builtin_popcountll(x)
+#else
+static int repro_popcount64_slow(uint64_t x) {
+    x = x - ((x >> 1) & 0x5555555555555555ULL);
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    return (int)((x * 0x0101010101010101ULL) >> 56);
+}
+#define REPRO_POPCOUNT64(x) repro_popcount64_slow(x)
+#endif
+
+/* matrix[rows[i], cols[i]] from big-endian np.packbits rows. */
+void repro_extract_bits(const uint8_t *packed, int64_t pw,
+                        const int64_t *rows, const int64_t *cols,
+                        int64_t k, int8_t *out)
+{
+    int64_t i;
+    for (i = 0; i < k; i++) {
+        int64_t c = cols[i];
+        uint8_t word = packed[rows[i] * pw + (c >> 3)];
+        out[i] = (int8_t)((word >> (7 - (c & 7))) & 1u);
+    }
+}
+
+/* One pass over the probe batch: read the packed bit, emit it, scatter
+ * it into the billboard's dense int8 grade matrix, and (optionally,
+ * counts != NULL) bump the per-player charged-probe counters.  The
+ * fusion is the point — the word gather, the grade post, and the
+ * accounting bincount share one loop, so the batch touches each
+ * (row, col) pair exactly once. */
+void repro_fused_extract_post(const uint8_t *packed, int64_t pw,
+                              int8_t *sink, int64_t m,
+                              const int64_t *rows, const int64_t *cols,
+                              int64_t k, int8_t *out, int64_t *counts)
+{
+    int64_t i;
+    for (i = 0; i < k; i++) {
+        int64_t r = rows[i], c = cols[i];
+        int8_t v = (int8_t)((packed[r * pw + (c >> 3)] >> (7 - (c & 7))) & 1u);
+        out[i] = v;
+        sink[r * m + c] = v;
+        if (counts)
+            counts[r] += 1;
+    }
+}
+
+/* sink[rows[i], cols[i]] = vals[i]; later duplicates win, exactly like
+ * NumPy fancy-index assignment. */
+void repro_scatter_values(int8_t *sink, int64_t m,
+                          const int64_t *rows, const int64_t *cols,
+                          const int8_t *vals, int64_t k)
+{
+    int64_t i;
+    for (i = 0; i < k; i++)
+        sink[rows[i] * m + cols[i]] = vals[i];
+}
+
+/* Max pairwise Hamming distance over zero-padded uint64 word rows.
+ * 8-row i-blocks stay register/L1-resident while j streams the matrix
+ * once per block; only i < j pairs are visited. */
+int64_t repro_diameter_words(const uint64_t *words, int64_t n, int64_t w)
+{
+    int64_t best = 0, ib;
+    for (ib = 0; ib < n; ib += 8) {
+        int64_t ie = ib + 8 < n ? ib + 8 : n;
+        int64_t j;
+        for (j = ib + 1; j < n; j++) {
+            const uint64_t *wj = words + j * w;
+            int64_t itop = j < ie ? j : ie;
+            int64_t i;
+            for (i = ib; i < itop; i++) {
+                const uint64_t *wi = words + i * w;
+                int64_t d = 0, t;
+                for (t = 0; t < w; t++)
+                    d += REPRO_POPCOUNT64(wi[t] ^ wj[t]);
+                if (d > best)
+                    best = d;
+            }
+        }
+    }
+    return best;
+}
+
+/* Full (n, n) distance matrix: upper triangle computed, mirrored. */
+void repro_pairwise_hamming_words(const uint64_t *words, int64_t n,
+                                  int64_t w, int64_t *out)
+{
+    int64_t i;
+    for (i = 0; i < n; i++) {
+        const uint64_t *wi = words + i * w;
+        int64_t j;
+        out[i * n + i] = 0;
+        for (j = i + 1; j < n; j++) {
+            const uint64_t *wj = words + j * w;
+            int64_t d = 0, t;
+            for (t = 0; t < w; t++)
+                d += REPRO_POPCOUNT64(wi[t] ^ wj[t]);
+            out[i * n + j] = d;
+            out[j * n + i] = d;
+        }
+    }
+}
+
+/* Select's per-probe candidate scan (Fig. 3 step 1), one fused loop:
+ * bump the disagreement count of every candidate whose non-wildcard
+ * entry at the probed column contradicts the probed value, then retire
+ * candidates that crossed the bound.  Returns how many were retired. */
+int64_t repro_scan_column(const int16_t *col, int64_t k, int64_t value,
+                          int64_t wildcard, int64_t bound,
+                          int64_t *disagreements, uint8_t *alive)
+{
+    int64_t eliminated = 0, i;
+    for (i = 0; i < k; i++) {
+        if (col[i] != (int16_t)wildcard && col[i] != (int16_t)value)
+            disagreements[i] += 1;
+        if (alive[i] && disagreements[i] > bound) {
+            alive[i] = 0;
+            eliminated++;
+        }
+    }
+    return eliminated;
+}
+
+/* RSelect's per-match tally (Fig. 7): out[0] counts coordinates agreeing
+ * with candidate a, out[1] those agreeing with b among the rest — the
+ * same first-match-wins order as the scalar loop it replaces. */
+void repro_pair_agreements(const int16_t *col_a, const int16_t *col_b,
+                           const int16_t *vals, int64_t k, int64_t *out)
+{
+    int64_t agree_a = 0, agree_b = 0, i;
+    for (i = 0; i < k; i++) {
+        if (col_a[i] == vals[i])
+            agree_a++;
+        else if (col_b[i] == vals[i])
+            agree_b++;
+    }
+    out[0] = agree_a;
+    out[1] = agree_b;
+}
+"""

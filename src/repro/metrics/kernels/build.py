@@ -1,0 +1,74 @@
+"""Build the compiled kernel backend in place (cffi API mode).
+
+``python -m repro.metrics.kernels.build`` compiles the C translation
+unit in :mod:`repro.metrics.kernels._csrc` into the extension module
+``repro.metrics.kernels._ckernels`` next to this package's sources —
+the same layout ``pip install -e .[compiled]`` produces, so a source
+checkout and an installed tree dispatch identically.
+
+The build is strictly optional: nothing imports this module unless the
+user asks for the compiled backend (``REPRO_KERNEL_BACKEND=compiled``)
+or runs the builder explicitly, and every failure mode (no cffi, no C
+compiler) surfaces as a clear :class:`RuntimeError` while the library
+keeps serving on the NumPy reference backend.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any
+
+__all__ = ["build_inplace"]
+
+#: The extension's importable name; must match ``set_source`` below and
+#: the import in :mod:`repro.metrics.kernels.compiled`.
+MODULE_NAME = "repro.metrics.kernels._ckernels"
+
+
+def _ffibuilder(extra_compile_args: list[str]) -> Any:
+    from cffi import FFI
+
+    from repro.metrics.kernels._csrc import CDEF, SOURCE
+
+    ffi = FFI()
+    ffi.cdef(CDEF)
+    ffi.set_source(MODULE_NAME, SOURCE, extra_compile_args=extra_compile_args)
+    return ffi
+
+
+def build_inplace(*, verbose: bool = False) -> str:
+    """Compile the extension next to the package sources; return its path.
+
+    Tries ``-O3 -march=native`` first and retries plain ``-O3`` for
+    toolchains that reject the flag (cross builds, old compilers).
+    Raises :class:`RuntimeError` if cffi is missing or no working C
+    compiler is found — callers fall back to the NumPy backend.
+    """
+    try:
+        import cffi  # noqa: F401
+    except ImportError as exc:
+        raise RuntimeError(
+            "the compiled kernel backend needs cffi "
+            "(pip install 'repro[compiled]')"
+        ) from exc
+    # src root: .../src/repro/metrics/kernels/build.py -> .../src
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+    last_error: Exception | None = None
+    for args in (["-O3", "-march=native"], ["-O3"]):
+        try:
+            ffi = _ffibuilder(args)
+            path = ffi.compile(tmpdir=src_root, verbose=verbose)
+            return str(path)
+        except Exception as exc:  # distutils raises a zoo of error types
+            last_error = exc
+    raise RuntimeError(
+        f"could not compile {MODULE_NAME} (is a C compiler installed?): {last_error}"
+    ) from last_error
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI, not pytest
+    built = build_inplace(verbose="-v" in sys.argv[1:])
+    print(f"built {built}")

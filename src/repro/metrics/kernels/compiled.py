@@ -1,0 +1,219 @@
+"""cffi wrappers around the compiled kernel extension.
+
+Importing this module only succeeds when the prebuilt
+``repro.metrics.kernels._ckernels`` extension is importable and the
+platform is 64-bit (index arrays cross the FFI boundary as ``int64_t``,
+which must be ``np.intp``).  The dispatch layer in
+``repro.metrics.kernels`` treats any :class:`ImportError` here as "use
+the NumPy reference backend" — exactly how ``bitpack`` falls back from
+``np.bitwise_count`` to the 16-bit LUT.
+
+Every wrapper normalises its operands (dtype, C-contiguity) before
+handing raw buffers to C; on the hot paths the callers already pass
+conforming arrays, so the ``ascontiguousarray`` calls are no-op views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.kernels import _ckernels  # built by repro.metrics.kernels.build
+
+__all__ = [
+    "extract_bits",
+    "fused_extract_post",
+    "scatter_values",
+    "diameter_words",
+    "pairwise_hamming_words",
+    "scan_column",
+    "pair_agreements",
+]
+
+if np.dtype(np.intp).itemsize != 8:  # pragma: no cover - 32-bit platforms only
+    raise ImportError(
+        "the compiled kernel backend requires a 64-bit platform "
+        "(np.intp must be int64_t)"
+    )
+
+_ffi = _ckernels.ffi
+_lib = _ckernels.lib
+
+
+def _u8(arr: np.ndarray) -> object:
+    arr = np.ascontiguousarray(arr, dtype=np.uint8)
+    return _ffi.from_buffer("uint8_t[]", arr, require_writable=False)
+
+
+def _i64(arr: np.ndarray) -> object:
+    arr = np.ascontiguousarray(arr, dtype=np.int64)
+    return _ffi.from_buffer("int64_t[]", arr, require_writable=False)
+
+
+def extract_bits(packed: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """``matrix[rows, cols]`` (``int8``) — compiled scatter-gather loop."""
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    if rows.shape != cols.shape:
+        rows, cols = np.broadcast_arrays(rows, cols)
+    shape = rows.shape
+    rows = np.ascontiguousarray(rows).reshape(-1)
+    cols = np.ascontiguousarray(cols).reshape(-1)
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    out = np.empty(rows.size, dtype=np.int8)
+    _lib.repro_extract_bits(
+        _u8(packed),
+        packed.shape[1],
+        _i64(rows),
+        _i64(cols),
+        rows.size,
+        _ffi.from_buffer("int8_t[]", out, require_writable=True),
+    )
+    return out.reshape(shape)
+
+
+def fused_extract_post(
+    packed: np.ndarray,
+    sink: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    counts: np.ndarray | None = None,
+) -> np.ndarray:
+    """Extract + scatter into the billboard sink in one compiled pass.
+
+    *counts*, when given, receives one charged probe per listed row —
+    the oracle's unbudgeted accounting bincount, folded into the loop.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.intp)
+    cols = np.ascontiguousarray(cols, dtype=np.intp)
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    if sink.dtype != np.int8 or not sink.flags.c_contiguous:
+        raise ValueError("sink must be a C-contiguous int8 matrix")
+    if counts is None:
+        counts_ptr = _ffi.NULL
+    else:
+        if counts.dtype != np.int64 or not counts.flags.c_contiguous:
+            raise ValueError("counts must be a C-contiguous int64 vector")
+        counts_ptr = _ffi.from_buffer("int64_t[]", counts, require_writable=True)
+    out = np.empty(rows.size, dtype=np.int8)
+    _lib.repro_fused_extract_post(
+        _u8(packed),
+        packed.shape[1],
+        _ffi.from_buffer("int8_t[]", sink, require_writable=True),
+        sink.shape[1],
+        _i64(rows),
+        _i64(cols),
+        rows.size,
+        _ffi.from_buffer("int8_t[]", out, require_writable=True),
+        counts_ptr,
+    )
+    return out
+
+
+def scatter_values(
+    sink: np.ndarray, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+) -> None:
+    """``sink[rows, cols] = values`` (later duplicates win), compiled."""
+    if sink.dtype != np.int8 or not sink.flags.c_contiguous:
+        sink[rows, cols] = values
+        return
+    rows = np.ascontiguousarray(rows, dtype=np.intp)
+    cols = np.ascontiguousarray(cols, dtype=np.intp)
+    values = np.ascontiguousarray(values, dtype=np.int8)
+    _lib.repro_scatter_values(
+        _ffi.from_buffer("int8_t[]", sink, require_writable=True),
+        sink.shape[1],
+        _i64(rows),
+        _i64(cols),
+        _ffi.from_buffer("int8_t[]", values, require_writable=False),
+        rows.size,
+    )
+
+
+def diameter_words(words: np.ndarray) -> int:
+    """Max pairwise Hamming distance over ``uint64`` word rows, compiled."""
+    n, w = words.shape
+    if n <= 1:
+        return 0
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return int(
+        _lib.repro_diameter_words(
+            _ffi.from_buffer("uint64_t[]", words, require_writable=False), n, w
+        )
+    )
+
+
+def pairwise_hamming_words(words: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` ``int64`` Hamming matrix, compiled upper triangle."""
+    n, w = words.shape
+    out = np.zeros((n, n), dtype=np.int64)
+    if n <= 1:
+        return out
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    _lib.repro_pairwise_hamming_words(
+        _ffi.from_buffer("uint64_t[]", words, require_writable=False),
+        n,
+        w,
+        _ffi.from_buffer("int64_t[]", out, require_writable=True),
+    )
+    return out
+
+
+def scan_column(
+    col: np.ndarray,
+    value: int,
+    wildcard: int,
+    bound: int,
+    disagreements: np.ndarray,
+    alive: np.ndarray,
+) -> int:
+    """Select's fused candidate scan (in place), compiled."""
+    if (
+        col.dtype != np.int16
+        or not col.flags.c_contiguous
+        or disagreements.dtype != np.int64
+        or not disagreements.flags.c_contiguous
+        or alive.dtype != np.bool_
+        or not alive.flags.c_contiguous
+        or not (-(2**15) <= int(value) < 2**15)
+        or not (-(2**15) <= int(wildcard) < 2**15)
+    ):
+        from repro.metrics.kernels import reference
+
+        return reference.scan_column(col, value, wildcard, bound, disagreements, alive)
+    return int(
+        _lib.repro_scan_column(
+            _ffi.from_buffer("int16_t[]", col, require_writable=False),
+            col.size,
+            int(value),
+            int(wildcard),
+            int(bound),
+            _ffi.from_buffer("int64_t[]", disagreements, require_writable=True),
+            _ffi.from_buffer("uint8_t[]", alive.view(np.uint8), require_writable=True),
+        )
+    )
+
+
+def pair_agreements(
+    col_a: np.ndarray, col_b: np.ndarray, values: np.ndarray
+) -> tuple[int, int]:
+    """RSelect's first-match-wins agreement tally, compiled.
+
+    Delegates to the NumPy reference unless all operands are already
+    ``int16`` — a silent narrowing cast could alias distinct values.
+    """
+    if col_a.dtype != np.int16 or col_b.dtype != np.int16 or values.dtype != np.int16:
+        from repro.metrics.kernels import reference
+
+        return reference.pair_agreements(col_a, col_b, values)
+    col_a = np.ascontiguousarray(col_a)
+    col_b = np.ascontiguousarray(col_b)
+    values = np.ascontiguousarray(values)
+    out = np.zeros(2, dtype=np.int64)
+    _lib.repro_pair_agreements(
+        _ffi.from_buffer("int16_t[]", col_a, require_writable=False),
+        _ffi.from_buffer("int16_t[]", col_b, require_writable=False),
+        _ffi.from_buffer("int16_t[]", values, require_writable=False),
+        col_a.size,
+        _ffi.from_buffer("int64_t[]", out, require_writable=True),
+    )
+    return int(out[0]), int(out[1])

@@ -1,0 +1,215 @@
+"""Pure-NumPy reference implementations of the dispatched kernels.
+
+This backend is always importable — no compiler, no cffi — and its
+outputs define correctness: the compiled backend and the hypothesis
+property suite in ``tests/test_kernels.py`` pin every other
+implementation bitwise to the functions here.
+
+It is also not a strawman.  The two frontier kernels are cache-blocked:
+
+* :func:`extract_bits` gathers bytes through one flat ``take`` per
+  32768-probe block (a single flat index buffer beats NumPy's 2-D fancy
+  indexing on scattered reads) and resolves bits with an 8-entry mask
+  LUT instead of a per-element variable shift;
+* :func:`diameter_words` / :func:`pairwise_hamming_words` keep the
+  row-tiled XOR buffer of the original ``BitMatrix`` loops but only
+  visit ``j >= start`` column bands — the upper triangle plus the
+  in-tile square — which halves the streamed bytes on average.
+
+All index arrays are ``np.intp``, packed rows are big-endian
+``np.packbits`` bytes, and word views are zero-padded ``uint64`` rows
+exactly as produced by ``repro.metrics.bitpack._as_words``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import bitpack
+
+__all__ = [
+    "extract_bits",
+    "fused_extract_post",
+    "scatter_values",
+    "diameter_words",
+    "pairwise_hamming_words",
+    "scan_column",
+    "pair_agreements",
+]
+
+#: Probes per gather block.  Large enough to amortise the per-block
+#: Python overhead, small enough that the three per-block index/word
+#: buffers (~3 × 256 KiB at intp width) stay cache-resident.
+_GATHER_BLOCK = 32768
+
+#: ``_BIT_MASK[j % 8]`` selects column ``j``'s bit inside its byte
+#: (big-endian ``np.packbits`` order) — a tiny LUT gather is cheaper
+#: than a per-element variable shift.
+_BIT_MASK = (1 << (7 - np.arange(8))).astype(np.uint8)
+
+#: Row-tile height of the blocked pairwise/diameter kernels; matches the
+#: measured sweet spot of ``bitpack._PAIRWISE_TILE`` (see
+#: docs/performance.md).
+_TILE = 32
+
+
+def extract_bits(packed: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """``matrix[rows, cols]`` (``int8``) read from big-endian packed rows.
+
+    Bit-identical to fancy-indexing the dense matrix; *rows* and *cols*
+    broadcast against each other like NumPy advanced indexing.
+    """
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    if rows.shape != cols.shape:
+        rows, cols = np.broadcast_arrays(rows, cols)
+    shape = rows.shape
+    rows = np.ascontiguousarray(rows).reshape(-1)
+    cols = np.ascontiguousarray(cols).reshape(-1)
+    pw = packed.shape[1]
+    flat = np.ascontiguousarray(packed, dtype=np.uint8).reshape(-1)
+    k = rows.size
+    out = np.empty(k, dtype=np.int8)
+    for start in range(0, k, _GATHER_BLOCK):
+        sl = slice(start, min(start + _GATHER_BLOCK, k))
+        idx = rows[sl] * pw
+        idx += cols[sl] >> 3
+        words = flat.take(idx)
+        np.bitwise_and(words, _BIT_MASK.take(cols[sl] & 7), out=words)
+        out[sl] = words != 0
+    return out.reshape(shape)
+
+
+def fused_extract_post(
+    packed: np.ndarray,
+    sink: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    counts: np.ndarray | None = None,
+) -> np.ndarray:
+    """Extract ``matrix[rows, cols]`` and scatter it into *sink* in one batch.
+
+    *sink* is the billboard's dense ``(n, m)`` ``int8`` grade matrix; the
+    scatter is NumPy fancy-put semantics (later duplicates win).  When
+    *counts* (per-player ``int64`` accounting counters) is given, each
+    listed row is charged one probe — the oracle's all-charged unbudgeted
+    fast path folds its bincount in here.  Returns the extracted ``int8``
+    values, exactly like :func:`extract_bits`.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.intp)
+    cols = np.ascontiguousarray(cols, dtype=np.intp)
+    values = extract_bits(packed, rows, cols)
+    scatter_values(sink, rows, cols, values)
+    if counts is not None:
+        counts += np.bincount(rows, minlength=counts.size)
+    return values
+
+
+def scatter_values(
+    sink: np.ndarray, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+) -> None:
+    """``sink[rows, cols] = values`` through one flat index buffer.
+
+    A single flattened fancy-put walks one index array instead of two,
+    which measures ~2× faster than the 2-D form on scattered batches.
+    Falls back to the 2-D assignment when *sink* is not C-contiguous.
+    """
+    if not sink.flags.c_contiguous:
+        sink[rows, cols] = values
+        return
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    idx = rows * sink.shape[1]
+    idx += cols
+    sink.reshape(-1)[idx] = values
+
+
+def diameter_words(words: np.ndarray) -> int:
+    """Max pairwise Hamming distance over zero-padded ``uint64`` word rows.
+
+    Row-tiled XOR + popcount visiting only the ``j >= start`` band of
+    each tile (the upper triangle plus the in-tile square, whose
+    redundant ``j < i`` entries cannot change a maximum).
+    """
+    n, w = words.shape
+    if n <= 1:
+        return 0
+    tile = min(_TILE, n)
+    xbuf = np.empty((tile, n, w), dtype=np.uint64)
+    best = 0
+    for start in range(0, n - 1, tile):
+        stop = min(start + tile, n)
+        t = stop - start
+        band = n - start
+        np.bitwise_xor(
+            words[start:stop, None, :], words[None, start:, :], out=xbuf[:t, :band]
+        )
+        best = max(best, int(bitpack.popcount_sum(xbuf[:t, :band]).max()))
+    return best
+
+
+def pairwise_hamming_words(words: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` ``int64`` Hamming matrix from ``uint64`` word rows.
+
+    Computes each tile's ``j >= start`` band once and mirrors it into
+    the lower triangle (the in-tile square is symmetric, so the mirror
+    rewrites it with identical values).
+    """
+    n, w = words.shape
+    out = np.zeros((n, n), dtype=np.int64)
+    if n <= 1:
+        return out
+    tile = min(_TILE, n)
+    xbuf = np.empty((tile, n, w), dtype=np.uint64)
+    for start in range(0, n, tile):
+        stop = min(start + tile, n)
+        t = stop - start
+        band = n - start
+        np.bitwise_xor(
+            words[start:stop, None, :], words[None, start:, :], out=xbuf[:t, :band]
+        )
+        d = bitpack.popcount_sum(xbuf[:t, :band])
+        out[start:stop, start:] = d
+        out[start:, start:stop] = d.T
+    return out
+
+
+def scan_column(
+    col: np.ndarray,
+    value: int,
+    wildcard: int,
+    bound: int,
+    disagreements: np.ndarray,
+    alive: np.ndarray,
+) -> int:
+    """Select's fused per-probe candidate scan (in place).
+
+    Bumps ``disagreements[i]`` for every candidate whose non-wildcard
+    entry *col[i]* contradicts the probed *value*, then clears ``alive``
+    for candidates whose count crossed *bound*.  Returns how many
+    candidates were eliminated by this probe.
+    """
+    hit = col != wildcard
+    hit &= col != value
+    disagreements += hit
+    over = alive & (disagreements > bound)
+    eliminated = int(np.count_nonzero(over))
+    if eliminated:
+        alive &= ~over
+    return eliminated
+
+
+def pair_agreements(
+    col_a: np.ndarray, col_b: np.ndarray, values: np.ndarray
+) -> tuple[int, int]:
+    """RSelect's per-match tally: coordinates agreeing with a, then b.
+
+    First-match-wins order: a coordinate that agrees with candidate *a*
+    is never also credited to *b*, matching the scalar
+    ``if va == v ... elif vb == v`` loop it replaces.
+    """
+    a_hit = col_a == values
+    agree_a = int(np.count_nonzero(a_hit))
+    b_hit = ~a_hit
+    b_hit &= col_b == values
+    return agree_a, int(np.count_nonzero(b_hit))

@@ -177,7 +177,7 @@ class ServeService:
         """
         if self.best is not None:
             return self.best[player].copy()
-        mask = self.oracle.billboard.revealed_mask()[player]
+        mask = self.oracle.billboard.revealed_row(player)
         values = self.oracle.billboard.revealed_values()[player]
         return np.where(mask, values, 0).astype(np.int8)
 

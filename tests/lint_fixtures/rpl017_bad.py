@@ -1,0 +1,15 @@
+"""RPL017 violation: raw compiled-extension imports outside the kernel package."""
+
+import cffi  # RPL017: hard native dependency at this call site
+from Cython.Build import cythonize  # RPL017: cython machinery outside kernels
+from repro.metrics.kernels import _ckernels  # RPL017: generated module by name
+from repro.metrics.kernels._ckernels import lib  # RPL017: reaching into the extension
+
+__all__ = ["fast_extract"]
+
+
+def fast_extract(packed: object, rows: object, cols: object) -> object:
+    ffi = cffi.FFI()
+    cythonize("nothing.pyx")
+    _ckernels.lib.repro_extract_bits
+    return lib, ffi

@@ -1,0 +1,19 @@
+"""RPL017 clean: kernels reached through the backend-agnostic namespace."""
+
+from repro.metrics import kernels
+from repro.metrics.kernels import kernel_backend, numpy_kernels
+
+__all__ = ["extract", "reference_extract"]
+
+
+def extract(packed: object, rows: object, cols: object) -> object:
+    # The dispatch namespace picks compiled vs NumPy once at import
+    # time; callers never name the extension.
+    return kernels.extract_bits(packed, rows, cols)
+
+
+def reference_extract(packed: object, rows: object, cols: object) -> object:
+    # A/B against the reference goes through the sanctioned toggle.
+    assert kernel_backend() in ("numpy", "compiled")
+    with numpy_kernels():
+        return kernels.extract_bits(packed, rows, cols)

@@ -36,6 +36,9 @@ GOLDEN_ALL = [
     "dense_substrate",
     "packed_substrate",
     "packed_substrate_enabled",
+    "kernel_backend",
+    "kernel_info",
+    "numpy_kernels",
     # model
     "Instance",
     "Community",
@@ -90,6 +93,9 @@ GOLDEN_SIGNATURES = {
     "dense_substrate": "() -> 'Iterator[None]'",
     "packed_substrate": "() -> 'Iterator[None]'",
     "packed_substrate_enabled": "() -> 'bool'",
+    "kernel_backend": "() -> 'str'",
+    "kernel_info": "() -> 'dict[str, Any]'",
+    "numpy_kernels": "() -> 'Iterator[None]'",
     "find_preferences": (
         "(oracle: 'ProbeOracle', alpha: 'float', D: 'int', *, "
         "params: 'Params | None' = None, "

@@ -1,4 +1,4 @@
-"""Tests for the repro lint engine, the sixteen RPL rules, and the CLI.
+"""Tests for the repro lint engine, the seventeen RPL rules, and the CLI.
 
 Every rule is pinned by a fixture pair under ``tests/lint_fixtures/``:
 the *bad* file must trip exactly that rule (and stops tripping anything
@@ -50,6 +50,7 @@ BAD_CASES = {
     "RPL014": ("rpl014_bad.py", SERVE_PATH, 2, "breaks full-population lockstep"),
     "RPL015": ("rpl015_bad.py", LIB_PATH, 2, "marker visibility"),
     "RPL016": ("rpl016_bad.py", LIB_PATH, 2, "outside the parallel substrate"),
+    "RPL017": ("rpl017_bad.py", LIB_PATH, 4, "bypasses the kernel dispatch namespace"),
 }
 
 GOOD_CASES = {
@@ -69,6 +70,7 @@ GOOD_CASES = {
     "RPL014": ("rpl014_good.py", SERVE_PATH),
     "RPL015": ("rpl015_good.py", LIB_PATH),
     "RPL016": ("rpl016_good.py", LIB_PATH),
+    "RPL017": ("rpl017_good.py", LIB_PATH),
 }
 
 
@@ -211,7 +213,7 @@ def test_collect_files_skips_caches_and_fixtures(tmp_path):
 
 def test_rules_by_id_is_complete():
     catalog = rules_by_id()
-    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 17)]
+    assert sorted(catalog) == [f"RPL{i:03d}" for i in range(1, 18)]
     for rule_id, rule in catalog.items():
         assert rule.id == rule_id
         assert rule.severity in ("error", "warning")
